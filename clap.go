@@ -1,0 +1,142 @@
+// Package clap is a from-scratch Go reproduction of CLAP (Context Learning
+// based Adversarial Protection), the DPI-evasion-attack detector of
+//
+//	Zhu et al., "You Do (Not) Belong Here: Detecting DPI Evasion Attacks
+//	with Context Learning", CoNEXT 2020.
+//
+// CLAP learns the benign "packet context" of TCP connections — the
+// inter-relationships among the header fields of one packet (intra-packet
+// context) and across the packets of a connection (inter-packet context) —
+// from benign traffic only, and flags connections whose context profiles
+// violate the learned joint distribution. See DESIGN.md for the system
+// inventory and EXPERIMENTS.md for the reproduction of every table and
+// figure in the paper.
+//
+// The root package is a facade over the internal implementation packages:
+//
+//	internal/packet     TCP/IPv4 codec
+//	internal/pcapio     pcap reader/writer
+//	internal/flow       connection assembly
+//	internal/tcpstate   reference conntrack-style endhost (label oracle)
+//	internal/trafficgen synthetic MAWI-like benign traffic
+//	internal/attacks    the 73-strategy evasion corpus
+//	internal/dpi        GFW/Zeek/Snort models + divergence checking
+//	internal/nn         GRU + autoencoder substrate
+//	internal/features   Table 7 feature schema
+//	internal/core       the CLAP pipeline
+//	internal/kitsune    Baseline #2 (ensemble-AE IDS)
+//	internal/metrics    AUC/EER/Top-N
+//	internal/eval       experiment harness (tables & figures)
+//
+// Quickstart:
+//
+//	benign := clap.GenerateBenign(500, 1)
+//	det, _ := clap.Train(benign, clap.DefaultConfig(), nil)
+//	score := det.Score(suspect)            // adversarial score (§3.3(d))
+//	windows := det.Localize(suspect, 5)    // forensic localization
+package clap
+
+import (
+	"io"
+
+	"clap/internal/attacks"
+	"clap/internal/core"
+	"clap/internal/dpi"
+	"clap/internal/flow"
+	"clap/internal/metrics"
+	"clap/internal/pcapio"
+	"clap/internal/trafficgen"
+)
+
+// Re-exported core types. Aliases keep the internal packages private while
+// giving users one coherent import.
+type (
+	// Detector is a trained CLAP instance (RNN + autoencoder + feature
+	// profile).
+	Detector = core.Detector
+	// Config carries the pipeline hyper-parameters (Table 6).
+	Config = core.Config
+	// Score is a connection's verification result.
+	Score = core.Score
+	// Connection is a capture-ordered train of TCP packets between two
+	// endpoints.
+	Connection = flow.Connection
+	// Strategy is one DPI evasion attack from the 73-strategy corpus.
+	Strategy = attacks.Strategy
+	// DivergenceResult reports an endhost-vs-DPI behavioural discrepancy.
+	DivergenceResult = dpi.Result
+)
+
+// DefaultConfig returns the paper's CLAP configuration (Table 6).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// Baseline1Config returns the temporal-context-agnostic baseline
+// configuration (§4.1, Baseline #1).
+func Baseline1Config() Config { return core.Baseline1Config() }
+
+// Train learns a detector from benign connections only (stages (a)-(c) of
+// §3.3). logf may be nil.
+func Train(benign []*Connection, cfg Config, logf func(string, ...any)) (*Detector, error) {
+	return core.Train(benign, cfg, logf)
+}
+
+// Load reads a detector persisted with Detector.Save.
+func Load(r io.Reader) (*Detector, error) { return core.Load(r) }
+
+// LoadFile reads a detector from disk.
+func LoadFile(path string) (*Detector, error) { return core.LoadFile(path) }
+
+// GenerateBenign synthesizes n benign backbone-style connections with a
+// deterministic seed (the stand-in for a MAWI capture; DESIGN.md §1).
+func GenerateBenign(n int, seed int64) []*Connection {
+	cfg := trafficgen.DefaultConfig(n)
+	cfg.Seed = seed
+	return trafficgen.Generate(cfg)
+}
+
+// ReadPCAP decodes a pcap stream and assembles its TCP/IPv4 packets into
+// connections. skipped counts undecodable or non-TCP records.
+func ReadPCAP(r io.Reader) (conns []*Connection, skipped int, err error) {
+	pkts, skipped, err := pcapio.ReadPackets(r)
+	if err != nil {
+		return nil, skipped, err
+	}
+	return flow.Assemble(pkts), skipped, nil
+}
+
+// WritePCAP writes connections to w as a classic pcap capture (Ethernet
+// framing, payload-stripped records preserving claimed lengths).
+func WritePCAP(w io.Writer, conns []*Connection) error {
+	pw := pcapio.NewWriter(w, pcapio.LinkTypeEthernet)
+	for _, p := range flow.Flatten(conns) {
+		if err := pw.WritePacket(p); err != nil {
+			return err
+		}
+	}
+	return pw.Flush()
+}
+
+// Attacks returns the full 73-strategy evasion corpus (SymTCP, lib•erate,
+// Geneva).
+func Attacks() []Strategy { return attacks.All() }
+
+// AttackByName looks up one strategy by its paper label.
+func AttackByName(name string) (Strategy, bool) { return attacks.ByName(name) }
+
+// CheckEvasion verifies a connection's endhost-vs-DPI divergence against
+// the GFW, Zeek and Snort models — the ground truth that an evasion attempt
+// would actually have worked (§3.2).
+func CheckEvasion(c *Connection) []DivergenceResult { return dpi.CheckAll(c) }
+
+// AUC computes the area under the ROC curve for benign versus adversarial
+// score samples.
+func AUC(benign, adversarial []float64) float64 { return metrics.AUC(benign, adversarial) }
+
+// EER computes the equal error rate.
+func EER(benign, adversarial []float64) float64 { return metrics.EER(benign, adversarial) }
+
+// ThresholdAtFPR picks a detection threshold achieving at most the target
+// false-positive rate on benign scores (the deployment knob of §3.3(d)).
+func ThresholdAtFPR(benign []float64, fpr float64) float64 {
+	return metrics.ThresholdAtFPR(benign, fpr)
+}

@@ -1,0 +1,123 @@
+package clap
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+)
+
+// The root-package tests exercise the public facade end to end the way the
+// README's quickstart does.
+
+func TestPublicAPIQuickstartFlow(t *testing.T) {
+	benign := GenerateBenign(50, 1)
+	if len(benign) != 50 {
+		t.Fatalf("GenerateBenign returned %d connections", len(benign))
+	}
+	cfg := DefaultConfig()
+	cfg.RNNEpochs, cfg.AEEpochs = 3, 3
+	det, err := Train(benign, cfg, nil)
+	if err != nil {
+		t.Fatalf("Train: %v", err)
+	}
+
+	// Inject the motivating example into a fresh connection and detect it.
+	carrier := GenerateBenign(30, 99)
+	strategy, ok := AttackByName("GFW: Injected RST Bad TCP-Checksum/MD5-Option")
+	if !ok {
+		t.Fatal("strategy missing")
+	}
+	rng := rand.New(rand.NewSource(7))
+	var benignScores, advScores []float64
+	for _, c := range carrier {
+		benignScores = append(benignScores, det.Score(c).Adversarial)
+		cc := c.Clone()
+		if strategy.Apply(cc, rng) {
+			advScores = append(advScores, det.Score(cc).Adversarial)
+		}
+	}
+	if len(advScores) < 5 {
+		t.Fatalf("attack applied only %d times", len(advScores))
+	}
+	if auc := AUC(benignScores, advScores); auc < 0.85 {
+		t.Errorf("quickstart AUC = %.3f, want >= 0.85", auc)
+	}
+	th := ThresholdAtFPR(benignScores, 0.05)
+	fp := 0
+	for _, s := range benignScores {
+		if s >= th {
+			fp++
+		}
+	}
+	if fp > len(benignScores)/10 {
+		t.Errorf("threshold leaks %d/%d false positives", fp, len(benignScores))
+	}
+}
+
+func TestPublicPCAPRoundTrip(t *testing.T) {
+	conns := GenerateBenign(20, 3)
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, conns); err != nil {
+		t.Fatalf("WritePCAP: %v", err)
+	}
+	got, skipped, err := ReadPCAP(&buf)
+	if err != nil {
+		t.Fatalf("ReadPCAP: %v", err)
+	}
+	if skipped != 0 {
+		t.Errorf("skipped = %d", skipped)
+	}
+	if len(got) < len(conns) {
+		t.Errorf("read %d connections, wrote %d", len(got), len(conns))
+	}
+}
+
+func TestPublicAttackCorpus(t *testing.T) {
+	if n := len(Attacks()); n != 73 {
+		t.Fatalf("corpus size = %d, want 73", n)
+	}
+	if _, ok := AttackByName("definitely not real"); ok {
+		t.Error("AttackByName matched nonsense")
+	}
+}
+
+func TestPublicEvasionCheck(t *testing.T) {
+	carrier := GenerateBenign(40, 5)
+	strategy, _ := AttackByName("Injected RST / Low TTL")
+	rng := rand.New(rand.NewSource(11))
+	for _, c := range carrier {
+		cc := c.Clone()
+		if !strategy.Apply(cc, rng) {
+			continue
+		}
+		results := CheckEvasion(cc)
+		if len(results) != 3 {
+			t.Fatalf("CheckEvasion returned %d results", len(results))
+		}
+		diverged := false
+		for _, r := range results {
+			diverged = diverged || r.Diverged()
+		}
+		if !diverged {
+			t.Error("low-TTL RST should diverge on at least one DPI model")
+		}
+		return
+	}
+	t.Fatal("strategy never applied")
+}
+
+func TestPublicPersistence(t *testing.T) {
+	cfg := Baseline1Config()
+	cfg.RNNEpochs, cfg.AEEpochs = 2, 2
+	det, err := Train(GenerateBenign(25, 9), cfg, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,117 @@
+// Command clap-detect scores a (suspicious) pcap capture with a persisted
+// CLAP model: per-connection adversarial scores, verdicts against a
+// threshold, and Top-N localization of the most suspicious packets — the
+// online-detector and forensic deployment modes of §3.2.
+//
+// Usage:
+//
+//	clap-detect -in suspect.pcap -model clap.model -threshold 0.08 -top 5
+//	clap-detect -in suspect.pcap -model clap.model -calibrate benign.pcap -fpr 0.01
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"clap/internal/core"
+	"clap/internal/flow"
+	"clap/internal/metrics"
+	"clap/internal/pcapio"
+)
+
+func readConns(path string) []*flow.Connection {
+	f, err := os.Open(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	pkts, _, err := pcapio.ReadPackets(f)
+	if err != nil {
+		log.Fatalf("reading %s: %v", path, err)
+	}
+	return flow.Assemble(pkts)
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clap-detect: ")
+	var (
+		in        = flag.String("in", "", "suspect pcap to score")
+		model     = flag.String("model", "clap.model", "trained model path")
+		threshold = flag.Float64("threshold", 0, "adversarial-score threshold (0: report scores only)")
+		calibrate = flag.String("calibrate", "", "benign pcap to derive a threshold from")
+		fpr       = flag.Float64("fpr", 0.01, "target false-positive rate for -calibrate")
+		top       = flag.Int("top", 5, "Top-N windows to localize per flagged connection")
+		all       = flag.Bool("all", false, "print every connection, not only flagged ones")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("need -in")
+	}
+
+	det, err := core.LoadFile(*model)
+	if err != nil {
+		log.Fatalf("loading model: %v", err)
+	}
+	log.Printf("loaded %v", det)
+
+	th := *threshold
+	if *calibrate != "" {
+		var benign []float64
+		for _, c := range readConns(*calibrate) {
+			benign = append(benign, det.Score(c).Adversarial)
+		}
+		th = metrics.ThresholdAtFPR(benign, *fpr)
+		log.Printf("calibrated threshold %.6f at FPR <= %.3f over %d benign connections",
+			th, *fpr, len(benign))
+	}
+
+	conns := readConns(*in)
+	type verdict struct {
+		c     *flow.Connection
+		score core.Score
+	}
+	var flagged []verdict
+	for _, c := range conns {
+		s := det.Score(c)
+		if *all {
+			fmt.Printf("%-48s score=%.6f\n", c.Key, s.Adversarial)
+		}
+		if th > 0 && s.Adversarial >= th {
+			flagged = append(flagged, verdict{c, s})
+		}
+	}
+	if th <= 0 {
+		// Score-only mode: rank everything.
+		sort.Slice(conns, func(i, j int) bool {
+			return det.Score(conns[i]).Adversarial > det.Score(conns[j]).Adversarial
+		})
+		fmt.Println("top connections by adversarial score:")
+		for i, c := range conns {
+			if i >= 10 {
+				break
+			}
+			fmt.Printf("%2d. %-48s score=%.6f\n", i+1, c.Key, det.Score(c).Adversarial)
+		}
+		return
+	}
+
+	fmt.Printf("%d/%d connections flagged at threshold %.6f\n", len(flagged), len(conns), th)
+	for _, v := range flagged {
+		fmt.Printf("\n%s  score=%.6f peak-window=%d\n", v.c.Key, v.score.Adversarial, v.score.PeakWindow)
+		for _, w := range det.Localize(v.c, *top) {
+			end := w + det.Cfg.StackLength - 1
+			if end >= v.c.Len() {
+				end = v.c.Len() - 1
+			}
+			fmt.Printf("  suspicious window %d: packets %d-%d", w, w, end)
+			for p := w; p <= end && p < v.c.Len(); p++ {
+				fmt.Printf("\n    [%d] %v", p, v.c.Packets[p])
+			}
+			fmt.Println()
+		}
+	}
+}

@@ -1,0 +1,69 @@
+// Command clap-train trains a CLAP detector from a benign pcap capture and
+// persists it (feature profile + RNN + autoencoder) to disk.
+//
+// Usage:
+//
+//	clap-train -in benign.pcap -model clap.model -rnn-epochs 14 -ae-epochs 30
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"clap/internal/core"
+	"clap/internal/flow"
+	"clap/internal/pcapio"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clap-train: ")
+	var (
+		in        = flag.String("in", "", "benign training pcap")
+		model     = flag.String("model", "clap.model", "output model path")
+		seed      = flag.Int64("seed", 1, "training seed")
+		rnnEpochs = flag.Int("rnn-epochs", 14, "RNN training epochs")
+		aeEpochs  = flag.Int("ae-epochs", 30, "autoencoder training epochs")
+		baseline1 = flag.Bool("baseline1", false, "train the context-agnostic Baseline #1 instead of CLAP")
+		quiet     = flag.Bool("quiet", false, "suppress progress output")
+	)
+	flag.Parse()
+	if *in == "" {
+		log.Fatal("need -in (generate one with trafficgen)")
+	}
+
+	f, err := os.Open(*in)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pkts, skipped, err := pcapio.ReadPackets(f)
+	f.Close()
+	if err != nil {
+		log.Fatalf("reading %s: %v", *in, err)
+	}
+	conns := flow.Assemble(pkts)
+	log.Printf("read %d connections (%d packets, %d records skipped)", len(conns), len(pkts), skipped)
+
+	cfg := core.DefaultConfig()
+	if *baseline1 {
+		cfg = core.Baseline1Config()
+	}
+	cfg.Seed = *seed
+	cfg.RNNEpochs = *rnnEpochs
+	cfg.AEEpochs = *aeEpochs
+
+	logf := core.Logf(func(format string, args ...any) { log.Printf(format, args...) })
+	if *quiet {
+		logf = nil
+	}
+	det, err := core.Train(conns, cfg, logf)
+	if err != nil {
+		log.Fatalf("training: %v", err)
+	}
+	if err := det.SaveFile(*model); err != nil {
+		log.Fatalf("saving model: %v", err)
+	}
+	fmt.Printf("trained %v\nsaved to %s\n", det, *model)
+}

@@ -1,0 +1,149 @@
+package clap_test
+
+// End-to-end integration tests of the command-line tools: build each
+// binary, then drive the full pcap workflow the README documents —
+// generate benign traffic, inject an attack, train a detector, detect and
+// localize. Run with -short to skip.
+
+import (
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+)
+
+var (
+	buildOnce sync.Once
+	buildDir  string
+	buildErr  error
+)
+
+// buildTools compiles all five commands once per test run.
+func buildTools(t *testing.T) string {
+	t.Helper()
+	buildOnce.Do(func() {
+		buildDir, buildErr = os.MkdirTemp("", "clap-tools-*")
+		if buildErr != nil {
+			return
+		}
+		for _, tool := range []string{"trafficgen", "attack-inject", "clap-train", "clap-detect", "clap-eval"} {
+			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
+			out, err := cmd.CombinedOutput()
+			if err != nil {
+				buildErr = err
+				buildDir = string(out)
+				return
+			}
+		}
+	})
+	if buildErr != nil {
+		t.Fatalf("building tools: %v: %s", buildErr, buildDir)
+	}
+	return buildDir
+}
+
+func run(t *testing.T, dir string, name string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command(filepath.Join(dir, name), args...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("%s %v: %v\n%s", name, args, err, out)
+	}
+	return string(out)
+}
+
+func TestCommandWorkflow(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tools := buildTools(t)
+	work := t.TempDir()
+	benign := filepath.Join(work, "benign.pcap")
+	adv := filepath.Join(work, "adv.pcap")
+	truth := filepath.Join(work, "truth.txt")
+	model := filepath.Join(work, "clap.model")
+
+	// 1. Generate benign traffic.
+	out := run(t, tools, "trafficgen", "-out", benign, "-connections", "120", "-seed", "3")
+	if !strings.Contains(out, "120 connections") {
+		t.Fatalf("trafficgen output unexpected: %s", out)
+	}
+	if st, err := os.Stat(benign); err != nil || st.Size() < 1000 {
+		t.Fatalf("benign pcap missing or too small: %v", err)
+	}
+
+	// 2. Inject an attack into a fraction of a second capture.
+	run(t, tools, "trafficgen", "-out", filepath.Join(work, "test.pcap"), "-connections", "40", "-seed", "77")
+	out = run(t, tools, "attack-inject",
+		"-in", filepath.Join(work, "test.pcap"), "-out", adv,
+		"-strategy", "GFW: Injected RST Bad TCP-Checksum/MD5-Option",
+		"-fraction", "0.5", "-truth", truth)
+	if !strings.Contains(out, "attacked") {
+		t.Fatalf("attack-inject output unexpected: %s", out)
+	}
+	truthData, err := os.ReadFile(truth)
+	if err != nil || len(truthData) == 0 {
+		t.Fatalf("ground truth file empty: %v", err)
+	}
+
+	// 3. Train a small detector.
+	out = run(t, tools, "clap-train", "-in", benign, "-model", model,
+		"-rnn-epochs", "4", "-ae-epochs", "6", "-quiet")
+	if !strings.Contains(out, "saved to") {
+		t.Fatalf("clap-train output unexpected: %s", out)
+	}
+
+	// 4. Detect with calibration; flagged connections must appear.
+	out = run(t, tools, "clap-detect", "-in", adv, "-model", model,
+		"-calibrate", benign, "-fpr", "0.05", "-top", "3")
+	if !strings.Contains(out, "connections flagged") {
+		t.Fatalf("clap-detect output unexpected: %s", out)
+	}
+
+	// 5. Score-only mode ranks connections.
+	out = run(t, tools, "clap-detect", "-in", adv, "-model", model)
+	if !strings.Contains(out, "top connections by adversarial score") {
+		t.Fatalf("clap-detect rank mode unexpected: %s", out)
+	}
+}
+
+func TestAttackInjectList(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tools := buildTools(t)
+	out := run(t, tools, "attack-inject", "-list")
+	for _, want := range []string{"symtcp", "liberate", "geneva", "Injected RST Pure"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q", want)
+		}
+	}
+	if n := strings.Count(out, "["); n < 73 {
+		t.Errorf("-list shows %d entries, want >= 73", n)
+	}
+}
+
+func TestClapEvalTinyProfile(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tools := buildTools(t)
+	report := filepath.Join(t.TempDir(), "report.txt")
+	run(t, tools, "clap-eval", "-profile", "tiny", "-quiet", "-out", report)
+	data, err := os.ReadFile(report)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"Table 1", "Table 2", "Table 3", "Table 4", "Table 5",
+		"Table 6", "Table 7", "Table 8",
+		"Figure 6", "Figure 7", "Figure 8", "Figure 9",
+		"Figure 10", "Figure 11", "Figure 12",
+	} {
+		if !strings.Contains(string(data), want) {
+			t.Errorf("report missing %s", want)
+		}
+	}
+}

@@ -1,0 +1,89 @@
+// Forensics: CLAP as an offline analysis tool (§3.2) — load a capture
+// containing a handful of different evasion attempts, rank connections by
+// adversarial score, and pinpoint the injected packets with
+// localize-and-estimate.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+	"sort"
+
+	"clap"
+)
+
+func main() {
+	log.SetFlags(0)
+
+	fmt.Println("training CLAP on benign traffic...")
+	cfg := clap.DefaultConfig()
+	cfg.RNNEpochs, cfg.AEEpochs, cfg.AERestarts = 8, 35, 2
+	det, err := clap.Train(clap.GenerateBenign(200, 1), cfg, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// Build a mixed capture: mostly benign, a few different attacks.
+	capture := clap.GenerateBenign(40, 77)
+	rng := rand.New(rand.NewSource(3))
+	injected := 0
+	for i, name := range []string{
+		"Snort: Injected RST Pure",
+		"Bad TCP Checksum (Max)",
+		"Invalid Data-Offset / Bad TCP Checksum",
+		"Zeek: Data Packet (ACK) Bad SEQ",
+	} {
+		strategy, ok := clap.AttackByName(name)
+		if !ok {
+			log.Fatalf("unknown strategy %q", name)
+		}
+		// Try to plant each attack in one of the capture's connections.
+		for j := i * 7; j < len(capture); j++ {
+			if strategy.Apply(capture[j], rng) {
+				capture[j].AttackName = name
+				injected++
+				break
+			}
+		}
+	}
+	fmt.Printf("capture: %d connections, %d with hidden evasion attempts\n\n", len(capture), injected)
+
+	// Rank by adversarial score.
+	type ranked struct {
+		c     *clap.Connection
+		score clap.Score
+	}
+	var rs []ranked
+	for _, c := range capture {
+		rs = append(rs, ranked{c, det.Score(c)})
+	}
+	sort.Slice(rs, func(i, j int) bool { return rs[i].score.Adversarial > rs[j].score.Adversarial })
+
+	fmt.Println("top suspicious connections (analyst view):")
+	hits := 0
+	for i, r := range rs[:8] {
+		truth := "benign"
+		if r.c.AttackName != "" {
+			truth = r.c.AttackName
+			hits++
+		}
+		fmt.Printf("%d. score=%.5f %-44s truth: %s\n", i+1, r.score.Adversarial, r.c.Key, truth)
+		if r.c.AttackName == "" {
+			continue
+		}
+		// Localize the attack vector within the connection.
+		wins := det.Localize(r.c, 3)
+		fmt.Printf("   localized windows %v; ground-truth adversarial packets %v\n", wins, r.c.AdvIdx)
+		if w := r.score.PeakWindow; w >= 0 {
+			end := w + det.Cfg.StackLength
+			if end > r.c.Len() {
+				end = r.c.Len()
+			}
+			for p := w; p < end; p++ {
+				fmt.Printf("   [%d] %v\n", p, r.c.Packets[p])
+			}
+		}
+	}
+	fmt.Printf("\n%d/%d attacks surfaced in the top 8 ranks\n", hits, injected)
+}

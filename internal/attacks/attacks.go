@@ -1,0 +1,118 @@
+// Package attacks implements the corpus of 73 DPI evasion strategies the
+// paper evaluates (§4.2): 30 from SymTCP [23], 23 from lib•erate [10]
+// (Min/Max variants) and 20 from Geneva [4].
+//
+// Following the paper's own methodology (§4.1), strategies are simulated at
+// the PCAP level: each takes a benign connection and injects or shadows
+// packets with the manipulations the original attack performs on the wire,
+// recording ground-truth adversarial indices for localization scoring. The
+// internal/dpi package verifies that every strategy actually produces the
+// endhost-vs-DPI divergence it claims.
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"clap/internal/flow"
+)
+
+// Source identifies the research project a strategy was published in.
+type Source string
+
+// The three strategy corpora.
+const (
+	SourceSymTCP   Source = "symtcp"   // [23] Wang et al., NDSS 2020
+	SourceLiberate Source = "liberate" // [10] Li et al., IMC 2017
+	SourceGeneva   Source = "geneva"   // [4] Bock et al., CCS 2019
+)
+
+// Category is the context a strategy primarily violates (Table 8's
+// mechanistic prior; the empirical rule is applied by internal/eval).
+type Category string
+
+// Context-violation categories.
+const (
+	CatInter Category = "inter-packet"
+	CatIntra Category = "intra-packet"
+)
+
+// Strategy is one evasion attack.
+type Strategy struct {
+	// Name follows the paper's labels, e.g. "Zeek: Data Packet (ACK) Bad SEQ".
+	Name     string
+	Source   Source
+	Category Category
+	// Description explains the wire-level mechanism and the discrepancy it
+	// exploits.
+	Description string
+	// Apply mutates the connection in place, marking adversarial indices.
+	// It reports false when the connection lacks the structure the attack
+	// needs (e.g. no handshake, no data packets); callers pick another
+	// benign connection.
+	Apply func(c *flow.Connection, rng *rand.Rand) bool
+}
+
+// All returns the full 73-strategy corpus in a stable order.
+func All() []Strategy {
+	var out []Strategy
+	out = append(out, SymTCP()...)
+	out = append(out, Liberate()...)
+	out = append(out, Geneva()...)
+	return out
+}
+
+// BySource filters the corpus.
+func BySource(s Source) []Strategy {
+	var out []Strategy
+	for _, st := range All() {
+		if st.Source == s {
+			out = append(out, st)
+		}
+	}
+	return out
+}
+
+// ByName looks a strategy up by its exact name.
+func ByName(name string) (Strategy, bool) {
+	for _, st := range All() {
+		if st.Name == name {
+			return st, true
+		}
+	}
+	return Strategy{}, false
+}
+
+// Names lists all strategy names, sorted.
+func Names() []string {
+	all := All()
+	out := make([]string, len(all))
+	for i, s := range all {
+		out[i] = s.Name
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Validate sanity-checks the corpus invariants (count, uniqueness).
+func Validate() error {
+	all := All()
+	if len(all) != 73 {
+		return fmt.Errorf("attacks: corpus has %d strategies, want 73", len(all))
+	}
+	seen := map[string]bool{}
+	for _, s := range all {
+		if s.Name == "" || s.Apply == nil || s.Description == "" {
+			return fmt.Errorf("attacks: strategy %q incomplete", s.Name)
+		}
+		if seen[s.Name] {
+			return fmt.Errorf("attacks: duplicate strategy %q", s.Name)
+		}
+		seen[s.Name] = true
+		if s.Category != CatInter && s.Category != CatIntra {
+			return fmt.Errorf("attacks: strategy %q has category %q", s.Name, s.Category)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package attacks
+
+import (
+	"math/rand"
+
+	"clap/internal/flow"
+	"clap/internal/packet"
+)
+
+// Geneva returns the 20 strategies reproduced from Geneva [4] (Bock et al.,
+// CCS 2019), whose genetic search evolved packet-manipulation programs
+// against the GFW. Two shapes dominate the evolved population and both are
+// reproduced here:
+//
+//   - TCB-teardown species: one crafted control packet (RST / RST-ACK /
+//     SYN-ACK) injected after the handshake with a second corruption that
+//     hides it from the endhost;
+//   - tamper-duplicate species: every data packet (capped at the first
+//     five, Geneva's default sleep/window) is preceded by a corrupted
+//     duplicate that poisons the censor's reassembly.
+//
+// Names follow Figure 9's two-line convention: first and second
+// modification, "/" when the strategy has a single modification.
+func Geneva() []Strategy {
+	mk := func(name string, cat Category, desc string, apply func(*flow.Connection, *rand.Rand) bool) Strategy {
+		return Strategy{Name: name, Source: SourceGeneva, Category: cat, Description: desc, Apply: apply}
+	}
+	return []Strategy{
+		// ---- TCB teardown species.
+		mk("Injected RST / Low TTL", CatInter,
+			"TCB teardown: exact-sequence RST with TTL=1 after the handshake.",
+			genevaControl(packet.RST, seqExact, false, mutLowTTL)),
+		mk("Injected RST-ACK / Bad TCP Checksum", CatInter,
+			"TCB teardown: RST-ACK whose checksum is garbled.",
+			genevaControlRNG(packet.RST|packet.ACK, seqExact, true, func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadTCPChecksum(rng)}
+			})),
+		mk("Injected RST-ACK / Low TTL", CatInter,
+			"TCB teardown: RST-ACK that expires before the server.",
+			genevaControl(packet.RST|packet.ACK, seqExact, true, mutLowTTL)),
+		mk("Injected SYN-ACK / Bad TCP MD5-Option", CatInter,
+			"TCB desync: mid-stream SYN-ACK with an unsolicited MD5 option re-keys the censor's TCB.",
+			genevaControl(packet.SYN|packet.ACK, seqFar, true, mutMD5(true))),
+		mk("Injected RST / Bad IP Length", CatIntra,
+			"TCB teardown: RST whose IP total length overruns the datagram.",
+			genevaControl(packet.RST, seqExact, false, mutBadIPLenLong)),
+		mk("Injected RST / Bad TCP Checksum", CatIntra,
+			"TCB teardown: bare RST with a garbled checksum.",
+			genevaControlRNG(packet.RST, seqExact, false, func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadTCPChecksum(rng)}
+			})),
+		mk("Bad TCP MD5-Option / Injected RST", CatIntra,
+			"TCB teardown: RST carrying an MD5 signature option.",
+			genevaControl(packet.RST, seqExact, false, mutMD5(true))),
+
+		// ---- Tamper-duplicate species.
+		mk("Invalid Data-Offset / Bad TCP Checksum", CatIntra,
+			"Every data packet is preceded by a duplicate with data offset 2 and a garbled checksum.",
+			genevaShadowRNG(func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadDataOffset, mutBadTCPChecksum(rng)}
+			})),
+		mk("Invalid Data-Offset / Low TTL", CatIntra,
+			"Duplicate with data offset 2 and TTL=1.",
+			genevaShadow(mutBadDataOffset, mutLowTTL)),
+		mk("Invalid Data-Offset / Bad ACK Num", CatIntra,
+			"Duplicate with data offset 2 acknowledging unsent data.",
+			genevaShadowRNG(func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadDataOffset, mutBadAckNum(rng)}
+			})),
+		mk("Invalid Flags #1 / Bad TCP Checksum", CatIntra,
+			"Duplicate with a null flag byte and garbled checksum.",
+			genevaShadowRNG(func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutInvalidFlagsNull, mutBadTCPChecksum(rng)}
+			})),
+		mk("Invalid Flags #2 / Low TTL", CatIntra,
+			"Duplicate with SYN|FIN|ACK and TTL=1.",
+			genevaShadow(mutInvalidFlagsSYNFIN, mutLowTTL)),
+		mk("Invalid Flags #2 / Bad TCP MD5-Option", CatIntra,
+			"Duplicate with SYN|FIN|ACK carrying an MD5 option.",
+			genevaShadow(mutInvalidFlagsSYNFIN, mutMD5(true))),
+		mk("Bad TCP UTO-Option / Bad TCP MD5-Option", CatIntra,
+			"Duplicate with a malformed User-Timeout option and a truncated MD5 digest.",
+			genevaShadow(mutBadUTO, mutMD5(false))),
+		mk("Invalid TCP WScale-Option / Invalid Data-Offset", CatIntra,
+			"Duplicate advertising an illegal mid-stream window scale with a corrupt data offset.",
+			genevaShadow(mutWScaleMidStream, mutBadDataOffset)),
+		mk("Bad Payload Length / Bad TCP Checksum", CatIntra,
+			"Duplicate whose IP length claims extra payload, checksum garbled.",
+			genevaShadowRNG(func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadPayloadLen, mutBadTCPChecksum(rng)}
+			})),
+		mk("Bad Payload Length / Low TTL", CatIntra,
+			"Length-forged duplicate that expires before the server.",
+			genevaShadow(mutBadPayloadLen, mutLowTTL)),
+		mk("Bad Payload Length / Bad ACK Num", CatIntra,
+			"Length-forged duplicate acknowledging unsent data.",
+			genevaShadowRNG(func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadPayloadLen, mutBadAckNum(rng)}
+			})),
+		mk("Bad Payload Length / ", CatIntra,
+			"Single modification: payload-length forgery alone.",
+			genevaShadow(mutBadPayloadLen)),
+		mk("Bad IP Length / ", CatIntra,
+			"Single modification: IP total length forgery alone.",
+			genevaShadow(mutBadIPLenShort)),
+	}
+}
+
+// mutBadAckNum acknowledges data the peer never sent.
+func mutBadAckNum(rng *rand.Rand) func(*packet.Packet) {
+	return func(p *packet.Packet) {
+		p.TCP.Flags |= packet.ACK
+		p.TCP.Ack += 0x00e0_0000 + uint32(rng.Intn(1<<20))
+		_ = p.FixChecksums()
+	}
+}
+
+// genevaDataCap bounds how many data packets the tamper-duplicate species
+// shadows per connection.
+const genevaDataCap = 5
+
+// genevaControl injects one crafted control packet right after the
+// handshake with fixed mutators.
+func genevaControl(flags packet.Flags, seq seqSel, withAck bool, muts ...func(*packet.Packet)) func(*flow.Connection, *rand.Rand) bool {
+	return genevaControlRNG(flags, seq, withAck, func(*rand.Rand) []func(*packet.Packet) { return muts })
+}
+
+func genevaControlRNG(flags packet.Flags, seq seqSel, withAck bool,
+	muts func(*rand.Rand) []func(*packet.Packet)) func(*flow.Connection, *rand.Rand) bool {
+
+	return func(c *flow.Connection, rng *rand.Rand) bool {
+		he := handshakeEnd(c)
+		if he < 0 {
+			return false
+		}
+		cur := scan(c, he)
+		var a uint32
+		f := flags
+		if withAck {
+			a = cur.next[1]
+		} else {
+			f &^= packet.ACK
+		}
+		p := craft(c, cur, flow.ClientToServer, tsBetween(c, he), f, seq(cur, rng), a, 0)
+		for _, m := range muts(rng) {
+			m(p)
+		}
+		injectAt(c, he, p, flow.ClientToServer)
+		return true
+	}
+}
+
+// genevaShadow precedes each of the first genevaDataCap client data packets
+// with a corrupted duplicate.
+func genevaShadow(muts ...func(*packet.Packet)) func(*flow.Connection, *rand.Rand) bool {
+	return genevaShadowRNG(func(*rand.Rand) []func(*packet.Packet) { return muts })
+}
+
+func genevaShadowRNG(muts func(*rand.Rand) []func(*packet.Packet)) func(*flow.Connection, *rand.Rand) bool {
+	return func(c *flow.Connection, rng *rand.Rand) bool {
+		he := handshakeEnd(c)
+		if he < 0 {
+			return false
+		}
+		idxs := dataIndices(c, he, flow.ClientToServer)
+		if len(idxs) == 0 {
+			return false
+		}
+		if len(idxs) > genevaDataCap {
+			idxs = idxs[:genevaDataCap]
+		}
+		ms := muts(rng)
+		for k := len(idxs) - 1; k >= 0; k-- {
+			shadowCopy(c, idxs[k], ms...)
+		}
+		return true
+	}
+}

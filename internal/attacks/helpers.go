@@ -1,0 +1,300 @@
+package attacks
+
+import (
+	"math/rand"
+	"time"
+
+	"clap/internal/flow"
+	"clap/internal/packet"
+	"clap/internal/tcpstate"
+)
+
+// cursor is the sequence-space bookkeeping an attacker needs to craft
+// packets that land at a chosen spot relative to the live connection.
+type cursor struct {
+	next    [2]uint32 // next sequence number each direction would send
+	isn     [2]uint32
+	isnSet  [2]bool
+	window  [2]uint32 // last advertised window per direction
+	lastIdx [2]int    // index of the most recent packet per direction (-1 if none)
+	tsval   [2]uint32
+	tsSeen  [2]bool
+}
+
+// scan replays the connection's first n packets (exclusive) into a cursor.
+func scan(c *flow.Connection, n int) cursor {
+	cur := cursor{lastIdx: [2]int{-1, -1}, window: [2]uint32{65535, 65535}}
+	for i := 0; i < n && i < c.Len(); i++ {
+		p := c.Packets[i]
+		d := c.Dirs[i]
+		if !cur.isnSet[d] {
+			cur.isn[d] = p.TCP.Seq
+			cur.next[d] = p.TCP.Seq
+			cur.isnSet[d] = true
+		}
+		end := p.TCP.Seq + uint32(p.PayloadLen)
+		if p.TCP.Flags.Has(packet.SYN) {
+			end++
+		}
+		if p.TCP.Flags.Has(packet.FIN) {
+			end++
+		}
+		if int32(end-cur.next[d]) > 0 {
+			cur.next[d] = end
+		}
+		cur.window[d] = uint32(p.TCP.Window)
+		cur.lastIdx[d] = i
+		if v, _, ok := p.TCP.TimestampVal(); ok {
+			cur.tsval[d] = v
+			cur.tsSeen[d] = true
+		}
+	}
+	return cur
+}
+
+// handshakeEnd returns the index of the first packet processed in the
+// ESTABLISHED state (i.e. just after the handshake completes), or -1 if the
+// connection never establishes via a visible handshake.
+func handshakeEnd(c *flow.Connection) int {
+	if c.Len() == 0 || !c.Packets[0].TCP.Flags.Has(packet.SYN) {
+		return -1
+	}
+	t := tcpstate.NewTracker(tcpstate.DefaultConfig())
+	for i, p := range c.Packets {
+		v := t.Update(p, c.Dirs[i])
+		if v.Label.State == tcpstate.Established {
+			return i + 1
+		}
+		if v.Label.State == tcpstate.Close {
+			return -1
+		}
+	}
+	return -1
+}
+
+// dataIndices returns the indices of payload-bearing packets at or after
+// index from, preferring direction dir; if none exist in that direction any
+// direction is returned.
+func dataIndices(c *flow.Connection, from int, dir flow.Direction) []int {
+	var preferred, any []int
+	for i := from; i < c.Len(); i++ {
+		if c.Packets[i].PayloadLen <= 0 {
+			continue
+		}
+		any = append(any, i)
+		if c.Dirs[i] == dir {
+			preferred = append(preferred, i)
+		}
+	}
+	if len(preferred) > 0 {
+		return preferred
+	}
+	return any
+}
+
+// tsBetween picks an injection timestamp strictly between neighbours of
+// position idx.
+func tsBetween(c *flow.Connection, idx int) time.Time {
+	switch {
+	case c.Len() == 0:
+		return time.Unix(0, 0)
+	case idx <= 0:
+		return c.Packets[0].Timestamp.Add(-200 * time.Microsecond)
+	case idx >= c.Len():
+		return c.Packets[c.Len()-1].Timestamp.Add(200 * time.Microsecond)
+	default:
+		a := c.Packets[idx-1].Timestamp
+		b := c.Packets[idx].Timestamp
+		return a.Add(b.Sub(a) / 2)
+	}
+}
+
+// craft builds an attacker packet for direction d that blends into the
+// connection: endpoints from the key, TTL/window/TOS borrowed from the most
+// recent packet in that direction (attackers copy these to avoid trivially
+// standing out), correct checksums. Mutators then apply the evasion
+// manipulations; mutators that change option layout should call refit, and
+// corruption of checksums must come after any refit.
+func craft(c *flow.Connection, cur cursor, d flow.Direction, at time.Time,
+	flags packet.Flags, seq, ack uint32, payload int) *packet.Packet {
+
+	var srcIP, dstIP [4]byte
+	var srcPort, dstPort uint16
+	if d == flow.ClientToServer {
+		srcIP, dstIP = c.Key.Client.IP, c.Key.Server.IP
+		srcPort, dstPort = c.Key.Client.Port, c.Key.Server.Port
+	} else {
+		srcIP, dstIP = c.Key.Server.IP, c.Key.Client.IP
+		srcPort, dstPort = c.Key.Server.Port, c.Key.Client.Port
+	}
+	b := packet.NewBuilder(srcIP, dstIP, srcPort, dstPort).
+		Seq(seq).Flags(flags).PayloadLen(payload).Time(at)
+	if flags.Has(packet.ACK) {
+		b.Ack(ack)
+	}
+	if ref := cur.lastIdx[d]; ref >= 0 {
+		rp := c.Packets[ref]
+		b.TTL(rp.IP.TTL).TOS(rp.IP.TOS).Window(rp.TCP.Window).ID(rp.IP.ID + 1)
+		if cur.tsSeen[d] {
+			b.Timestamps(cur.tsval[d]+1, cur.tsval[1-d])
+		}
+	}
+	return b.Build()
+}
+
+// refit re-derives lengths and checksums after structural mutations
+// (added/removed options), preserving capture metadata.
+func refit(p *packet.Packet) {
+	ts, pl := p.Timestamp, p.PayloadLen
+	stored := p.Payload
+	p.Payload = make([]byte, pl)
+	raw, err := p.Encode(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true})
+	if err != nil {
+		// Structural mutations that defeat encoding keep their stale
+		// lengths; checksum fixes still apply below.
+		p.Payload = stored
+		_ = p.FixChecksums()
+		p.Timestamp = ts
+		return
+	}
+	q, err := packet.Decode(raw)
+	if err != nil {
+		p.Payload = stored
+		p.Timestamp = ts
+		return
+	}
+	*p = *q
+	p.Timestamp = ts
+	p.PayloadLen = pl
+	p.Payload = stored
+}
+
+// Mutators used across the corpus. Each documents the discrepancy it
+// triggers.
+
+// mutBadTCPChecksum garbles the TCP checksum: strict endhosts verify and
+// drop; the GFW (and tuned-down Snort/Suricata deployments) do not.
+func mutBadTCPChecksum(rng *rand.Rand) func(*packet.Packet) {
+	return func(p *packet.Packet) { p.TCP.Checksum ^= uint16(1 + rng.Intn(0xfffe)) }
+}
+
+// mutLowTTL sets a TTL that survives to the monitoring point but dies
+// before the endhost.
+func mutLowTTL(p *packet.Packet) {
+	p.IP.TTL = 1
+	_ = p.FixChecksums()
+}
+
+// mutMD5 appends a TCP MD5 signature option; wellFormed selects a 16-byte
+// digest (structurally valid but unsolicited — still dropped by endhosts
+// with no key) versus a truncated digest.
+func mutMD5(wellFormed bool) func(*packet.Packet) {
+	n := 16
+	if !wellFormed {
+		n = 4
+	}
+	return func(p *packet.Packet) {
+		p.TCP.Options = append(p.TCP.Options, packet.Option{Kind: packet.OptMD5, Data: make([]byte, n)})
+		refit(p)
+	}
+}
+
+// mutBadUTO appends a malformed User-Timeout option.
+func mutBadUTO(p *packet.Packet) {
+	p.TCP.Options = append(p.TCP.Options, packet.Option{Kind: packet.OptUserTimeout, Data: []byte{0xff}})
+	refit(p)
+}
+
+// mutWScaleMidStream appends a Window-Scale option outside a SYN with an
+// illegal shift.
+func mutWScaleMidStream(p *packet.Packet) {
+	p.TCP.Options = append(p.TCP.Options, packet.Option{Kind: packet.OptWindowScale, Data: []byte{40}})
+	refit(p)
+}
+
+// mutBadDataOffset sets an impossible data offset (< 5 words).
+func mutBadDataOffset(p *packet.Packet) {
+	p.TCP.DataOffset = 2
+	_ = p.FixChecksums()
+}
+
+// mutInvalidFlagsNull clears every flag.
+func mutInvalidFlagsNull(p *packet.Packet) {
+	p.TCP.Flags = 0
+	_ = p.FixChecksums()
+}
+
+// mutInvalidFlagsSYNFIN sets the contradictory SYN|FIN combination.
+func mutInvalidFlagsSYNFIN(p *packet.Packet) {
+	p.TCP.Flags = packet.SYN | packet.FIN | packet.ACK
+	_ = p.FixChecksums()
+}
+
+// mutBadIPLenLong forges an IP total length longer than the wire datagram.
+func mutBadIPLenLong(p *packet.Packet) {
+	p.IP.TotalLen += 240
+	_ = p.FixChecksums()
+}
+
+// mutBadIPLenShort forges an IP total length shorter than the real headers.
+func mutBadIPLenShort(p *packet.Packet) {
+	p.IP.TotalLen = uint16(p.IP.HeaderLen() + 8)
+	_ = p.FixChecksums()
+}
+
+// mutBadIHL sets an impossible IP header length.
+func mutBadIHL(p *packet.Packet) {
+	p.IP.IHL = 4
+	_ = p.FixChecksums()
+}
+
+// mutBadIPVersion declares a non-existent IP version.
+func mutBadIPVersion(p *packet.Packet) {
+	p.IP.Version = 5
+	_ = p.FixChecksums()
+}
+
+// mutUrgent plants a non-zero urgent pointer without URG semantics that
+// strict stacks ignore but Snort's stream reassembly honours.
+func mutUrgent(p *packet.Packet) {
+	p.TCP.Urgent = 1
+	_ = p.FixChecksums()
+}
+
+// mutBadPayloadLen breaks the payload-length equivalence relation: the IP
+// total length claims more payload than the TCP stream will deliver.
+func mutBadPayloadLen(p *packet.Packet) {
+	p.IP.TotalLen += 64
+	_ = p.FixChecksums()
+}
+
+// mutOldTimestamp rewrites (or adds) a Timestamps option with a TSval far
+// in the past, failing PAWS at the endhost.
+func mutOldTimestamp(p *packet.Packet) {
+	p.TCP.RemoveOption(packet.OptTimestamps)
+	d := make([]byte, 8)
+	d[3] = 1
+	p.TCP.Options = append(p.TCP.Options, packet.Option{Kind: packet.OptTimestamps, Data: d})
+	refit(p)
+}
+
+// shadowCopy duplicates the packet at index idx and inserts the corrupted
+// copy immediately before it, marking the copy adversarial. The copy's
+// timestamp lands just before the original's.
+func shadowCopy(c *flow.Connection, idx int, muts ...func(*packet.Packet)) int {
+	p := c.Packets[idx].Clone()
+	p.Timestamp = tsBetween(c, idx)
+	for _, m := range muts {
+		m(p)
+	}
+	at := c.InsertAt(idx, p, c.Dirs[idx])
+	c.MarkAdversarial(at)
+	return at
+}
+
+// injectAt inserts an attacker-crafted packet at index idx and marks it.
+func injectAt(c *flow.Connection, idx int, p *packet.Packet, d flow.Direction) int {
+	at := c.InsertAt(idx, p, d)
+	c.MarkAdversarial(at)
+	return at
+}

@@ -1,0 +1,191 @@
+package attacks
+
+import (
+	"fmt"
+	"math/rand"
+
+	"clap/internal/flow"
+	"clap/internal/packet"
+)
+
+// Liberate returns the 23 strategies reproduced from lib•erate [10] (Li et
+// al., IMC 2017). These target DPI-based traffic classifiers: evasion
+// packets are inserted immediately in front of the classifier's "matching
+// packets" — the data packets examined after the handshake. Each base
+// mechanism has a (Min) variant guarding a single matching packet and a
+// (Max) variant guarding five, the two extremes the paper simulates (§4.2).
+// "Invalid IP Version" appears only as (Min), per the paper's Table 8,
+// giving 11×2+1 = 23.
+func Liberate() []Strategy {
+	type base struct {
+		name    string
+		cat     Category
+		desc    string
+		mut     func(rng *rand.Rand) []func(*packet.Packet)
+		control packet.Flags // non-zero: inject a control packet instead of a shadow data packet
+		seqSel  seqSel
+		minOnly bool
+	}
+	bases := []base{
+		{
+			name: "Invalid IP Header Length", cat: CatIntra,
+			desc: "Evasion packet with IHL=4 (<5 words): unparseable for kernels, parsed permissively by classifiers.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadIHL}
+			},
+		},
+		{
+			name: "Invalid IP Version", cat: CatIntra, minOnly: true,
+			desc: "Evasion packet claiming IP version 5: dropped at the endhost's IP input path, classified by the DPI.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadIPVersion}
+			},
+		},
+		{
+			name: "Bad IP Length (Too Long)", cat: CatIntra,
+			desc: "IP total length exceeding the wire datagram: endhosts drop the truncated packet, classifiers trust the header.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadIPLenLong}
+			},
+		},
+		{
+			name: "Bad IP Length (Too Short)", cat: CatIntra,
+			desc: "IP total length shorter than the TCP header needs.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadIPLenShort}
+			},
+		},
+		{
+			name: "Low TTL", cat: CatInter,
+			desc: "Decoy payload with TTL=1: it reaches the on-path classifier but expires before the server.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutLowTTL}
+			},
+		},
+		{
+			name: "RST w/ Low TTL #1", cat: CatInter, control: packet.RST, seqSel: seqExact,
+			desc: "Exact-sequence RST that dies in transit: the classifier believes the flow ended and stops matching.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutLowTTL}
+			},
+		},
+		{
+			name: "RST w/ Low TTL #2", cat: CatInter, control: packet.RST | packet.ACK, seqSel: seqPlus(1),
+			desc: "RST-ACK variant of the low-TTL teardown, sequenced one byte into the window.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutLowTTL}
+			},
+		},
+		{
+			name: "Data Packet wo/ ACK Flag", cat: CatIntra,
+			desc: "Decoy payload without the ACK flag, dropped by strict stacks in ESTABLISHED.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){func(p *packet.Packet) {
+					p.TCP.Flags &^= packet.ACK
+					p.TCP.Ack = 0
+					_ = p.FixChecksums()
+				}}
+			},
+		},
+		{
+			name: "Invalid Data-Offset", cat: CatIntra,
+			desc: "Decoy payload with data offset 2 words: structurally invalid TCP for kernels.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadDataOffset}
+			},
+		},
+		{
+			name: "Invalid Flags", cat: CatIntra,
+			desc: "Decoy with the contradictory SYN|FIN|ACK flag combination.",
+			mut: func(*rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutInvalidFlagsSYNFIN}
+			},
+		},
+		{
+			name: "Bad TCP Checksum", cat: CatIntra,
+			desc: "Decoy payload with a garbled TCP checksum.",
+			mut: func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutBadTCPChecksum(rng)}
+			},
+		},
+		{
+			name: "Bad SEQ", cat: CatInter,
+			desc: "Decoy payload sequenced far outside the receive window.",
+			mut: func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){func(p *packet.Packet) {
+					p.TCP.Seq += 0x1800_0000 + uint32(rng.Intn(1<<20))
+					_ = p.FixChecksums()
+				}}
+			},
+		},
+	}
+
+	var out []Strategy
+	for _, b := range bases {
+		variants := []struct {
+			label    string
+			matching int
+		}{{"Min", 1}, {"Max", 5}}
+		if b.minOnly {
+			variants = variants[:1]
+		}
+		for _, v := range variants {
+			b := b
+			matching := v.matching
+			out = append(out, Strategy{
+				Name:     fmt.Sprintf("%s (%s)", b.name, v.label),
+				Source:   SourceLiberate,
+				Category: b.cat,
+				Description: fmt.Sprintf("%s Inserted before %d matching packet(s).",
+					b.desc, matching),
+				Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+					return applyLiberate(c, rng, matching, b.control, b.seqSel, b.mut(rng))
+				},
+			})
+		}
+	}
+	return out
+}
+
+// applyLiberate injects one evasion packet in front of each of the first
+// `matching` client data packets after the handshake. Control-packet bases
+// (the RST teardowns) inject a single control packet before the first
+// matching packet instead — once the classifier stops tracking, later
+// matching packets need no per-packet cover.
+func applyLiberate(c *flow.Connection, rng *rand.Rand, matching int,
+	control packet.Flags, seq seqSel, muts []func(*packet.Packet)) bool {
+
+	he := handshakeEnd(c)
+	if he < 0 {
+		return false
+	}
+	idxs := dataIndices(c, he, flow.ClientToServer)
+	if len(idxs) == 0 {
+		return false
+	}
+	if len(idxs) > matching {
+		idxs = idxs[:matching]
+	}
+
+	if control != 0 {
+		idx := idxs[0]
+		cur := scan(c, idx)
+		a, hasAck := uint32(0), control.Has(packet.ACK)
+		if hasAck {
+			a = cur.next[1]
+		}
+		p := craft(c, cur, flow.ClientToServer, tsBetween(c, idx), control, seq(cur, rng), a, 0)
+		for _, m := range muts {
+			m(p)
+		}
+		injectAt(c, idx, p, flow.ClientToServer)
+		return true
+	}
+
+	// Shadow-decoy form: walk back-to-front so earlier indices stay valid.
+	for k := len(idxs) - 1; k >= 0; k-- {
+		idx := idxs[k]
+		shadowCopy(c, idx, muts...)
+	}
+	return true
+}

@@ -1,0 +1,397 @@
+package attacks
+
+import (
+	"math/rand"
+
+	"clap/internal/flow"
+	"clap/internal/packet"
+)
+
+// SymTCP returns the 30 strategies reproduced from SymTCP [23] (Wang et
+// al., NDSS 2020), which discovered them by symbolic execution against
+// Zeek, Snort and the GFW. Naming follows the paper's Figures 7/10: the
+// target DPI, the key packet type, and the header manipulation.
+func SymTCP() []Strategy {
+	c2s := flow.ClientToServer
+	return []Strategy{
+		// ---- Shadow copies of data packets (the "Data Packet (ACK)" family).
+		{
+			Name: "Zeek: Data Packet (ACK) Bad SEQ", Source: SourceSymTCP, Category: CatInter,
+			Description: "Shadow copy of a data packet with a far out-of-window SEQ: Zeek ingests it into the stream, the endhost discards it.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				return applyShadowData(c, rng, func(p *packet.Packet, cur cursor) {
+					p.TCP.Seq += 0x2000_0000 + uint32(rng.Intn(1<<20))
+					_ = p.FixChecksums()
+				})
+			},
+		},
+		{
+			Name: "GFW: Data Packet (ACK) Bad TCP-Checksum/MD5-Option", Source: SourceSymTCP, Category: CatInter,
+			Description: "Shadow data packet carrying an MD5 option and a garbled checksum: the GFW validates neither, the endhost both.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				return applyShadowData(c, rng, func(p *packet.Packet, cur cursor) {
+					mutMD5(true)(p)
+					mutBadTCPChecksum(rng)(p)
+				})
+			},
+		},
+		{
+			Name: "GFW: Data Packet (ACK) wo/ ACK Flag", Source: SourceSymTCP, Category: CatInter,
+			Description: "Shadow data packet without the ACK flag: strict stacks drop established-state segments lacking ACK; the GFW inspects them.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				return applyShadowData(c, rng, func(p *packet.Packet, cur cursor) {
+					p.TCP.Flags &^= packet.ACK
+					p.TCP.Ack = 0
+					_ = p.FixChecksums()
+				})
+			},
+		},
+		{
+			Name: "Zeek: Data Packet (ACK) wo/ ACK Flag", Source: SourceSymTCP, Category: CatInter,
+			Description: "As above, shaped for Zeek's reassembler, which also accepts ACK-less data.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				return applyShadowDataNth(c, rng, 1, func(p *packet.Packet, cur cursor) {
+					p.TCP.Flags &^= packet.ACK
+					p.TCP.Ack = 0
+					_ = p.FixChecksums()
+				})
+			},
+		},
+		{
+			Name: "Zeek: Data Packet (ACK) Bad ACK Num", Source: SourceSymTCP, Category: CatInter,
+			Description: "Shadow data packet acknowledging data the server never sent: endhosts drop unacceptable ACKs, Zeek does not model them.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				return applyShadowData(c, rng, func(p *packet.Packet, cur cursor) {
+					p.TCP.Ack = cur.next[1] + 0x0100_0000 + uint32(rng.Intn(1<<16))
+					_ = p.FixChecksums()
+				})
+			},
+		},
+		{
+			Name: "Zeek: Data Packet (ACK) Overlapping", Source: SourceSymTCP, Category: CatInter,
+			Description: "Shadow segment overlapping already-delivered bytes with different content: Zeek keeps the first copy, endhosts keep theirs.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				he := handshakeEnd(c)
+				if he < 0 {
+					return false
+				}
+				for _, idx := range dataIndices(c, he, c2s) {
+					p := c.Packets[idx]
+					if p.PayloadLen < 64 {
+						continue
+					}
+					shadowCopy(c, idx, func(q *packet.Packet) {
+						q.TCP.Seq -= 48 // reach back into delivered data
+						_ = q.FixChecksums()
+					})
+					return true
+				}
+				return false
+			},
+		},
+		{
+			Name: "GFW: Data Packet (ACK) Underflow SEQ", Source: SourceSymTCP, Category: CatIntra,
+			Description: "Shadow data packet whose SEQ underflows below the ISN; the GFW's relative-sequence arithmetic wraps, the endhost discards.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				return applyShadowData(c, rng, func(p *packet.Packet, cur cursor) {
+					// Underflow far enough that the segment cannot overlap
+					// back into the live window.
+					p.TCP.Seq = cur.isn[0] - uint32(p.PayloadLen+100+rng.Intn(900))
+					_ = p.FixChecksums()
+				})
+			},
+		},
+		{
+			Name: "Zeek: Data Packet (ACK) Underflow SEQ", Source: SourceSymTCP, Category: CatIntra,
+			Description: "Underflow-SEQ shadow segment shaped for Zeek.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				return applyShadowDataNth(c, rng, 1, func(p *packet.Packet, cur cursor) {
+					p.TCP.Seq = cur.isn[0] - uint32(p.PayloadLen+1000+rng.Intn(4000))
+					_ = p.FixChecksums()
+				})
+			},
+		},
+		{
+			Name: "Snort: Data Packet (ACK) w/ Urgent Pointer", Source: SourceSymTCP, Category: CatIntra,
+			Description: "In-place modification: a non-zero urgent pointer without URG. Snort's reassembly skips the 'urgent' byte, endhosts deliver it.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				he := handshakeEnd(c)
+				if he < 0 {
+					return false
+				}
+				idxs := dataIndices(c, he, c2s)
+				if len(idxs) == 0 {
+					return false
+				}
+				mutUrgent(c.Packets[idxs[0]])
+				c.MarkAdversarial(idxs[0])
+				return true
+			},
+		},
+
+		// ---- Injected FIN family (teardown of DPI tracking).
+		injectedControl("GFW: Injected FIN-ACK Bad ACK Num", CatInter,
+			"FIN-ACK with an unacceptable ACK injected post-handshake: GFW marks the flow finished, the endhost drops the segment.",
+			packet.FIN|packet.ACK, posAfterHandshake, seqExact, ackGarbage, nil),
+		injectedControl("Snort: Injected FIN-ACK Bad ACK Num", CatInter,
+			"As above against Snort's stream5 pruning.",
+			packet.FIN|packet.ACK, posBeforeData, seqExact, ackGarbage, nil),
+		injectedControl("GFW: Injected FIN-ACK Bad TCP-Checksum/MD5-Option", CatInter,
+			"FIN-ACK with garbled checksum plus MD5 option: GFW tears down, endhost validates and drops.",
+			packet.FIN|packet.ACK, posAfterHandshake, seqExact, ackExact,
+			func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutMD5(true), mutBadTCPChecksum(rng)}
+			}),
+		injectedControl("Snort: Injected FIN-ACK Bad TCP MD5-Option", CatInter,
+			"FIN-ACK carrying an unsolicited MD5 signature option: Snort ignores the option, endhosts discard the segment.",
+			packet.FIN|packet.ACK, posBeforeData, seqExact, ackExact,
+			func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutMD5(true)}
+			}),
+		injectedControl("GFW: Injected FIN w/ Payload", CatInter,
+			"FIN carrying payload, sequenced just past the in-order point: the endhost buffers it as out-of-order, the GFW processes the FIN immediately.",
+			packet.FIN|packet.ACK, posAfterHandshake, seqPlus(8), ackExact,
+			func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){func(p *packet.Packet) {
+					p.PayloadLen = 32
+					refit(p)
+				}}
+			}),
+		injectedControl("Snort: Injected FIN Pure", CatInter,
+			"Bare in-window FIN ahead of the in-order point: Snort acts on it, the endhost only queues it.",
+			packet.FIN|packet.ACK, posBeforeData, seqPlus(2), ackExact, nil),
+		injectedControl("Zeek: Injected FIN Pure", CatInter,
+			"As above against Zeek's connection-state machine.",
+			packet.FIN|packet.ACK, posAfterHandshake, seqPlus(2), ackExact, nil),
+
+		// ---- Injected RST family.
+		injectedControl("GFW: Injected RST Bad Timestamp", CatInter,
+			"RST with a PAWS-stale timestamp injected in SYN_RECV: GFW disengages, endhost drops by PAWS.",
+			packet.RST, posSynRecv, seqExact, ackNone,
+			func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutOldTimestamp}
+			}),
+		injectedControl("Snort: Injected RST Bad Timestamp", CatInter,
+			"As above, against Snort.",
+			packet.RST, posSynRecv, seqExact, ackNone,
+			func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutOldTimestamp}
+			}),
+		injectedControl("GFW: Injected RST Bad TCP-Checksum/MD5-Option", CatInter,
+			"The paper's motivating example: a garbled-checksum RST (plus MD5 option) that only the GFW believes.",
+			packet.RST, posAfterHandshake, seqExact, ackNone,
+			func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutMD5(true), mutBadTCPChecksum(rng)}
+			}),
+		injectedControl("Snort: Injected RST Pure", CatInter,
+			"In-window RST above RCV.NXT: Snort (pre-RFC 5961) resets tracking, endhosts challenge-ACK and ignore.",
+			packet.RST, posBeforeData, seqPlus(2), ackNone, nil),
+		injectedControl("Snort: Injected RST Partial In-Window", CatInter,
+			"RST straddling the left window edge (SEQ = RCV.NXT − 1): accepted by window-based checks only.",
+			packet.RST, posBeforeData, seqMinus(1), ackNone, nil),
+		injectedControl("Snort: Injected RST Bad TCP MD5-Option", CatInter,
+			"RST with an unsolicited MD5 signature option.",
+			packet.RST, posBeforeData, seqExact, ackNone,
+			func(rng *rand.Rand) []func(*packet.Packet) {
+				return []func(*packet.Packet){mutMD5(true)}
+			}),
+		injectedControl("GFW: Injected RST-ACK Bad ACK Num", CatInter,
+			"RST-ACK in SYN_RECV whose ACK number does not acknowledge the SYN: GFW only keys on the RST bit, the endhost requires an exact acknowledgment mid-handshake.",
+			packet.RST|packet.ACK, posSynRecv, seqExact, ackGarbage, nil),
+		injectedControl("Snort: Injected RST-ACK Bad ACK Num", CatInter,
+			"As above against Snort.",
+			packet.RST|packet.ACK, posSynRecv, seqExact, ackGarbage, nil),
+		injectedControl("Zeek: Injected RST/FIN-ACK Bad SEQ", CatInter,
+			"RST far outside the window: Zeek tears down its connection object regardless of sequence plausibility.",
+			packet.RST|packet.ACK, posAfterHandshake, seqFar, ackExact, nil),
+
+		// ---- SYN-based desynchronisation.
+		{
+			Name: "Zeek: SYN w/ Payload", Source: SourceSymTCP, Category: CatInter,
+			Description: "The client's real SYN is given a small payload: Zeek mis-tracks the initial sequence offset, endhosts queue SYN data normally.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				if c.Len() == 0 || !c.Packets[0].TCP.Flags.Has(packet.SYN) || c.Packets[0].TCP.Flags.Has(packet.ACK) {
+					return false
+				}
+				he := handshakeEnd(c)
+				if he < 0 {
+					return false
+				}
+				idxs := dataIndices(c, he, c2s)
+				if len(idxs) == 0 || c.Packets[idxs[0]].PayloadLen < 8 {
+					return false
+				}
+				syn := c.Packets[0]
+				syn.PayloadLen = 4
+				refit(syn)
+				c.MarkAdversarial(0)
+				return true
+			},
+		},
+		{
+			Name: "GFW #1: SYN w/ Payload & Bad SEQ", Source: SourceSymTCP, Category: CatInter,
+			Description: "A decoy SYN with payload and an unrelated ISN injected after the handshake: the GFW resynchronises to it, the endhost challenge-ACKs.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				he := handshakeEnd(c)
+				if he < 0 {
+					return false
+				}
+				cur := scan(c, he)
+				p := craft(c, cur, c2s, tsBetween(c, he), packet.SYN,
+					cur.isn[0]+0x1357_0000+uint32(rng.Intn(1<<16)), 0, 40)
+				injectAt(c, he, p, c2s)
+				return true
+			},
+		},
+		{
+			Name: "GFW #2: SYN w/ Payload & Bad SEQ", Source: SourceSymTCP, Category: CatInter,
+			Description: "The decoy SYN is injected mid-handshake (between SYN and SYN-ACK), desynchronising trackers that adopt the latest SYN.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				if handshakeEnd(c) < 0 {
+					return false
+				}
+				cur := scan(c, 1)
+				p := craft(c, cur, c2s, tsBetween(c, 1), packet.SYN,
+					cur.isn[0]+0x0246_8000+uint32(rng.Intn(1<<16)), 0, 40)
+				injectAt(c, 1, p, c2s)
+				return true
+			},
+		},
+		{
+			Name: "Snort: SYN Multiple (SYN)", Source: SourceSymTCP, Category: CatInter,
+			Description: "A second SYN with a different ISN right behind the real one: Snort re-keys its stream to the newest SYN, the endhost keeps the first.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				return applySynMultiple(c, rng, 0x0001_0000)
+			},
+		},
+		{
+			Name: "Zeek: SYN Multiple (SYN)", Source: SourceSymTCP, Category: CatInter,
+			Description: "As above against Zeek.",
+			Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+				return applySynMultiple(c, rng, 0x00ab_0000)
+			},
+		},
+	}
+}
+
+// applyShadowData shadows the first client data packet after the handshake.
+func applyShadowData(c *flow.Connection, rng *rand.Rand, mut func(*packet.Packet, cursor)) bool {
+	return applyShadowDataNth(c, rng, 0, mut)
+}
+
+// applyShadowDataNth shadows the nth (0-based) eligible data packet,
+// falling back to the last available one.
+func applyShadowDataNth(c *flow.Connection, rng *rand.Rand, n int, mut func(*packet.Packet, cursor)) bool {
+	he := handshakeEnd(c)
+	if he < 0 {
+		return false
+	}
+	idxs := dataIndices(c, he, flow.ClientToServer)
+	if len(idxs) == 0 {
+		return false
+	}
+	if n >= len(idxs) {
+		n = len(idxs) - 1
+	}
+	idx := idxs[n]
+	cur := scan(c, idx)
+	shadowCopy(c, idx, func(p *packet.Packet) { mut(p, cur) })
+	return true
+}
+
+// applySynMultiple injects a decoy SYN right after the genuine one.
+func applySynMultiple(c *flow.Connection, rng *rand.Rand, isnOffset uint32) bool {
+	if handshakeEnd(c) < 0 {
+		return false
+	}
+	cur := scan(c, 1)
+	p := craft(c, cur, flow.ClientToServer, tsBetween(c, 1), packet.SYN,
+		cur.isn[0]+isnOffset+uint32(rng.Intn(1<<12)), 0, 0)
+	injectAt(c, 1, p, flow.ClientToServer)
+	return true
+}
+
+// Position selectors for injected control packets.
+type position int
+
+const (
+	posAfterHandshake position = iota // immediately after ESTABLISHED
+	posBeforeData                     // just before the first client data packet
+	posSynRecv                        // during SYN_RECV (before the final handshake ACK)
+)
+
+// Sequence selectors.
+type seqSel func(cur cursor, rng *rand.Rand) uint32
+
+func seqExact(cur cursor, _ *rand.Rand) uint32 { return cur.next[0] }
+func seqFar(cur cursor, rng *rand.Rand) uint32 {
+	return cur.next[0] + 0x0100_0000 + uint32(rng.Intn(1<<20))
+}
+func seqPlus(n uint32) seqSel {
+	return func(cur cursor, _ *rand.Rand) uint32 { return cur.next[0] + n }
+}
+func seqMinus(n uint32) seqSel {
+	return func(cur cursor, _ *rand.Rand) uint32 { return cur.next[0] - n }
+}
+
+// Ack selectors.
+type ackSel func(cur cursor, rng *rand.Rand) (uint32, bool)
+
+func ackExact(cur cursor, _ *rand.Rand) (uint32, bool) { return cur.next[1], true }
+func ackNone(cursor, *rand.Rand) (uint32, bool)        { return 0, false }
+func ackGarbage(cur cursor, rng *rand.Rand) (uint32, bool) {
+	return cur.next[1] + 0x00c0_0000 + uint32(rng.Intn(1<<20)), true
+}
+
+// injectedControl builds the common SymTCP pattern: one crafted control
+// packet (RST/FIN variants) from the client side at a state-dependent
+// position.
+func injectedControl(name string, cat Category, desc string, flags packet.Flags,
+	pos position, seq seqSel, ack ackSel,
+	muts func(rng *rand.Rand) []func(*packet.Packet)) Strategy {
+
+	return Strategy{
+		Name: name, Source: SourceSymTCP, Category: cat, Description: desc,
+		Apply: func(c *flow.Connection, rng *rand.Rand) bool {
+			he := handshakeEnd(c)
+			if he < 0 {
+				return false
+			}
+			idx := he
+			switch pos {
+			case posBeforeData:
+				if idxs := dataIndices(c, he, flow.ClientToServer); len(idxs) > 0 {
+					idx = idxs[0]
+				}
+			case posSynRecv:
+				idx = he - 1 // before the handshake-completing ACK
+				if idx < 2 {
+					return false
+				}
+			}
+			cur := scan(c, idx)
+			var mutList []func(*packet.Packet)
+			if muts != nil {
+				mutList = muts(rng)
+			}
+			// The Bad-Timestamp strategies — the only posSynRecv users with
+			// mutators — rely on PAWS, so the connection must have
+			// negotiated timestamps.
+			if pos == posSynRecv && mutList != nil && (!cur.tsSeen[0] || !cur.tsSeen[1]) {
+				return false
+			}
+			s := seq(cur, rng)
+			a, hasAck := ack(cur, rng)
+			f := flags
+			if !hasAck {
+				f &^= packet.ACK
+			}
+			p := craft(c, cur, flow.ClientToServer, tsBetween(c, idx), f, s, a, 0)
+			for _, m := range mutList {
+				m(p)
+			}
+			injectAt(c, idx, p, flow.ClientToServer)
+			return true
+		},
+	}
+}

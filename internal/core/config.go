@@ -1,0 +1,116 @@
+// Package core implements CLAP itself — the paper's four-stage pipeline
+// (§3.3): (a) a GRU-RNN trained to predict reference TCP states, whose gate
+// activations carry the inter-packet context; (b) fusion of packet features
+// and gate weights into (stacked) context profiles; (c) an autoencoder that
+// learns the joint benign context distribution with L1 loss; and (d)
+// verification — per-window reconstruction errors summarised by the
+// localize-and-estimate adversarial score, with Top-N localization.
+package core
+
+import (
+	"clap/internal/features"
+	"clap/internal/tcpstate"
+)
+
+// Config carries every hyper-parameter of the pipeline. DefaultConfig
+// mirrors the paper's Table 6; the ablation switches (gates, amplification,
+// stacking) exist so the benches can quantify each design choice, and
+// Baseline #1 is expressed as a Config too (§4.1).
+type Config struct {
+	Seed int64
+
+	// RNN (Table 6: 1 layer, input 32, hidden/gate size 32).
+	RNNHidden int
+	RNNEpochs int
+	RNNLearn  float64
+	RNNClip   float64
+
+	// Autoencoder (Table 6: 7 layers, input 345, bottleneck 40). Hidden is
+	// the encoder-side interior; the decoder mirrors it.
+	AEHidden []int
+	AEEpochs int
+	AEBatch  int
+	AELearn  float64
+	AEClip   float64
+	// AERestarts trains the autoencoder from several random inits and
+	// keeps the one with the lowest final training loss. Narrow
+	// bottlenecks (Baseline #1's 5 units) are sensitive to initialisation;
+	// restarts recover the paper's heavily-trained optimum at a fraction
+	// of its 1000-epoch budget. 0 or 1 means a single run.
+	AERestarts int
+
+	// Context-profile construction (Table 6: stacking length 3).
+	StackLength int
+	// ScoreWindow is the localize-and-estimate averaging window (5, §3.3(d)).
+	ScoreWindow int
+
+	// Ablation switches. CLAP proper uses all three.
+	UseUpdateGates   bool
+	UseResetGates    bool
+	UseAmplification bool
+
+	// Endhost reference configuration for labels.
+	Endhost tcpstate.Config
+}
+
+// DefaultConfig returns the paper's CLAP configuration with training
+// schedules suitable for the Fast evaluation profile.
+func DefaultConfig() Config {
+	return Config{
+		Seed:      1,
+		RNNHidden: 32, RNNEpochs: 12, RNNLearn: 3e-3, RNNClip: 5,
+		AEHidden: []int{160, 80, 40}, AEEpochs: 8, AEBatch: 32, AELearn: 1e-3, AEClip: 5,
+		StackLength: 3, ScoreWindow: 5,
+		UseUpdateGates: true, UseResetGates: true, UseAmplification: true,
+		Endhost: tcpstate.DefaultConfig(),
+	}
+}
+
+// TinyConfig shrinks training schedules for unit tests. Model shapes stay
+// paper-faithful; only epochs shrink.
+func TinyConfig() Config {
+	c := DefaultConfig()
+	c.RNNEpochs, c.AEEpochs = 4, 3
+	return c
+}
+
+// Baseline1Config is the paper's Baseline #1 (§4.1): the same pipeline with
+// all gate-weight features removed and profiles limited to a single packet
+// — a temporal-context-agnostic CLAP. Table 6: AE input 51, 3 layers,
+// bottleneck 5.
+func Baseline1Config() Config {
+	c := DefaultConfig()
+	c.UseUpdateGates, c.UseResetGates = false, false
+	c.StackLength = 1
+	c.AEHidden = []int{5}
+	return c
+}
+
+// ProfileWidth returns the per-packet context-profile dimensionality under
+// this config: packet features plus the selected gate blocks.
+func (c Config) ProfileWidth() int {
+	w := features.NumPacket
+	if !c.UseAmplification {
+		w = features.NumRNN
+	}
+	if c.UseUpdateGates {
+		w += c.RNNHidden
+	}
+	if c.UseResetGates {
+		w += c.RNNHidden
+	}
+	return w
+}
+
+// AESizes returns the full autoencoder layer chain for this config
+// (input, hidden..., bottleneck, mirrored hidden..., output).
+func (c Config) AESizes() []int {
+	in := c.ProfileWidth() * c.StackLength
+	sizes := []int{in}
+	sizes = append(sizes, c.AEHidden...)
+	for i := len(c.AEHidden) - 2; i >= 0; i-- {
+		sizes = append(sizes, c.AEHidden[i])
+	}
+	sizes = append(sizes, in)
+	return sizes
+}

@@ -1,0 +1,384 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sort"
+
+	"clap/internal/features"
+	"clap/internal/flow"
+	"clap/internal/nn"
+	"clap/internal/tcpstate"
+)
+
+// Detector is a trained CLAP instance: the fitted feature profile, the
+// state-prediction RNN and the context autoencoder, plus the configuration
+// they were trained under.
+type Detector struct {
+	Cfg     Config
+	Profile *features.Profile
+	RNN     *nn.GRUClassifier
+	AE      *nn.Autoencoder
+}
+
+// ErrNoTrainingData is returned when Train receives no usable connections.
+var ErrNoTrainingData = errors.New("core: no training connections")
+
+// Logf is an optional progress sink for Train.
+type Logf func(format string, args ...any)
+
+// Train runs stages (a)-(c) over benign connections and returns a ready
+// detector.
+func Train(benign []*flow.Connection, cfg Config, logf Logf) (*Detector, error) {
+	if len(benign) == 0 {
+		return nil, ErrNoTrainingData
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	d := &Detector{Cfg: cfg}
+	d.Profile = features.FitProfile(benign)
+	logf("fitted feature profile on %d packets", d.Profile.Fitted)
+
+	// Vectorize once; both stages reuse the feature matrices.
+	vecs := make([][][]float64, len(benign))
+	labels := make([][]int, len(benign))
+	for i, c := range benign {
+		vecs[i] = d.Profile.Vectorize(c)
+		ls := tcpstate.Labels(c, cfg.Endhost)
+		labels[i] = make([]int, len(ls))
+		for j, l := range ls {
+			labels[i][j] = l.Class()
+		}
+	}
+
+	// Stage (a): RNN learns reference-state prediction.
+	d.RNN = nn.NewGRUClassifier(features.NumRNN, cfg.RNNHidden, tcpstate.NumClasses, rng)
+	opt := nn.NewAdam(cfg.RNNLearn)
+	opt.Register(d.RNN.Params()...)
+	order := rng.Perm(len(benign))
+	for epoch := 0; epoch < cfg.RNNEpochs; epoch++ {
+		var loss float64
+		rng.Shuffle(len(order), func(i, j int) { order[i], order[j] = order[j], order[i] })
+		for _, i := range order {
+			if len(vecs[i]) == 0 {
+				continue
+			}
+			loss += d.RNN.TrainSequence(features.RNNInputs(vecs[i]), labels[i], opt, cfg.RNNClip)
+		}
+		logf("RNN epoch %d/%d: mean loss %.4f", epoch+1, cfg.RNNEpochs, loss/float64(len(benign)))
+	}
+
+	// Stage (b): benign context profiles.
+	var stacked [][]float64
+	for i, c := range benign {
+		profs := d.contextProfilesFromVecs(c, vecs[i])
+		stacked = append(stacked, d.stack(profs)...)
+	}
+	logf("built %d stacked context profiles (width %d)", len(stacked), cfg.ProfileWidth()*cfg.StackLength)
+
+	// Stage (c): autoencoder learns the joint context distribution.
+	// Restarts are selected by the benign score floor on a held-out
+	// validation slice: the detector's false-positive behaviour depends on
+	// the *peak* reconstruction error over benign connections, not the
+	// mean training loss, and narrow bottlenecks land in basins that
+	// differ mostly in that peak flatness.
+	restarts := cfg.AERestarts
+	if restarts < 1 {
+		restarts = 1
+	}
+	valStart := len(benign) * 85 / 100
+	if restarts == 1 || len(benign)-valStart < 8 {
+		valStart = len(benign) // no validation split needed
+	}
+	var valWindows [][][]float64
+	for i := valStart; i < len(benign); i++ {
+		profs := d.contextProfilesFromVecs(benign[i], vecs[i])
+		if w := d.stack(profs); len(w) > 0 {
+			valWindows = append(valWindows, w)
+		}
+	}
+	bestFloor := 0.0
+	for r := 0; r < restarts; r++ {
+		ae, loss := trainAE(stacked, cfg, rand.New(rand.NewSource(cfg.Seed+int64(r)*7919)), r, logf)
+		floor := loss
+		if len(valWindows) > 0 {
+			floor = benignScoreFloor(d, ae, valWindows)
+		}
+		logf("AE[restart %d] benign score floor %.5f", r, floor)
+		if d.AE == nil || floor < bestFloor {
+			d.AE, bestFloor = ae, floor
+		}
+	}
+	if restarts > 1 {
+		logf("kept autoencoder with benign score floor %.5f", bestFloor)
+	}
+	return d, nil
+}
+
+// benignScoreFloor computes the 90th-percentile connection score of a
+// candidate autoencoder over pre-stacked validation windows.
+func benignScoreFloor(d *Detector, ae *nn.Autoencoder, valWindows [][][]float64) float64 {
+	scores := make([]float64, 0, len(valWindows))
+	tmp := &Detector{Cfg: d.Cfg, Profile: d.Profile, RNN: d.RNN, AE: ae}
+	for _, wins := range valWindows {
+		scores = append(scores, tmp.scoreFromErrors(ae.Errors(wins)).Adversarial)
+	}
+	sort.Float64s(scores)
+	return scores[len(scores)*9/10]
+}
+
+// trainAE runs one full autoencoder training with a stepped learning-rate
+// schedule (halved at 50%% and 75%% of the epoch budget) and returns the
+// model with its final-epoch mean loss.
+func trainAE(stacked [][]float64, cfg Config, rng *rand.Rand, restart int, logf Logf) (*nn.Autoencoder, float64) {
+	ae := nn.NewAutoencoder(cfg.AESizes(), rng)
+	opt := nn.NewAdam(cfg.AELearn)
+	opt.Register(ae.Params()...)
+	batch := cfg.AEBatch
+	if batch <= 0 {
+		batch = 32
+	}
+	idx := rng.Perm(len(stacked))
+	var epochLoss float64
+	for epoch := 0; epoch < cfg.AEEpochs; epoch++ {
+		switch {
+		case epoch == cfg.AEEpochs*3/4:
+			opt.LR = cfg.AELearn / 4
+		case epoch == cfg.AEEpochs/2:
+			opt.LR = cfg.AELearn / 2
+		}
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+		var loss float64
+		var batches int
+		for at := 0; at < len(idx); at += batch {
+			end := at + batch
+			if end > len(idx) {
+				end = len(idx)
+			}
+			xs := make([][]float64, 0, end-at)
+			for _, k := range idx[at:end] {
+				xs = append(xs, stacked[k])
+			}
+			loss += ae.TrainBatchParallel(xs, opt, cfg.AEClip, runtime.NumCPU())
+			batches++
+		}
+		epochLoss = loss / float64(batches)
+		if epoch == cfg.AEEpochs-1 || (epoch+1)%10 == 0 || cfg.AEEpochs <= 10 {
+			logf("AE[restart %d] epoch %d/%d: mean L1 loss %.5f", restart, epoch+1, cfg.AEEpochs, epochLoss)
+		}
+	}
+	return ae, epochLoss
+}
+
+// contextProfilesFromVecs fuses packet features with the RNN's per-step
+// gate activations (Equation 2): CxtProf = [P_IP, P_TCP, P_amp, G_update,
+// G_reset].
+func (d *Detector) contextProfilesFromVecs(c *flow.Connection, vecs [][]float64) [][]float64 {
+	if len(vecs) == 0 {
+		return nil
+	}
+	var st *nn.GRUStates
+	if d.Cfg.UseUpdateGates || d.Cfg.UseResetGates {
+		st = d.RNN.Forward(features.RNNInputs(vecs))
+	}
+	width := d.Cfg.ProfileWidth()
+	featWidth := features.NumPacket
+	if !d.Cfg.UseAmplification {
+		featWidth = features.NumRNN
+	}
+	out := make([][]float64, len(vecs))
+	for t, v := range vecs {
+		prof := make([]float64, 0, width)
+		prof = append(prof, v[:featWidth]...)
+		if d.Cfg.UseUpdateGates {
+			prof = append(prof, st.Z[t]...)
+		}
+		if d.Cfg.UseResetGates {
+			prof = append(prof, st.R[t]...)
+		}
+		out[t] = prof
+	}
+	return out
+}
+
+// ContextProfiles computes per-packet context profiles for a connection.
+func (d *Detector) ContextProfiles(c *flow.Connection) [][]float64 {
+	return d.contextProfilesFromVecs(c, d.Profile.Vectorize(c))
+}
+
+// stack concatenates every StackLength consecutive profiles in a sliding
+// window (n−t+1 windows, §3.3(d)). Connections shorter than the stack
+// length yield a single window left-padded by replicating the first
+// profile: replicated profiles stay on the benign feature manifold, whereas
+// zero blocks would be out-of-distribution by construction and make every
+// short connection look adversarial.
+func (d *Detector) stack(profs [][]float64) [][]float64 {
+	t := d.Cfg.StackLength
+	if t <= 1 {
+		return profs
+	}
+	if len(profs) == 0 {
+		return nil
+	}
+	width := len(profs[0])
+	if len(profs) < t {
+		win := make([]float64, 0, t*width)
+		for pad := 0; pad < t-len(profs); pad++ {
+			win = append(win, profs[0]...)
+		}
+		for _, p := range profs {
+			win = append(win, p...)
+		}
+		return [][]float64{win}
+	}
+	out := make([][]float64, 0, len(profs)-t+1)
+	for i := 0; i+t <= len(profs); i++ {
+		win := make([]float64, 0, t*width)
+		for _, p := range profs[i : i+t] {
+			win = append(win, p...)
+		}
+		out = append(out, win)
+	}
+	return out
+}
+
+// StackedProfiles returns the sliding-window stacked profiles of a
+// connection.
+func (d *Detector) StackedProfiles(c *flow.Connection) [][]float64 {
+	return d.stack(d.ContextProfiles(c))
+}
+
+// WindowErrors runs the autoencoder over every stacked profile and returns
+// the per-window L1 reconstruction errors.
+func (d *Detector) WindowErrors(c *flow.Connection) []float64 {
+	return d.AE.Errors(d.StackedProfiles(c))
+}
+
+// Score is the verification result for one connection.
+type Score struct {
+	// Adversarial is the localize-and-estimate adversarial score: the mean
+	// reconstruction error over ScoreWindow windows centred on the peak.
+	Adversarial float64
+	// PeakWindow is the index of the stacked profile with the maximum
+	// reconstruction error (the localization anchor).
+	PeakWindow int
+	// Errors holds the raw per-window reconstruction errors (Figure 6's
+	// series).
+	Errors []float64
+}
+
+// Score runs stage (d) on a connection.
+func (d *Detector) Score(c *flow.Connection) Score {
+	errs := d.WindowErrors(c)
+	return d.scoreFromErrors(errs)
+}
+
+func (d *Detector) scoreFromErrors(errs []float64) Score {
+	if len(errs) == 0 {
+		return Score{PeakWindow: -1}
+	}
+	peak := 0
+	for i, e := range errs {
+		if e > errs[peak] {
+			peak = i
+		}
+	}
+	w := d.Cfg.ScoreWindow
+	if w <= 0 {
+		w = 5
+	}
+	lo := peak - w/2
+	hi := peak + w/2 + 1
+	if lo < 0 {
+		lo = 0
+	}
+	if hi > len(errs) {
+		hi = len(errs)
+	}
+	var sum float64
+	for _, e := range errs[lo:hi] {
+		sum += e
+	}
+	return Score{Adversarial: sum / float64(hi-lo), PeakWindow: peak, Errors: errs}
+}
+
+// windowCoversPacket reports whether stacked-profile window w includes
+// packet index p for a connection of n packets.
+func (d *Detector) windowCoversPacket(w, p, n int) bool {
+	t := d.Cfg.StackLength
+	if n < t {
+		return true // single padded window covers the whole train
+	}
+	return p >= w && p < w+t
+}
+
+// Localize returns the indices of the topN highest-error windows, each
+// expanded to the packet range it covers — CLAP's forensic output
+// (§3.3(d)).
+func (d *Detector) Localize(c *flow.Connection, topN int) []int {
+	errs := d.WindowErrors(c)
+	if len(errs) == 0 {
+		return nil
+	}
+	idx := make([]int, len(errs))
+	for i := range idx {
+		idx[i] = i
+	}
+	for i := 1; i < len(idx); i++ { // insertion sort by error desc (small n)
+		for j := i; j > 0 && errs[idx[j]] > errs[idx[j-1]]; j-- {
+			idx[j], idx[j-1] = idx[j-1], idx[j]
+		}
+	}
+	if topN < len(idx) {
+		idx = idx[:topN]
+	}
+	return idx
+}
+
+// LocalizationHit implements the paper's Top-N hit criterion: do the N
+// highest-error context profiles intersect the actual adversarial packets?
+func (d *Detector) LocalizationHit(c *flow.Connection, topN int) bool {
+	if !c.IsAdversarial() {
+		return false
+	}
+	wins := d.Localize(c, topN)
+	for _, w := range wins {
+		for _, a := range c.AdvIdx {
+			if d.windowCoversPacket(w, a, c.Len()) {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+// RNNAccuracy evaluates stage (a) per label class over a held-out set,
+// regenerating Table 5. It returns hit and total counts per class.
+func (d *Detector) RNNAccuracy(conns []*flow.Connection) (hits, totals [tcpstate.NumClasses]int) {
+	for _, c := range conns {
+		vecs := d.Profile.Vectorize(c)
+		if len(vecs) == 0 {
+			continue
+		}
+		pred := d.RNN.Predict(features.RNNInputs(vecs))
+		ls := tcpstate.Labels(c, d.Cfg.Endhost)
+		for i, l := range ls {
+			totals[l.Class()]++
+			if pred[i] == l.Class() {
+				hits[l.Class()]++
+			}
+		}
+	}
+	return hits, totals
+}
+
+// String summarises the detector.
+func (d *Detector) String() string {
+	return fmt.Sprintf("CLAP{profile=%d pkts, rnn=%d/%d/%d, ae=%v, stack=%d}",
+		d.Profile.Fitted, d.RNN.In, d.RNN.Hidden, d.RNN.Classes, d.Cfg.AESizes(), d.Cfg.StackLength)
+}

@@ -1,0 +1,169 @@
+package dpi
+
+import (
+	"fmt"
+
+	"clap/internal/flow"
+	"clap/internal/packet"
+	"clap/internal/tcpstate"
+)
+
+// Result describes how (and whether) a connection's replay diverged between
+// the strict endhost and a DPI model — the success criterion of a DPI
+// evasion attack.
+type Result struct {
+	Model Model
+
+	// Escaped: an adversarial packet tore down DPI tracking while the
+	// endhost went on accepting data.
+	Escaped bool
+	// Resynced: an adversarial SYN re-keyed the DPI's sequence tracking.
+	Resynced bool
+	// PoisonedBytes counts stream bytes whose contents differ between the
+	// DPI's reassembly and the endhost's (shadow-data injection).
+	PoisonedBytes int64
+	// PhantomBytes counts bytes only the DPI believes exist (decoys the
+	// endhost never accepted).
+	PhantomBytes int64
+	// MissedBytes counts endhost-accepted bytes absent from the DPI's
+	// reassembly while it was still engaged (desynchronisation).
+	MissedBytes int64
+}
+
+// Diverged reports whether the DPI's view of the connection differs from
+// the endhost's in any attack-relevant way.
+func (r Result) Diverged() bool {
+	return r.Escaped || r.Resynced || r.PoisonedBytes > 0 || r.PhantomBytes > 0 || r.MissedBytes > 0
+}
+
+// String summarises the result.
+func (r Result) String() string {
+	return fmt.Sprintf("%s{escaped=%t resynced=%t poisoned=%dB phantom=%dB missed=%dB}",
+		r.Model, r.Escaped, r.Resynced, r.PoisonedBytes, r.PhantomBytes, r.MissedBytes)
+}
+
+// overlap returns the intersection length of [aLo,aHi) and [bLo,bHi).
+func overlap(aLo, aHi, bLo, bHi int64) int64 {
+	lo, hi := aLo, aHi
+	if bLo > lo {
+		lo = bLo
+	}
+	if bHi < hi {
+		hi = bHi
+	}
+	if hi > lo {
+		return hi - lo
+	}
+	return 0
+}
+
+// Check replays a connection through both the strict endhost
+// (internal/tcpstate) and the given DPI model and reports the divergence.
+// For benign connections (no adversarial ground truth) every divergence
+// signal is zero by construction — the signals are gated on the involvement
+// of marked adversarial packets, because benign reassembly differences
+// (retransmission overlaps) are not evasions.
+func Check(c *flow.Connection, model Model) Result {
+	res := Result{Model: model}
+	adv := make(map[int]bool, len(c.AdvIdx))
+	for _, i := range c.AdvIdx {
+		adv[i] = true
+	}
+
+	// Endhost ground truth: per-direction stream of accepted bytes.
+	verdicts := tcpstate.Replay(c, tcpstate.DefaultConfig())
+	var host [2]stream
+	var hostISN [2]uint32
+	var hostISNSet [2]bool
+	lastHostDataIdx := -1
+	for i, p := range c.Packets {
+		d := c.Dirs[i]
+		isSYN := p.TCP.Flags.Has(packet.SYN)
+		if !hostISNSet[d] {
+			hostISN[d] = p.TCP.Seq
+			if !isSYN {
+				hostISN[d] = p.TCP.Seq - 1
+			}
+			hostISNSet[d] = true
+		}
+		if !verdicts[i].Accepted || p.PayloadLen == 0 {
+			continue
+		}
+		dataSeq := p.TCP.Seq
+		if isSYN {
+			dataSeq++
+		}
+		lo := int64(int32(dataSeq - (hostISN[d] + 1)))
+		host[d].insert(lo, lo+int64(p.PayloadLen), i, false)
+		lastHostDataIdx = i
+	}
+
+	// DPI replay.
+	mon := NewMonitor(model)
+	for i, p := range c.Packets {
+		mon.Process(i, p, c.Dirs[i])
+	}
+
+	if mon.disengageIdx >= 0 && adv[mon.disengageIdx] && lastHostDataIdx > mon.disengageIdx {
+		res.Escaped = true
+	}
+	if mon.resyncIdx >= 0 && adv[mon.resyncIdx] {
+		res.Resynced = true
+	}
+
+	for d := 0; d < 2; d++ {
+		// Poisoned / missed: compare the endhost's accepted byte ranges
+		// against the DPI's reassembly, segment pair by segment pair.
+		for _, e := range host[d].segs {
+			covered := int64(0)
+			for _, g := range mon.streams[d].segs {
+				n := overlap(e.Lo, e.Hi, g.Lo, g.Hi)
+				if n == 0 {
+					continue
+				}
+				covered += n
+				if g.Owner != e.Owner && (adv[g.Owner] || adv[e.Owner]) {
+					res.PoisonedBytes += n
+				}
+			}
+			if miss := (e.Hi - e.Lo) - covered; miss > 0 && c.IsAdversarial() {
+				// Only count bytes the DPI should have seen: packets
+				// processed while it was still engaged.
+				if mon.disengageIdx < 0 || e.Owner < mon.disengageIdx {
+					res.MissedBytes += miss
+				}
+			}
+		}
+		// Phantom: DPI-only bytes owned by adversarial packets.
+		for _, g := range mon.streams[d].segs {
+			if !adv[g.Owner] {
+				continue
+			}
+			covered := int64(0)
+			for _, e := range host[d].segs {
+				covered += overlap(e.Lo, e.Hi, g.Lo, g.Hi)
+			}
+			res.PhantomBytes += (g.Hi - g.Lo) - covered
+		}
+	}
+	return res
+}
+
+// CheckAll runs Check against every model.
+func CheckAll(c *flow.Connection) []Result {
+	out := make([]Result, 0, 3)
+	for _, m := range Models() {
+		out = append(out, Check(c, m))
+	}
+	return out
+}
+
+// AnyDiverged reports whether at least one model diverged.
+func AnyDiverged(c *flow.Connection) bool {
+	for _, r := range CheckAll(c) {
+		if r.Diverged() {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,273 @@
+// Package dpi models the simplified, permissive TCP trackers inside the
+// three middleboxes the evasion corpus targets — the GFW, Zeek and Snort —
+// and checks the endhost-vs-DPI behavioural discrepancy every strategy in
+// internal/attacks claims to produce (the paper's threat model, §3.2).
+//
+// The models intentionally reproduce the *documented implementation gaps*
+// the source papers exploit (no checksum validation, window-based RST
+// acceptance, SYN resynchronisation, immediate FIN teardown, urgent-pointer
+// mishandling, ...). CLAP itself never consults these models; they exist so
+// tests can prove each simulated attack diverges exactly like the real one.
+package dpi
+
+import (
+	"clap/internal/flow"
+	"clap/internal/packet"
+)
+
+// Model selects which middlebox to emulate.
+type Model uint8
+
+// The three emulated DPI systems.
+const (
+	GFW Model = iota
+	Zeek
+	Snort
+)
+
+// String names the model.
+func (m Model) String() string {
+	switch m {
+	case GFW:
+		return "GFW"
+	case Zeek:
+		return "Zeek"
+	case Snort:
+		return "Snort"
+	}
+	return "unknown"
+}
+
+// Models lists all emulated middleboxes.
+func Models() []Model { return []Model{GFW, Zeek, Snort} }
+
+// quirks encodes the per-model implementation gaps.
+type quirks struct {
+	validateChecksums bool // drop bad-checksum segments (none of the models)
+	requireACK        bool // require ACK flag on established-state segments
+	checkMD5          bool // drop unsolicited MD5 options
+	paws              bool // validate timestamps
+	strictRST         bool // require exact-sequence RSTs (RFC 5961)
+	windowRST         bool // require RSTs to be window-plausible
+	teardownOnFIN     bool // disengage on the first FIN from the client side
+	resyncOnSYN       bool // adopt a new SYN's ISN mid-connection
+	lastWriterWins    bool // reassembly overlap policy (true: new data replaces old)
+	urgentSkip        bool // drop the byte indicated by a non-zero urgent pointer
+	ignoreSYNPayload  bool // do not add SYN payload bytes to the stream
+}
+
+func modelQuirks(m Model) quirks {
+	switch m {
+	case GFW:
+		// First-writer reassembly: the GFW famously ignores overlapping
+		// retransmissions, which is why decoy-first shadow injection works.
+		return quirks{teardownOnFIN: true, resyncOnSYN: true}
+	case Zeek:
+		// Zeek's reassembler can be driven to prefer new data on conflict;
+		// the Overlapping evasion exploits exactly the old/new policy split
+		// against the endhost's delivered-bytes-are-final semantics.
+		return quirks{teardownOnFIN: true, resyncOnSYN: true, lastWriterWins: true, ignoreSYNPayload: true}
+	default: // Snort
+		return quirks{teardownOnFIN: true, resyncOnSYN: true, windowRST: true, urgentSkip: true}
+	}
+}
+
+// seg is a half-open byte range [Lo,Hi) of one direction's stream, owned by
+// the packet that contributed it.
+type seg struct {
+	Lo, Hi int64
+	Owner  int
+}
+
+// stream is a direction's reassembled byte map.
+type stream struct {
+	segs []seg // sorted by Lo, non-overlapping
+}
+
+// insert adds [lo,hi) with the given owner. With overwrite, existing
+// overlapping ranges are replaced (last-writer-wins); otherwise only gaps
+// are filled (first-writer-wins).
+func (s *stream) insert(lo, hi int64, owner int, overwrite bool) {
+	if hi <= lo {
+		return
+	}
+	var out []seg
+	add := []seg{{lo, hi, owner}}
+	for _, e := range s.segs {
+		if e.Hi <= lo || e.Lo >= hi {
+			out = append(out, e)
+			continue
+		}
+		if overwrite {
+			// Keep only the non-overlapped fringes of the existing segment.
+			if e.Lo < lo {
+				out = append(out, seg{e.Lo, lo, e.Owner})
+			}
+			if e.Hi > hi {
+				out = append(out, seg{hi, e.Hi, e.Owner})
+			}
+			continue
+		}
+		// First-writer: carve the new range around the existing segment.
+		out = append(out, e)
+		var next []seg
+		for _, a := range add {
+			if a.Hi <= e.Lo || a.Lo >= e.Hi {
+				next = append(next, a)
+				continue
+			}
+			if a.Lo < e.Lo {
+				next = append(next, seg{a.Lo, e.Lo, owner})
+			}
+			if a.Hi > e.Hi {
+				next = append(next, seg{e.Hi, a.Hi, owner})
+			}
+		}
+		add = next
+	}
+	out = append(out, add...)
+	// Restore ordering.
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && out[j].Lo < out[j-1].Lo; j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	s.segs = out
+}
+
+// ownerAt returns the owner covering byte x.
+func (s *stream) ownerAt(x int64) (int, bool) {
+	for _, e := range s.segs {
+		if x >= e.Lo && x < e.Hi {
+			return e.Owner, true
+		}
+	}
+	return 0, false
+}
+
+// bytes sums the coverage.
+func (s *stream) bytes() int64 {
+	var n int64
+	for _, e := range s.segs {
+		n += e.Hi - e.Lo
+	}
+	return n
+}
+
+// Monitor is one middlebox's view of a connection.
+type Monitor struct {
+	model Model
+	q     quirks
+
+	engaged       bool
+	disengageIdx  int // packet index that caused teardown, -1 while engaged
+	resyncIdx     int // packet index that re-keyed the ISN, -1 if never
+	isn           [2]uint32
+	isnSet        [2]bool
+	nextRel       [2]int64
+	finSeen       [2]bool
+	streams       [2]stream
+	processedData int
+}
+
+// NewMonitor starts an engaged monitor.
+func NewMonitor(m Model) *Monitor {
+	return &Monitor{model: m, q: modelQuirks(m), engaged: true, disengageIdx: -1, resyncIdx: -1}
+}
+
+// Engaged reports whether the monitor still tracks the connection.
+func (m *Monitor) Engaged() bool { return m.engaged }
+
+// DisengageIdx returns the index of the packet that tore tracking down, or
+// -1.
+func (m *Monitor) DisengageIdx() int { return m.disengageIdx }
+
+// ResyncIdx returns the index of the SYN that re-keyed tracking, or -1.
+func (m *Monitor) ResyncIdx() int { return m.resyncIdx }
+
+// rel converts an absolute sequence number of direction d to a stream
+// offset (first payload byte of the direction is offset 0).
+func (m *Monitor) rel(d flow.Direction, seq uint32) int64 {
+	return int64(int32(seq - (m.isn[d] + 1)))
+}
+
+// Process feeds packet idx to the monitor.
+func (m *Monitor) Process(idx int, p *packet.Packet, d flow.Direction) {
+	if !m.engaged {
+		return
+	}
+	f := p.TCP.Flags
+	isSYN := f.Has(packet.SYN) && !f.Has(packet.ACK)
+
+	// Header validations the models mostly lack.
+	if m.q.validateChecksums && (!p.IPChecksumValid() || !p.TCPChecksumValid()) {
+		return
+	}
+	if m.q.checkMD5 && p.TCP.FindOption(packet.OptMD5) != nil {
+		return
+	}
+
+	if f.Has(packet.SYN) {
+		if !m.isnSet[d] {
+			m.isn[d] = p.TCP.Seq // SYN or SYN-ACK: seq is the ISN
+			m.isnSet[d] = true
+		} else if m.q.resyncOnSYN && p.TCP.Seq != m.isn[d] {
+			// The documented resynchronisation bug: adopt the newest
+			// SYN-bit packet's ISN (bare SYN or SYN-ACK). Benign
+			// retransmissions re-use the original ISN and pass the guard.
+			m.isn[d] = p.TCP.Seq
+			m.resyncIdx = idx
+		}
+	} else if !m.isnSet[d] {
+		m.isn[d] = p.TCP.Seq - 1 // mid-stream pickup
+		m.isnSet[d] = true
+	}
+
+	if f.Has(packet.RST) {
+		if m.q.windowRST {
+			r := m.rel(d, p.TCP.Seq)
+			if r < m.nextRel[d]-(1<<20) || r > m.nextRel[d]+(1<<20) {
+				return // implausible RST even for the permissive model
+			}
+		}
+		m.engaged = false
+		m.disengageIdx = idx
+		return
+	}
+	if f.Has(packet.FIN) {
+		m.finSeen[d] = true
+		if m.q.teardownOnFIN && d == flow.ClientToServer || m.finSeen[0] && m.finSeen[1] {
+			m.engaged = false
+			m.disengageIdx = idx
+			return
+		}
+	}
+	if m.q.requireACK && !f.Has(packet.ACK) && !isSYN {
+		return
+	}
+
+	// Stream ingestion: the DPI trusts the wire bytes it sniffed.
+	if p.PayloadLen > 0 {
+		if isSYN && m.q.ignoreSYNPayload {
+			return
+		}
+		dataSeq := p.TCP.Seq
+		if f.Has(packet.SYN) {
+			dataSeq++
+		}
+		lo := m.rel(d, dataSeq)
+		hi := lo + int64(p.PayloadLen)
+		if m.q.urgentSkip && p.TCP.Urgent > 0 {
+			lo++ // the "urgent" byte is consumed out of band
+		}
+		m.streams[d].insert(lo, hi, idx, m.q.lastWriterWins)
+		if hi > m.nextRel[d] {
+			m.nextRel[d] = hi
+		}
+		m.processedData++
+	} else {
+		if r := m.rel(d, p.TCP.Seq); r > m.nextRel[d] && r-m.nextRel[d] < 1<<20 {
+			m.nextRel[d] = r
+		}
+	}
+}

@@ -1,0 +1,226 @@
+package dpi
+
+import (
+	"math/rand"
+	"testing"
+
+	"clap/internal/attacks"
+	"clap/internal/flow"
+	"clap/internal/trafficgen"
+)
+
+func benign(n int, seed int64) []*flow.Connection {
+	cfg := trafficgen.DefaultConfig(n)
+	cfg.Seed = seed
+	return trafficgen.Generate(cfg)
+}
+
+func TestBenignTrafficNeverDiverges(t *testing.T) {
+	for _, c := range benign(150, 3) {
+		for _, r := range CheckAll(c) {
+			if r.Diverged() {
+				t.Fatalf("benign connection %v diverged: %v", c.Key, r)
+			}
+		}
+	}
+}
+
+// TestEveryStrategyDivergesSomewhere is the corpus-level soundness check:
+// each of the 73 strategies must produce an endhost-vs-DPI discrepancy on at
+// least one of the three middlebox models for a clear majority of the
+// connections it applies to.
+func TestEveryStrategyDivergesSomewhere(t *testing.T) {
+	conns := benign(200, 5)
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range attacks.All() {
+		s := s
+		t.Run(s.Name, func(t *testing.T) {
+			applied, diverged := 0, 0
+			for _, c := range conns {
+				cc := c.Clone()
+				if !s.Apply(cc, rng) {
+					continue
+				}
+				applied++
+				if AnyDiverged(cc) {
+					diverged++
+				}
+				if applied >= 12 {
+					break
+				}
+			}
+			if applied == 0 {
+				t.Fatal("strategy never applied")
+			}
+			if diverged*10 < applied*8 {
+				t.Errorf("diverged on %d/%d applications, want >= 80%%", diverged, applied)
+			}
+		})
+	}
+}
+
+func TestGFWTearsDownOnBadChecksumRST(t *testing.T) {
+	// The paper's motivating example end to end: GFW disengages, endhost
+	// doesn't, follow-up data escapes inspection.
+	conns := benign(100, 7)
+	rng := rand.New(rand.NewSource(3))
+	s, _ := attacks.ByName("GFW: Injected RST Bad TCP-Checksum/MD5-Option")
+	for _, c := range conns {
+		cc := c.Clone()
+		if !s.Apply(cc, rng) {
+			continue
+		}
+		r := Check(cc, GFW)
+		if !r.Escaped {
+			t.Fatalf("GFW should have disengaged: %v", r)
+		}
+		mon := NewMonitor(GFW)
+		for i, p := range cc.Packets {
+			mon.Process(i, p, cc.Dirs[i])
+		}
+		if mon.Engaged() {
+			t.Fatal("monitor still engaged after RST")
+		}
+		if mon.DisengageIdx() != cc.AdvIdx[0] {
+			t.Fatalf("disengaged at %d, adversarial packet at %d", mon.DisengageIdx(), cc.AdvIdx[0])
+		}
+		return
+	}
+	t.Fatal("strategy never applied")
+}
+
+func TestSnortRejectsImplausibleRST(t *testing.T) {
+	// Snort's windowRST quirk must ignore wildly out-of-window RSTs — the
+	// Zeek Bad-SEQ RST should not fool the Snort model.
+	conns := benign(100, 9)
+	rng := rand.New(rand.NewSource(5))
+	s, _ := attacks.ByName("Zeek: Injected RST/FIN-ACK Bad SEQ")
+	checked := 0
+	for _, c := range conns {
+		cc := c.Clone()
+		if !s.Apply(cc, rng) {
+			continue
+		}
+		checked++
+		if r := Check(cc, Snort); r.Escaped {
+			t.Fatalf("Snort model accepted a far out-of-window RST: %v", r)
+		}
+		if r := Check(cc, Zeek); !r.Escaped {
+			t.Fatalf("Zeek model should accept any RST: %v", r)
+		}
+		if checked >= 5 {
+			return
+		}
+	}
+	if checked == 0 {
+		t.Fatal("strategy never applied")
+	}
+}
+
+func TestShadowPoisonsDPIStream(t *testing.T) {
+	conns := benign(100, 11)
+	rng := rand.New(rand.NewSource(7))
+	s, _ := attacks.ByName("Bad TCP Checksum (Min)")
+	for _, c := range conns {
+		cc := c.Clone()
+		if !s.Apply(cc, rng) {
+			continue
+		}
+		r := Check(cc, GFW)
+		if r.PoisonedBytes == 0 {
+			t.Fatalf("checksum decoy should poison the GFW stream: %v", r)
+		}
+		return
+	}
+	t.Fatal("strategy never applied")
+}
+
+func TestResyncCausesMissedBytes(t *testing.T) {
+	conns := benign(150, 13)
+	rng := rand.New(rand.NewSource(9))
+	s, _ := attacks.ByName("Snort: SYN Multiple (SYN)")
+	for _, c := range conns {
+		cc := c.Clone()
+		if !s.Apply(cc, rng) {
+			continue
+		}
+		r := Check(cc, Snort)
+		if !r.Resynced {
+			t.Fatalf("Snort should resync on the decoy SYN: %v", r)
+		}
+		if r.MissedBytes == 0 {
+			t.Fatalf("resync should make Snort miss the real stream: %v", r)
+		}
+		return
+	}
+	t.Fatal("strategy never applied")
+}
+
+func TestUrgentPointerSkipsByte(t *testing.T) {
+	conns := benign(150, 15)
+	rng := rand.New(rand.NewSource(11))
+	s, _ := attacks.ByName("Snort: Data Packet (ACK) w/ Urgent Pointer")
+	for _, c := range conns {
+		cc := c.Clone()
+		if !s.Apply(cc, rng) {
+			continue
+		}
+		r := Check(cc, Snort)
+		if r.MissedBytes == 0 {
+			t.Fatalf("urgent-pointer mishandling should desync one byte: %v", r)
+		}
+		if gfw := Check(cc, GFW); gfw.MissedBytes != 0 {
+			t.Fatalf("GFW does not mishandle urgent pointers: %v", gfw)
+		}
+		return
+	}
+	t.Fatal("strategy never applied")
+}
+
+func TestStreamInsertPolicies(t *testing.T) {
+	var s stream
+	s.insert(0, 100, 1, false)
+	s.insert(50, 150, 2, false) // first-writer: only [100,150) added
+	if got, _ := s.ownerAt(75); got != 1 {
+		t.Errorf("ownerAt(75) = %d, want 1 (first writer)", got)
+	}
+	if got, _ := s.ownerAt(120); got != 2 {
+		t.Errorf("ownerAt(120) = %d, want 2", got)
+	}
+	if s.bytes() != 150 {
+		t.Errorf("coverage = %d, want 150", s.bytes())
+	}
+
+	var s2 stream
+	s2.insert(0, 100, 1, true)
+	s2.insert(50, 150, 2, true) // last-writer: [50,100) replaced
+	if got, _ := s2.ownerAt(75); got != 2 {
+		t.Errorf("last-writer ownerAt(75) = %d, want 2", got)
+	}
+	if got, _ := s2.ownerAt(25); got != 1 {
+		t.Errorf("last-writer ownerAt(25) = %d, want 1", got)
+	}
+	if s2.bytes() != 150 {
+		t.Errorf("last-writer coverage = %d, want 150", s2.bytes())
+	}
+	if _, ok := s2.ownerAt(200); ok {
+		t.Error("ownerAt(200) should be uncovered")
+	}
+	// Degenerate insert is a no-op.
+	s2.insert(10, 10, 9, true)
+	if got, _ := s2.ownerAt(10); got != 1 {
+		t.Error("empty insert should not change ownership")
+	}
+}
+
+func TestModelStrings(t *testing.T) {
+	if GFW.String() != "GFW" || Zeek.String() != "Zeek" || Snort.String() != "Snort" {
+		t.Error("model names wrong")
+	}
+	if Model(99).String() != "unknown" {
+		t.Error("unknown model should stringify to unknown")
+	}
+	if len(Models()) != 3 {
+		t.Error("Models() should list all three middleboxes")
+	}
+}

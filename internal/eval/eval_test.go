@@ -1,0 +1,223 @@
+package eval
+
+import (
+	"strings"
+	"sync"
+	"testing"
+
+	"clap/internal/attacks"
+)
+
+// The tiny suite takes a few seconds to train; share it across tests.
+var (
+	tinyOnce  sync.Once
+	tinySuite *Suite
+	tinyErr   error
+)
+
+func suite(t *testing.T) *Suite {
+	t.Helper()
+	tinyOnce.Do(func() {
+		tinySuite, tinyErr = BuildSuite(OptionsFor(ProfileTiny), nil)
+	})
+	if tinyErr != nil {
+		t.Fatalf("BuildSuite: %v", tinyErr)
+	}
+	return tinySuite
+}
+
+func TestOptionsProfiles(t *testing.T) {
+	for _, p := range []Profile{ProfileTiny, ProfileFast, ProfileFull} {
+		o := OptionsFor(p)
+		if o.TrainConns <= 0 || o.TestBenign <= 0 || o.AdvPerStrategy <= 0 {
+			t.Errorf("profile %s has empty sizes: %+v", p, o)
+		}
+	}
+	if OptionsFor("bogus").Profile != ProfileFast {
+		t.Error("unknown profile should fall back to fast")
+	}
+	// Scales must be ordered.
+	if OptionsFor(ProfileTiny).TrainConns >= OptionsFor(ProfileFast).TrainConns ||
+		OptionsFor(ProfileFast).TrainConns >= OptionsFor(ProfileFull).TrainConns {
+		t.Error("profiles should scale up")
+	}
+}
+
+func TestDatasetCoversAllStrategies(t *testing.T) {
+	s := suite(t)
+	if len(s.Data.Adv) != 73 {
+		t.Fatalf("adversarial corpora for %d strategies, want 73", len(s.Data.Adv))
+	}
+	for name, conns := range s.Data.Adv {
+		if len(conns) == 0 {
+			t.Errorf("strategy %q has no adversarial connections", name)
+		}
+		if len(conns) != len(s.Data.AdvSrc[name]) {
+			t.Errorf("strategy %q: %d conns but %d sources", name, len(conns), len(s.Data.AdvSrc[name]))
+		}
+		for _, c := range conns {
+			if !c.IsAdversarial() {
+				t.Errorf("strategy %q produced an unmarked connection", name)
+			}
+			if c.AttackName != name {
+				t.Errorf("connection labeled %q under strategy %q", c.AttackName, name)
+			}
+		}
+	}
+}
+
+func TestDatasetDeterminism(t *testing.T) {
+	o := OptionsFor(ProfileTiny)
+	a := BuildDataset(o)
+	b := BuildDataset(o)
+	for name := range a.Adv {
+		if len(a.Adv[name]) != len(b.Adv[name]) {
+			t.Fatalf("strategy %q: %d vs %d connections across runs", name, len(a.Adv[name]), len(b.Adv[name]))
+		}
+	}
+	if len(a.Train) != len(b.Train) {
+		t.Fatal("training sets differ across runs")
+	}
+}
+
+func TestEvaluateStrategyProducesSaneMetrics(t *testing.T) {
+	s := suite(t)
+	st, _ := attacks.ByName("GFW: Injected RST Bad TCP-Checksum/MD5-Option")
+	r := s.EvaluateStrategy(st)
+	if r.N == 0 {
+		t.Fatal("no adversarial connections evaluated")
+	}
+	for name, v := range map[string]float64{
+		"AUC": r.AUC, "EER": r.EER, "AUCB1": r.AUCB1, "AUCKit": r.AUCKit,
+		"Top1": r.Top1, "Top3": r.Top3, "Top5": r.Top5,
+	} {
+		if v < 0 || v > 1 {
+			t.Errorf("%s = %g out of [0,1]", name, v)
+		}
+	}
+	if r.Top5 < r.Top3 || r.Top3 < r.Top1 {
+		t.Errorf("localization must be monotone: top1=%.2f top3=%.2f top5=%.2f", r.Top1, r.Top3, r.Top5)
+	}
+	// Even the tiny config must catch the motivating example decisively.
+	if r.AUC < 0.8 {
+		t.Errorf("motivating-example AUC = %.3f, want >= 0.8", r.AUC)
+	}
+}
+
+func TestSummariseAndFilter(t *testing.T) {
+	s := suite(t)
+	rs := []StrategyResult{}
+	for _, name := range []string{
+		"Snort: Injected RST Pure",
+		"Bad TCP Checksum (Min)",
+		"Injected RST / Low TTL",
+	} {
+		st, _ := attacks.ByName(name)
+		rs = append(rs, s.EvaluateStrategy(st))
+	}
+	agg := Summarise(rs)
+	if agg.N != 3 {
+		t.Fatalf("aggregate N = %d", agg.N)
+	}
+	if agg.AUC < 0 || agg.AUC > 1 {
+		t.Errorf("aggregate AUC = %g", agg.AUC)
+	}
+	if len(FilterSource(rs, attacks.SourceSymTCP)) != 1 ||
+		len(FilterSource(rs, attacks.SourceLiberate)) != 1 ||
+		len(FilterSource(rs, attacks.SourceGeneva)) != 1 {
+		t.Error("FilterSource partition wrong")
+	}
+	if Summarise(nil).N != 0 {
+		t.Error("empty summary should have N=0")
+	}
+}
+
+func TestCategorizePartitions(t *testing.T) {
+	rs := []StrategyResult{
+		{AUC: 0.9, AUCB1: 0.5},  // disparity 0.4 > 0.15: inter
+		{AUC: 0.9, AUCB1: 0.85}, // disparity 0.05: intra
+	}
+	inter, intra := Categorize(rs)
+	if len(inter) != 1 || len(intra) != 1 {
+		t.Fatalf("categorize split %d/%d, want 1/1", len(inter), len(intra))
+	}
+}
+
+func TestReportRenderers(t *testing.T) {
+	s := suite(t)
+	var rs []StrategyResult
+	for _, name := range []string{
+		"Snort: Injected RST Pure",
+		"Bad TCP Checksum (Min)",
+		"Injected RST / Low TTL",
+	} {
+		st, _ := attacks.ByName(name)
+		rs = append(rs, s.EvaluateStrategy(st))
+	}
+	for label, out := range map[string]string{
+		"Table1":   Table1(rs),
+		"Table2":   Table2(rs),
+		"Table4":   Table4(s.Data),
+		"Table5":   Table5(s),
+		"Table6":   Table6(s),
+		"Table7":   Table7(),
+		"Table8":   Table8(rs),
+		"Figure7":  FigureDetection(7, attacks.SourceSymTCP, rs),
+		"Figure10": FigureLocalization(10, attacks.SourceSymTCP, rs),
+	} {
+		if len(out) < 40 {
+			t.Errorf("%s renders only %d bytes", label, len(out))
+		}
+		if strings.Contains(out, "NaN") {
+			t.Errorf("%s contains NaN:\n%s", label, out)
+		}
+	}
+}
+
+func TestTable7MatchesSchema(t *testing.T) {
+	out := Table7()
+	if !strings.Contains(out, "Checksum validity") || !strings.Contains(out, "Out-of-Range") {
+		t.Error("Table 7 missing expected features")
+	}
+	if !strings.Contains(out, "update-gate") {
+		t.Error("Table 7 should mention gate weights")
+	}
+}
+
+func TestFigure6ShowsSpike(t *testing.T) {
+	s := suite(t)
+	out := Figure6(s, "GFW: Injected RST Bad TCP-Checksum/MD5-Option")
+	if !strings.Contains(out, "contains adversarial packet") {
+		t.Errorf("Figure 6 missing adversarial marker:\n%s", out)
+	}
+	if Figure6(s, "nope") != "unknown strategy: nope" {
+		t.Error("Figure 6 should reject unknown strategies")
+	}
+}
+
+func TestThroughputMeasurement(t *testing.T) {
+	s := suite(t)
+	th := s.MeasureThroughputCLAP(s.Data.TestBenign[:8])
+	if th.Packets == 0 || th.Elapsed <= 0 {
+		t.Fatalf("empty throughput measurement: %+v", th)
+	}
+	if th.PacketsPerSecond() <= 0 || th.ConnectionsPerSecond() <= 0 {
+		t.Error("rates must be positive")
+	}
+	kth := s.MeasureThroughputKitsune(s.Data.TestBenign[:8])
+	if kth.Packets != th.Packets {
+		t.Errorf("both detectors should see the same packets: %d vs %d", th.Packets, kth.Packets)
+	}
+}
+
+func TestStrategySeedStable(t *testing.T) {
+	if strategySeed(1, "a") != strategySeed(1, "a") {
+		t.Error("strategySeed must be deterministic")
+	}
+	if strategySeed(1, "a") == strategySeed(1, "b") {
+		t.Error("strategySeed should differ per name")
+	}
+	if strategySeed(1, "a") == strategySeed(2, "a") {
+		t.Error("strategySeed should differ per base seed")
+	}
+}

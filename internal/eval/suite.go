@@ -1,0 +1,338 @@
+// Package eval assembles datasets, trains CLAP and both baselines, runs the
+// per-strategy detection and localization experiments, and renders every
+// table and figure of the paper's evaluation (§4). The bench harness in the
+// repository root and cmd/clap-eval are thin wrappers over this package.
+package eval
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"sort"
+	"time"
+
+	"clap/internal/attacks"
+	"clap/internal/core"
+	"clap/internal/flow"
+	"clap/internal/kitsune"
+	"clap/internal/metrics"
+	"clap/internal/trafficgen"
+)
+
+// Profile selects the experiment scale (DESIGN.md §5).
+type Profile string
+
+// Available profiles.
+const (
+	ProfileTiny Profile = "tiny" // unit tests
+	ProfileFast Profile = "fast" // benches, quick reproduction
+	ProfileFull Profile = "full" // overnight-quality reproduction
+)
+
+// Options parameterise a reproduction run.
+type Options struct {
+	Profile        Profile
+	Seed           int64
+	TrainConns     int
+	TestBenign     int
+	AdvPerStrategy int
+
+	CLAP core.Config
+	B1   core.Config
+	Kit  kitsune.Config
+}
+
+// OptionsFor returns the canonical options of a profile.
+func OptionsFor(p Profile) Options {
+	o := Options{
+		Profile: p, Seed: 1,
+		CLAP: core.DefaultConfig(), B1: core.Baseline1Config(), Kit: kitsune.DefaultConfig(),
+	}
+	switch p {
+	case ProfileTiny:
+		o.TrainConns, o.TestBenign, o.AdvPerStrategy = 40, 16, 8
+		o.CLAP.RNNEpochs, o.CLAP.AEEpochs = 4, 3
+		o.B1.RNNEpochs, o.B1.AEEpochs = 2, 3
+	case ProfileFull:
+		o.TrainConns, o.TestBenign, o.AdvPerStrategy = 600, 240, 40
+		o.CLAP.RNNEpochs, o.CLAP.AEEpochs, o.CLAP.AERestarts = 20, 60, 2
+		o.B1.RNNEpochs, o.B1.AEEpochs, o.B1.AERestarts = 4, 600, 3
+	default: // Fast
+		o.Profile = ProfileFast
+		o.TrainConns, o.TestBenign, o.AdvPerStrategy = 300, 120, 24
+		o.CLAP.RNNEpochs, o.CLAP.AEEpochs, o.CLAP.AERestarts = 14, 40, 2
+		o.B1.RNNEpochs, o.B1.AEEpochs, o.B1.AERestarts = 4, 500, 4
+	}
+	return o
+}
+
+// Dataset is the generated evaluation corpus.
+type Dataset struct {
+	Train      []*flow.Connection
+	TestBenign []*flow.Connection
+	// AdvBase is the pool of benign connections attacks are injected into.
+	AdvBase []*flow.Connection
+	// Adv maps strategy name to its adversarial test connections.
+	Adv map[string][]*flow.Connection
+	// AdvSrc maps strategy name to the AdvBase indices each adversarial
+	// connection was derived from, enabling paired benign/adversarial
+	// comparisons (the negative class for a strategy is the exact set of
+	// carrier connections it was injected into).
+	AdvSrc map[string][]int
+}
+
+// strategySeed derives a stable per-strategy RNG seed so results do not
+// depend on evaluation order.
+func strategySeed(base int64, name string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d/%s", base, name)
+	return int64(h.Sum64() & 0x7fffffffffffffff)
+}
+
+// BuildDataset generates the benign splits and the per-strategy adversarial
+// corpora.
+func BuildDataset(o Options) *Dataset {
+	mk := func(n int, seedOff int64) []*flow.Connection {
+		cfg := trafficgen.DefaultConfig(n)
+		cfg.Seed = o.Seed + seedOff
+		return trafficgen.Generate(cfg)
+	}
+	d := &Dataset{
+		Train:      mk(o.TrainConns, 0),
+		TestBenign: mk(o.TestBenign, 1_000_003),
+		// A generous base pool: some strategies only apply to connections
+		// with handshakes and data packets.
+		AdvBase: mk(o.AdvPerStrategy*4+40, 2_000_003),
+		Adv:     make(map[string][]*flow.Connection),
+		AdvSrc:  make(map[string][]int),
+	}
+	for _, s := range attacks.All() {
+		rng := rand.New(rand.NewSource(strategySeed(o.Seed, s.Name)))
+		var conns []*flow.Connection
+		var srcs []int
+		for bi, base := range d.AdvBase {
+			if len(conns) >= o.AdvPerStrategy {
+				break
+			}
+			cc := base.Clone()
+			if s.Apply(cc, rng) {
+				cc.AttackName = s.Name
+				conns = append(conns, cc)
+				srcs = append(srcs, bi)
+			}
+		}
+		d.Adv[s.Name] = conns
+		d.AdvSrc[s.Name] = srcs
+	}
+	return d
+}
+
+// Suite bundles the dataset with the trained detectors and cached benign
+// scores.
+type Suite struct {
+	Opt  Options
+	Data *Dataset
+
+	CLAP *core.Detector
+	B1   *core.Detector
+	Kit  *kitsune.Kitsune
+
+	// Benign scores over the held-out benign test set (threshold selection,
+	// Table 5, deployment examples).
+	BenignCLAP []float64
+	BenignB1   []float64
+	BenignKit  []float64
+
+	// Cached scores of the unmodified carrier pool, indexed like
+	// Data.AdvBase: the paired negative class for per-strategy ROC curves.
+	BaseCLAP []float64
+	BaseB1   []float64
+	BaseKit  []float64
+
+	// TrainTime records how long each model took to train.
+	TrainTime map[string]time.Duration
+}
+
+// BuildSuite generates data and trains all three detectors.
+func BuildSuite(o Options, logf core.Logf) (*Suite, error) {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	s := &Suite{Opt: o, TrainTime: map[string]time.Duration{}}
+	logf("generating dataset (profile %s)...", o.Profile)
+	s.Data = BuildDataset(o)
+
+	start := time.Now()
+	var err error
+	logf("training CLAP on %d connections...", len(s.Data.Train))
+	if s.CLAP, err = core.Train(s.Data.Train, o.CLAP, logf); err != nil {
+		return nil, fmt.Errorf("training CLAP: %w", err)
+	}
+	s.TrainTime["clap"] = time.Since(start)
+
+	start = time.Now()
+	logf("training Baseline #1...")
+	if s.B1, err = core.Train(s.Data.Train, o.B1, logf); err != nil {
+		return nil, fmt.Errorf("training Baseline #1: %w", err)
+	}
+	s.TrainTime["baseline1"] = time.Since(start)
+
+	start = time.Now()
+	logf("training Baseline #2 (Kitsune)...")
+	s.Kit = kitsune.New(o.Kit)
+	s.Kit.Train(flow.Flatten(s.Data.Train))
+	s.TrainTime["kitsune"] = time.Since(start)
+
+	logf("scoring benign test set (%d connections)...", len(s.Data.TestBenign))
+	for _, c := range s.Data.TestBenign {
+		s.BenignCLAP = append(s.BenignCLAP, s.CLAP.Score(c).Adversarial)
+		s.BenignB1 = append(s.BenignB1, s.B1.Score(c).Adversarial)
+		s.BenignKit = append(s.BenignKit, s.Kit.ScoreConnection(c))
+	}
+	logf("scoring carrier pool (%d connections)...", len(s.Data.AdvBase))
+	for _, c := range s.Data.AdvBase {
+		s.BaseCLAP = append(s.BaseCLAP, s.CLAP.Score(c).Adversarial)
+		s.BaseB1 = append(s.BaseB1, s.B1.Score(c).Adversarial)
+		s.BaseKit = append(s.BaseKit, s.Kit.ScoreConnection(c))
+	}
+	return s, nil
+}
+
+// StrategyResult is the full per-strategy outcome (one bar of Figures 7-12).
+type StrategyResult struct {
+	Strategy attacks.Strategy
+	N        int // adversarial connections evaluated
+
+	AUC, EER       float64 // CLAP
+	AUCB1, EERB1   float64
+	AUCKit, EERKit float64
+
+	Top1, Top3, Top5 float64 // CLAP localization hit rates
+}
+
+// EvaluateStrategy scores one strategy's adversarial corpus against all
+// three detectors. The negative class is paired: the exact carrier
+// connections the strategy was injected into, unmodified, so the ROC
+// reflects the injected manipulation and not carrier-population skew.
+func (s *Suite) EvaluateStrategy(st attacks.Strategy) StrategyResult {
+	conns := s.Data.Adv[st.Name]
+	srcs := s.Data.AdvSrc[st.Name]
+	res := StrategyResult{Strategy: st, N: len(conns)}
+	if len(conns) == 0 {
+		return res
+	}
+	var benCLAP, benB1, benKit []float64
+	for _, bi := range srcs {
+		benCLAP = append(benCLAP, s.BaseCLAP[bi])
+		benB1 = append(benB1, s.BaseB1[bi])
+		benKit = append(benKit, s.BaseKit[bi])
+	}
+	var clap, b1, kit []float64
+	var hit1, hit3, hit5 int
+	for _, c := range conns {
+		clap = append(clap, s.CLAP.Score(c).Adversarial)
+		b1 = append(b1, s.B1.Score(c).Adversarial)
+		kit = append(kit, s.Kit.ScoreConnection(c))
+		if s.CLAP.LocalizationHit(c, 1) {
+			hit1++
+		}
+		if s.CLAP.LocalizationHit(c, 3) {
+			hit3++
+		}
+		if s.CLAP.LocalizationHit(c, 5) {
+			hit5++
+		}
+	}
+	res.AUC = metrics.AUC(benCLAP, clap)
+	res.EER = metrics.EER(benCLAP, clap)
+	res.AUCB1 = metrics.AUC(benB1, b1)
+	res.EERB1 = metrics.EER(benB1, b1)
+	res.AUCKit = metrics.AUC(benKit, kit)
+	res.EERKit = metrics.EER(benKit, kit)
+	n := float64(len(conns))
+	res.Top1, res.Top3, res.Top5 = float64(hit1)/n, float64(hit3)/n, float64(hit5)/n
+	return res
+}
+
+// EvaluateAll runs every strategy in corpus order.
+func (s *Suite) EvaluateAll() []StrategyResult {
+	all := attacks.All()
+	out := make([]StrategyResult, len(all))
+	for i, st := range all {
+		out[i] = s.EvaluateStrategy(st)
+	}
+	return out
+}
+
+// Aggregate summarises a result subset.
+type Aggregate struct {
+	N                            int
+	AUC, EER                     float64
+	AUCB1, EERB1, AUCKit, EERKit float64
+	Top1, Top3, Top5             float64
+}
+
+// Summarise averages results (unweighted across strategies, as the paper
+// reports).
+func Summarise(rs []StrategyResult) Aggregate {
+	var a Aggregate
+	if len(rs) == 0 {
+		return a
+	}
+	for _, r := range rs {
+		a.AUC += r.AUC
+		a.EER += r.EER
+		a.AUCB1 += r.AUCB1
+		a.EERB1 += r.EERB1
+		a.AUCKit += r.AUCKit
+		a.EERKit += r.EERKit
+		a.Top1 += r.Top1
+		a.Top3 += r.Top3
+		a.Top5 += r.Top5
+		a.N++
+	}
+	n := float64(a.N)
+	a.AUC /= n
+	a.EER /= n
+	a.AUCB1 /= n
+	a.EERB1 /= n
+	a.AUCKit /= n
+	a.EERKit /= n
+	a.Top1 /= n
+	a.Top3 /= n
+	a.Top5 /= n
+	return a
+}
+
+// FilterSource selects results from one corpus.
+func FilterSource(rs []StrategyResult, src attacks.Source) []StrategyResult {
+	var out []StrategyResult
+	for _, r := range rs {
+		if r.Strategy.Source == src {
+			out = append(out, r)
+		}
+	}
+	return out
+}
+
+// THInter is the paper's categorization threshold (§4.3): a strategy whose
+// CLAP-vs-Baseline#1 AUC disparity exceeds it is primarily an inter-packet
+// context violation.
+const THInter = 0.15
+
+// Categorize applies the empirical rule of §4.3 / Table 8.
+func Categorize(rs []StrategyResult) (inter, intra []StrategyResult) {
+	for _, r := range rs {
+		if r.AUC-r.AUCB1 > THInter {
+			inter = append(inter, r)
+		} else {
+			intra = append(intra, r)
+		}
+	}
+	return inter, intra
+}
+
+// SortByName orders results alphabetically for stable rendering.
+func SortByName(rs []StrategyResult) {
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Strategy.Name < rs[j].Strategy.Name })
+}

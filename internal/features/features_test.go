@@ -1,0 +1,276 @@
+package features
+
+import (
+	"bytes"
+	"math"
+	"testing"
+	"time"
+
+	"clap/internal/flow"
+	"clap/internal/packet"
+	"clap/internal/trafficgen"
+)
+
+var (
+	cIP = [4]byte{10, 0, 0, 1}
+	sIP = [4]byte{192, 0, 2, 1}
+)
+
+func benignConns(n int, seed int64) []*flow.Connection {
+	cfg := trafficgen.DefaultConfig(n)
+	cfg.Seed = seed
+	return trafficgen.Generate(cfg)
+}
+
+func TestSchemaShape(t *testing.T) {
+	s := Schema()
+	if len(s) != NumPacket {
+		t.Fatalf("schema has %d entries, want %d", len(s), NumPacket)
+	}
+	if NumPacket != 51 {
+		t.Errorf("NumPacket = %d, want 51 (Table 7)", NumPacket)
+	}
+	if NumRNN != 32 {
+		t.Errorf("NumRNN = %d, want 32 (Table 7 #1-#32)", NumRNN)
+	}
+	rnnCount, ampCount := 0, 0
+	for i, f := range s {
+		if f.Index != i {
+			t.Errorf("schema entry %d has index %d", i, f.Index)
+		}
+		if f.RNNInput {
+			rnnCount++
+		}
+		if f.Group == "Amplification" {
+			ampCount++
+		}
+		if f.Name == "" {
+			t.Errorf("feature %d has no name", i)
+		}
+	}
+	if rnnCount != NumRNN {
+		t.Errorf("%d RNN input features, want %d", rnnCount, NumRNN)
+	}
+	if ampCount != 19 {
+		t.Errorf("%d amplification features, want 19 (13 TCP + 5 IP + equivalence)", ampCount)
+	}
+}
+
+func TestExtractRawBasics(t *testing.T) {
+	conn := &flow.Connection{}
+	ts := time.Unix(1600000000, 0)
+	syn := packet.NewBuilder(cIP, sIP, 40000, 443).Seq(1000).Flags(packet.SYN).
+		MSS(1460).WScale(7).Timestamps(5000, 0).Window(64000).Time(ts).Build()
+	synack := packet.NewBuilder(sIP, cIP, 443, 40000).Seq(70000).Ack(1001).
+		Flags(packet.SYN|packet.ACK).MSS(1400).Timestamps(9000, 5000).Time(ts.Add(40 * time.Millisecond)).Build()
+	ack := packet.NewBuilder(cIP, sIP, 40000, 443).Seq(1001).Ack(70001).
+		Flags(packet.ACK).Timestamps(5040, 9000).Time(ts.Add(80 * time.Millisecond)).Build()
+	conn.Append(syn, flow.ClientToServer)
+	conn.Append(synack, flow.ServerToClient)
+	conn.Append(ack, flow.ClientToServer)
+
+	raws := ExtractRaw(conn)
+	if len(raws) != 3 {
+		t.Fatalf("got %d vectors, want 3", len(raws))
+	}
+	v0, v1, v2 := raws[0], raws[1], raws[2]
+
+	if v0[FDirection] != 0 || v1[FDirection] != 1 || v2[FDirection] != 0 {
+		t.Error("direction features wrong")
+	}
+	if v0[FSeqRel] != 0 {
+		t.Errorf("SYN SeqRel = %g, want 0 (ISN-relative)", v0[FSeqRel])
+	}
+	if got := v2[FSeqRel]; math.Abs(got-math.Log1p(1)) > 1e-12 {
+		t.Errorf("third packet SeqRel = %g, want log1p(1)", got)
+	}
+	if got := v1[FAckRel]; math.Abs(got-math.Log1p(1)) > 1e-12 {
+		t.Errorf("SYNACK AckRel = %g, want log1p(1)", got)
+	}
+	if v0[FFlagSYN] != 1 || v0[FFlagACK] != 0 || v1[FFlagSYN] != 1 || v1[FFlagACK] != 1 {
+		t.Error("flag one-hots wrong")
+	}
+	if v0[FTCPChecksumOK] != 1 || v0[FIPChecksumOK] != 1 {
+		t.Error("builder packets should have valid checksums")
+	}
+	if got := v0[FMSS]; math.Abs(got-math.Log1p(1460)) > 1e-12 {
+		t.Errorf("MSS = %g, want log1p(1460)", got)
+	}
+	if v0[FWScale] != 7 {
+		t.Errorf("WScale = %g, want 7", v0[FWScale])
+	}
+	if v0[FTSValRel] != 0 {
+		t.Errorf("first TSVal relative = %g, want 0", v0[FTSValRel])
+	}
+	if got := v2[FTSValRel]; math.Abs(got-math.Log1p(40)) > 1e-12 {
+		t.Errorf("third TSVal relative = %g, want log1p(40)", got)
+	}
+	if v0[FMD5OK] != 1 {
+		t.Error("no MD5 option should read as valid")
+	}
+	if v0[FFrameTime] != 0 {
+		t.Errorf("first FrameTime = %g, want 0", v0[FFrameTime])
+	}
+	if got := v1[FInterArrival]; math.Abs(got-math.Log1p(40000)) > 1e-9 {
+		t.Errorf("inter-arrival = %g, want log1p(40ms in µs)", got)
+	}
+	if v0[FIPVersion] != 4 || v0[FIPHeaderLen] != 5 {
+		t.Error("IP header features wrong")
+	}
+	if v0[FPayloadEquiv] != 1 {
+		t.Error("well-formed packet should satisfy the equivalence relation")
+	}
+}
+
+func TestEquivalenceViolation(t *testing.T) {
+	conn := &flow.Connection{}
+	p := packet.NewBuilder(cIP, sIP, 1, 2).Flags(packet.ACK).PayloadLen(100).Build()
+	p.IP.TotalLen += 13 // forge the IP length
+	conn.Append(p, flow.ClientToServer)
+	raws := ExtractRaw(conn)
+	if raws[0][FPayloadEquiv] != 0 {
+		t.Error("forged IP length should break the equivalence relation")
+	}
+}
+
+func TestBadChecksumFeature(t *testing.T) {
+	conn := &flow.Connection{}
+	p := packet.NewBuilder(cIP, sIP, 1, 2).Flags(packet.ACK).Build()
+	p.TCP.Checksum ^= 0xbeef
+	conn.Append(p, flow.ClientToServer)
+	if raws := ExtractRaw(conn); raws[0][FTCPChecksumOK] != 0 {
+		t.Error("corrupted checksum should zero the validity feature")
+	}
+}
+
+func TestMD5PresenceIsInvalid(t *testing.T) {
+	conn := &flow.Connection{}
+	p := packet.NewBuilder(cIP, sIP, 1, 2).Flags(packet.ACK).
+		Option(packet.OptMD5, make([]byte, 16)).Build()
+	conn.Append(p, flow.ClientToServer)
+	if raws := ExtractRaw(conn); raws[0][FMD5OK] != 0 {
+		t.Error("MD5 option presence should read as invalid in benign-modelled traffic")
+	}
+}
+
+func TestUnderflowSeqIsNegative(t *testing.T) {
+	conn := &flow.Connection{}
+	syn := packet.NewBuilder(cIP, sIP, 1, 2).Seq(5000).Flags(packet.SYN).Build()
+	under := packet.NewBuilder(cIP, sIP, 1, 2).Seq(4000).Flags(packet.ACK).Build()
+	conn.Append(syn, flow.ClientToServer)
+	conn.Append(under, flow.ClientToServer)
+	raws := ExtractRaw(conn)
+	if raws[1][FSeqRel] >= 0 {
+		t.Errorf("underflow SEQ should produce negative SeqRel, got %g", raws[1][FSeqRel])
+	}
+}
+
+func TestProfileFitAndScale(t *testing.T) {
+	conns := benignConns(60, 3)
+	prof := FitProfile(conns)
+	if prof.Fitted == 0 {
+		t.Fatal("profile fitted on zero packets")
+	}
+	for _, c := range conns {
+		for _, v := range prof.Vectorize(c) {
+			if len(v) != NumPacket {
+				t.Fatalf("vector length %d, want %d", len(v), NumPacket)
+			}
+			for i, x := range v {
+				if math.IsNaN(x) || math.IsInf(x, 0) {
+					t.Fatalf("feature %d is %g", i, x)
+				}
+				if isNumeric[i] && (x < -0.5 || x > 1.5) {
+					t.Fatalf("numeric feature %d = %g outside clamp", i, x)
+				}
+			}
+			// Training-set traffic must raise no out-of-range flags.
+			for k := AmpTCPStart; k < FPayloadEquiv; k++ {
+				if v[k] != 0 {
+					t.Fatalf("amplification flag %d raised on training data", k)
+				}
+			}
+		}
+	}
+}
+
+func TestOutOfRangeAmplification(t *testing.T) {
+	conns := benignConns(60, 5)
+	prof := FitProfile(conns)
+
+	// A TTL of 1 is below anything the generator emits (observed TTLs are
+	// initial-hops, ≥ 32).
+	conn := conns[0].Clone()
+	conn.Packets[1].IP.TTL = 1
+	_ = conn.Packets[1].FixChecksums()
+	vecs := prof.Vectorize(conn)
+	ttlFlag := -1
+	for k, slot := range numericIP {
+		if slot == FTTL {
+			ttlFlag = AmpIPStart + k
+		}
+	}
+	if vecs[1][ttlFlag] != 1 {
+		t.Error("TTL=1 should raise the TTL out-of-range flag")
+	}
+	if vecs[0][ttlFlag] != 0 {
+		t.Error("unmodified packet should not raise the TTL flag")
+	}
+	// And the scaled TTL must saturate at the clamp floor.
+	if vecs[1][FTTL] > 0 {
+		t.Errorf("scaled TTL = %g, want clamped toward -0.5", vecs[1][FTTL])
+	}
+}
+
+func TestRNNInputsView(t *testing.T) {
+	conns := benignConns(5, 7)
+	prof := FitProfile(conns)
+	vecs := prof.Vectorize(conns[0])
+	ins := RNNInputs(vecs)
+	if len(ins) != len(vecs) {
+		t.Fatalf("RNNInputs length %d, want %d", len(ins), len(vecs))
+	}
+	for i := range ins {
+		if len(ins[i]) != NumRNN {
+			t.Fatalf("RNN input %d has %d dims, want %d", i, len(ins[i]), NumRNN)
+		}
+	}
+}
+
+func TestProfilePersistRoundTrip(t *testing.T) {
+	conns := benignConns(20, 9)
+	prof := FitProfile(conns)
+	var buf bytes.Buffer
+	if err := prof.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := LoadProfile(&buf)
+	if err != nil {
+		t.Fatalf("LoadProfile: %v", err)
+	}
+	if *got != *prof {
+		t.Error("profile changed across save/load")
+	}
+	if _, err := LoadProfile(bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("LoadProfile should reject garbage")
+	}
+}
+
+func TestConstantFeatureScaling(t *testing.T) {
+	p := &Profile{}
+	for i := range p.Min {
+		p.Min[i], p.Max[i] = 4, 4 // constant during training (e.g. IP version)
+	}
+	if got := p.scale(FIPVersion, 4); got != 0 {
+		t.Errorf("scale(constant, same) = %g, want 0", got)
+	}
+	if got := p.scale(FIPVersion, 5); got != 1.5 {
+		t.Errorf("scale(constant, above) = %g, want 1.5", got)
+	}
+	if got := p.scale(FIPVersion, 3); got != -0.5 {
+		t.Errorf("scale(constant, below) = %g, want -0.5", got)
+	}
+	if !p.outOfRange(FIPVersion, 5) || p.outOfRange(FIPVersion, 4) {
+		t.Error("outOfRange wrong for constant feature")
+	}
+}

@@ -1,0 +1,224 @@
+// Package flow groups packets into TCP connections and orients them
+// client→server, the unit of analysis for CLAP: every context profile,
+// adversarial score and localization verdict is per-connection.
+package flow
+
+import (
+	"fmt"
+	"sort"
+
+	"clap/internal/packet"
+)
+
+// Direction orients a packet within its connection.
+type Direction uint8
+
+// Directions relative to the connection initiator (client).
+const (
+	ClientToServer Direction = iota
+	ServerToClient
+)
+
+// String returns ">" for client→server and "<" for server→client.
+func (d Direction) String() string {
+	if d == ClientToServer {
+		return ">"
+	}
+	return "<"
+}
+
+// Endpoint is one side of a connection.
+type Endpoint struct {
+	IP   [4]byte
+	Port uint16
+}
+
+// Key identifies a connection oriented client→server.
+type Key struct {
+	Client Endpoint
+	Server Endpoint
+}
+
+// String renders the key as "a.b.c.d:p > a.b.c.d:p".
+func (k Key) String() string {
+	return fmt.Sprintf("%d.%d.%d.%d:%d > %d.%d.%d.%d:%d",
+		k.Client.IP[0], k.Client.IP[1], k.Client.IP[2], k.Client.IP[3], k.Client.Port,
+		k.Server.IP[0], k.Server.IP[1], k.Server.IP[2], k.Server.IP[3], k.Server.Port)
+}
+
+// Reverse swaps client and server.
+func (k Key) Reverse() Key { return Key{Client: k.Server, Server: k.Client} }
+
+// keyOf extracts the (src, dst) key of a single packet.
+func keyOf(p *packet.Packet) Key {
+	return Key{
+		Client: Endpoint{IP: p.IP.SrcIP, Port: p.TCP.SrcPort},
+		Server: Endpoint{IP: p.IP.DstIP, Port: p.TCP.DstPort},
+	}
+}
+
+// Connection is a capture-ordered train of packets between two endpoints.
+type Connection struct {
+	Key     Key
+	Packets []*packet.Packet
+	// Dirs[i] orients Packets[i]; len(Dirs) == len(Packets).
+	Dirs []Direction
+
+	// Adversarial ground truth, populated by the attack simulator: indices
+	// into Packets of injected or modified packets. Empty for benign
+	// connections.
+	AdvIdx []int
+	// AttackName names the strategy applied, "" for benign connections.
+	AttackName string
+}
+
+// Len returns the number of packets.
+func (c *Connection) Len() int { return len(c.Packets) }
+
+// Append adds a packet with its direction.
+func (c *Connection) Append(p *packet.Packet, d Direction) {
+	c.Packets = append(c.Packets, p)
+	c.Dirs = append(c.Dirs, d)
+}
+
+// Clone deep-copies the connection so attack strategies can mutate freely.
+func (c *Connection) Clone() *Connection {
+	out := &Connection{
+		Key:        c.Key,
+		Packets:    make([]*packet.Packet, len(c.Packets)),
+		Dirs:       append([]Direction(nil), c.Dirs...),
+		AdvIdx:     append([]int(nil), c.AdvIdx...),
+		AttackName: c.AttackName,
+	}
+	for i, p := range c.Packets {
+		out.Packets[i] = p.Clone()
+	}
+	return out
+}
+
+// IsAdversarial reports whether ground truth marks any packet adversarial.
+func (c *Connection) IsAdversarial() bool { return len(c.AdvIdx) > 0 }
+
+// InsertAt inserts packet p with direction d before index i and shifts the
+// adversarial ground-truth indices accordingly. It returns the index the
+// packet landed on.
+func (c *Connection) InsertAt(i int, p *packet.Packet, d Direction) int {
+	if i < 0 {
+		i = 0
+	}
+	if i > len(c.Packets) {
+		i = len(c.Packets)
+	}
+	c.Packets = append(c.Packets, nil)
+	copy(c.Packets[i+1:], c.Packets[i:])
+	c.Packets[i] = p
+	c.Dirs = append(c.Dirs, 0)
+	copy(c.Dirs[i+1:], c.Dirs[i:])
+	c.Dirs[i] = d
+	for j, a := range c.AdvIdx {
+		if a >= i {
+			c.AdvIdx[j] = a + 1
+		}
+	}
+	return i
+}
+
+// MarkAdversarial records index i as adversarial ground truth.
+func (c *Connection) MarkAdversarial(i int) {
+	for _, a := range c.AdvIdx {
+		if a == i {
+			return
+		}
+	}
+	c.AdvIdx = append(c.AdvIdx, i)
+	sort.Ints(c.AdvIdx)
+}
+
+// Assemble groups a capture-ordered packet stream into connections. The
+// initiator is the sender of the first SYN seen for the 4-tuple; for
+// connections captured mid-stream (no SYN) the first packet's sender is
+// treated as the client. A SYN for a 4-tuple whose previous connection has
+// been closed (or a SYN with a fresh ISN after FIN/RST exchange) starts a
+// new connection, so port reuse does not merge distinct flows.
+func Assemble(pkts []*packet.Packet) []*Connection {
+	type slot struct {
+		conn   *Connection
+		closed bool // saw RST, or FIN in both directions
+		finC2S bool
+		finS2C bool
+	}
+	active := make(map[Key]*slot)
+	var order []*Connection
+
+	for _, p := range pkts {
+		k := keyOf(p)
+		var s *slot
+		var dir Direction
+		if sl, ok := active[k]; ok {
+			s, dir = sl, ClientToServer
+		} else if sl, ok := active[k.Reverse()]; ok {
+			s, dir = sl, ServerToClient
+		}
+		isSYN := p.TCP.Flags.Has(packet.SYN) && !p.TCP.Flags.Has(packet.ACK)
+		if s != nil && isSYN && dir == ClientToServer && s.closed {
+			// Port reuse after close: start a fresh connection.
+			delete(active, s.conn.Key)
+			s = nil
+		}
+		if s == nil {
+			conn := &Connection{Key: k}
+			s = &slot{conn: conn}
+			active[k] = s
+			order = append(order, conn)
+			dir = ClientToServer
+		}
+		s.conn.Append(p, dir)
+		switch {
+		case p.TCP.Flags.Has(packet.RST):
+			s.closed = true
+		case p.TCP.Flags.Has(packet.FIN):
+			if dir == ClientToServer {
+				s.finC2S = true
+			} else {
+				s.finS2C = true
+			}
+			if s.finC2S && s.finS2C {
+				s.closed = true
+			}
+		}
+	}
+	return order
+}
+
+// Flatten concatenates the packets of all connections back into one
+// capture-ordered stream sorted by timestamp (stable for ties).
+func Flatten(conns []*Connection) []*packet.Packet {
+	var out []*packet.Packet
+	for _, c := range conns {
+		out = append(out, c.Packets...)
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		return out[i].Timestamp.Before(out[j].Timestamp)
+	})
+	return out
+}
+
+// Stats summarises a connection set (Table 4's census columns).
+type Stats struct {
+	Connections int
+	Packets     int
+	Adversarial int
+}
+
+// Census counts connections and packets.
+func Census(conns []*Connection) Stats {
+	var s Stats
+	for _, c := range conns {
+		s.Connections++
+		s.Packets += c.Len()
+		if c.IsAdversarial() {
+			s.Adversarial++
+		}
+	}
+	return s
+}

@@ -1,0 +1,305 @@
+// Package kitsune reimplements Baseline #2 (§4.1): Kitsune [17], the
+// NDSS'18 ensemble-of-autoencoders network IDS, comprising the AfterImage
+// damped incremental statistics extractor (100 features over five decay
+// horizons), the correlation-clustering feature mapper, and the KitNET
+// two-tier autoencoder ensemble.
+//
+// Kitsune's features summarise traffic *volume and timing* per host,
+// channel and socket. That makes it a strong general anomaly detector and
+// — as the paper's Table 1 shows — nearly blind to header-semantics
+// context violations, which is exactly why it serves as the
+// context-agnostic baseline.
+package kitsune
+
+import (
+	"math"
+
+	"clap/internal/packet"
+)
+
+// DefaultLambdas are AfterImage's five decay horizons (≈ 5, 3, 1, 0.1 and
+// 0.01 in 1/seconds), from the Kitsune reference implementation.
+var DefaultLambdas = []float64{5, 3, 1, 0.1, 0.01}
+
+// incStat is one damped 1-D statistic stream (AfterImage's incStat): a
+// decayed weight, linear sum and squared sum from which mean and variance
+// follow.
+type incStat struct {
+	lambda    float64
+	w, ls, ss float64
+	lastT     float64
+	init      bool
+	lastRes   float64 // last residual, for 2-D covariance linking
+}
+
+func (s *incStat) insert(t, x float64) {
+	if s.init {
+		dt := t - s.lastT
+		if dt < 0 {
+			dt = 0
+		}
+		decay := math.Exp2(-s.lambda * dt)
+		s.w *= decay
+		s.ls *= decay
+		s.ss *= decay
+	}
+	s.init = true
+	s.lastT = t
+	s.w++
+	s.ls += x
+	s.ss += x * x
+	s.lastRes = x - s.mean()
+}
+
+func (s *incStat) mean() float64 {
+	if s.w == 0 {
+		return 0
+	}
+	return s.ls / s.w
+}
+
+func (s *incStat) variance() float64 {
+	if s.w == 0 {
+		return 0
+	}
+	v := s.ss/s.w - s.mean()*s.mean()
+	if v < 0 {
+		return 0
+	}
+	return v
+}
+
+func (s *incStat) std() float64 { return math.Sqrt(s.variance()) }
+
+// stats1D is one statistic stream across all decay horizons: 3 features
+// (weight, mean, std) per lambda.
+type stats1D struct {
+	streams []incStat
+}
+
+func newStats1D(lambdas []float64) *stats1D {
+	st := &stats1D{streams: make([]incStat, len(lambdas))}
+	for i, l := range lambdas {
+		st.streams[i].lambda = l
+	}
+	return st
+}
+
+func (st *stats1D) insert(t, x float64) {
+	for i := range st.streams {
+		st.streams[i].insert(t, x)
+	}
+}
+
+// appendFeatures appends w, μ, σ per horizon.
+func (st *stats1D) appendFeatures(out []float64) []float64 {
+	for i := range st.streams {
+		s := &st.streams[i]
+		out = append(out, s.w, s.mean(), s.std())
+	}
+	return out
+}
+
+// stats2D links two directional 1-D streams (the two directions of a
+// channel or socket) with AfterImage's correlation statistics: 4 features
+// (magnitude, radius, covariance approximation, correlation coefficient)
+// per horizon.
+type stats2D struct {
+	a, b *stats1D
+	sr   []incStat // decayed sum of residual products per horizon
+}
+
+func newStats2D(a, b *stats1D, lambdas []float64) *stats2D {
+	st := &stats2D{a: a, b: b, sr: make([]incStat, len(lambdas))}
+	for i, l := range lambdas {
+		st.sr[i].lambda = l
+	}
+	return st
+}
+
+// noteInsert is called after inserting into stream a (the packet's own
+// direction) to fold the residual product into the covariance stream.
+func (st *stats2D) noteInsert(t float64, dirA bool) {
+	for i := range st.sr {
+		var ra, rb float64
+		if dirA {
+			ra = st.a.streams[i].lastRes
+			rb = st.b.streams[i].lastRes
+		} else {
+			ra = st.b.streams[i].lastRes
+			rb = st.a.streams[i].lastRes
+		}
+		st.sr[i].insert(t, ra*rb)
+	}
+}
+
+func (st *stats2D) appendFeatures(out []float64) []float64 {
+	for i := range st.sr {
+		sa, sb := &st.a.streams[i], &st.b.streams[i]
+		magnitude := math.Sqrt(sa.mean()*sa.mean() + sb.mean()*sb.mean())
+		va, vb := sa.variance(), sb.variance()
+		radius := math.Sqrt(va*va + vb*vb)
+		cov := st.sr[i].mean()
+		pcc := 0.0
+		if d := sa.std() * sb.std(); d > 0 {
+			pcc = cov / d
+		}
+		out = append(out, magnitude, radius, cov, pcc)
+	}
+	return out
+}
+
+// Extractor is the stateful AfterImage feature extractor. For each packet
+// it produces NumFeatures damped statistics describing the sender host, the
+// channel, the socket and channel jitter.
+type Extractor struct {
+	lambdas []float64
+
+	hosts   map[[4]byte]*stats1D
+	chans   map[chanKey]*chanState
+	sockets map[sockKey]*chanState
+}
+
+// NumFeatures is the AfterImage vector width: 15 host + 35 channel +
+// 35 socket + 15 jitter = 100 (Table 6: "Total Input Size 100").
+const NumFeatures = 100
+
+type chanKey struct {
+	a, b [4]byte // canonical order
+}
+
+type sockKey struct {
+	a, b   [4]byte
+	ap, bp uint16
+}
+
+// chanState holds the directional streams and their 2-D link for a channel
+// or socket, plus the jitter stream (channels only).
+type chanState struct {
+	dirA, dirB *stats1D // sizes per direction (A = canonical a→b)
+	link       *stats2D
+	jitter     *stats1D
+	lastSeen   float64
+}
+
+// NewExtractor creates an empty extractor.
+func NewExtractor(lambdas []float64) *Extractor {
+	if len(lambdas) == 0 {
+		lambdas = DefaultLambdas
+	}
+	return &Extractor{
+		lambdas: lambdas,
+		hosts:   make(map[[4]byte]*stats1D),
+		chans:   make(map[chanKey]*chanState),
+		sockets: make(map[sockKey]*chanState),
+	}
+}
+
+func (e *Extractor) channel(src, dst [4]byte) (*chanState, bool) {
+	k := chanKey{src, dst}
+	forward := true
+	if lessIP(dst, src) {
+		k = chanKey{dst, src}
+		forward = false
+	}
+	cs, ok := e.chans[k]
+	if !ok {
+		cs = e.newChanState(true)
+		e.chans[k] = cs
+	}
+	return cs, forward
+}
+
+func (e *Extractor) socket(src, dst [4]byte, sp, dp uint16) (*chanState, bool) {
+	k := sockKey{src, dst, sp, dp}
+	forward := true
+	if lessIP(dst, src) || (src == dst && dp < sp) {
+		k = sockKey{dst, src, dp, sp}
+		forward = false
+	}
+	cs, ok := e.sockets[k]
+	if !ok {
+		cs = e.newChanState(false)
+		e.sockets[k] = cs
+	}
+	return cs, forward
+}
+
+func (e *Extractor) newChanState(withJitter bool) *chanState {
+	cs := &chanState{
+		dirA: newStats1D(e.lambdas),
+		dirB: newStats1D(e.lambdas),
+	}
+	cs.link = newStats2D(cs.dirA, cs.dirB, e.lambdas)
+	if withJitter {
+		cs.jitter = newStats1D(e.lambdas)
+	}
+	return cs
+}
+
+func lessIP(a, b [4]byte) bool {
+	for i := range a {
+		if a[i] != b[i] {
+			return a[i] < b[i]
+		}
+	}
+	return false
+}
+
+// Update folds one packet into the statistics and returns its AfterImage
+// feature vector.
+func (e *Extractor) Update(p *packet.Packet) []float64 {
+	t := float64(p.Timestamp.UnixNano()) / 1e9
+	size := float64(p.IP.TotalLen)
+
+	host, ok := e.hosts[p.IP.SrcIP]
+	if !ok {
+		host = newStats1D(e.lambdas)
+		e.hosts[p.IP.SrcIP] = host
+	}
+	host.insert(t, size)
+
+	ch, chForward := e.channel(p.IP.SrcIP, p.IP.DstIP)
+	if ch.jitter != nil {
+		if ch.lastSeen > 0 {
+			ch.jitter.insert(t, t-ch.lastSeen)
+		}
+		ch.lastSeen = t
+	}
+	if chForward {
+		ch.dirA.insert(t, size)
+	} else {
+		ch.dirB.insert(t, size)
+	}
+	ch.link.noteInsert(t, chForward)
+
+	so, soForward := e.socket(p.IP.SrcIP, p.IP.DstIP, p.TCP.SrcPort, p.TCP.DstPort)
+	if soForward {
+		so.dirA.insert(t, size)
+	} else {
+		so.dirB.insert(t, size)
+	}
+	so.link.noteInsert(t, soForward)
+
+	out := make([]float64, 0, NumFeatures)
+	out = host.appendFeatures(out)
+	if chForward {
+		out = ch.dirA.appendFeatures(out)
+	} else {
+		out = ch.dirB.appendFeatures(out)
+	}
+	out = ch.link.appendFeatures(out)
+	if soForward {
+		out = so.dirA.appendFeatures(out)
+	} else {
+		out = so.dirB.appendFeatures(out)
+	}
+	out = so.link.appendFeatures(out)
+	if ch.jitter != nil {
+		out = ch.jitter.appendFeatures(out)
+	}
+	for len(out) < NumFeatures {
+		out = append(out, 0)
+	}
+	return out
+}

@@ -1,0 +1,186 @@
+// Package metrics implements the evaluation measures the paper reports:
+// ROC curves, AUC-ROC, the Equal Error Rate, Top-N hit rates and threshold
+// selection (§4.2).
+//
+// Convention: higher score ⇒ more adversarial. Benign samples are the
+// negative class, adversarial samples the positive class.
+package metrics
+
+import (
+	"math"
+	"sort"
+)
+
+// ROCPoint is one operating point of a detector.
+type ROCPoint struct {
+	Threshold float64
+	FPR, TPR  float64
+}
+
+// ROC sweeps every distinct score as a threshold (classify positive when
+// score >= threshold) and returns the curve from (0,0) to (1,1).
+func ROC(benign, adversarial []float64) []ROCPoint {
+	if len(benign) == 0 || len(adversarial) == 0 {
+		return nil
+	}
+	thresholds := append(append([]float64(nil), benign...), adversarial...)
+	sort.Sort(sort.Reverse(sort.Float64Slice(thresholds)))
+	out := []ROCPoint{{Threshold: math.Inf(1)}}
+	for _, t := range thresholds {
+		p := ROCPoint{
+			Threshold: t,
+			FPR:       fracAtOrAbove(benign, t),
+			TPR:       fracAtOrAbove(adversarial, t),
+		}
+		last := out[len(out)-1]
+		if p.FPR != last.FPR || p.TPR != last.TPR {
+			out = append(out, p)
+		}
+	}
+	if last := out[len(out)-1]; last.FPR != 1 || last.TPR != 1 {
+		out = append(out, ROCPoint{Threshold: math.Inf(-1), FPR: 1, TPR: 1})
+	}
+	return out
+}
+
+func fracAtOrAbove(xs []float64, t float64) float64 {
+	n := 0
+	for _, x := range xs {
+		if x >= t {
+			n++
+		}
+	}
+	return float64(n) / float64(len(xs))
+}
+
+// AUC computes the exact area under the ROC curve via the Mann-Whitney
+// rank-sum equivalence: the probability a random adversarial sample scores
+// above a random benign one (ties count half).
+func AUC(benign, adversarial []float64) float64 {
+	if len(benign) == 0 || len(adversarial) == 0 {
+		return math.NaN()
+	}
+	sb := append([]float64(nil), benign...)
+	sort.Float64s(sb)
+	var sum float64
+	for _, a := range adversarial {
+		lo := sort.SearchFloat64s(sb, a)              // first index with sb >= a
+		hi := sort.Search(len(sb), func(i int) bool { // first index with sb > a
+			return sb[i] > a
+		})
+		sum += float64(lo) + 0.5*float64(hi-lo)
+	}
+	return sum / float64(len(benign)*len(adversarial))
+}
+
+// EER returns the equal error rate: the point on the ROC where the false
+// positive rate equals the false negative rate (1 − TPR), linearly
+// interpolated between the two straddling operating points.
+func EER(benign, adversarial []float64) float64 {
+	curve := ROC(benign, adversarial)
+	if len(curve) == 0 {
+		return math.NaN()
+	}
+	// Walk the curve; FNR decreases, FPR increases. Find the sign change of
+	// (FPR − FNR).
+	prev := curve[0]
+	prevDiff := prev.FPR - (1 - prev.TPR)
+	for _, p := range curve[1:] {
+		diff := p.FPR - (1 - p.TPR)
+		if diff >= 0 {
+			// Interpolate between prev and p.
+			if diff == prevDiff {
+				return (p.FPR + (1 - p.TPR)) / 2
+			}
+			t := -prevDiff / (diff - prevDiff)
+			fpr := prev.FPR + t*(p.FPR-prev.FPR)
+			fnr := (1 - prev.TPR) + t*((1-p.TPR)-(1-prev.TPR))
+			return (fpr + fnr) / 2
+		}
+		prev, prevDiff = p, diff
+	}
+	return prev.FPR
+}
+
+// ThresholdAtFPR returns the smallest threshold whose false positive rate
+// on the benign scores does not exceed the target — the deployer-facing
+// knob discussed in §3.3(d).
+func ThresholdAtFPR(benign []float64, targetFPR float64) float64 {
+	if len(benign) == 0 {
+		return math.Inf(1)
+	}
+	s := append([]float64(nil), benign...)
+	sort.Float64s(s)
+	// Allow k = floor(targetFPR * n) benign samples at or above the
+	// threshold.
+	k := int(targetFPR * float64(len(s)))
+	if k >= len(s) {
+		return s[0]
+	}
+	idx := len(s) - k // first excluded sample from the top
+	if idx >= len(s) {
+		return s[len(s)-1] + 1e-12 // above the maximum benign score
+	}
+	return s[idx] + 1e-12
+}
+
+// Mean returns the arithmetic mean (NaN for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Quantile returns the q-th (0..1) quantile by linear interpolation.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	if q <= 0 {
+		return s[0]
+	}
+	if q >= 1 {
+		return s[len(s)-1]
+	}
+	pos := q * float64(len(s)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(s) {
+		return s[i]
+	}
+	return s[i]*(1-frac) + s[i+1]*frac
+}
+
+// TopNHit reports whether any of the n highest-scoring positions intersects
+// the target set — the localization hit criterion (§4.2): CLAP's Top-N
+// candidates must include an actual adversarial packet.
+func TopNHit(scores []float64, targets []int, n int) bool {
+	if len(scores) == 0 || len(targets) == 0 || n <= 0 {
+		return false
+	}
+	idx := make([]int, len(scores))
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.Slice(idx, func(a, b int) bool { return scores[idx[a]] > scores[idx[b]] })
+	if n > len(idx) {
+		n = len(idx)
+	}
+	tset := make(map[int]bool, len(targets))
+	for _, t := range targets {
+		tset[t] = true
+	}
+	for _, i := range idx[:n] {
+		if tset[i] {
+			return true
+		}
+	}
+	return false
+}

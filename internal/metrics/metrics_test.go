@@ -1,0 +1,226 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestAUCPerfectSeparation(t *testing.T) {
+	benign := []float64{0.1, 0.2, 0.3}
+	adv := []float64{0.9, 1.0, 1.5}
+	if got := AUC(benign, adv); got != 1.0 {
+		t.Errorf("AUC = %g, want 1.0", got)
+	}
+	if got := AUC(adv, benign); got != 0.0 {
+		t.Errorf("inverted AUC = %g, want 0.0", got)
+	}
+}
+
+func TestAUCChanceLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	benign := make([]float64, 2000)
+	adv := make([]float64, 2000)
+	for i := range benign {
+		benign[i] = rng.Float64()
+		adv[i] = rng.Float64()
+	}
+	if got := AUC(benign, adv); math.Abs(got-0.5) > 0.03 {
+		t.Errorf("AUC on identical distributions = %g, want ≈ 0.5", got)
+	}
+}
+
+func TestAUCTies(t *testing.T) {
+	// All scores identical: AUC must be exactly 0.5 (ties count half).
+	benign := []float64{1, 1, 1}
+	adv := []float64{1, 1}
+	if got := AUC(benign, adv); got != 0.5 {
+		t.Errorf("AUC with full ties = %g, want 0.5", got)
+	}
+}
+
+func TestAUCEmpty(t *testing.T) {
+	if !math.IsNaN(AUC(nil, []float64{1})) || !math.IsNaN(AUC([]float64{1}, nil)) {
+		t.Error("AUC of empty classes should be NaN")
+	}
+}
+
+func TestEERBounds(t *testing.T) {
+	benign := []float64{0.1, 0.2, 0.3, 0.4}
+	adv := []float64{0.6, 0.7, 0.8, 0.9}
+	if got := EER(benign, adv); got > 1e-9 {
+		t.Errorf("EER with perfect separation = %g, want 0", got)
+	}
+	if got := EER(adv, benign); math.Abs(got-1) > 0.26 {
+		// Fully inverted classifier: EER near 1 (allowing curve coarseness).
+		t.Errorf("EER inverted = %g, want ≈ 1", got)
+	}
+}
+
+func TestEERChanceLevel(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	benign := make([]float64, 1500)
+	adv := make([]float64, 1500)
+	for i := range benign {
+		benign[i] = rng.NormFloat64()
+		adv[i] = rng.NormFloat64()
+	}
+	if got := EER(benign, adv); math.Abs(got-0.5) > 0.05 {
+		t.Errorf("EER on identical distributions = %g, want ≈ 0.5", got)
+	}
+}
+
+func TestEERSymmetricOverlap(t *testing.T) {
+	// Two unit-variance Gaussians 2σ apart: EER = Φ(-1) ≈ 0.1587.
+	rng := rand.New(rand.NewSource(3))
+	benign := make([]float64, 4000)
+	adv := make([]float64, 4000)
+	for i := range benign {
+		benign[i] = rng.NormFloat64()
+		adv[i] = rng.NormFloat64() + 2
+	}
+	if got := EER(benign, adv); math.Abs(got-0.1587) > 0.02 {
+		t.Errorf("EER = %g, want ≈ 0.159", got)
+	}
+}
+
+func TestROCMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	benign := make([]float64, 300)
+	adv := make([]float64, 300)
+	for i := range benign {
+		benign[i] = rng.NormFloat64()
+		adv[i] = rng.NormFloat64() + 1
+	}
+	curve := ROC(benign, adv)
+	if len(curve) < 3 {
+		t.Fatalf("curve has %d points", len(curve))
+	}
+	first, last := curve[0], curve[len(curve)-1]
+	if first.FPR != 0 || first.TPR != 0 {
+		t.Errorf("curve should start at (0,0), got (%g,%g)", first.FPR, first.TPR)
+	}
+	if last.FPR != 1 || last.TPR != 1 {
+		t.Errorf("curve should end at (1,1), got (%g,%g)", last.FPR, last.TPR)
+	}
+	for i := 1; i < len(curve); i++ {
+		if curve[i].FPR < curve[i-1].FPR || curve[i].TPR < curve[i-1].TPR {
+			t.Fatalf("curve not monotone at %d", i)
+		}
+	}
+}
+
+func TestPropertyAUCInRange(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	f := func() bool {
+		nb, na := 1+rng.Intn(50), 1+rng.Intn(50)
+		b := make([]float64, nb)
+		a := make([]float64, na)
+		for i := range b {
+			b[i] = rng.NormFloat64() * 10
+		}
+		for i := range a {
+			a[i] = rng.NormFloat64() * 10
+		}
+		auc := AUC(b, a)
+		eer := EER(b, a)
+		return auc >= 0 && auc <= 1 && eer >= -1e-9 && eer <= 1+1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyAUCComplementary(t *testing.T) {
+	// AUC(b, a) + AUC(a, b) == 1 exactly (rank-sum symmetry).
+	rng := rand.New(rand.NewSource(6))
+	f := func() bool {
+		nb, na := 1+rng.Intn(30), 1+rng.Intn(30)
+		b := make([]float64, nb)
+		a := make([]float64, na)
+		for i := range b {
+			b[i] = math.Round(rng.NormFloat64()*3) / 2 // induce ties
+		}
+		for i := range a {
+			a[i] = math.Round(rng.NormFloat64()*3) / 2
+		}
+		return math.Abs(AUC(b, a)+AUC(a, b)-1) < 1e-9
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestThresholdAtFPR(t *testing.T) {
+	benign := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	th := ThresholdAtFPR(benign, 0.2)
+	fp := 0
+	for _, b := range benign {
+		if b >= th {
+			fp++
+		}
+	}
+	if fp > 2 {
+		t.Errorf("threshold %g yields %d false positives, want <= 2", th, fp)
+	}
+	// Zero-FPR threshold excludes every benign sample.
+	th0 := ThresholdAtFPR(benign, 0)
+	for _, b := range benign {
+		if b >= th0 {
+			t.Errorf("zero-FPR threshold %g still fires on benign %g", th0, b)
+		}
+	}
+}
+
+func TestTopNHit(t *testing.T) {
+	scores := []float64{0.1, 0.9, 0.2, 0.8, 0.3}
+	if !TopNHit(scores, []int{1}, 1) {
+		t.Error("index 1 has the top score; Top-1 should hit")
+	}
+	if TopNHit(scores, []int{4}, 2) {
+		t.Error("index 4 ranks 4th; Top-2 should miss")
+	}
+	if !TopNHit(scores, []int{4}, 5) {
+		t.Error("Top-5 covers everything")
+	}
+	if TopNHit(nil, []int{0}, 3) || TopNHit(scores, nil, 3) || TopNHit(scores, []int{0}, 0) {
+		t.Error("degenerate inputs should miss")
+	}
+}
+
+func TestMeanQuantile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Quantile(xs, 0) != 1 || Quantile(xs, 1) != 4 {
+		t.Error("extreme quantiles wrong")
+	}
+	if got := Quantile(xs, 0.5); got != 2.5 {
+		t.Errorf("median = %g, want 2.5", got)
+	}
+	if !math.IsNaN(Mean(nil)) || !math.IsNaN(Quantile(nil, 0.5)) {
+		t.Error("empty input should yield NaN")
+	}
+}
+
+func TestROCEmptyInputs(t *testing.T) {
+	if ROC(nil, []float64{1}) != nil || ROC([]float64{1}, nil) != nil {
+		t.Error("ROC of empty classes should be nil")
+	}
+}
+
+func TestThresholdAtFPREmpty(t *testing.T) {
+	if th := ThresholdAtFPR(nil, 0.1); !math.IsInf(th, 1) {
+		t.Errorf("empty benign threshold = %g, want +Inf", th)
+	}
+}
+
+func TestThresholdAtFPRFullRate(t *testing.T) {
+	benign := []float64{1, 2, 3}
+	th := ThresholdAtFPR(benign, 1.0)
+	if th > 1 {
+		t.Errorf("FPR=1 threshold %g should admit everything", th)
+	}
+}

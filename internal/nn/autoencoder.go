@@ -1,0 +1,261 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+	"sync"
+)
+
+// Dense is one fully-connected layer with an optional tanh activation.
+type Dense struct {
+	W, B *Tensor
+	Tanh bool
+}
+
+// Autoencoder is a symmetric MLP autoencoder trained with L1 reconstruction
+// loss (§3.3(c)). Hidden layers use tanh; the output layer is linear so
+// reconstruction error is measured in input units. The paper's CLAP
+// configuration is 7 layers, input 345, bottleneck 40 (Table 6); Baseline #1
+// uses 3 layers, input 51, bottleneck 5.
+type Autoencoder struct {
+	Sizes  []int
+	Layers []*Dense
+}
+
+// NewAutoencoder builds a chain of len(sizes)-1 dense layers; sizes is the
+// full unit chain including input and output, e.g.
+// [345,160,80,40,80,160,345].
+func NewAutoencoder(sizes []int, rng *rand.Rand) *Autoencoder {
+	if len(sizes) < 2 {
+		panic("nn: autoencoder needs at least input and output sizes")
+	}
+	if sizes[0] != sizes[len(sizes)-1] {
+		panic("nn: autoencoder input and output sizes must match")
+	}
+	ae := &Autoencoder{Sizes: append([]int(nil), sizes...)}
+	for i := 0; i+1 < len(sizes); i++ {
+		ae.Layers = append(ae.Layers, &Dense{
+			W:    NewXavier(sizes[i+1], sizes[i], rng),
+			B:    NewTensor(sizes[i+1], 1),
+			Tanh: i+2 < len(sizes), // all but the last layer
+		})
+	}
+	return ae
+}
+
+// Params returns all parameter tensors.
+func (ae *Autoencoder) Params() []*Tensor {
+	out := make([]*Tensor, 0, len(ae.Layers)*2)
+	for _, l := range ae.Layers {
+		out = append(out, l.W, l.B)
+	}
+	return out
+}
+
+// InputSize returns the expected input dimensionality.
+func (ae *Autoencoder) InputSize() int { return ae.Sizes[0] }
+
+// BottleneckSize returns the smallest layer width.
+func (ae *Autoencoder) BottleneckSize() int {
+	min := ae.Sizes[0]
+	for _, s := range ae.Sizes {
+		if s < min {
+			min = s
+		}
+	}
+	return min
+}
+
+// forward computes all layer activations; acts[0] is the input, acts[i] the
+// output of layer i-1.
+func (ae *Autoencoder) forward(x []float64) [][]float64 {
+	acts := make([][]float64, len(ae.Layers)+1)
+	acts[0] = x
+	for i, l := range ae.Layers {
+		out := make([]float64, l.W.R)
+		l.W.MulVec(acts[i], out)
+		for j := range out {
+			out[j] += l.B.W[j]
+			if l.Tanh {
+				out[j] = math.Tanh(out[j])
+			}
+		}
+		acts[i+1] = out
+	}
+	return acts
+}
+
+// Reconstruct returns the autoencoder's reconstruction of x.
+func (ae *Autoencoder) Reconstruct(x []float64) []float64 {
+	acts := ae.forward(x)
+	return acts[len(acts)-1]
+}
+
+// Error returns the mean absolute (L1) reconstruction error of x — CLAP's
+// anomaly signal.
+func (ae *Autoencoder) Error(x []float64) float64 {
+	y := ae.Reconstruct(x)
+	var s float64
+	for i := range x {
+		s += math.Abs(y[i] - x[i])
+	}
+	return s / float64(len(x))
+}
+
+// Errors computes reconstruction errors for a batch.
+func (ae *Autoencoder) Errors(xs [][]float64) []float64 {
+	out := make([]float64, len(xs))
+	for i, x := range xs {
+		out[i] = ae.Error(x)
+	}
+	return out
+}
+
+// backward accumulates gradients for one sample from its forward
+// activations and returns the sample's L1 loss.
+func (ae *Autoencoder) backward(acts [][]float64) float64 {
+	n := len(acts[0])
+	out := acts[len(acts)-1]
+	x := acts[0]
+	var loss float64
+	delta := make([]float64, n)
+	for i := range out {
+		d := out[i] - x[i]
+		loss += math.Abs(d)
+		// d/dy |y-x| = sign(y-x); scale by 1/n to match Error().
+		switch {
+		case d > 0:
+			delta[i] = 1.0 / float64(n)
+		case d < 0:
+			delta[i] = -1.0 / float64(n)
+		}
+	}
+	for i := len(ae.Layers) - 1; i >= 0; i-- {
+		l := ae.Layers[i]
+		in := acts[i]
+		if l.Tanh {
+			out := acts[i+1]
+			for j := range delta {
+				delta[j] *= 1 - out[j]*out[j]
+			}
+		}
+		l.W.AddOuterGrad(delta, in)
+		l.B.AddVecGrad(delta)
+		if i > 0 {
+			next := make([]float64, len(in))
+			l.W.MulVecT(delta, next)
+			delta = next
+		}
+	}
+	return loss / float64(n)
+}
+
+// TrainBatch accumulates gradients over a mini-batch (averaged), clips, and
+// applies one optimiser step. Returns the mean L1 loss over the batch.
+func (ae *Autoencoder) TrainBatch(xs [][]float64, opt *Adam, clip float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var loss float64
+	for _, x := range xs {
+		loss += ae.backward(ae.forward(x))
+	}
+	inv := 1.0 / float64(len(xs))
+	for _, p := range ae.Params() {
+		for i := range p.G {
+			p.G[i] *= inv
+		}
+	}
+	if clip > 0 {
+		ClipGradients(clip, ae.Params()...)
+	}
+	opt.Step()
+	return loss * inv
+}
+
+// shadow mirrors a layer stack's parameters so concurrent workers can
+// accumulate gradients without racing; weights are shared (read-only
+// within a batch), gradient buffers are private.
+type shadow struct {
+	layers []*Dense
+}
+
+func (ae *Autoencoder) newShadow() *shadow {
+	s := &shadow{layers: make([]*Dense, len(ae.Layers))}
+	for i, l := range ae.Layers {
+		s.layers[i] = &Dense{
+			W:    &Tensor{R: l.W.R, C: l.W.C, W: l.W.W, G: make([]float64, len(l.W.G))},
+			B:    &Tensor{R: l.B.R, C: l.B.C, W: l.B.W, G: make([]float64, len(l.B.G))},
+			Tanh: l.Tanh,
+		}
+	}
+	return s
+}
+
+// TrainBatchParallel behaves like TrainBatch but splits gradient
+// computation across `workers` goroutines. Results are deterministic: the
+// per-sample gradients are summed in a fixed order regardless of worker
+// scheduling (each worker owns a contiguous shard and shards are merged
+// sequentially).
+func (ae *Autoencoder) TrainBatchParallel(xs [][]float64, opt *Adam, clip float64, workers int) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	if workers <= 1 || len(xs) < workers*2 {
+		return ae.TrainBatch(xs, opt, clip)
+	}
+	shadows := make([]*shadow, workers)
+	losses := make([]float64, workers)
+	var wg sync.WaitGroup
+	per := (len(xs) + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * per
+		hi := lo + per
+		if hi > len(xs) {
+			hi = len(xs)
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			sh := ae.newShadow()
+			shadows[w] = sh
+			worker := &Autoencoder{Sizes: ae.Sizes, Layers: sh.layers}
+			var loss float64
+			for _, x := range xs[lo:hi] {
+				loss += worker.backward(worker.forward(x))
+			}
+			losses[w] = loss
+		}(w, lo, hi)
+	}
+	wg.Wait()
+
+	inv := 1.0 / float64(len(xs))
+	var loss float64
+	for w, sh := range shadows {
+		if sh == nil {
+			continue
+		}
+		loss += losses[w]
+		for i, l := range ae.Layers {
+			for k, g := range sh.layers[i].W.G {
+				l.W.G[k] += g
+			}
+			for k, g := range sh.layers[i].B.G {
+				l.B.G[k] += g
+			}
+		}
+	}
+	for _, p := range ae.Params() {
+		for i := range p.G {
+			p.G[i] *= inv
+		}
+	}
+	if clip > 0 {
+		ClipGradients(clip, ae.Params()...)
+	}
+	opt.Step()
+	return loss * inv
+}

@@ -1,0 +1,242 @@
+package nn
+
+import (
+	"math"
+	"math/rand"
+)
+
+// GRUClassifier is a single-layer GRU followed by a softmax head, the
+// paper's Stage-(a) model: it reads one packet feature vector per step and
+// predicts the reference TCP state label for that step (Table 6: one layer,
+// input 32, hidden/gate size 32).
+//
+// Gate convention (matching Cho et al. [6], the paper's reference):
+//
+//	z_t = σ(Wz·x_t + Uz·h_{t-1} + bz)        update gate
+//	r_t = σ(Wr·x_t + Ur·h_{t-1} + br)        reset gate
+//	h̃_t = tanh(Wh·x_t + Uh·(r_t ⊙ h_{t-1}) + bh)
+//	h_t = (1-z_t) ⊙ h_{t-1} + z_t ⊙ h̃_t
+//
+// The per-step z_t and r_t vectors are what Stage (b) concatenates into
+// context profiles.
+type GRUClassifier struct {
+	In, Hidden, Classes int
+
+	Wz, Uz, Bz *Tensor
+	Wr, Ur, Br *Tensor
+	Wh, Uh, Bh *Tensor
+	Wo, Bo     *Tensor
+}
+
+// NewGRUClassifier builds a Xavier-initialised model.
+func NewGRUClassifier(in, hidden, classes int, rng *rand.Rand) *GRUClassifier {
+	return &GRUClassifier{
+		In: in, Hidden: hidden, Classes: classes,
+		Wz: NewXavier(hidden, in, rng), Uz: NewXavier(hidden, hidden, rng), Bz: NewTensor(hidden, 1),
+		Wr: NewXavier(hidden, in, rng), Ur: NewXavier(hidden, hidden, rng), Br: NewTensor(hidden, 1),
+		Wh: NewXavier(hidden, in, rng), Uh: NewXavier(hidden, hidden, rng), Bh: NewTensor(hidden, 1),
+		Wo: NewXavier(classes, hidden, rng), Bo: NewTensor(classes, 1),
+	}
+}
+
+// Params returns every parameter tensor (for optimiser registration,
+// clipping and persistence).
+func (m *GRUClassifier) Params() []*Tensor {
+	return []*Tensor{m.Wz, m.Uz, m.Bz, m.Wr, m.Ur, m.Br, m.Wh, m.Uh, m.Bh, m.Wo, m.Bo}
+}
+
+// GRUStates captures everything the forward pass produced for a sequence of
+// T steps. Z and R are the gate activations CLAP harvests as inter-packet
+// context.
+type GRUStates struct {
+	X     [][]float64 // inputs, T×In (referenced, not copied)
+	H     [][]float64 // hidden states, T×Hidden
+	Z, R  [][]float64 // update / reset gate activations, T×Hidden
+	Cand  [][]float64 // candidate states h̃, T×Hidden
+	Probs [][]float64 // softmax outputs, T×Classes
+}
+
+// Forward runs the GRU over a sequence, returning all intermediate states.
+func (m *GRUClassifier) Forward(seq [][]float64) *GRUStates {
+	T := len(seq)
+	st := &GRUStates{
+		X: seq,
+		H: make([][]float64, T), Z: make([][]float64, T), R: make([][]float64, T),
+		Cand: make([][]float64, T), Probs: make([][]float64, T),
+	}
+	hPrev := make([]float64, m.Hidden)
+	az := make([]float64, m.Hidden)
+	ar := make([]float64, m.Hidden)
+	ah := make([]float64, m.Hidden)
+	tmp := make([]float64, m.Hidden)
+	rh := make([]float64, m.Hidden)
+	logits := make([]float64, m.Classes)
+	for t := 0; t < T; t++ {
+		x := seq[t]
+		z := make([]float64, m.Hidden)
+		r := make([]float64, m.Hidden)
+		c := make([]float64, m.Hidden)
+		h := make([]float64, m.Hidden)
+
+		m.Wz.MulVec(x, az)
+		m.Uz.MulVec(hPrev, tmp)
+		for i := range z {
+			z[i] = sigmoid(az[i] + tmp[i] + m.Bz.W[i])
+		}
+		m.Wr.MulVec(x, ar)
+		m.Ur.MulVec(hPrev, tmp)
+		for i := range r {
+			r[i] = sigmoid(ar[i] + tmp[i] + m.Br.W[i])
+		}
+		for i := range rh {
+			rh[i] = r[i] * hPrev[i]
+		}
+		m.Wh.MulVec(x, ah)
+		m.Uh.MulVec(rh, tmp)
+		for i := range c {
+			c[i] = math.Tanh(ah[i] + tmp[i] + m.Bh.W[i])
+		}
+		for i := range h {
+			h[i] = (1-z[i])*hPrev[i] + z[i]*c[i]
+		}
+		probs := make([]float64, m.Classes)
+		m.Wo.MulVec(h, logits)
+		for i := range logits {
+			logits[i] += m.Bo.W[i]
+		}
+		Softmax(logits, probs)
+
+		st.Z[t], st.R[t], st.Cand[t], st.H[t], st.Probs[t] = z, r, c, h, probs
+		hPrev = h
+	}
+	return st
+}
+
+// Loss computes the mean cross-entropy of a forward pass against labels.
+func (st *GRUStates) Loss(labels []int) float64 {
+	var sum float64
+	for t, p := range st.Probs {
+		sum += -math.Log(math.Max(p[labels[t]], 1e-12))
+	}
+	return sum / float64(len(labels))
+}
+
+// Accuracy counts argmax hits against labels.
+func (st *GRUStates) Accuracy(labels []int) float64 {
+	hit := 0
+	for t, p := range st.Probs {
+		best := 0
+		for i, v := range p {
+			if v > p[best] {
+				best = i
+			}
+		}
+		if best == labels[t] {
+			hit++
+		}
+	}
+	return float64(hit) / float64(len(labels))
+}
+
+// Backward runs truncated-free full BPTT for one sequence, accumulating
+// gradients into the parameter tensors. Returns the mean cross-entropy
+// loss. Gradients are scaled by 1/T so sequence length does not change the
+// effective learning rate.
+func (m *GRUClassifier) Backward(st *GRUStates, labels []int) float64 {
+	T := len(st.H)
+	invT := 1.0 / float64(T)
+	dhNext := make([]float64, m.Hidden)
+
+	dlogits := make([]float64, m.Classes)
+	dh := make([]float64, m.Hidden)
+	dc := make([]float64, m.Hidden)
+	dz := make([]float64, m.Hidden)
+	dr := make([]float64, m.Hidden)
+	dac := make([]float64, m.Hidden)
+	daz := make([]float64, m.Hidden)
+	dar := make([]float64, m.Hidden)
+	drh := make([]float64, m.Hidden)
+	rh := make([]float64, m.Hidden)
+
+	var loss float64
+	for t := T - 1; t >= 0; t-- {
+		hPrev := make([]float64, m.Hidden)
+		if t > 0 {
+			copy(hPrev, st.H[t-1])
+		}
+		probs := st.Probs[t]
+		loss += -math.Log(math.Max(probs[labels[t]], 1e-12))
+
+		// Softmax + cross-entropy gradient.
+		for i := range dlogits {
+			dlogits[i] = probs[i] * invT
+		}
+		dlogits[labels[t]] -= invT
+
+		m.Wo.AddOuterGrad(dlogits, st.H[t])
+		m.Bo.AddVecGrad(dlogits)
+		copy(dh, dhNext)
+		m.Wo.MulVecT(dlogits, dh)
+
+		z, r, c := st.Z[t], st.R[t], st.Cand[t]
+		for i := range dhNext {
+			dhNext[i] = 0
+		}
+		for i := 0; i < m.Hidden; i++ {
+			dc[i] = dh[i] * z[i]
+			dz[i] = dh[i] * (c[i] - hPrev[i])
+			dhNext[i] += dh[i] * (1 - z[i])
+			dac[i] = dc[i] * (1 - c[i]*c[i])
+			daz[i] = dz[i] * z[i] * (1 - z[i])
+			rh[i] = r[i] * hPrev[i]
+			drh[i] = 0
+		}
+		m.Wh.AddOuterGrad(dac, st.X[t])
+		m.Uh.AddOuterGrad(dac, rh)
+		m.Bh.AddVecGrad(dac)
+		m.Uh.MulVecT(dac, drh)
+		for i := 0; i < m.Hidden; i++ {
+			dr[i] = drh[i] * hPrev[i]
+			dhNext[i] += drh[i] * r[i]
+			dar[i] = dr[i] * r[i] * (1 - r[i])
+		}
+		m.Wz.AddOuterGrad(daz, st.X[t])
+		m.Uz.AddOuterGrad(daz, hPrev)
+		m.Bz.AddVecGrad(daz)
+		m.Uz.MulVecT(daz, dhNext)
+
+		m.Wr.AddOuterGrad(dar, st.X[t])
+		m.Ur.AddOuterGrad(dar, hPrev)
+		m.Br.AddVecGrad(dar)
+		m.Ur.MulVecT(dar, dhNext)
+	}
+	return loss / float64(T)
+}
+
+// TrainSequence runs forward+backward, clips, and steps the optimiser.
+// Returns the sequence loss.
+func (m *GRUClassifier) TrainSequence(seq [][]float64, labels []int, opt *Adam, clip float64) float64 {
+	st := m.Forward(seq)
+	loss := m.Backward(st, labels)
+	if clip > 0 {
+		ClipGradients(clip, m.Params()...)
+	}
+	opt.Step()
+	return loss
+}
+
+// Predict returns the argmax class per step.
+func (m *GRUClassifier) Predict(seq [][]float64) []int {
+	st := m.Forward(seq)
+	out := make([]int, len(st.Probs))
+	for t, p := range st.Probs {
+		best := 0
+		for i, v := range p {
+			if v > p[best] {
+				best = i
+			}
+		}
+		out[t] = best
+	}
+	return out
+}

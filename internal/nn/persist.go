@@ -1,0 +1,88 @@
+package nn
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+)
+
+// Model persistence uses encoding/gob over plain snapshot structs so saved
+// detectors survive refactors of the live types.
+
+type tensorSnap struct {
+	R, C int
+	W    []float64
+}
+
+func snap(t *Tensor) tensorSnap { return tensorSnap{R: t.R, C: t.C, W: append([]float64(nil), t.W...)} }
+
+func restore(s tensorSnap) *Tensor {
+	t := NewTensor(s.R, s.C)
+	copy(t.W, s.W)
+	return t
+}
+
+type gruSnap struct {
+	In, Hidden, Classes int
+	Tensors             []tensorSnap // order matches Params()
+}
+
+// SaveGRU writes the classifier to w.
+func SaveGRU(w io.Writer, m *GRUClassifier) error {
+	s := gruSnap{In: m.In, Hidden: m.Hidden, Classes: m.Classes}
+	for _, p := range m.Params() {
+		s.Tensors = append(s.Tensors, snap(p))
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadGRU reads a classifier written by SaveGRU.
+func LoadGRU(r io.Reader) (*GRUClassifier, error) {
+	var s gruSnap
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: loading GRU: %w", err)
+	}
+	m := &GRUClassifier{In: s.In, Hidden: s.Hidden, Classes: s.Classes}
+	ps := []**Tensor{&m.Wz, &m.Uz, &m.Bz, &m.Wr, &m.Ur, &m.Br, &m.Wh, &m.Uh, &m.Bh, &m.Wo, &m.Bo}
+	if len(s.Tensors) != len(ps) {
+		return nil, fmt.Errorf("nn: GRU snapshot has %d tensors, want %d", len(s.Tensors), len(ps))
+	}
+	for i, p := range ps {
+		*p = restore(s.Tensors[i])
+	}
+	return m, nil
+}
+
+type aeSnap struct {
+	Sizes   []int
+	Tensors []tensorSnap
+}
+
+// SaveAutoencoder writes the autoencoder to w.
+func SaveAutoencoder(w io.Writer, ae *Autoencoder) error {
+	s := aeSnap{Sizes: ae.Sizes}
+	for _, p := range ae.Params() {
+		s.Tensors = append(s.Tensors, snap(p))
+	}
+	return gob.NewEncoder(w).Encode(s)
+}
+
+// LoadAutoencoder reads an autoencoder written by SaveAutoencoder.
+func LoadAutoencoder(r io.Reader) (*Autoencoder, error) {
+	var s aeSnap
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("nn: loading autoencoder: %w", err)
+	}
+	ae := &Autoencoder{Sizes: s.Sizes}
+	if len(s.Tensors) != 2*(len(s.Sizes)-1) {
+		return nil, fmt.Errorf("nn: autoencoder snapshot has %d tensors, want %d", len(s.Tensors), 2*(len(s.Sizes)-1))
+	}
+	for i := 0; i+1 < len(s.Sizes); i++ {
+		ae.Layers = append(ae.Layers, &Dense{
+			W:    restore(s.Tensors[2*i]),
+			B:    restore(s.Tensors[2*i+1]),
+			Tanh: i+2 < len(s.Sizes),
+		})
+	}
+	return ae, nil
+}

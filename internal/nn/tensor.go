@@ -1,0 +1,204 @@
+// Package nn is the neural-network substrate for CLAP: a GRU sequence
+// classifier that exposes its per-step gate activations (the inter-packet
+// context carrier, §3.3(a)-(b)), a deep autoencoder trained with L1 loss
+// (§3.3(c)), and the Adam optimiser, all in pure Go on float64.
+//
+// Everything is deterministic given the caller-supplied *rand.Rand and
+// single-threaded unless stated otherwise; gradient correctness is verified
+// against finite differences in the package tests.
+package nn
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Tensor is a dense row-major matrix (or vector when C==1) together with
+// its gradient accumulator.
+type Tensor struct {
+	R, C int
+	W    []float64 // parameters, len R*C
+	G    []float64 // accumulated gradients, same shape
+}
+
+// NewTensor allocates a zero tensor.
+func NewTensor(r, c int) *Tensor {
+	return &Tensor{R: r, C: c, W: make([]float64, r*c), G: make([]float64, r*c)}
+}
+
+// NewXavier allocates a tensor initialised with Xavier/Glorot uniform
+// scaling, the init used for both models.
+func NewXavier(r, c int, rng *rand.Rand) *Tensor {
+	t := NewTensor(r, c)
+	limit := math.Sqrt(6.0 / float64(r+c))
+	for i := range t.W {
+		t.W[i] = (rng.Float64()*2 - 1) * limit
+	}
+	return t
+}
+
+// At returns element (i,j).
+func (t *Tensor) At(i, j int) float64 { return t.W[i*t.C+j] }
+
+// ZeroGrad clears the gradient accumulator.
+func (t *Tensor) ZeroGrad() {
+	for i := range t.G {
+		t.G[i] = 0
+	}
+}
+
+// MulVec computes out = W·x (R×C times C) into out (length R). out may not
+// alias x.
+func (t *Tensor) MulVec(x, out []float64) {
+	if len(x) != t.C || len(out) != t.R {
+		panic(fmt.Sprintf("nn: MulVec shape mismatch: (%d,%d)·%d into %d", t.R, t.C, len(x), len(out)))
+	}
+	for i := 0; i < t.R; i++ {
+		row := t.W[i*t.C : (i+1)*t.C]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		out[i] = s
+	}
+}
+
+// MulVecT computes out += Wᵀ·g (C×R times R) accumulated into out (length C).
+func (t *Tensor) MulVecT(g, out []float64) {
+	if len(g) != t.R || len(out) != t.C {
+		panic(fmt.Sprintf("nn: MulVecT shape mismatch: (%d,%d)ᵀ·%d into %d", t.R, t.C, len(g), len(out)))
+	}
+	for i := 0; i < t.R; i++ {
+		gi := g[i]
+		if gi == 0 {
+			continue
+		}
+		row := t.W[i*t.C : (i+1)*t.C]
+		for j, v := range row {
+			out[j] += v * gi
+		}
+	}
+}
+
+// AddOuterGrad accumulates G += g·xᵀ, the weight gradient of out = W·x.
+func (t *Tensor) AddOuterGrad(g, x []float64) {
+	for i := 0; i < t.R; i++ {
+		gi := g[i]
+		if gi == 0 {
+			continue
+		}
+		grow := t.G[i*t.C : (i+1)*t.C]
+		for j, xv := range x {
+			grow[j] += gi * xv
+		}
+	}
+}
+
+// AddVecGrad accumulates G += g for bias tensors (C==1 semantics not
+// required; adds element-wise over the flat buffer).
+func (t *Tensor) AddVecGrad(g []float64) {
+	for i, v := range g {
+		t.G[i] += v
+	}
+}
+
+// GradNorm returns the L2 norm of the gradient buffer.
+func (t *Tensor) GradNorm() float64 {
+	var s float64
+	for _, g := range t.G {
+		s += g * g
+	}
+	return math.Sqrt(s)
+}
+
+// sigmoid is the logistic function.
+func sigmoid(x float64) float64 {
+	if x >= 0 {
+		z := math.Exp(-x)
+		return 1 / (1 + z)
+	}
+	z := math.Exp(x)
+	return z / (1 + z)
+}
+
+// Softmax writes the softmax of logits into out (stable form).
+func Softmax(logits, out []float64) {
+	max := math.Inf(-1)
+	for _, v := range logits {
+		if v > max {
+			max = v
+		}
+	}
+	var sum float64
+	for i, v := range logits {
+		e := math.Exp(v - max)
+		out[i] = e
+		sum += e
+	}
+	for i := range out {
+		out[i] /= sum
+	}
+}
+
+// ClipGradients rescales all gradients so their joint L2 norm does not
+// exceed maxNorm. Returns the pre-clip norm.
+func ClipGradients(maxNorm float64, ts ...*Tensor) float64 {
+	var total float64
+	for _, t := range ts {
+		for _, g := range t.G {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > maxNorm && norm > 0 {
+		scale := maxNorm / norm
+		for _, t := range ts {
+			for i := range t.G {
+				t.G[i] *= scale
+			}
+		}
+	}
+	return norm
+}
+
+// Adam implements the Adam optimiser over registered tensors.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	t      int
+	params []*Tensor
+	m, v   [][]float64
+}
+
+// NewAdam creates an optimiser with the conventional defaults and the given
+// learning rate.
+func NewAdam(lr float64) *Adam {
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// Register adds tensors to be updated by Step.
+func (a *Adam) Register(ts ...*Tensor) {
+	for _, t := range ts {
+		a.params = append(a.params, t)
+		a.m = append(a.m, make([]float64, len(t.W)))
+		a.v = append(a.v, make([]float64, len(t.W)))
+	}
+}
+
+// Step applies one Adam update from the accumulated gradients and zeroes
+// them.
+func (a *Adam) Step() {
+	a.t++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.t))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.t))
+	for k, p := range a.params {
+		m, v := a.m[k], a.v[k]
+		for i, g := range p.G {
+			m[i] = a.Beta1*m[i] + (1-a.Beta1)*g
+			v[i] = a.Beta2*v[i] + (1-a.Beta2)*g*g
+			p.W[i] -= a.LR * (m[i] / bc1) / (math.Sqrt(v[i]/bc2) + a.Eps)
+			p.G[i] = 0
+		}
+	}
+}

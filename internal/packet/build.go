@@ -1,0 +1,175 @@
+package packet
+
+import (
+	"time"
+)
+
+// Builder assembles well-formed TCP/IPv4 packets with correct lengths and
+// checksums. The traffic generator uses it for every benign packet; evasion
+// strategies start from a built packet and corrupt fields afterwards.
+type Builder struct {
+	p Packet
+}
+
+// NewBuilder starts a packet between the given endpoints.
+func NewBuilder(srcIP, dstIP [4]byte, srcPort, dstPort uint16) *Builder {
+	b := &Builder{}
+	b.p.IP = IPv4Header{
+		Version:  4,
+		IHL:      5,
+		TTL:      64,
+		Protocol: ProtoTCP,
+		DontFrag: true,
+		SrcIP:    srcIP,
+		DstIP:    dstIP,
+	}
+	b.p.TCP = TCPHeader{
+		SrcPort:    srcPort,
+		DstPort:    dstPort,
+		DataOffset: 5,
+		Window:     65535,
+	}
+	return b
+}
+
+// Seq sets the sequence number.
+func (b *Builder) Seq(s uint32) *Builder { b.p.TCP.Seq = s; return b }
+
+// Ack sets the acknowledgement number.
+func (b *Builder) Ack(a uint32) *Builder { b.p.TCP.Ack = a; return b }
+
+// Flags sets the TCP flags.
+func (b *Builder) Flags(f Flags) *Builder { b.p.TCP.Flags = f; return b }
+
+// Window sets the advertised receive window.
+func (b *Builder) Window(w uint16) *Builder { b.p.TCP.Window = w; return b }
+
+// TTL sets the IP time-to-live.
+func (b *Builder) TTL(t uint8) *Builder { b.p.IP.TTL = t; return b }
+
+// TOS sets the IP type-of-service byte.
+func (b *Builder) TOS(t uint8) *Builder { b.p.IP.TOS = t; return b }
+
+// ID sets the IP identification field.
+func (b *Builder) ID(id uint16) *Builder { b.p.IP.ID = id; return b }
+
+// Urgent sets the urgent pointer (without setting URG; attacks want the
+// mismatch).
+func (b *Builder) Urgent(u uint16) *Builder { b.p.TCP.Urgent = u; return b }
+
+// Payload sets the TCP payload bytes.
+func (b *Builder) Payload(data []byte) *Builder {
+	b.p.Payload = append([]byte(nil), data...)
+	return b
+}
+
+// PayloadLen declares a payload of n bytes whose content has been stripped
+// (the MAWI convention): lengths and checksums account for n zero bytes but
+// the stored capture carries none.
+func (b *Builder) PayloadLen(n int) *Builder {
+	b.p.Payload = make([]byte, n)
+	return b
+}
+
+// Option appends a TCP option.
+func (b *Builder) Option(kind uint8, data []byte) *Builder {
+	b.p.TCP.Options = append(b.p.TCP.Options, Option{Kind: kind, Data: append([]byte(nil), data...)})
+	return b
+}
+
+// MSS appends a Maximum Segment Size option.
+func (b *Builder) MSS(mss uint16) *Builder {
+	d := make([]byte, 2)
+	be.PutUint16(d, mss)
+	return b.Option(OptMSS, d)
+}
+
+// WScale appends a Window Scale option.
+func (b *Builder) WScale(shift uint8) *Builder {
+	return b.Option(OptWindowScale, []byte{shift})
+}
+
+// SACKPermitted appends a SACK-permitted option.
+func (b *Builder) SACKPermitted() *Builder { return b.Option(OptSACKPermitted, nil) }
+
+// Timestamps appends a TCP Timestamps option with the given TSVal/TSecr.
+func (b *Builder) Timestamps(tsval, tsecr uint32) *Builder {
+	d := make([]byte, 8)
+	be.PutUint32(d[0:4], tsval)
+	be.PutUint32(d[4:8], tsecr)
+	return b.Option(OptTimestamps, d)
+}
+
+// Time stamps the packet capture time.
+func (b *Builder) Time(t time.Time) *Builder { b.p.Timestamp = t; return b }
+
+// Build finalizes lengths and checksums and returns the packet. Payloads set
+// via PayloadLen are stripped back to zero stored bytes after checksumming,
+// matching payload-stripped captures where the checksum reflects the
+// original content (all-zero here).
+func (b *Builder) Build() *Packet {
+	p := b.p.Clone()
+	// Pad options and derive offsets/lengths.
+	raw, err := p.Encode(SerializeOptions{FixLengths: true, ComputeChecksums: true})
+	if err != nil {
+		// Builder inputs are always structurally encodable; an error here is
+		// a programming bug, not a data condition.
+		panic("packet.Builder: " + err.Error())
+	}
+	q, err := Decode(raw)
+	if err != nil {
+		panic("packet.Builder round-trip: " + err.Error())
+	}
+	q.Timestamp = b.p.Timestamp
+	q.PayloadLen = len(b.p.Payload)
+	q.Payload = nil // stored capture is payload-stripped
+	return q
+}
+
+// TimestampVal extracts TSVal/TSecr from a Timestamps option if present.
+func (h *TCPHeader) TimestampVal() (tsval, tsecr uint32, ok bool) {
+	o := h.FindOption(OptTimestamps)
+	if o == nil || len(o.Data) != 8 {
+		return 0, 0, false
+	}
+	return be.Uint32(o.Data[0:4]), be.Uint32(o.Data[4:8]), true
+}
+
+// MSSVal extracts the MSS option value if present and well-formed.
+func (h *TCPHeader) MSSVal() (uint16, bool) {
+	o := h.FindOption(OptMSS)
+	if o == nil || len(o.Data) != 2 {
+		return 0, false
+	}
+	return be.Uint16(o.Data), true
+}
+
+// WScaleVal extracts the window-scale shift if present and well-formed.
+func (h *TCPHeader) WScaleVal() (uint8, bool) {
+	o := h.FindOption(OptWindowScale)
+	if o == nil || len(o.Data) != 1 {
+		return 0, false
+	}
+	return o.Data[0], true
+}
+
+// UserTimeoutVal extracts the UTO option value (RFC 5482) if present and
+// well-formed.
+func (h *TCPHeader) UserTimeoutVal() (uint16, bool) {
+	o := h.FindOption(OptUserTimeout)
+	if o == nil || len(o.Data) != 2 {
+		return 0, false
+	}
+	return be.Uint16(o.Data), true
+}
+
+// MD5Valid reports the validity of an MD5 signature option (RFC 2385) at the
+// structural level: absent counts as valid; present requires exactly a
+// 16-byte digest. (Cryptographic verification needs keys no monitor has.)
+func (h *TCPHeader) MD5Valid() bool {
+	o := h.FindOption(OptMD5)
+	if o == nil {
+		return true
+	}
+	return len(o.Data) == 16
+}

@@ -1,0 +1,140 @@
+package packet
+
+import (
+	"encoding/binary"
+	"fmt"
+)
+
+var be = binary.BigEndian
+
+// DecodeIPv4 parses an IPv4 header from data. It returns the parsed header
+// and the number of header bytes consumed. Malformed-but-decodable packets
+// (bad checksums, inconsistent lengths) decode without error: CLAP must be
+// able to observe exactly the garbage attackers put on the wire. Only
+// structurally undecodable inputs (truncation below the fixed header, IHL<5)
+// fail.
+func DecodeIPv4(data []byte) (IPv4Header, int, error) {
+	var h IPv4Header
+	if len(data) < 20 {
+		return h, 0, fmt.Errorf("ipv4: %w: %d bytes", ErrTruncated, len(data))
+	}
+	h.Version = data[0] >> 4
+	h.IHL = data[0] & 0x0f
+	h.TOS = data[1]
+	h.TotalLen = be.Uint16(data[2:4])
+	h.ID = be.Uint16(data[4:6])
+	flagsFrag := be.Uint16(data[6:8])
+	h.Reserved = flagsFrag&0x8000 != 0
+	h.DontFrag = flagsFrag&0x4000 != 0
+	h.MoreFrag = flagsFrag&0x2000 != 0
+	h.FragOffset = flagsFrag & 0x1fff
+	h.TTL = data[8]
+	h.Protocol = data[9]
+	h.Checksum = be.Uint16(data[10:12])
+	copy(h.SrcIP[:], data[12:16])
+	copy(h.DstIP[:], data[16:20])
+	if h.IHL < 5 {
+		// Keep the parsed fixed header available to the caller through the
+		// error path? No: callers need a hard signal, since the header length
+		// is unusable for locating the payload.
+		return h, 0, fmt.Errorf("ipv4: %w: ihl=%d", ErrBadIHL, h.IHL)
+	}
+	hlen := int(h.IHL) * 4
+	if hlen > len(data) {
+		return h, 0, fmt.Errorf("ipv4: %w: ihl=%d data=%d", ErrTruncated, h.IHL, len(data))
+	}
+	if hlen > 20 {
+		h.Options = append([]byte(nil), data[20:hlen]...)
+	}
+	return h, hlen, nil
+}
+
+// DecodeTCP parses a TCP header from data, returning the header and the
+// number of header bytes consumed. Like DecodeIPv4 it tolerates semantic
+// garbage and only rejects structural impossibilities.
+func DecodeTCP(data []byte) (TCPHeader, int, error) {
+	var h TCPHeader
+	if len(data) < 20 {
+		return h, 0, fmt.Errorf("tcp: %w: %d bytes", ErrTruncated, len(data))
+	}
+	h.SrcPort = be.Uint16(data[0:2])
+	h.DstPort = be.Uint16(data[2:4])
+	h.Seq = be.Uint32(data[4:8])
+	h.Ack = be.Uint32(data[8:12])
+	h.DataOffset = data[12] >> 4
+	h.Reserved = data[12] >> 1 & 0x07
+	h.Flags = Flags(be.Uint16(data[12:14]) & 0x01ff)
+	h.Window = be.Uint16(data[14:16])
+	h.Checksum = be.Uint16(data[16:18])
+	h.Urgent = be.Uint16(data[18:20])
+	if h.DataOffset < 5 {
+		return h, 0, fmt.Errorf("tcp: %w: offset=%d", ErrBadOffset, h.DataOffset)
+	}
+	hlen := int(h.DataOffset) * 4
+	if hlen > len(data) {
+		return h, 0, fmt.Errorf("tcp: %w: offset=%d data=%d", ErrTruncated, h.DataOffset, len(data))
+	}
+	opts, err := parseOptions(data[20:hlen])
+	if err != nil {
+		// Options that do not parse are preserved verbatim as a single
+		// unknown option so re-serialization is lossless.
+		opts = []Option{{Kind: 255, Data: append([]byte(nil), data[20:hlen]...)}}
+	}
+	h.Options = opts
+	return h, hlen, nil
+}
+
+// parseOptions walks a TCP options block. It stops at EOL and skips NOPs
+// (preserving both so encoding round-trips byte counts).
+func parseOptions(data []byte) ([]Option, error) {
+	var opts []Option
+	for i := 0; i < len(data); {
+		kind := data[i]
+		switch kind {
+		case OptEndOfList:
+			opts = append(opts, Option{Kind: OptEndOfList})
+			// Everything after EOL is padding; represent it implicitly.
+			return opts, nil
+		case OptNOP:
+			opts = append(opts, Option{Kind: OptNOP})
+			i++
+		default:
+			if i+1 >= len(data) {
+				return nil, fmt.Errorf("tcp option %d: %w", kind, ErrTruncated)
+			}
+			olen := int(data[i+1])
+			if olen < 2 || i+olen > len(data) {
+				return nil, fmt.Errorf("tcp option %d: bad length %d: %w", kind, olen, ErrTruncated)
+			}
+			opts = append(opts, Option{Kind: kind, Data: append([]byte(nil), data[i+2:i+olen]...)})
+			i += olen
+		}
+	}
+	return opts, nil
+}
+
+// Decode parses a full TCP/IPv4 packet from raw IP bytes. The IP payload
+// beyond the TCP header becomes Payload; PayloadLen is derived from the IP
+// total length so that forged length fields remain observable.
+func Decode(data []byte) (*Packet, error) {
+	ip, ipLen, err := DecodeIPv4(data)
+	if err != nil {
+		return nil, err
+	}
+	if ip.Protocol != ProtoTCP {
+		return nil, fmt.Errorf("%w: protocol=%d", ErrNotTCP, ip.Protocol)
+	}
+	tcp, tcpLen, err := DecodeTCP(data[ipLen:])
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{IP: ip, TCP: tcp}
+	p.Payload = append([]byte(nil), data[ipLen+tcpLen:]...)
+	// Claimed payload length per the IP header; may disagree with captured
+	// bytes for stripped or forged packets.
+	p.PayloadLen = int(ip.TotalLen) - ipLen - tcpLen
+	if p.PayloadLen < 0 {
+		p.PayloadLen = 0
+	}
+	return p, nil
+}

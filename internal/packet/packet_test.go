@@ -1,0 +1,383 @@
+package packet
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+var (
+	clientIP = [4]byte{10, 0, 0, 1}
+	serverIP = [4]byte{192, 0, 2, 80}
+)
+
+func buildSYN() *Packet {
+	return NewBuilder(clientIP, serverIP, 40000, 443).
+		Seq(1000).Flags(SYN).MSS(1460).WScale(7).SACKPermitted().
+		Timestamps(111, 0).Time(time.Unix(1600000000, 0)).Build()
+}
+
+func TestBuilderProducesWellFormedPacket(t *testing.T) {
+	p := buildSYN()
+	if p.IP.Version != 4 {
+		t.Errorf("Version = %d, want 4", p.IP.Version)
+	}
+	if p.IP.IHL != 5 {
+		t.Errorf("IHL = %d, want 5", p.IP.IHL)
+	}
+	// Options: MSS(4) + WScale(3) + SACKPermitted(2) + Timestamps(10) = 19,
+	// padded to 20.
+	if got := p.TCP.HeaderLen(); got != 20+20 {
+		t.Errorf("TCP header length = %d, want 40", got)
+	}
+	if !p.IPChecksumValid() {
+		t.Error("IP checksum should be valid after Build")
+	}
+	if !p.TCPChecksumValid() {
+		t.Error("TCP checksum should be valid after Build")
+	}
+	if int(p.IP.TotalLen) != p.IP.HeaderLen()+p.TCP.HeaderLen() {
+		t.Errorf("TotalLen = %d, want %d", p.IP.TotalLen, p.IP.HeaderLen()+p.TCP.HeaderLen())
+	}
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	p := buildSYN()
+	raw, err := p.Encode(SerializeOptions{})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	q, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if q.TCP.Seq != p.TCP.Seq || q.TCP.Flags != p.TCP.Flags || q.TCP.Window != p.TCP.Window {
+		t.Errorf("round trip mismatch: got %v want %v", q, p)
+	}
+	mss, ok := q.TCP.MSSVal()
+	if !ok || mss != 1460 {
+		t.Errorf("MSS = %d,%v want 1460,true", mss, ok)
+	}
+	ws, ok := q.TCP.WScaleVal()
+	if !ok || ws != 7 {
+		t.Errorf("WScale = %d,%v want 7,true", ws, ok)
+	}
+	tsval, tsecr, ok := q.TCP.TimestampVal()
+	if !ok || tsval != 111 || tsecr != 0 {
+		t.Errorf("Timestamps = %d,%d,%v want 111,0,true", tsval, tsecr, ok)
+	}
+}
+
+func TestDecodeTruncated(t *testing.T) {
+	p := buildSYN()
+	raw, _ := p.Encode(SerializeOptions{})
+	for _, n := range []int{0, 1, 19, 21, p.IP.HeaderLen() + 10} {
+		if n > len(raw) {
+			continue
+		}
+		if _, err := Decode(raw[:n]); err == nil {
+			t.Errorf("Decode of %d bytes should fail", n)
+		}
+	}
+}
+
+func TestDecodeBadIHL(t *testing.T) {
+	p := buildSYN()
+	raw, _ := p.Encode(SerializeOptions{})
+	raw[0] = 4<<4 | 3 // IHL = 3 words
+	if _, _, err := DecodeIPv4(raw); err == nil {
+		t.Error("DecodeIPv4 with IHL=3 should fail")
+	}
+}
+
+func TestDecodeNonTCP(t *testing.T) {
+	p := buildSYN()
+	raw, _ := p.Encode(SerializeOptions{})
+	raw[9] = 17 // UDP
+	if _, err := Decode(raw); err == nil {
+		t.Error("Decode of a UDP packet should fail")
+	}
+}
+
+func TestCorruptedChecksumDetected(t *testing.T) {
+	p := buildSYN()
+	p.TCP.Checksum++
+	if p.TCPChecksumValid() {
+		t.Error("corrupted TCP checksum reported valid")
+	}
+	if !p.IPChecksumValid() {
+		t.Error("IP checksum should still be valid")
+	}
+	p.IP.Checksum ^= 0xffff
+	if p.IPChecksumValid() {
+		t.Error("corrupted IP checksum reported valid")
+	}
+}
+
+func TestPayloadLenFromTotalLen(t *testing.T) {
+	p := NewBuilder(clientIP, serverIP, 40000, 443).
+		Seq(5).Flags(ACK | PSH).PayloadLen(100).Build()
+	if p.PayloadLen != 100 {
+		t.Fatalf("PayloadLen = %d, want 100", p.PayloadLen)
+	}
+	if len(p.Payload) != 0 {
+		t.Fatalf("stored payload = %d bytes, want 0 (stripped)", len(p.Payload))
+	}
+	if int(p.IP.TotalLen) != 40+100 {
+		t.Errorf("TotalLen = %d, want 140", p.IP.TotalLen)
+	}
+}
+
+func TestClone(t *testing.T) {
+	p := buildSYN()
+	q := p.Clone()
+	q.TCP.Seq = 999
+	q.TCP.Options[0].Data[0] = 0xff
+	if p.TCP.Seq == 999 {
+		t.Error("Clone shares Seq")
+	}
+	if p.TCP.Options[0].Data[0] == 0xff {
+		t.Error("Clone shares option data")
+	}
+}
+
+func TestFlagsString(t *testing.T) {
+	cases := []struct {
+		f    Flags
+		want string
+	}{
+		{0, "none"},
+		{SYN, "SYN"},
+		{SYN | ACK, "ACK|SYN"},
+		{FIN | PSH | ACK, "ACK|PSH|FIN"},
+		{NS | CWR | ECE | URG | ACK | PSH | RST | SYN | FIN, "NS|CWR|ECE|URG|ACK|PSH|RST|SYN|FIN"},
+	}
+	for _, c := range cases {
+		if got := c.f.String(); got != c.want {
+			t.Errorf("Flags(%#x).String() = %q, want %q", uint16(c.f), got, c.want)
+		}
+	}
+}
+
+func TestFlagsHas(t *testing.T) {
+	f := SYN | ACK
+	if !f.Has(SYN) || !f.Has(ACK) || !f.Has(SYN|ACK) {
+		t.Error("Has should be true for subsets")
+	}
+	if f.Has(RST) || f.Has(SYN|RST) {
+		t.Error("Has should be false when any bit is missing")
+	}
+}
+
+func TestOptionHelpers(t *testing.T) {
+	p := buildSYN()
+	if p.TCP.FindOption(OptMSS) == nil {
+		t.Fatal("MSS option missing")
+	}
+	if p.TCP.FindOption(OptMD5) != nil {
+		t.Fatal("unexpected MD5 option")
+	}
+	if !p.TCP.MD5Valid() {
+		t.Error("absent MD5 option should count as valid")
+	}
+	p.TCP.Options = append(p.TCP.Options, Option{Kind: OptMD5, Data: make([]byte, 4)})
+	if p.TCP.MD5Valid() {
+		t.Error("malformed MD5 option should be invalid")
+	}
+	if !p.TCP.RemoveOption(OptMD5) {
+		t.Error("RemoveOption should report removal")
+	}
+	if p.TCP.FindOption(OptMD5) != nil {
+		t.Error("MD5 option should be gone")
+	}
+	if p.TCP.RemoveOption(OptMD5) {
+		t.Error("second RemoveOption should report nothing removed")
+	}
+}
+
+func TestChecksumRFC1071Examples(t *testing.T) {
+	// Worked example from RFC 1071 §3: words 0001 f203 f4f5 f6f7.
+	data := []byte{0x00, 0x01, 0xf2, 0x03, 0xf4, 0xf5, 0xf6, 0xf7}
+	if got := Checksum(data); got != ^uint16(0xddf2) {
+		t.Errorf("Checksum = %#x, want %#x", got, ^uint16(0xddf2))
+	}
+	// Odd-length input pads with a zero byte.
+	if got := Checksum([]byte{0xab}); got != ^uint16(0xab00) {
+		t.Errorf("odd Checksum = %#x, want %#x", got, ^uint16(0xab00))
+	}
+}
+
+func TestEncodePreservesCorruptFields(t *testing.T) {
+	p := buildSYN()
+	p.IP.Version = 5
+	p.IP.TTL = 1
+	p.TCP.DataOffset = 15 // larger than actual options: garbage offset
+	raw, err := p.Encode(SerializeOptions{})
+	if err == nil {
+		// DataOffset=15 claims 60 bytes of TCP header; encoder allocates that
+		// space, so decode must give back the same claimed offset.
+		q, err := Decode(raw)
+		if err != nil {
+			t.Fatalf("Decode: %v", err)
+		}
+		if q.IP.Version != 5 {
+			t.Errorf("Version = %d, want 5 preserved", q.IP.Version)
+		}
+		if q.TCP.DataOffset != 15 {
+			t.Errorf("DataOffset = %d, want 15 preserved", q.TCP.DataOffset)
+		}
+	}
+}
+
+func TestEncodeDataOffsetBelowMinimum(t *testing.T) {
+	p := buildSYN()
+	p.TCP.DataOffset = 2 // below the 5-word minimum: structurally invalid
+	raw, err := p.Encode(SerializeOptions{})
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	// Wire bytes must carry the bogus offset even though layout used the
+	// real header size.
+	off := raw[p.IP.HeaderLen()+12] >> 4
+	if off != 2 {
+		t.Errorf("wire data offset = %d, want 2", off)
+	}
+}
+
+func TestOptionLen(t *testing.T) {
+	if (Option{Kind: OptNOP}).Len() != 1 {
+		t.Error("NOP length should be 1")
+	}
+	if (Option{Kind: OptMSS, Data: []byte{1, 2}}).Len() != 4 {
+		t.Error("MSS length should be 4")
+	}
+}
+
+func TestPropertyEncodeDecodeRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	f := func() bool {
+		b := NewBuilder(clientIP, serverIP,
+			uint16(rng.Intn(65535)+1), uint16(rng.Intn(65535)+1)).
+			Seq(rng.Uint32()).Ack(rng.Uint32()).
+			Flags(Flags(rng.Intn(512))).
+			Window(uint16(rng.Intn(65536))).
+			TTL(uint8(rng.Intn(255) + 1)).
+			ID(uint16(rng.Intn(65536)))
+		if rng.Intn(2) == 0 {
+			b.MSS(uint16(rng.Intn(65536)))
+		}
+		if rng.Intn(2) == 0 {
+			b.Timestamps(rng.Uint32(), rng.Uint32())
+		}
+		if rng.Intn(3) == 0 {
+			b.PayloadLen(rng.Intn(1400))
+		}
+		p := b.Build()
+		raw, err := p.Encode(SerializeOptions{})
+		if err != nil {
+			return false
+		}
+		q, err := Decode(raw)
+		if err != nil {
+			return false
+		}
+		raw2, err := q.Encode(SerializeOptions{})
+		if err != nil {
+			return false
+		}
+		// Headers must round-trip exactly; stored payload is zeros either way.
+		return bytes.Equal(raw[:p.IP.HeaderLen()+p.TCP.HeaderLen()], raw2[:p.IP.HeaderLen()+p.TCP.HeaderLen()]) &&
+			q.TCP.Seq == p.TCP.Seq && q.TCP.Ack == p.TCP.Ack && q.TCP.Flags == p.TCP.Flags &&
+			q.IPChecksumValid() && q.TCPChecksumValid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPropertyChecksumDetectsSingleBitFlips(t *testing.T) {
+	p := buildSYN()
+	raw, _ := p.Encode(SerializeOptions{})
+	hdr := raw[:p.IP.HeaderLen()]
+	rng := rand.New(rand.NewSource(42))
+	f := func() bool {
+		// Flip one random bit in the IP header (not in the checksum field
+		// itself at offset 10-11, where a flip changes stored vs computed
+		// in lockstep semantics we don't model) and require detection.
+		bit := rng.Intn(len(hdr) * 8)
+		for bit/8 == 10 || bit/8 == 11 {
+			bit = rng.Intn(len(hdr) * 8)
+		}
+		mut := append([]byte(nil), raw...)
+		mut[bit/8] ^= 1 << (bit % 8)
+		q, err := Decode(mut)
+		if err != nil {
+			return true // structural rejection is detection too
+		}
+		return !q.IPChecksumValid()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestParseOptionsMalformed(t *testing.T) {
+	// A dangling option kind with a claimed length overrunning the block
+	// must fall back to the opaque representation, not error out of Decode.
+	p := buildSYN()
+	raw, _ := p.Encode(SerializeOptions{})
+	// Corrupt the first option length byte to overrun.
+	optStart := p.IP.HeaderLen() + 20
+	raw[optStart+1] = 200
+	q, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode should tolerate malformed options: %v", err)
+	}
+	if len(q.TCP.Options) != 1 || q.TCP.Options[0].Kind != 255 {
+		t.Errorf("malformed options should collapse to one opaque option, got %v", q.TCP.Options)
+	}
+}
+
+func TestEOLStopsOptionParsing(t *testing.T) {
+	p := NewBuilder(clientIP, serverIP, 1, 2).Flags(SYN).
+		Option(OptEndOfList, nil).MSS(1460).Build()
+	raw, _ := p.Encode(SerializeOptions{})
+	q, err := Decode(raw)
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	// Parsing stops at EOL; the MSS after it is padding from the reader's
+	// point of view.
+	if q.TCP.FindOption(OptMSS) != nil {
+		t.Error("options after EOL should not be parsed")
+	}
+}
+
+func BenchmarkDecode(b *testing.B) {
+	p := NewBuilder(clientIP, serverIP, 40000, 443).
+		Seq(1).Ack(2).Flags(ACK|PSH).PayloadLen(512).
+		Timestamps(1, 2).Build()
+	raw, _ := p.Encode(SerializeOptions{})
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Decode(raw); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkEncode(b *testing.B) {
+	p := NewBuilder(clientIP, serverIP, 40000, 443).
+		Seq(1).Ack(2).Flags(ACK|PSH).PayloadLen(512).
+		Timestamps(1, 2).Build()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := p.Encode(SerializeOptions{ComputeChecksums: true}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,560 @@
+// Package tcpstate implements the reference TCP connection tracker CLAP
+// trains against — the stand-in for the paper's instrumented Linux
+// conntrack replayer (§4.1).
+//
+// The tracker follows the netfilter conntrack model: eleven master states
+// (conntrack's TCP_CONNTRACK_* enum) driven by flag/direction transitions,
+// plus per-direction sequence-space accounting that yields the paper's
+// "subtle" in-/out-of-window verdict. The label attached to each packet is
+// the state the machine transitions to *as a result of* that packet,
+// concatenated with the window verdict: 11 × 2 = 22 classes (§3.3(a)).
+//
+// The tracker also models a *rigorous endhost*: packets a strict kernel
+// would drop (bad checksum, failed PAWS, unsolicited MD5 option, missing
+// ACK flag after handshake, RSTs that fail RFC 5961 exact-match, TTLs too
+// small to reach the host, ...) do not advance the state machine. This is
+// exactly the discrepancy surface DPI evasion attacks exploit, and the
+// internal/dpi package implements the permissive counterparts.
+package tcpstate
+
+import (
+	"clap/internal/flow"
+	"clap/internal/packet"
+)
+
+// State is a conntrack master TCP state.
+type State uint8
+
+// The eleven conntrack states. SynSent2 is conntrack's simultaneous-open
+// state (it shares an enum slot with the legacy LISTEN in the kernel; we
+// keep both distinct here, matching the 11-state label space of the paper).
+const (
+	None State = iota
+	SynSent
+	SynRecv
+	Established
+	FinWait
+	CloseWait
+	LastAck
+	TimeWait
+	Close
+	SynSent2
+	Listen
+)
+
+// NumStates is the number of master states.
+const NumStates = 11
+
+// NumClasses is the size of the label space: state × {in,out-of}-window.
+const NumClasses = NumStates * 2
+
+var stateNames = [...]string{
+	"NONE", "SYN_SENT", "SYN_RECV", "ESTABLISHED", "FIN_WAIT",
+	"CLOSE_WAIT", "LAST_ACK", "TIME_WAIT", "CLOSE", "SYN_SENT2", "LISTEN",
+}
+
+// String returns the conntrack-style state name.
+func (s State) String() string {
+	if int(s) < len(stateNames) {
+		return stateNames[s]
+	}
+	return "INVALID"
+}
+
+// Label is the RNN training target for one packet.
+type Label struct {
+	State    State
+	InWindow bool
+}
+
+// Class flattens the label to 0..21 (state*2 + window bit).
+func (l Label) Class() int {
+	w := 0
+	if !l.InWindow {
+		w = 1
+	}
+	return int(l.State)*2 + w
+}
+
+// LabelFromClass inverts Class.
+func LabelFromClass(c int) Label {
+	return Label{State: State(c / 2), InWindow: c%2 == 0}
+}
+
+// String renders e.g. "ESTABLISHED/in-win".
+func (l Label) String() string {
+	if l.InWindow {
+		return l.State.String() + "/in-win"
+	}
+	return l.State.String() + "/out-win"
+}
+
+// DropReason explains why the rigorous endhost ignored a packet.
+type DropReason uint8
+
+// Drop reasons, ordered roughly by how early in the input path a strict
+// kernel rejects the packet.
+const (
+	DropNone DropReason = iota
+	DropTTLExpired
+	DropBadIPVersion
+	DropBadIPHeaderLen
+	DropBadIPLength
+	DropBadIPChecksum
+	DropBadTCPChecksum
+	DropBadDataOffset
+	DropInvalidFlags
+	DropUnsolicitedMD5
+	DropPAWS
+	DropNoACKFlag
+	DropOutOfWindow
+	DropRSTSeqMismatch
+	DropBadAck
+	DropStale
+	DropSYNDifferentISN
+	DropOutOfOrderFIN
+)
+
+var dropNames = [...]string{
+	"accepted", "ttl-expired", "bad-ip-version", "bad-ip-header-len",
+	"bad-ip-length", "bad-ip-checksum", "bad-tcp-checksum", "bad-data-offset",
+	"invalid-flags", "unsolicited-md5", "paws", "no-ack-flag",
+	"out-of-window", "rst-seq-mismatch", "bad-ack", "stale",
+	"syn-different-isn", "out-of-order-fin",
+}
+
+// String names the drop reason.
+func (d DropReason) String() string {
+	if int(d) < len(dropNames) {
+		return dropNames[d]
+	}
+	return "unknown"
+}
+
+// Config tunes the endhost model.
+type Config struct {
+	// HopsPastMonitor is the number of router hops between the monitoring
+	// point and the endhost. Packets arriving with TTL below this value die
+	// in transit — the mechanism behind every Low-TTL evasion strategy.
+	HopsPastMonitor uint8
+	// RequireChecksum drops bad-checksum segments (rigorous kernels do).
+	RequireChecksum bool
+	// LoosePickup adopts mid-stream flows directly into ESTABLISHED, like
+	// conntrack's nf_conntrack_tcp_loose.
+	LoosePickup bool
+}
+
+// DefaultConfig models a strict Linux endhost three hops past the monitor.
+func DefaultConfig() Config {
+	return Config{HopsPastMonitor: 3, RequireChecksum: true, LoosePickup: true}
+}
+
+// dirState is per-direction sequence-space accounting (conntrack's
+// ip_ct_tcp_state).
+type dirState struct {
+	init     bool
+	isn      uint32
+	end      uint32 // highest seq+len sent: the peer's expected rcv.nxt
+	window   uint32 // last advertised receive window (scaled)
+	maxWin   uint32
+	wscale   uint8
+	wscaleOK bool
+	tsRecent uint32
+	tsOK     bool
+	finSeq   uint32 // sequence number of FIN (if finSent)
+	finSent  bool
+	maxAck   uint32 // highest ACK value sent by this direction
+	ackSeen  bool
+}
+
+// Tracker replays one connection through the reference implementation.
+type Tracker struct {
+	cfg   Config
+	state State
+	dirs  [2]dirState
+}
+
+// NewTracker returns a tracker in the None state.
+func NewTracker(cfg Config) *Tracker {
+	return &Tracker{cfg: cfg}
+}
+
+// State returns the current master state.
+func (t *Tracker) State() State { return t.state }
+
+// Verdict is the full per-packet result of the reference implementation.
+type Verdict struct {
+	Label    Label
+	Accepted bool
+	Reason   DropReason
+}
+
+// seqLT reports a < b in 32-bit sequence space.
+func seqLT(a, b uint32) bool { return int32(a-b) < 0 }
+
+// seqLE reports a <= b in 32-bit sequence space.
+func seqLE(a, b uint32) bool { return int32(a-b) <= 0 }
+
+// segLen is the sequence-space length of a packet (payload plus SYN/FIN).
+func segLen(p *packet.Packet) uint32 {
+	l := uint32(p.PayloadLen)
+	if p.TCP.Flags.Has(packet.SYN) {
+		l++
+	}
+	if p.TCP.Flags.Has(packet.FIN) {
+		l++
+	}
+	return l
+}
+
+// flagsValid applies the strict-kernel flag sanity rules.
+func flagsValid(f packet.Flags) bool {
+	switch {
+	case f == 0:
+		return false // null packet
+	case f.Has(packet.SYN | packet.FIN):
+		return false
+	case f.Has(packet.SYN | packet.RST):
+		return false
+	case f.Has(packet.FIN) && !f.Has(packet.ACK):
+		// FIN without ACK is never produced by compliant stacks post-RFC1122.
+		return false
+	}
+	return true
+}
+
+// structuralCheck performs the header validations a kernel applies before
+// any state processing.
+func (t *Tracker) structuralCheck(p *packet.Packet) DropReason {
+	if p.IP.TTL < t.cfg.HopsPastMonitor {
+		return DropTTLExpired
+	}
+	if p.IP.Version != 4 {
+		return DropBadIPVersion
+	}
+	if p.IP.IHL < 5 {
+		return DropBadIPHeaderLen
+	}
+	minLen := p.IP.HeaderLen() + 20
+	if int(p.IP.TotalLen) < minLen {
+		return DropBadIPLength
+	}
+	if p.TCP.DataOffset < 5 {
+		return DropBadDataOffset
+	}
+	// The claimed IP total length must account exactly for the headers plus
+	// the payload that was actually on the wire; anything else means the
+	// datagram was truncated or padded in flight and the kernel discards it.
+	if int(p.IP.TotalLen) != p.IP.HeaderLen()+p.TCP.HeaderLen()+p.PayloadLen {
+		return DropBadIPLength
+	}
+	if t.cfg.RequireChecksum {
+		if !p.IPChecksumValid() {
+			return DropBadIPChecksum
+		}
+		if !p.TCPChecksumValid() {
+			return DropBadTCPChecksum
+		}
+	}
+	if !flagsValid(p.TCP.Flags) {
+		return DropInvalidFlags
+	}
+	if o := p.TCP.FindOption(packet.OptMD5); o != nil {
+		// RFC 2385: a host with no key configured for the peer discards
+		// segments carrying the MD5 option. None of our synthetic endpoints
+		// configure keys, and malformed digests are always discarded.
+		return DropUnsolicitedMD5
+	}
+	return DropNone
+}
+
+// inWindow computes the RFC 793 acceptance test for a packet from dir d.
+func (t *Tracker) inWindow(p *packet.Packet, d flow.Direction) bool {
+	snd := &t.dirs[d]
+	rcv := &t.dirs[1-d]
+	if !snd.init {
+		return true // first packet from this direction defines the space
+	}
+	if p.TCP.Flags.Has(packet.SYN) && !p.TCP.Flags.Has(packet.ACK) {
+		// A fresh SYN opens a new sequence space.
+		return true
+	}
+	nxt := snd.end
+	wnd := rcv.window
+	if !rcv.init {
+		wnd = 65535
+	}
+	s := p.TCP.Seq
+	l := uint32(p.PayloadLen)
+	if p.TCP.Flags.Has(packet.FIN) {
+		l++
+	}
+	if l == 0 {
+		// Zero-length segments: acceptable at nxt-1 (keepalive) through the
+		// right window edge.
+		return seqLE(nxt-1, s) && seqLE(s, nxt+wnd)
+	}
+	if wnd == 0 {
+		return s == nxt
+	}
+	return seqLT(s, nxt+wnd) && seqLT(nxt, s+l)
+}
+
+// pawsFails applies a simplified PAWS (RFC 7323) check.
+func (t *Tracker) pawsFails(p *packet.Packet, d flow.Direction) bool {
+	snd := &t.dirs[d]
+	if !snd.tsOK {
+		return false
+	}
+	tsval, _, ok := p.TCP.TimestampVal()
+	if !ok {
+		return false
+	}
+	// Reject timestamps strictly older than the last one seen from this
+	// direction (with wraparound semantics).
+	return seqLT(tsval, snd.tsRecent)
+}
+
+// noteSeen folds a packet's sequence/window/timestamp data into the
+// per-direction accounting. Called only for accepted packets.
+func (t *Tracker) noteSeen(p *packet.Packet, d flow.Direction) {
+	snd := &t.dirs[d]
+	isSYN := p.TCP.Flags.Has(packet.SYN)
+	if !snd.init {
+		snd.isn = p.TCP.Seq
+		snd.end = p.TCP.Seq
+		snd.init = true
+	}
+	if isSYN {
+		if ws, ok := p.TCP.WScaleVal(); ok && ws <= 14 {
+			snd.wscale = ws
+			snd.wscaleOK = true
+		}
+		if _, _, ok := p.TCP.TimestampVal(); ok {
+			snd.tsOK = true
+		}
+	}
+	if end := p.TCP.Seq + segLen(p); seqLT(snd.end, end) {
+		snd.end = end
+	}
+	if !p.TCP.Flags.Has(packet.RST) {
+		w := uint32(p.TCP.Window)
+		if !isSYN && snd.wscaleOK && t.dirs[1-d].wscaleOK {
+			w <<= snd.wscale
+		}
+		snd.window = w
+		if w > snd.maxWin {
+			snd.maxWin = w
+		}
+	}
+	if tsval, _, ok := p.TCP.TimestampVal(); ok && seqLE(snd.tsRecent, tsval) {
+		snd.tsRecent = tsval
+	}
+	if p.TCP.Flags.Has(packet.ACK) {
+		if !snd.ackSeen || seqLT(snd.maxAck, p.TCP.Ack) {
+			snd.maxAck = p.TCP.Ack
+			snd.ackSeen = true
+		}
+	}
+	if p.TCP.Flags.Has(packet.FIN) && !snd.finSent {
+		snd.finSent = true
+		snd.finSeq = p.TCP.Seq + uint32(p.PayloadLen)
+	}
+}
+
+// Update processes one packet and returns the reference verdict. The label
+// reflects the state *after* the packet (unchanged when the endhost drops
+// it) plus the window verdict, which is computed for every packet — even
+// structurally broken ones — because the RNN needs a label for each input.
+func (t *Tracker) Update(p *packet.Packet, d flow.Direction) Verdict {
+	inWin := t.inWindow(p, d)
+
+	if r := t.structuralCheck(p); r != DropNone {
+		return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: r}
+	}
+	if t.pawsFails(p, d) {
+		return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropPAWS}
+	}
+
+	f := p.TCP.Flags
+	isSYN := f.Has(packet.SYN) && !f.Has(packet.ACK)
+	isSYNACK := f.Has(packet.SYN) && f.Has(packet.ACK)
+
+	// Segments in an established conversation must carry ACK; strict stacks
+	// drop bare data/FIN segments without it (the Data-wo/-ACK-flag family
+	// of attacks exploits DPIs that don't).
+	if t.state != None && t.state != Close && !isSYN && !f.Has(packet.ACK) && !f.Has(packet.RST) {
+		return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropNoACKFlag}
+	}
+
+	// RST processing per RFC 5961: only a RST whose sequence number exactly
+	// matches the expected rcv.nxt tears the connection down; in-window but
+	// inexact RSTs elicit a challenge ACK and are otherwise ignored.
+	if f.Has(packet.RST) {
+		if t.state == None || t.state == Close {
+			return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropStale}
+		}
+		if !inWin {
+			return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropOutOfWindow}
+		}
+		snd := &t.dirs[d]
+		if snd.init && p.TCP.Seq != snd.end {
+			return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropRSTSeqMismatch}
+		}
+		// During the handshake a RST carrying ACK must acknowledge the
+		// peer's SYN exactly (RFC 793 SYN-SENT/SYN-RECEIVED processing);
+		// otherwise the reset is ignored.
+		if f.Has(packet.ACK) && t.dirs[1-d].init &&
+			(t.state == SynSent || t.state == SynRecv || t.state == SynSent2) {
+			if p.TCP.Ack != t.dirs[1-d].end {
+				return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropBadAck}
+			}
+		}
+		t.noteSeen(p, d)
+		t.state = Close
+		return Verdict{Label: Label{State: Close, InWindow: inWin}, Accepted: true}
+	}
+
+	// Non-SYN out-of-window segments are dropped (the receiver answers with
+	// a duplicate ACK; state does not move).
+	if !inWin && !isSYN {
+		return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropOutOfWindow}
+	}
+
+	// RFC 9293 ACK acceptability: an ACK for data the peer has never sent
+	// (SEG.ACK > SND.NXT from the peer's perspective) is answered with a
+	// bare ACK and the segment is dropped.
+	if f.Has(packet.ACK) && t.dirs[1-d].init {
+		if int32(p.TCP.Ack-t.dirs[1-d].end) > 0 {
+			return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropBadAck}
+		}
+	}
+
+	// A SYN re-opening an initialised direction must be a true
+	// retransmission (same ISN); a different ISN mid-handshake gets a
+	// challenge ACK, not adoption (strict kernels never resync — DPIs that
+	// do are exactly what SYN-with-bad-SEQ evasions exploit).
+	if isSYN && t.state != None && t.state != Close && t.state != TimeWait {
+		if snd := &t.dirs[d]; snd.init && p.TCP.Seq != snd.isn {
+			return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropSYNDifferentISN}
+		}
+	}
+
+	// A FIN only takes effect when it arrives in order: its sequence
+	// position must sit exactly at the current edge of the sender's stream.
+	// Out-of-order FINs are buffered by real kernels without any state
+	// change; we conservatively leave the tracker untouched.
+	if f.Has(packet.FIN) && !isSYN {
+		if snd := &t.dirs[d]; snd.init && p.TCP.Seq != snd.end {
+			return Verdict{Label: Label{State: t.state, InWindow: inWin}, Accepted: false, Reason: DropOutOfOrderFIN}
+		}
+	}
+
+	prev := t.state
+	next := prev
+	switch prev {
+	case None:
+		switch {
+		case isSYN && d == flow.ClientToServer:
+			next = SynSent
+		case t.cfg.LoosePickup && !isSYN && !isSYNACK:
+			next = Established // mid-stream pickup
+		case isSYNACK:
+			next = SynRecv // picked up just after the SYN was missed
+		default:
+			return Verdict{Label: Label{State: prev, InWindow: inWin}, Accepted: false, Reason: DropStale}
+		}
+	case SynSent:
+		switch {
+		case isSYNACK && d == flow.ServerToClient:
+			next = SynRecv
+		case isSYN && d == flow.ClientToServer:
+			next = SynSent // retransmitted SYN
+		case isSYN && d == flow.ServerToClient:
+			next = SynSent2 // simultaneous open
+		default:
+			return Verdict{Label: Label{State: prev, InWindow: inWin}, Accepted: false, Reason: DropStale}
+		}
+	case SynSent2:
+		if isSYNACK {
+			next = SynRecv
+		}
+	case SynRecv:
+		switch {
+		case isSYNACK:
+			next = SynRecv // retransmitted SYN-ACK
+		case f.Has(packet.ACK) && d == flow.ClientToServer:
+			next = Established
+		}
+	case Established:
+		if f.Has(packet.FIN) {
+			next = FinWait
+		}
+	case FinWait:
+		finner, other := t.finDirs()
+		switch {
+		case f.Has(packet.FIN) && d == other:
+			next = LastAck
+		case f.Has(packet.ACK) && d == other && t.dirs[finner].finSent &&
+			seqLE(t.dirs[finner].finSeq+1, p.TCP.Ack):
+			next = CloseWait
+		}
+	case CloseWait:
+		_, other := t.finDirs()
+		if f.Has(packet.FIN) && d == other {
+			next = LastAck
+		}
+	case LastAck:
+		// ACK of the second FIN completes the close.
+		if f.Has(packet.ACK) {
+			snd := &t.dirs[1-d]
+			if snd.finSent && seqLE(snd.finSeq+1, p.TCP.Ack) {
+				next = TimeWait
+			}
+		}
+	case TimeWait, Close:
+		if isSYN && d == flow.ClientToServer {
+			// Port reuse: restart tracking.
+			*t = Tracker{cfg: t.cfg}
+			t.noteSeen(p, d)
+			t.state = SynSent
+			return Verdict{Label: Label{State: SynSent, InWindow: true}, Accepted: true}
+		}
+		if prev == Close {
+			return Verdict{Label: Label{State: prev, InWindow: inWin}, Accepted: false, Reason: DropStale}
+		}
+	}
+
+	t.noteSeen(p, d)
+	t.state = next
+	return Verdict{Label: Label{State: next, InWindow: inWin}, Accepted: true}
+}
+
+// finDirs identifies which direction sent the first FIN and its peer.
+func (t *Tracker) finDirs() (finner, other flow.Direction) {
+	if t.dirs[flow.ClientToServer].finSent {
+		return flow.ClientToServer, flow.ServerToClient
+	}
+	return flow.ServerToClient, flow.ClientToServer
+}
+
+// Replay runs a fresh tracker over a connection, returning one verdict per
+// packet.
+func Replay(c *flow.Connection, cfg Config) []Verdict {
+	t := NewTracker(cfg)
+	out := make([]Verdict, c.Len())
+	for i, p := range c.Packets {
+		out[i] = t.Update(p, c.Dirs[i])
+	}
+	return out
+}
+
+// Labels runs Replay and keeps only the training labels.
+func Labels(c *flow.Connection, cfg Config) []Label {
+	vs := Replay(c, cfg)
+	out := make([]Label, len(vs))
+	for i, v := range vs {
+		out[i] = v.Label
+	}
+	return out
+}

@@ -1,0 +1,531 @@
+package tcpstate
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"clap/internal/flow"
+	"clap/internal/packet"
+)
+
+var (
+	cIP = [4]byte{10, 0, 0, 1}
+	sIP = [4]byte{192, 0, 2, 1}
+)
+
+// sess scripts a TCP conversation with coherent SEQ/ACK numbers so tests can
+// express protocol scenarios tersely.
+type sess struct {
+	conn  *flow.Connection
+	seq   [2]uint32 // next sequence number per direction
+	ts    [2]uint32 // TSval clock per direction
+	at    time.Duration
+	useTS bool
+}
+
+func newSess(useTS bool) *sess {
+	s := &sess{conn: &flow.Connection{}, useTS: useTS}
+	s.seq[flow.ClientToServer] = 1000
+	s.seq[flow.ServerToClient] = 900000
+	s.ts[flow.ClientToServer] = 111000
+	s.ts[flow.ServerToClient] = 555000
+	return s
+}
+
+// pkt emits one packet in direction d with correct numbering, applying any
+// mutators to the finished packet (checksums are re-fixed unless the mutator
+// corrupts them afterwards deliberately).
+func (s *sess) pkt(d flow.Direction, flags packet.Flags, payload int, mut ...func(*packet.Packet)) *packet.Packet {
+	src, dst := cIP, sIP
+	var sp, dp uint16 = 40000, 80
+	if d == flow.ServerToClient {
+		src, dst, sp, dp = sIP, cIP, 80, 40000
+	}
+	b := packet.NewBuilder(src, dst, sp, dp).
+		Seq(s.seq[d]).Flags(flags).Window(65000).PayloadLen(payload).
+		Time(time.Unix(1600000000, 0).Add(s.at))
+	if flags.Has(packet.ACK) {
+		b.Ack(s.seq[1-d])
+	}
+	if s.useTS {
+		b.Timestamps(s.ts[d], s.ts[1-d])
+		s.ts[d] += 10
+	}
+	if flags.Has(packet.SYN) {
+		b.MSS(1460).WScale(7)
+	}
+	p := b.Build()
+	s.at += time.Millisecond
+	adv := uint32(payload)
+	if flags.Has(packet.SYN) {
+		adv++
+	}
+	if flags.Has(packet.FIN) {
+		adv++
+	}
+	s.seq[d] += adv
+	for _, m := range mut {
+		m(p)
+	}
+	s.conn.Append(p, d)
+	return p
+}
+
+// inject appends a packet without advancing the session counters (the shape
+// of every injection attack).
+func (s *sess) inject(d flow.Direction, flags packet.Flags, seq, ack uint32, mut ...func(*packet.Packet)) *packet.Packet {
+	src, dst := cIP, sIP
+	var sp, dp uint16 = 40000, 80
+	if d == flow.ServerToClient {
+		src, dst, sp, dp = sIP, cIP, 80, 40000
+	}
+	p := packet.NewBuilder(src, dst, sp, dp).
+		Seq(seq).Ack(ack).Flags(flags).Window(65000).
+		Time(time.Unix(1600000000, 0).Add(s.at)).Build()
+	s.at += time.Millisecond
+	for _, m := range mut {
+		m(p)
+	}
+	s.conn.Append(p, d)
+	return p
+}
+
+func handshake(s *sess) {
+	s.pkt(flow.ClientToServer, packet.SYN, 0)
+	s.pkt(flow.ServerToClient, packet.SYN|packet.ACK, 0)
+	s.pkt(flow.ClientToServer, packet.ACK, 0)
+}
+
+func states(vs []Verdict) []State {
+	out := make([]State, len(vs))
+	for i, v := range vs {
+		out[i] = v.Label.State
+	}
+	return out
+}
+
+func TestFullLifecycleFINClose(t *testing.T) {
+	s := newSess(true)
+	handshake(s)
+	s.pkt(flow.ClientToServer, packet.ACK|packet.PSH, 100)
+	s.pkt(flow.ServerToClient, packet.ACK, 200)
+	s.pkt(flow.ClientToServer, packet.FIN|packet.ACK, 0)
+	s.pkt(flow.ServerToClient, packet.ACK, 0)
+	s.pkt(flow.ServerToClient, packet.FIN|packet.ACK, 0)
+	s.pkt(flow.ClientToServer, packet.ACK, 0)
+
+	vs := Replay(s.conn, DefaultConfig())
+	want := []State{SynSent, SynRecv, Established, Established, Established,
+		FinWait, CloseWait, LastAck, TimeWait}
+	got := states(vs)
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("packet %d: state = %v, want %v", i, got[i], want[i])
+		}
+		if !vs[i].Accepted {
+			t.Errorf("packet %d: dropped (%v), want accepted", i, vs[i].Reason)
+		}
+		if !vs[i].Label.InWindow {
+			t.Errorf("packet %d: out-of-window, want in-window", i)
+		}
+	}
+}
+
+func TestRSTTeardown(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.pkt(flow.ClientToServer, packet.RST|packet.ACK, 0)
+	vs := Replay(s.conn, DefaultConfig())
+	if last := vs[len(vs)-1]; last.Label.State != Close || !last.Accepted {
+		t.Errorf("RST verdict = %+v, want accepted Close", last)
+	}
+}
+
+func TestBadChecksumRSTIgnored(t *testing.T) {
+	// The motivating example of the paper (§1): a garbled-checksum RST after
+	// the handshake is dropped by the endhost, so the reference state stays
+	// ESTABLISHED.
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, packet.RST, s.seq[flow.ClientToServer], 0,
+		func(p *packet.Packet) { p.TCP.Checksum ^= 0x5555 })
+	s.pkt(flow.ClientToServer, packet.ACK|packet.PSH, 50)
+
+	vs := Replay(s.conn, DefaultConfig())
+	rst := vs[3]
+	if rst.Accepted || rst.Reason != DropBadTCPChecksum {
+		t.Errorf("bad-checksum RST verdict = %+v, want drop/bad-tcp-checksum", rst)
+	}
+	if rst.Label.State != Established {
+		t.Errorf("state after dropped RST = %v, want ESTABLISHED", rst.Label.State)
+	}
+	if last := vs[4]; !last.Accepted || last.Label.State != Established {
+		t.Errorf("follow-up data verdict = %+v, want accepted ESTABLISHED", last)
+	}
+}
+
+func TestOutOfWindowDataDropped(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.pkt(flow.ClientToServer, packet.ACK|packet.PSH, 100)
+	// Replay the same 100 bytes (fully below rcv.nxt now).
+	old := s.seq[flow.ClientToServer] - 100
+	s.inject(flow.ClientToServer, packet.ACK|packet.PSH, old-200, 0, func(p *packet.Packet) {
+		p.PayloadLen = 100
+		p.IP.TotalLen = uint16(p.IP.HeaderLen() + p.TCP.HeaderLen() + 100)
+		p.TCP.Ack = s.seq[flow.ServerToClient]
+		_ = p.FixChecksums()
+	})
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropOutOfWindow {
+		t.Errorf("stale segment verdict = %+v, want drop/out-of-window", last)
+	}
+	if last.Label.InWindow {
+		t.Error("stale segment should be labeled out-of-window")
+	}
+}
+
+func TestPAWSDropsOldTimestamp(t *testing.T) {
+	s := newSess(true)
+	handshake(s)
+	s.pkt(flow.ClientToServer, packet.ACK|packet.PSH, 10)
+	// Inject a segment whose TSval is far in the past.
+	s.inject(flow.ClientToServer, packet.ACK, s.seq[flow.ClientToServer], s.seq[flow.ServerToClient],
+		func(p *packet.Packet) {
+			d := make([]byte, 8)
+			d[3] = 1 // TSval = 1: ancient
+			p.TCP.Options = append(p.TCP.Options, packet.Option{Kind: packet.OptTimestamps, Data: d})
+			raw, err := p.Encode(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := packet.Decode(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*p = *q
+		})
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropPAWS {
+		t.Errorf("old-timestamp verdict = %+v, want drop/paws", last)
+	}
+}
+
+func TestUnsolicitedMD5Dropped(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, packet.ACK|packet.PSH, s.seq[flow.ClientToServer], s.seq[flow.ServerToClient],
+		func(p *packet.Packet) {
+			p.TCP.Options = append(p.TCP.Options, packet.Option{Kind: packet.OptMD5, Data: make([]byte, 16)})
+			raw, err := p.Encode(packet.SerializeOptions{FixLengths: true, ComputeChecksums: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			q, err := packet.Decode(raw)
+			if err != nil {
+				t.Fatal(err)
+			}
+			*p = *q
+		})
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropUnsolicitedMD5 {
+		t.Errorf("MD5 segment verdict = %+v, want drop/unsolicited-md5", last)
+	}
+}
+
+func TestLowTTLDiesInTransit(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, packet.RST, s.seq[flow.ClientToServer], 0,
+		func(p *packet.Packet) {
+			p.IP.TTL = 1
+			_ = p.FixChecksums()
+		})
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropTTLExpired {
+		t.Errorf("low-TTL RST verdict = %+v, want drop/ttl-expired", last)
+	}
+	if last.Label.State != Established {
+		t.Errorf("state = %v, want ESTABLISHED preserved", last.Label.State)
+	}
+}
+
+func TestDataWithoutACKFlagDropped(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, packet.PSH, s.seq[flow.ClientToServer], 0,
+		func(p *packet.Packet) {
+			p.PayloadLen = 40
+			p.IP.TotalLen = uint16(p.IP.HeaderLen() + p.TCP.HeaderLen() + 40)
+			_ = p.FixChecksums()
+		})
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropNoACKFlag {
+		t.Errorf("no-ACK data verdict = %+v, want drop/no-ack-flag", last)
+	}
+}
+
+func TestRSTExactMatchRequired(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	// In-window but off-by-40 RST: RFC 5961 says challenge-ACK, not close.
+	s.inject(flow.ClientToServer, packet.RST, s.seq[flow.ClientToServer]+40, 0)
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropRSTSeqMismatch {
+		t.Errorf("partial in-window RST verdict = %+v, want drop/rst-seq-mismatch", last)
+	}
+	if last.Label.State != Established {
+		t.Errorf("state = %v, want ESTABLISHED", last.Label.State)
+	}
+}
+
+func TestRSTOutOfWindowIgnored(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, packet.RST, s.seq[flow.ClientToServer]+1<<20, 0)
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropOutOfWindow {
+		t.Errorf("far RST verdict = %+v, want drop/out-of-window", last)
+	}
+}
+
+func TestLoosePickupMidStream(t *testing.T) {
+	s := newSess(false)
+	s.pkt(flow.ClientToServer, packet.ACK|packet.PSH, 77)
+	vs := Replay(s.conn, DefaultConfig())
+	if vs[0].Label.State != Established || !vs[0].Accepted {
+		t.Errorf("mid-stream pickup = %+v, want ESTABLISHED", vs[0])
+	}
+	cfg := DefaultConfig()
+	cfg.LoosePickup = false
+	vs = Replay(s.conn, cfg)
+	if vs[0].Accepted {
+		t.Error("strict pickup should drop mid-stream data")
+	}
+}
+
+func TestSimultaneousOpen(t *testing.T) {
+	s := newSess(false)
+	s.pkt(flow.ClientToServer, packet.SYN, 0)
+	s.pkt(flow.ServerToClient, packet.SYN, 0)
+	s.pkt(flow.ClientToServer, packet.SYN|packet.ACK, 0)
+	vs := Replay(s.conn, DefaultConfig())
+	want := []State{SynSent, SynSent2, SynRecv}
+	for i, w := range want {
+		if vs[i].Label.State != w {
+			t.Errorf("packet %d: state = %v, want %v", i, vs[i].Label.State, w)
+		}
+	}
+}
+
+func TestPortReuseAfterClose(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.pkt(flow.ClientToServer, packet.RST|packet.ACK, 0)
+	// Fresh handshake on the same 4-tuple.
+	s.seq[flow.ClientToServer] = 5_000_000
+	s.seq[flow.ServerToClient] = 7_000_000
+	s.pkt(flow.ClientToServer, packet.SYN, 0)
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Label.State != SynSent || !last.Accepted {
+		t.Errorf("port reuse SYN = %+v, want accepted SYN_SENT", last)
+	}
+}
+
+func TestSYNFINInvalid(t *testing.T) {
+	s := newSess(false)
+	s.inject(flow.ClientToServer, packet.SYN|packet.FIN, 1000, 0)
+	vs := Replay(s.conn, DefaultConfig())
+	if vs[0].Accepted || vs[0].Reason != DropInvalidFlags {
+		t.Errorf("SYN|FIN verdict = %+v, want drop/invalid-flags", vs[0])
+	}
+}
+
+func TestNullFlagsInvalid(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, 0, s.seq[flow.ClientToServer], 0)
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropInvalidFlags {
+		t.Errorf("null-flags verdict = %+v, want drop/invalid-flags", last)
+	}
+}
+
+func TestBadIPVersionDropped(t *testing.T) {
+	s := newSess(false)
+	s.pkt(flow.ClientToServer, packet.SYN, 0, func(p *packet.Packet) {
+		p.IP.Version = 5
+		_ = p.FixChecksums()
+	})
+	vs := Replay(s.conn, DefaultConfig())
+	if vs[0].Accepted || vs[0].Reason != DropBadIPVersion {
+		t.Errorf("IPv5 verdict = %+v, want drop/bad-ip-version", vs[0])
+	}
+}
+
+func TestBadDataOffsetDropped(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, packet.ACK, s.seq[flow.ClientToServer], s.seq[flow.ServerToClient],
+		func(p *packet.Packet) {
+			p.TCP.DataOffset = 3
+			_ = p.FixChecksums()
+		})
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropBadDataOffset {
+		t.Errorf("offset=3 verdict = %+v, want drop/bad-data-offset", last)
+	}
+}
+
+func TestKeepaliveInWindow(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.pkt(flow.ClientToServer, packet.ACK|packet.PSH, 10)
+	// Keepalive probe at nxt-1.
+	s.inject(flow.ClientToServer, packet.ACK, s.seq[flow.ClientToServer]-1, s.seq[flow.ServerToClient],
+		func(p *packet.Packet) { _ = p.FixChecksums() })
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if !last.Label.InWindow {
+		t.Errorf("keepalive at nxt-1 labeled out-of-window: %+v", last)
+	}
+}
+
+func TestLabelClassRoundTrip(t *testing.T) {
+	f := func(c uint8) bool {
+		class := int(c) % NumClasses
+		return LabelFromClass(class).Class() == class
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLabelStrings(t *testing.T) {
+	l := Label{State: Established, InWindow: true}
+	if l.String() != "ESTABLISHED/in-win" {
+		t.Errorf("String = %q", l.String())
+	}
+	l.InWindow = false
+	if l.String() != "ESTABLISHED/out-win" {
+		t.Errorf("String = %q", l.String())
+	}
+	if State(99).String() != "INVALID" {
+		t.Error("out-of-range state should stringify to INVALID")
+	}
+	if DropReason(99).String() != "unknown" {
+		t.Error("out-of-range drop reason should stringify to unknown")
+	}
+	for s := None; s <= Listen; s++ {
+		if s.String() == "INVALID" {
+			t.Errorf("state %d has no name", s)
+		}
+	}
+}
+
+func TestSequenceWraparound(t *testing.T) {
+	// A connection whose ISN sits just below the 2^32 boundary must track
+	// windows across the wrap.
+	s := newSess(false)
+	s.seq[flow.ClientToServer] = 0xffffff00
+	handshake(s)
+	for i := 0; i < 4; i++ {
+		s.pkt(flow.ClientToServer, packet.ACK|packet.PSH, 200)
+	}
+	vs := Replay(s.conn, DefaultConfig())
+	for i, v := range vs {
+		if !v.Accepted {
+			t.Errorf("packet %d dropped across wraparound: %+v", i, v)
+		}
+		if !v.Label.InWindow {
+			t.Errorf("packet %d labeled out-of-window across wraparound", i)
+		}
+	}
+}
+
+func TestRetransmissionOutOfWindowLabel(t *testing.T) {
+	// Exact duplicate of the previous data segment: sequence space fully
+	// consumed, so the reference labels it out-of-window (these appear in
+	// benign traffic too — Table 5's out-of-window rows).
+	s := newSess(false)
+	handshake(s)
+	data := s.pkt(flow.ClientToServer, packet.ACK|packet.PSH, 100)
+	dup := data.Clone()
+	s.conn.Append(dup, flow.ClientToServer)
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Label.InWindow {
+		t.Error("full retransmission should be out-of-window")
+	}
+	if last.Label.State != Established {
+		t.Errorf("state = %v, want ESTABLISHED", last.Label.State)
+	}
+}
+
+func TestForgedTotalLenDropped(t *testing.T) {
+	// A claimed IP total length that disagrees with the on-wire payload is
+	// a truncated/padded datagram: strict kernels discard it (the Bad IP
+	// Length strategies rely on this).
+	s := newSess(false)
+	handshake(s)
+	s.pkt(flow.ClientToServer, packet.ACK|packet.PSH, 100, func(p *packet.Packet) {
+		p.IP.TotalLen += 64
+		_ = p.FixChecksums()
+	})
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropBadIPLength {
+		t.Errorf("forged-length verdict = %+v, want drop/bad-ip-length", last)
+	}
+}
+
+func TestBadAckDropped(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, packet.ACK, s.seq[flow.ClientToServer],
+		s.seq[flow.ServerToClient]+0x100000,
+		func(p *packet.Packet) { _ = p.FixChecksums() })
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropBadAck {
+		t.Errorf("future-ACK verdict = %+v, want drop/bad-ack", last)
+	}
+}
+
+func TestOutOfOrderFINBuffered(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, packet.FIN|packet.ACK,
+		s.seq[flow.ClientToServer]+4, s.seq[flow.ServerToClient],
+		func(p *packet.Packet) { _ = p.FixChecksums() })
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropOutOfOrderFIN {
+		t.Errorf("OOO FIN verdict = %+v, want drop/out-of-order-fin", last)
+	}
+	if last.Label.State != Established {
+		t.Errorf("state = %v, want ESTABLISHED preserved", last.Label.State)
+	}
+}
+
+func TestSYNDifferentISNChallenged(t *testing.T) {
+	s := newSess(false)
+	handshake(s)
+	s.inject(flow.ClientToServer, packet.SYN, s.seq[flow.ClientToServer]+0x7777, 0)
+	vs := Replay(s.conn, DefaultConfig())
+	last := vs[len(vs)-1]
+	if last.Accepted || last.Reason != DropSYNDifferentISN {
+		t.Errorf("different-ISN SYN verdict = %+v, want drop/syn-different-isn", last)
+	}
+}

@@ -1,0 +1,377 @@
+// Package trafficgen synthesizes benign backbone-style TCP/IPv4 traffic,
+// standing in for the MAWI archive the paper trains on (§4.1). Captures are
+// payload-stripped (lengths and checksums reflect the original payload),
+// exactly like MAWI.
+//
+// The generator's job is to cover the benign *header-context* distribution:
+// every connection lifecycle a wide-area trace contains — full and abortive
+// closes, half-open flows, mid-stream pickups, retransmissions and
+// out-of-window duplicates, keepalives, delayed ACKs, assorted option
+// negotiation — with heavy-tailed flow sizes and diverse hosts. Everything
+// is deterministic under Config.Seed.
+package trafficgen
+
+import (
+	"math"
+	"math/rand"
+	"time"
+
+	"clap/internal/flow"
+	"clap/internal/packet"
+)
+
+// Config controls generation.
+type Config struct {
+	Seed        int64
+	Connections int
+	// Start is the capture start time; defaults to a fixed instant so runs
+	// are reproducible.
+	Start time.Time
+}
+
+// DefaultConfig generates n connections with a fixed seed.
+func DefaultConfig(n int) Config {
+	return Config{Seed: 1, Connections: n, Start: time.Unix(1586235600, 0)} // 2020-04-07 14:00 JST, the MAWI capture
+}
+
+// Common server ports weighted roughly like backbone traffic.
+var serverPorts = []uint16{443, 443, 443, 80, 80, 8080, 22, 25, 993, 110, 21, 3306, 5432, 53}
+
+// appProfile shapes the data exchange of a connection.
+type appProfile int
+
+const (
+	appWeb         appProfile = iota // small request, heavy-tailed response
+	appInteractive                   // many small alternating turns
+	appBulkUpload                    // client streams data
+	appShort                         // tiny exchange
+)
+
+// closeProfile shapes connection termination.
+type closeProfile int
+
+const (
+	closeFIN closeProfile = iota
+	closeFINServer
+	closeRST
+	closeNone      // half-open: capture ends mid-connection
+	closeMidStream // capture starts mid-connection too
+)
+
+// Generate produces benign connections.
+func Generate(cfg Config) []*flow.Connection {
+	if cfg.Start.IsZero() {
+		cfg.Start = time.Unix(1586235600, 0)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	conns := make([]*flow.Connection, 0, cfg.Connections)
+	// Connections start staggered across the capture window.
+	at := cfg.Start
+	for i := 0; i < cfg.Connections; i++ {
+		at = at.Add(time.Duration(rng.Intn(40)+1) * time.Millisecond)
+		conns = append(conns, genConnection(rng, at))
+	}
+	return conns
+}
+
+// GeneratePackets generates and flattens to a time-ordered stream.
+func GeneratePackets(cfg Config) []*packet.Packet {
+	return flow.Flatten(Generate(cfg))
+}
+
+// session tracks the live state of one synthetic connection.
+type session struct {
+	rng    *rand.Rand
+	conn   *flow.Connection
+	now    time.Time
+	rtt    time.Duration
+	seq    [2]uint32
+	ackdTo [2]uint32 // highest ack each side has *sent*
+	tsval  [2]uint32
+	tsEcho [2]uint32
+	useTS  bool
+	useWS  bool
+	wscale [2]uint8
+	mss    uint16
+	win    [2]uint16
+	ttl    [2]uint8
+	ipid   [2]uint16
+	ip     [2][4]byte
+	port   [2]uint16
+	tosVal uint8
+}
+
+func randIP(rng *rand.Rand, private bool) [4]byte {
+	if private {
+		return [4]byte{10, uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(254) + 1)}
+	}
+	// Public-looking space, avoiding reserved first octets.
+	first := []uint8{23, 52, 93, 104, 133, 151, 172, 185, 203, 210}[rng.Intn(10)]
+	return [4]byte{first, uint8(rng.Intn(256)), uint8(rng.Intn(256)), uint8(rng.Intn(254) + 1)}
+}
+
+func genConnection(rng *rand.Rand, start time.Time) *flow.Connection {
+	s := &session{
+		rng:  rng,
+		conn: &flow.Connection{},
+		now:  start,
+		rtt:  time.Duration(2+rng.Intn(120)) * time.Millisecond,
+	}
+	s.ip[0] = randIP(rng, rng.Intn(3) == 0)
+	s.ip[1] = randIP(rng, false)
+	s.port[0] = uint16(32768 + rng.Intn(28000))
+	s.port[1] = serverPorts[rng.Intn(len(serverPorts))]
+	s.conn.Key = flow.Key{
+		Client: flow.Endpoint{IP: s.ip[0], Port: s.port[0]},
+		Server: flow.Endpoint{IP: s.ip[1], Port: s.port[1]},
+	}
+	s.seq[0] = rng.Uint32()
+	s.seq[1] = rng.Uint32()
+	s.useTS = rng.Intn(10) < 8
+	s.useWS = rng.Intn(10) < 8
+	s.tsval[0] = rng.Uint32() >> 8
+	s.tsval[1] = rng.Uint32() >> 8
+	s.mss = []uint16{1460, 1460, 1460, 1440, 1400, 1380, 9000}[rng.Intn(7)]
+	s.wscale[0] = uint8(rng.Intn(10))
+	s.wscale[1] = uint8(rng.Intn(10))
+	s.win[0] = uint16(8192 + rng.Intn(57343))
+	s.win[1] = uint16(8192 + rng.Intn(57343))
+	// Observed TTL at the monitor: initial 64/128/255 minus 1..24 hops.
+	for d := 0; d < 2; d++ {
+		base := []uint8{64, 64, 64, 128, 255}[rng.Intn(5)]
+		s.ttl[d] = base - uint8(1+rng.Intn(24))
+		s.ipid[d] = uint16(rng.Intn(65536))
+	}
+	if rng.Intn(12) == 0 {
+		s.tosVal = []uint8{0x10, 0x08, 0x28, 0xb8}[rng.Intn(4)]
+	}
+
+	app := appProfile(rng.Intn(4))
+	cls := pickClose(rng)
+
+	if cls == closeMidStream {
+		s.runMidStream(app)
+		return s.conn
+	}
+	s.handshake()
+	s.exchange(app)
+	s.teardown(cls)
+	return s.conn
+}
+
+func pickClose(rng *rand.Rand) closeProfile {
+	r := rng.Intn(100)
+	switch {
+	case r < 55:
+		return closeFIN
+	case r < 70:
+		return closeFINServer
+	case r < 85:
+		return closeRST
+	case r < 94:
+		return closeNone
+	default:
+		return closeMidStream
+	}
+}
+
+// advance moves the session clock by a jittered fraction of the RTT.
+func (s *session) advance(frac float64) {
+	ns := float64(s.rtt.Nanoseconds()) * frac * (0.6 + s.rng.Float64()*0.8)
+	s.now = s.now.Add(time.Duration(ns))
+	ms := uint32(ns/1e6) + 1
+	s.tsval[0] += ms
+	s.tsval[1] += ms
+}
+
+// emit constructs, finalizes and appends one packet from direction d.
+func (s *session) emit(d flow.Direction, flags packet.Flags, payload int, opts func(*packet.Builder)) *packet.Packet {
+	b := packet.NewBuilder(s.ip[d], s.ip[1-d], s.port[d], s.port[1-d]).
+		Seq(s.seq[d]).Flags(flags).Window(s.win[d]).
+		TTL(s.ttl[d]).TOS(s.tosVal).ID(s.ipid[d]).
+		PayloadLen(payload).Time(s.now)
+	s.ipid[d]++
+	if flags.Has(packet.ACK) {
+		b.Ack(s.seq[1-d])
+		s.ackdTo[d] = s.seq[1-d]
+	}
+	if s.useTS {
+		b.Timestamps(s.tsval[d], s.tsEcho[d])
+	}
+	if opts != nil {
+		opts(b)
+	}
+	p := b.Build()
+	if s.useTS {
+		s.tsEcho[1-d] = s.tsval[d]
+	}
+	adv := uint32(payload)
+	if flags.Has(packet.SYN) {
+		adv++
+	}
+	if flags.Has(packet.FIN) {
+		adv++
+	}
+	s.seq[d] += adv
+	s.conn.Append(p, flow.Direction(d))
+	return p
+}
+
+func (s *session) handshake() {
+	s.emit(flow.ClientToServer, packet.SYN, 0, func(b *packet.Builder) {
+		b.MSS(s.mss)
+		if s.useWS {
+			b.WScale(s.wscale[0])
+		}
+		if s.rng.Intn(10) < 7 {
+			b.SACKPermitted()
+		}
+	})
+	// Occasional SYN retransmission (lost SYN-ACK path).
+	if s.rng.Intn(40) == 0 {
+		s.advance(3)
+		s.seq[0]-- // rewind to re-send the same SYN
+		s.emit(flow.ClientToServer, packet.SYN, 0, func(b *packet.Builder) { b.MSS(s.mss) })
+	}
+	s.advance(0.5)
+	s.emit(flow.ServerToClient, packet.SYN|packet.ACK, 0, func(b *packet.Builder) {
+		b.MSS(s.mss)
+		if s.useWS {
+			b.WScale(s.wscale[1])
+		}
+	})
+	s.advance(0.5)
+	s.emit(flow.ClientToServer, packet.ACK, 0, nil)
+}
+
+// sizes draws a heavy-tailed (bounded Pareto-ish) segment count.
+func (s *session) heavyTail(min, max int) int {
+	u := s.rng.Float64()
+	// alpha=1.2 bounded Pareto.
+	const alpha = 1.2
+	lo, hi := float64(min), float64(max)
+	x := math.Pow(math.Pow(lo, alpha)/(1-u*(1-math.Pow(lo/hi, alpha))), 1/alpha)
+	return int(x)
+}
+
+// sendData transmits n bytes from d as MSS-sized segments with realistic
+// ACK behaviour, occasional retransmissions and out-of-window duplicates.
+func (s *session) sendData(d flow.Direction, total int) {
+	mss := int(s.mss)
+	unacked := 0
+	for total > 0 {
+		seg := mss
+		if total < seg {
+			seg = total
+		}
+		if s.rng.Intn(5) == 0 { // short segment (push boundary)
+			seg = 1 + s.rng.Intn(seg)
+		}
+		total -= seg
+		flags := packet.ACK
+		if total == 0 || s.rng.Intn(4) == 0 {
+			flags |= packet.PSH
+		}
+		p := s.emit(d, flags, seg, nil)
+		unacked++
+
+		switch s.rng.Intn(60) {
+		case 0:
+			// Out-of-window duplicate: the whole segment again after the
+			// receiver has it (spurious retransmission).
+			s.advance(1.2)
+			dup := p.Clone()
+			dup.Timestamp = s.now
+			if s.useTS {
+				// A real retransmit re-stamps TSval.
+				if o := dup.TCP.FindOption(packet.OptTimestamps); o != nil && len(o.Data) == 8 {
+					v := s.tsval[d]
+					o.Data[0], o.Data[1], o.Data[2], o.Data[3] = byte(v>>24), byte(v>>16), byte(v>>8), byte(v)
+					_ = dup.FixChecksums()
+				}
+			}
+			s.conn.Append(dup, flow.Direction(d))
+		case 1:
+			// Keepalive-style probe at nxt-1.
+			s.advance(0.3)
+			probe := s.emit(d, packet.ACK, 0, func(b *packet.Builder) { b.Seq(s.seq[d] - 1) })
+			_ = probe
+		}
+
+		// Receiver ACK behaviour: ack every ~2 segments or at burst end.
+		if unacked >= 2 || total == 0 || s.rng.Intn(3) == 0 {
+			s.advance(0.5)
+			s.emit(flow.Direction(1-d), packet.ACK, 0, nil)
+			unacked = 0
+			s.advance(0.1)
+		} else {
+			s.advance(0.05)
+		}
+	}
+}
+
+func (s *session) exchange(app appProfile) {
+	s.advance(0.2) // think time between handshake and first request
+	switch app {
+	case appWeb:
+		turns := 1 + s.heavyTail(1, 6)
+		for i := 0; i < turns; i++ {
+			s.sendData(flow.ClientToServer, 120+s.rng.Intn(1200))
+			s.sendData(flow.ServerToClient, s.heavyTail(1, 90)*int(s.mss)/2+200)
+		}
+	case appInteractive:
+		turns := 3 + s.heavyTail(2, 40)
+		for i := 0; i < turns; i++ {
+			d := flow.Direction(i % 2)
+			s.sendData(d, 1+s.rng.Intn(200))
+		}
+	case appBulkUpload:
+		s.sendData(flow.ClientToServer, s.heavyTail(2, 160)*int(s.mss)/2)
+		s.sendData(flow.ServerToClient, 100+s.rng.Intn(400))
+	case appShort:
+		s.sendData(flow.ClientToServer, 1+s.rng.Intn(300))
+		if s.rng.Intn(2) == 0 {
+			s.sendData(flow.ServerToClient, 1+s.rng.Intn(500))
+		}
+	}
+}
+
+func (s *session) teardown(cls closeProfile) {
+	switch cls {
+	case closeFIN, closeFINServer:
+		first := flow.ClientToServer
+		if cls == closeFINServer {
+			first = flow.ServerToClient
+		}
+		second := flow.Direction(1 - first)
+		s.advance(0.8)
+		s.emit(first, packet.FIN|packet.ACK, 0, nil)
+		s.advance(0.5)
+		s.emit(second, packet.ACK, 0, nil)
+		if s.rng.Intn(10) < 9 { // occasionally the second FIN is never captured
+			s.advance(1.5)
+			s.emit(second, packet.FIN|packet.ACK, 0, nil)
+			s.advance(0.5)
+			s.emit(first, packet.ACK, 0, nil)
+		}
+	case closeRST:
+		s.advance(0.6)
+		d := flow.Direction(s.rng.Intn(2))
+		s.emit(d, packet.RST|packet.ACK, 0, nil)
+	case closeNone, closeMidStream:
+		// Nothing: the capture simply ends.
+	}
+}
+
+// runMidStream emulates a flow whose beginning predates the capture: no
+// handshake, both sides already in ESTABLISHED.
+func (s *session) runMidStream(app appProfile) {
+	// Sequence spaces are mid-flight; window scaling already negotiated but
+	// invisible, so windows stay unscaled (the conservative view a monitor
+	// has of such flows).
+	s.useWS = false
+	s.exchange(app)
+	if s.rng.Intn(3) == 0 {
+		s.teardown(closeFIN)
+	}
+}

@@ -1,0 +1,219 @@
+package trafficgen
+
+import (
+	"testing"
+
+	"clap/internal/flow"
+	"clap/internal/packet"
+	"clap/internal/tcpstate"
+)
+
+func gen(t *testing.T, n int, seed int64) []*flow.Connection {
+	t.Helper()
+	cfg := DefaultConfig(n)
+	cfg.Seed = seed
+	return Generate(cfg)
+}
+
+func TestDeterminism(t *testing.T) {
+	a := gen(t, 50, 7)
+	b := gen(t, 50, 7)
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i].Len() != b[i].Len() {
+			t.Fatalf("connection %d: %d vs %d packets", i, a[i].Len(), b[i].Len())
+		}
+		for j := range a[i].Packets {
+			ra, _ := a[i].Packets[j].Encode(packet.SerializeOptions{})
+			rb, _ := b[i].Packets[j].Encode(packet.SerializeOptions{})
+			if string(ra) != string(rb) {
+				t.Fatalf("connection %d packet %d differs between runs", i, j)
+			}
+		}
+	}
+}
+
+func TestSeedsDiffer(t *testing.T) {
+	a := gen(t, 20, 1)
+	b := gen(t, 20, 2)
+	same := 0
+	for i := range a {
+		if i < len(b) && a[i].Len() == b[i].Len() {
+			same++
+		}
+	}
+	if same == len(a) {
+		t.Error("different seeds produced identical connection shapes")
+	}
+}
+
+func TestConnectionsAreBenign(t *testing.T) {
+	conns := gen(t, 120, 3)
+	var total, dropped, outWin int
+	for _, c := range conns {
+		if c.IsAdversarial() {
+			t.Fatalf("generator marked a connection adversarial: %v", c.Key)
+		}
+		for _, v := range tcpstate.Replay(c, tcpstate.DefaultConfig()) {
+			total++
+			if !v.Accepted {
+				dropped++
+			}
+			if !v.Label.InWindow {
+				outWin++
+			}
+		}
+	}
+	if total == 0 {
+		t.Fatal("no packets generated")
+	}
+	// Benign traffic should be overwhelmingly accepted by the strict
+	// endhost; spurious retransmissions keep a small out-of-window tail.
+	if frac := float64(dropped) / float64(total); frac > 0.05 {
+		t.Errorf("dropped fraction = %.3f, want <= 0.05", frac)
+	}
+	if outWin == 0 {
+		t.Error("expected some benign out-of-window packets (retransmission tail)")
+	}
+	if frac := float64(outWin) / float64(total); frac > 0.08 {
+		t.Errorf("out-of-window fraction = %.3f, want <= 0.08", frac)
+	}
+}
+
+func TestLifecycleDiversity(t *testing.T) {
+	conns := gen(t, 300, 5)
+	var sawRST, sawFIN, sawOpen, sawMidStream int
+	for _, c := range conns {
+		hasSYN, hasFIN, hasRST := false, false, false
+		for _, p := range c.Packets {
+			if p.TCP.Flags.Has(packet.SYN) {
+				hasSYN = true
+			}
+			if p.TCP.Flags.Has(packet.FIN) {
+				hasFIN = true
+			}
+			if p.TCP.Flags.Has(packet.RST) {
+				hasRST = true
+			}
+		}
+		switch {
+		case !hasSYN:
+			sawMidStream++
+		case hasRST:
+			sawRST++
+		case hasFIN:
+			sawFIN++
+		default:
+			sawOpen++
+		}
+	}
+	for name, n := range map[string]int{
+		"RST-closed": sawRST, "FIN-closed": sawFIN,
+		"half-open": sawOpen, "mid-stream": sawMidStream,
+	} {
+		if n == 0 {
+			t.Errorf("no %s connections in 300 samples", name)
+		}
+	}
+}
+
+func TestStateCoverage(t *testing.T) {
+	conns := gen(t, 300, 11)
+	seen := map[tcpstate.State]int{}
+	for _, c := range conns {
+		for _, l := range tcpstate.Labels(c, tcpstate.DefaultConfig()) {
+			seen[l.State]++
+		}
+	}
+	for _, st := range []tcpstate.State{
+		tcpstate.SynSent, tcpstate.SynRecv, tcpstate.Established,
+		tcpstate.FinWait, tcpstate.CloseWait, tcpstate.LastAck,
+		tcpstate.TimeWait, tcpstate.Close,
+	} {
+		if seen[st] == 0 {
+			t.Errorf("state %v never appears in labels", st)
+		}
+	}
+	if seen[tcpstate.Established] < seen[tcpstate.SynSent] {
+		t.Error("ESTABLISHED should dominate the label distribution")
+	}
+}
+
+func TestTimestampsMonotonic(t *testing.T) {
+	pkts := GeneratePackets(DefaultConfig(40))
+	for i := 1; i < len(pkts); i++ {
+		if pkts[i].Timestamp.Before(pkts[i-1].Timestamp) {
+			t.Fatalf("packet %d timestamp regressed", i)
+		}
+	}
+}
+
+func TestChecksumsValid(t *testing.T) {
+	conns := gen(t, 40, 13)
+	for _, c := range conns {
+		for i, p := range c.Packets {
+			if !p.IPChecksumValid() {
+				t.Fatalf("conn %v packet %d: bad IP checksum", c.Key, i)
+			}
+			if !p.TCPChecksumValid() {
+				t.Fatalf("conn %v packet %d: bad TCP checksum", c.Key, i)
+			}
+		}
+	}
+}
+
+func TestSizesHeavyTailed(t *testing.T) {
+	conns := gen(t, 400, 17)
+	small, large := 0, 0
+	for _, c := range conns {
+		if c.Len() <= 10 {
+			small++
+		}
+		if c.Len() >= 40 {
+			large++
+		}
+	}
+	if small == 0 || large == 0 {
+		t.Errorf("want both small and large flows, got small=%d large=%d", small, large)
+	}
+	stats := flow.Census(conns)
+	mean := float64(stats.Packets) / float64(stats.Connections)
+	if mean < 6 || mean > 60 {
+		t.Errorf("mean packets/connection = %.1f, want within [6, 60] (MAWI ≈ 14)", mean)
+	}
+}
+
+func TestAssembleRoundTrip(t *testing.T) {
+	// Flattening to a packet stream and reassembling must preserve the
+	// connection count (4-tuples are unique per connection modulo reuse).
+	conns := gen(t, 60, 19)
+	pkts := flow.Flatten(conns)
+	re := flow.Assemble(pkts)
+	if len(re) < len(conns) {
+		t.Errorf("reassembled %d connections from %d generated", len(re), len(conns))
+	}
+}
+
+func TestOptionDiversity(t *testing.T) {
+	conns := gen(t, 200, 23)
+	withTS, withoutTS, withWS := 0, 0, 0
+	for _, c := range conns {
+		p := c.Packets[0]
+		if _, _, ok := p.TCP.TimestampVal(); ok {
+			withTS++
+		} else {
+			withoutTS++
+		}
+		if _, ok := p.TCP.WScaleVal(); ok {
+			withWS++
+		}
+	}
+	if withTS == 0 || withoutTS == 0 {
+		t.Errorf("timestamp option not diverse: with=%d without=%d", withTS, withoutTS)
+	}
+	if withWS == 0 {
+		t.Error("window scaling never negotiated")
+	}
+}
