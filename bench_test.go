@@ -9,7 +9,7 @@ package clap
 // The shared fixture trains CLAP and both baselines once. Scale defaults to
 // the "tiny" profile so the suite stays minutes-fast; set
 // CLAP_BENCH_PROFILE=fast (or full) to regenerate publication-quality
-// numbers, as EXPERIMENTS.md records.
+// numbers (the headline results are recorded in CHANGES.md).
 
 import (
 	"fmt"
@@ -19,6 +19,7 @@ import (
 
 	"clap/internal/attacks"
 	"clap/internal/core"
+	"clap/internal/engine"
 	"clap/internal/eval"
 	"clap/internal/flow"
 )
@@ -103,7 +104,7 @@ func BenchmarkTable3_ThroughputCLAP(b *testing.B) {
 	conns := advCorpus(s)
 	th := s.MeasureThroughputCLAP(conns)
 	kth := s.MeasureThroughputKitsune(conns)
-	printSection("table3", eval.Table3(th, kth))
+	printSection("table3", eval.Table3(th, kth, s.MeasureThroughputEngine(conns)))
 	pkts := 0
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
@@ -318,6 +319,66 @@ func BenchmarkAblation_ScoreMetric(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = s.CLAP.WindowErrors(conns[i%len(conns)])
+	}
+}
+
+// --- Engine: the parallel scoring path against the serial baseline. Each
+// iteration scores the full mixed benign+adversarial corpus; sub-benchmark
+// names carry the worker count, so
+//
+//	go test -bench BenchmarkEngineScore -benchtime=5x
+//
+// prints the serial-vs-parallel pkts/s table directly. Scores are
+// bit-identical across all variants (see internal/engine tests); only
+// wall-clock changes. On a single-core host the parallel variants track the
+// serial path (the engine adds no meaningful overhead); the speedup scales
+// with available cores.
+func BenchmarkEngineScore(b *testing.B) {
+	s, _ := fixture(b)
+	conns := append(append([]*flow.Connection{}, s.Data.TestBenign...), advCorpus(s)...)
+	var pkts int
+	for _, c := range conns {
+		pkts += c.Len()
+	}
+
+	b.Run("serial", func(b *testing.B) {
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			for _, c := range conns {
+				_ = s.CLAP.Score(c)
+			}
+		}
+		b.ReportMetric(float64(pkts*b.N)/b.Elapsed().Seconds(), "pkts/s")
+	})
+	for _, workers := range []int{1, 4, 8} {
+		eng := engine.New(engine.Options{Workers: workers})
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = eng.ScoreAll(s.CLAP, conns)
+			}
+			b.ReportMetric(float64(pkts*b.N)/b.Elapsed().Seconds(), "pkts/s")
+		})
+	}
+}
+
+// BenchmarkEngineAssemble compares sharded parallel flow assembly against
+// the serial path over the flattened benign corpus.
+func BenchmarkEngineAssemble(b *testing.B) {
+	s, _ := fixture(b)
+	pkts := flow.Flatten(s.Data.Train)
+	b.Run("serial", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			_ = flow.Assemble(pkts)
+		}
+	})
+	for _, shards := range []int{4, 8} {
+		eng := engine.New(engine.Options{Workers: 4, Shards: shards})
+		b.Run(fmt.Sprintf("shards=%d", shards), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = eng.Assemble(pkts)
+			}
+		})
 	}
 }
 

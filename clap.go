@@ -9,8 +9,8 @@
 // context) and across the packets of a connection (inter-packet context) —
 // from benign traffic only, and flags connections whose context profiles
 // violate the learned joint distribution. See DESIGN.md for the system
-// inventory and EXPERIMENTS.md for the reproduction of every table and
-// figure in the paper.
+// inventory, the experiment index, and the parallel scoring engine's
+// design.
 //
 // The root package is a facade over the internal implementation packages:
 //
@@ -24,6 +24,7 @@
 //	internal/nn         GRU + autoencoder substrate
 //	internal/features   Table 7 feature schema
 //	internal/core       the CLAP pipeline
+//	internal/engine     sharded worker-pool scoring engine
 //	internal/kitsune    Baseline #2 (ensemble-AE IDS)
 //	internal/metrics    AUC/EER/Top-N
 //	internal/eval       experiment harness (tables & figures)
@@ -34,6 +35,13 @@
 //	det, _ := clap.Train(benign, clap.DefaultConfig(), nil)
 //	score := det.Score(suspect)            // adversarial score (§3.3(d))
 //	windows := det.Localize(suspect, 5)    // forensic localization
+//
+// For batch or streaming workloads, route scoring through the parallel
+// engine — results are bit-identical to the serial path at any worker
+// count:
+//
+//	eng := clap.NewEngine(0) // 0 = all cores
+//	scores := eng.ScoreAll(det, conns)
 package clap
 
 import (
@@ -42,6 +50,7 @@ import (
 	"clap/internal/attacks"
 	"clap/internal/core"
 	"clap/internal/dpi"
+	"clap/internal/engine"
 	"clap/internal/flow"
 	"clap/internal/metrics"
 	"clap/internal/pcapio"
@@ -65,7 +74,20 @@ type (
 	Strategy = attacks.Strategy
 	// DivergenceResult reports an endhost-vs-DPI behavioural discrepancy.
 	DivergenceResult = dpi.Result
+	// Engine is the sharded worker-pool scoring engine: deterministic
+	// parallel batch scoring, sharded flow assembly, and ordered streaming.
+	Engine = engine.Engine
+	// Stream scores submitted connections concurrently and emits results in
+	// submission order — the online-deployment mode.
+	Stream = engine.Stream
 )
+
+// NewEngine returns a parallel scoring engine with the given worker count;
+// 0 sizes it to the machine. Scores produced through an Engine are
+// bit-identical to the serial Detector methods at any worker count.
+func NewEngine(workers int) *Engine {
+	return engine.New(engine.Options{Workers: workers})
+}
 
 // DefaultConfig returns the paper's CLAP configuration (Table 6).
 func DefaultConfig() Config { return core.DefaultConfig() }

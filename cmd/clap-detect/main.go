@@ -1,12 +1,15 @@
 // Command clap-detect scores a (suspicious) pcap capture with a persisted
 // CLAP model: per-connection adversarial scores, verdicts against a
 // threshold, and Top-N localization of the most suspicious packets — the
-// online-detector and forensic deployment modes of §3.2.
+// online-detector and forensic deployment modes of §3.2. Assembly and
+// scoring run through the sharded parallel engine; scores are bit-identical
+// at any worker count.
 //
 // Usage:
 //
 //	clap-detect -in suspect.pcap -model clap.model -threshold 0.08 -top 5
 //	clap-detect -in suspect.pcap -model clap.model -calibrate benign.pcap -fpr 0.01
+//	clap-detect -in suspect.pcap -model clap.model -workers 8 -all
 package main
 
 import (
@@ -17,12 +20,13 @@ import (
 	"sort"
 
 	"clap/internal/core"
+	"clap/internal/engine"
 	"clap/internal/flow"
 	"clap/internal/metrics"
 	"clap/internal/pcapio"
 )
 
-func readConns(path string) []*flow.Connection {
+func readConns(eng *engine.Engine, path string) []*flow.Connection {
 	f, err := os.Open(path)
 	if err != nil {
 		log.Fatal(err)
@@ -32,7 +36,7 @@ func readConns(path string) []*flow.Connection {
 	if err != nil {
 		log.Fatalf("reading %s: %v", path, err)
 	}
-	return flow.Assemble(pkts)
+	return eng.Assemble(pkts)
 }
 
 func main() {
@@ -46,11 +50,15 @@ func main() {
 		fpr       = flag.Float64("fpr", 0.01, "target false-positive rate for -calibrate")
 		top       = flag.Int("top", 5, "Top-N windows to localize per flagged connection")
 		all       = flag.Bool("all", false, "print every connection, not only flagged ones")
+		workers   = flag.Int("workers", 0, "scoring workers (0: all cores)")
+		shards    = flag.Int("shards", 0, "assembly shards (0: same as workers)")
 	)
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("need -in")
 	}
+
+	eng := engine.New(engine.Options{Workers: *workers, Shards: *shards})
 
 	det, err := core.LoadFile(*model)
 	if err != nil {
@@ -60,41 +68,49 @@ func main() {
 
 	th := *threshold
 	if *calibrate != "" {
-		var benign []float64
-		for _, c := range readConns(*calibrate) {
-			benign = append(benign, det.Score(c).Adversarial)
-		}
+		benign := eng.AdversarialScores(det, readConns(eng, *calibrate))
 		th = metrics.ThresholdAtFPR(benign, *fpr)
 		log.Printf("calibrated threshold %.6f at FPR <= %.3f over %d benign connections",
 			th, *fpr, len(benign))
 	}
 
-	conns := readConns(*in)
+	conns := readConns(eng, *in)
+	scores := eng.ScoreAll(det, conns)
+
 	type verdict struct {
 		c     *flow.Connection
 		score core.Score
 	}
 	var flagged []verdict
-	for _, c := range conns {
-		s := det.Score(c)
+	for i, c := range conns {
+		s := scores[i]
 		if *all {
 			fmt.Printf("%-48s score=%.6f\n", c.Key, s.Adversarial)
 		}
 		if th > 0 && s.Adversarial >= th {
 			flagged = append(flagged, verdict{c, s})
 		}
+		// Only flagged verdicts need their window errors (for Top-N
+		// localization below); release the rest so a large capture does not
+		// pin every connection's error series for the whole run.
+		scores[i].Errors = nil
 	}
 	if th <= 0 {
-		// Score-only mode: rank everything.
-		sort.Slice(conns, func(i, j int) bool {
-			return det.Score(conns[i]).Adversarial > det.Score(conns[j]).Adversarial
+		// Score-only mode: rank everything by the scores already computed
+		// (ties broken by capture order so output is deterministic).
+		idx := make([]int, len(conns))
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool {
+			return scores[idx[a]].Adversarial > scores[idx[b]].Adversarial
 		})
 		fmt.Println("top connections by adversarial score:")
-		for i, c := range conns {
-			if i >= 10 {
+		for rank, i := range idx {
+			if rank >= 10 {
 				break
 			}
-			fmt.Printf("%2d. %-48s score=%.6f\n", i+1, c.Key, det.Score(c).Adversarial)
+			fmt.Printf("%2d. %-48s score=%.6f\n", rank+1, conns[i].Key, scores[i].Adversarial)
 		}
 		return
 	}
@@ -102,7 +118,9 @@ func main() {
 	fmt.Printf("%d/%d connections flagged at threshold %.6f\n", len(flagged), len(conns), th)
 	for _, v := range flagged {
 		fmt.Printf("\n%s  score=%.6f peak-window=%d\n", v.c.Key, v.score.Adversarial, v.score.PeakWindow)
-		for _, w := range det.Localize(v.c, *top) {
+		// Rank the window errors the batch pass already computed rather
+		// than re-running inference per flagged connection.
+		for _, w := range det.LocalizeErrors(v.score.Errors, *top) {
 			end := w + det.Cfg.StackLength - 1
 			if end >= v.c.Len() {
 				end = v.c.Len() - 1

@@ -26,11 +26,13 @@ func main() {
 		out     = flag.String("out", "", "write the report to a file instead of stdout")
 		seed    = flag.Int64("seed", 1, "experiment seed")
 		quiet   = flag.Bool("quiet", false, "suppress training progress")
+		workers = flag.Int("workers", 0, "scoring workers (0: all cores); scores are identical at any count")
 	)
 	flag.Parse()
 
 	opts := eval.OptionsFor(eval.Profile(*profile))
 	opts.Seed = *seed
+	opts.Workers = *workers
 
 	logf := func(format string, args ...any) { log.Printf(format, args...) }
 	if *quiet {

@@ -109,6 +109,83 @@ func TestCommandWorkflow(t *testing.T) {
 	}
 }
 
+// goRun drives a command through `go run` from a fresh clone's module
+// root, the way DESIGN.md documents the workflow.
+func goRun(t *testing.T, pkg string, args ...string) string {
+	t.Helper()
+	cmd := exec.Command("go", append([]string{"run", pkg}, args...)...)
+	out, err := cmd.CombinedOutput()
+	if err != nil {
+		t.Fatalf("go run %s %v: %v\n%s", pkg, args, err, out)
+	}
+	return string(out)
+}
+
+// scoreLines extracts the "<key> score=<x>" lines from -all output.
+func scoreLines(out string) []string {
+	var lines []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.Contains(l, "score=") {
+			lines = append(lines, l)
+		}
+	}
+	return lines
+}
+
+// TestClapDetectEndToEnd drives the full clap-detect deployment path via
+// `go run`: generate traffic, inject an attack, train, then score the
+// suspect pcap — and checks that the per-connection score output is
+// byte-identical across engine worker/shard counts.
+func TestClapDetectEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	work := t.TempDir()
+	benign := filepath.Join(work, "benign.pcap")
+	suspect := filepath.Join(work, "suspect.pcap")
+	adv := filepath.Join(work, "adv.pcap")
+	model := filepath.Join(work, "clap.model")
+
+	goRun(t, "./cmd/trafficgen", "-out", benign, "-connections", "80", "-seed", "11")
+	goRun(t, "./cmd/trafficgen", "-out", suspect, "-connections", "30", "-seed", "12")
+	goRun(t, "./cmd/attack-inject",
+		"-in", suspect, "-out", adv,
+		"-strategy", "GFW: Injected RST Bad TCP-Checksum/MD5-Option",
+		"-fraction", "0.4")
+	goRun(t, "./cmd/clap-train", "-in", benign, "-model", model,
+		"-rnn-epochs", "3", "-ae-epochs", "4", "-quiet")
+
+	// Scores out: every connection with -all, one worker.
+	serial := goRun(t, "./cmd/clap-detect", "-in", adv, "-model", model,
+		"-all", "-workers", "1", "-shards", "1")
+	serialScores := scoreLines(serial)
+	if len(serialScores) < 30 {
+		t.Fatalf("expected >= 30 scored connections, got %d:\n%s", len(serialScores), serial)
+	}
+
+	// The parallel engine must reproduce the serial output byte-for-byte.
+	for _, wk := range []string{"4", "8"} {
+		par := goRun(t, "./cmd/clap-detect", "-in", adv, "-model", model,
+			"-all", "-workers", wk, "-shards", wk)
+		parScores := scoreLines(par)
+		if len(parScores) != len(serialScores) {
+			t.Fatalf("workers=%s: %d scored connections, serial %d", wk, len(parScores), len(serialScores))
+		}
+		for i := range parScores {
+			if parScores[i] != serialScores[i] {
+				t.Fatalf("workers=%s: line %d diverged\nparallel: %s\nserial:   %s", wk, i, parScores[i], serialScores[i])
+			}
+		}
+	}
+
+	// Calibrated mode still flags connections through the engine.
+	out := goRun(t, "./cmd/clap-detect", "-in", adv, "-model", model,
+		"-calibrate", benign, "-fpr", "0.05", "-workers", "4")
+	if !strings.Contains(out, "connections flagged") {
+		t.Fatalf("calibrated run missing flag summary:\n%s", out)
+	}
+}
+
 func TestAttackInjectList(t *testing.T) {
 	if testing.Short() {
 		t.Skip("integration test")

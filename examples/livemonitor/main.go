@@ -1,8 +1,11 @@
 // Livemonitor: CLAP as an online detector beside a DPI (Figure 3's
 // deployment mode). A packet source streams interleaved traffic; the
-// monitor assembles connections on the fly, scores each one as it closes
-// (or when its packet budget fills), and raises alerts past a threshold
-// calibrated to a target false-positive rate.
+// monitor assembles connections on the fly, submits each one to the
+// parallel scoring engine as it closes (or when its packet budget fills),
+// and raises alerts past a threshold calibrated to a target false-positive
+// rate. Scoring runs concurrently across the engine's worker pool, but
+// alerts are emitted strictly in submission order, so the alert log is
+// deterministic and replayable.
 package main
 
 import (
@@ -14,17 +17,16 @@ import (
 	"clap"
 )
 
-// monitor incrementally assembles a packet stream into connections and
-// scores them with a trained detector.
+// monitor consumes scored connections from the engine stream. Its emit
+// method runs on the stream's single emitter goroutine, in submission
+// order, so the counters need no locking.
 type monitor struct {
-	det       *clap.Detector
 	threshold float64
 	alerts    int
 	scored    int
 }
 
-func (m *monitor) inspect(c *clap.Connection) {
-	s := m.det.Score(c)
+func (m *monitor) emit(c *clap.Connection, s clap.Score) {
 	m.scored++
 	if s.Adversarial >= m.threshold {
 		m.alerts++
@@ -48,11 +50,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Calibrate the deployment threshold on held-out benign traffic.
-	var benign []float64
-	for _, c := range clap.GenerateBenign(80, 5) {
-		benign = append(benign, det.Score(c).Adversarial)
-	}
+	// Calibrate the deployment threshold on held-out benign traffic,
+	// batch-scored through the engine.
+	eng := clap.NewEngine(0)
+	benign := eng.AdversarialScores(det, clap.GenerateBenign(80, 5))
 	threshold := clap.ThresholdAtFPR(benign, 0.04)
 	fmt.Printf("operating threshold %.5f (<= 4%% FPR over %d benign flows)\n\n", threshold, len(benign))
 
@@ -75,17 +76,19 @@ func main() {
 		}
 	}
 
-	m := &monitor{det: det, threshold: threshold}
+	m := &monitor{threshold: threshold}
+	stream := eng.NewStream(det.Score, m.emit)
 	start := time.Now()
 	packets := 0
 	for _, c := range flows {
 		packets += c.Len()
-		m.inspect(c) // in a live deployment this fires on FIN/RST/timeout
+		stream.Submit(c) // in a live deployment this fires on FIN/RST/timeout
 	}
+	stream.Close() // drain: every submitted flow is scored and emitted
 	elapsed := time.Since(start)
 
-	fmt.Printf("\nprocessed %d flows / %d packets in %v (%.0f pkts/s single core)\n",
+	fmt.Printf("\nprocessed %d flows / %d packets in %v (%.0f pkts/s, %d workers)\n",
 		m.scored, packets, elapsed.Round(time.Millisecond),
-		float64(packets)/elapsed.Seconds())
+		float64(packets)/elapsed.Seconds(), eng.Workers())
 	fmt.Printf("alerts: %d (attacks planted: %d)\n", m.alerts, attacksPlanted)
 }

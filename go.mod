@@ -1,0 +1,3 @@
+module clap
+
+go 1.22

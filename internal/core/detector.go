@@ -16,6 +16,12 @@ import (
 // Detector is a trained CLAP instance: the fitted feature profile, the
 // state-prediction RNN and the context autoencoder, plus the configuration
 // they were trained under.
+//
+// A trained Detector is safe for concurrent use: the inference methods
+// (Score, WindowErrors, ContextProfiles, StackedProfiles, Localize,
+// LocalizationHit, RNNAccuracy and friends) only read model state — every
+// scratch buffer in the nn forward passes is per-call or pooled. The
+// parallel scoring engine (internal/engine) relies on this contract.
 type Detector struct {
 	Cfg     Config
 	Profile *features.Profile
@@ -182,9 +188,11 @@ func (d *Detector) contextProfilesFromVecs(c *flow.Connection, vecs [][]float64)
 	if len(vecs) == 0 {
 		return nil
 	}
-	var st *nn.GRUStates
+	// ForwardGates skips the softmax head the scoring path never reads; its
+	// Z/R are bit-identical to the full Forward pass.
+	var gz, gr [][]float64
 	if d.Cfg.UseUpdateGates || d.Cfg.UseResetGates {
-		st = d.RNN.Forward(features.RNNInputs(vecs))
+		gz, gr = d.RNN.ForwardGates(features.RNNInputs(vecs))
 	}
 	width := d.Cfg.ProfileWidth()
 	featWidth := features.NumPacket
@@ -196,10 +204,10 @@ func (d *Detector) contextProfilesFromVecs(c *flow.Connection, vecs [][]float64)
 		prof := make([]float64, 0, width)
 		prof = append(prof, v[:featWidth]...)
 		if d.Cfg.UseUpdateGates {
-			prof = append(prof, st.Z[t]...)
+			prof = append(prof, gz[t]...)
 		}
 		if d.Cfg.UseResetGates {
-			prof = append(prof, st.R[t]...)
+			prof = append(prof, gr[t]...)
 		}
 		out[t] = prof
 	}
@@ -278,6 +286,11 @@ func (d *Detector) Score(c *flow.Connection) Score {
 	return d.scoreFromErrors(errs)
 }
 
+// ScoreFromErrors summarises precomputed window errors into a Score —
+// stage (d) without re-running the inference pipeline, for callers that
+// already hold a connection's WindowErrors.
+func (d *Detector) ScoreFromErrors(errs []float64) Score { return d.scoreFromErrors(errs) }
+
 func (d *Detector) scoreFromErrors(errs []float64) Score {
 	if len(errs) == 0 {
 		return Score{PeakWindow: -1}
@@ -317,11 +330,9 @@ func (d *Detector) windowCoversPacket(w, p, n int) bool {
 	return p >= w && p < w+t
 }
 
-// Localize returns the indices of the topN highest-error windows, each
-// expanded to the packet range it covers — CLAP's forensic output
-// (§3.3(d)).
-func (d *Detector) Localize(c *flow.Connection, topN int) []int {
-	errs := d.WindowErrors(c)
+// LocalizeErrors ranks precomputed window errors, returning the indices of
+// the topN highest-error windows.
+func (d *Detector) LocalizeErrors(errs []float64, topN int) []int {
 	if len(errs) == 0 {
 		return nil
 	}
@@ -340,14 +351,21 @@ func (d *Detector) Localize(c *flow.Connection, topN int) []int {
 	return idx
 }
 
-// LocalizationHit implements the paper's Top-N hit criterion: do the N
-// highest-error context profiles intersect the actual adversarial packets?
-func (d *Detector) LocalizationHit(c *flow.Connection, topN int) bool {
+// Localize returns the indices of the topN highest-error windows, each
+// expanded to the packet range it covers — CLAP's forensic output
+// (§3.3(d)).
+func (d *Detector) Localize(c *flow.Connection, topN int) []int {
+	return d.LocalizeErrors(d.WindowErrors(c), topN)
+}
+
+// LocalizationHitErrors implements the paper's Top-N hit criterion on
+// precomputed window errors: do the N highest-error context profiles
+// intersect the actual adversarial packets?
+func (d *Detector) LocalizationHitErrors(c *flow.Connection, errs []float64, topN int) bool {
 	if !c.IsAdversarial() {
 		return false
 	}
-	wins := d.Localize(c, topN)
-	for _, w := range wins {
+	for _, w := range d.LocalizeErrors(errs, topN) {
 		for _, a := range c.AdvIdx {
 			if d.windowCoversPacket(w, a, c.Len()) {
 				return true
@@ -357,21 +375,38 @@ func (d *Detector) LocalizationHit(c *flow.Connection, topN int) bool {
 	return false
 }
 
+// LocalizationHit is LocalizationHitErrors over a fresh inference pass.
+func (d *Detector) LocalizationHit(c *flow.Connection, topN int) bool {
+	return d.LocalizationHitErrors(c, d.WindowErrors(c), topN)
+}
+
+// RNNAccuracyConn evaluates stage (a) per label class over one connection —
+// the unit the parallel engine fans out. It returns hit and total counts
+// per class.
+func (d *Detector) RNNAccuracyConn(c *flow.Connection) (hits, totals [tcpstate.NumClasses]int) {
+	vecs := d.Profile.Vectorize(c)
+	if len(vecs) == 0 {
+		return hits, totals
+	}
+	pred := d.RNN.Predict(features.RNNInputs(vecs))
+	ls := tcpstate.Labels(c, d.Cfg.Endhost)
+	for i, l := range ls {
+		totals[l.Class()]++
+		if pred[i] == l.Class() {
+			hits[l.Class()]++
+		}
+	}
+	return hits, totals
+}
+
 // RNNAccuracy evaluates stage (a) per label class over a held-out set,
 // regenerating Table 5. It returns hit and total counts per class.
 func (d *Detector) RNNAccuracy(conns []*flow.Connection) (hits, totals [tcpstate.NumClasses]int) {
 	for _, c := range conns {
-		vecs := d.Profile.Vectorize(c)
-		if len(vecs) == 0 {
-			continue
-		}
-		pred := d.RNN.Predict(features.RNNInputs(vecs))
-		ls := tcpstate.Labels(c, d.Cfg.Endhost)
-		for i, l := range ls {
-			totals[l.Class()]++
-			if pred[i] == l.Class() {
-				hits[l.Class()]++
-			}
+		h, t := d.RNNAccuracyConn(c)
+		for cl := 0; cl < tcpstate.NumClasses; cl++ {
+			hits[cl] += h[cl]
+			totals[cl] += t[cl]
 		}
 	}
 	return hits, totals

@@ -1,0 +1,242 @@
+// Package engine is CLAP's sharded, worker-pool scoring engine. Every
+// stage-(d) quantity — adversarial scores, window errors, localization,
+// RNN accuracy — is independent across connections, so the engine fans
+// connections out to a configurable worker pool and merges results
+// deterministically: output slot i always holds connection i's result, and
+// because the inference paths in internal/nn and internal/core are
+// scratch-free (audited; regression-tested under -race), the numbers are
+// bit-identical to the serial path at any worker count.
+//
+// The engine also parallelizes flow assembly: packets are partitioned into
+// shards by an FNV-1a hash of the direction-insensitive connection 4-tuple,
+// each shard is assembled independently, and the shard outputs are merged
+// back into exact capture order (the order flow.Assemble would have
+// produced serially).
+//
+// The zero-config entry point is Default(); New lets callers pin worker and
+// shard counts. An Engine is stateless and safe for concurrent use.
+package engine
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"clap/internal/core"
+	"clap/internal/flow"
+	"clap/internal/packet"
+	"clap/internal/tcpstate"
+)
+
+// Options configures an Engine.
+type Options struct {
+	// Workers is the scoring goroutine count; <= 0 selects GOMAXPROCS.
+	Workers int
+	// Shards is the assembly shard count; <= 0 mirrors Workers.
+	Shards int
+}
+
+// Engine schedules per-connection work across a worker pool.
+type Engine struct {
+	workers int
+	shards  int
+}
+
+// New builds an engine from options.
+func New(o Options) *Engine {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	s := o.Shards
+	if s <= 0 {
+		s = w
+	}
+	return &Engine{workers: w, shards: s}
+}
+
+// Default returns an engine sized to the machine.
+func Default() *Engine { return New(Options{}) }
+
+// Workers reports the configured worker count.
+func (e *Engine) Workers() int { return e.workers }
+
+// Shards reports the configured assembly shard count.
+func (e *Engine) Shards() int { return e.shards }
+
+// ParallelFor runs fn(i) for every i in [0, n) across the worker pool. Work
+// is handed out through an atomic cursor, so callers writing fn results
+// into slot i of a pre-sized slice get deterministic output regardless of
+// scheduling. fn must be safe to call concurrently.
+func (e *Engine) ParallelFor(n int, fn func(i int)) {
+	if n <= 0 {
+		return
+	}
+	w := e.workers
+	if w > n {
+		w = n
+	}
+	if w <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var cursor atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(w)
+	for k := 0; k < w; k++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(cursor.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// ScoreAll scores every connection with the detector, preserving input
+// order. Scores are bit-identical to calling det.Score serially.
+func (e *Engine) ScoreAll(det *core.Detector, conns []*flow.Connection) []core.Score {
+	out := make([]core.Score, len(conns))
+	e.ParallelFor(len(conns), func(i int) { out[i] = det.Score(conns[i]) })
+	return out
+}
+
+// AdversarialScores returns only the scalar adversarial score per
+// connection, in input order.
+func (e *Engine) AdversarialScores(det *core.Detector, conns []*flow.Connection) []float64 {
+	out := make([]float64, len(conns))
+	e.ParallelFor(len(conns), func(i int) { out[i] = det.Score(conns[i]).Adversarial })
+	return out
+}
+
+// MapFloat evaluates an arbitrary per-connection scalar (e.g. a baseline
+// detector's score function) across the pool, in input order. score must be
+// safe for concurrent calls.
+func (e *Engine) MapFloat(conns []*flow.Connection, score func(*flow.Connection) float64) []float64 {
+	out := make([]float64, len(conns))
+	e.ParallelFor(len(conns), func(i int) { out[i] = score(conns[i]) })
+	return out
+}
+
+// WindowErrorsAll computes per-window reconstruction errors for every
+// connection, in input order.
+func (e *Engine) WindowErrorsAll(det *core.Detector, conns []*flow.Connection) [][]float64 {
+	out := make([][]float64, len(conns))
+	e.ParallelFor(len(conns), func(i int) { out[i] = det.WindowErrors(conns[i]) })
+	return out
+}
+
+// RNNAccuracy evaluates stage (a) across the pool: per-connection class
+// hit/total counts are computed in parallel and summed in input order.
+func (e *Engine) RNNAccuracy(det *core.Detector, conns []*flow.Connection) (hits, totals [tcpstate.NumClasses]int) {
+	perHits := make([][tcpstate.NumClasses]int, len(conns))
+	perTotals := make([][tcpstate.NumClasses]int, len(conns))
+	e.ParallelFor(len(conns), func(i int) {
+		perHits[i], perTotals[i] = det.RNNAccuracyConn(conns[i])
+	})
+	for i := range perHits {
+		for c := 0; c < tcpstate.NumClasses; c++ {
+			hits[c] += perHits[i][c]
+			totals[c] += perTotals[i][c]
+		}
+	}
+	return hits, totals
+}
+
+// FNV-1a, inlined so per-packet shard hashing does not allocate a hasher.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+type endpointKey struct {
+	ip   [4]byte
+	port uint16
+}
+
+func (a endpointKey) less(b endpointKey) bool {
+	for i := 0; i < 4; i++ {
+		if a.ip[i] != b.ip[i] {
+			return a.ip[i] < b.ip[i]
+		}
+	}
+	return a.port < b.port
+}
+
+// shardOf hashes a packet's 4-tuple into [0, shards). The two endpoints are
+// canonically ordered first so both directions of a connection — and
+// therefore every packet flow.Assemble would group together — land in the
+// same shard.
+func shardOf(p *packet.Packet, shards int) int {
+	a := endpointKey{ip: p.IP.SrcIP, port: p.TCP.SrcPort}
+	b := endpointKey{ip: p.IP.DstIP, port: p.TCP.DstPort}
+	if b.less(a) {
+		a, b = b, a
+	}
+	var buf [12]byte
+	copy(buf[0:4], a.ip[:])
+	buf[4] = byte(a.port >> 8)
+	buf[5] = byte(a.port)
+	copy(buf[6:10], b.ip[:])
+	buf[10] = byte(b.port >> 8)
+	buf[11] = byte(b.port)
+	h := uint64(fnvOffset64)
+	for _, c := range buf {
+		h ^= uint64(c)
+		h *= fnvPrime64
+	}
+	return int(h % uint64(shards))
+}
+
+// Assemble groups a capture-ordered packet stream into connections like
+// flow.Assemble, but sharded: packets are partitioned by connection-key
+// hash, shards assemble concurrently, and the merged output is restored to
+// exact serial order (connections ordered by their first packet's capture
+// position). The result is element-wise identical to flow.Assemble(pkts)
+// because assembly state never crosses 4-tuples and a 4-tuple never crosses
+// shards.
+func (e *Engine) Assemble(pkts []*packet.Packet) []*flow.Connection {
+	shards := e.shards
+	if shards <= 1 || len(pkts) < 2*shards {
+		return flow.Assemble(pkts)
+	}
+	parts := make([][]*packet.Packet, shards)
+	for _, p := range pkts {
+		s := shardOf(p, shards)
+		parts[s] = append(parts[s], p)
+	}
+	assembled := make([][]*flow.Connection, shards)
+	e.ParallelFor(shards, func(i int) { assembled[i] = flow.Assemble(parts[i]) })
+
+	// Merge back to capture order without indexing every packet: map only
+	// each connection's first packet (#connections entries, not #packets),
+	// then walk the stream once, emitting connections as their first packet
+	// appears. The slice value keeps the merge deterministic even in the
+	// pathological case of one packet pointer opening connections in
+	// several shards.
+	nConns := 0
+	for _, cs := range assembled {
+		nConns += len(cs)
+	}
+	byFirst := make(map[*packet.Packet][]*flow.Connection, nConns)
+	for _, cs := range assembled {
+		for _, c := range cs {
+			byFirst[c.Packets[0]] = append(byFirst[c.Packets[0]], c)
+		}
+	}
+	out := make([]*flow.Connection, 0, nConns)
+	for _, p := range pkts {
+		if cs, ok := byFirst[p]; ok {
+			out = append(out, cs...)
+			delete(byFirst, p)
+		}
+	}
+	return out
+}

@@ -1,0 +1,73 @@
+package engine
+
+import (
+	"sync"
+
+	"clap/internal/core"
+	"clap/internal/flow"
+)
+
+// Stream is the engine's online-deployment mode (Figure 3): connections are
+// submitted as they close, scored by the worker pool, and emitted strictly
+// in submission order — so a live monitor behind a DPI keeps deterministic,
+// replayable alert logs even though scoring runs concurrently.
+type Stream struct {
+	jobs    chan *streamJob
+	pending chan *streamJob
+	done    chan struct{}
+	wg      sync.WaitGroup
+}
+
+type streamJob struct {
+	c   *flow.Connection
+	out chan core.Score
+}
+
+// NewStream starts a scoring stream. score runs on pool workers and must be
+// safe for concurrent calls (a trained Detector's Score method is); emit is
+// invoked on a single goroutine, one connection at a time, in submission
+// order. Close the stream to drain and release the workers.
+func (e *Engine) NewStream(score func(*flow.Connection) core.Score, emit func(*flow.Connection, core.Score)) *Stream {
+	depth := 4 * e.workers
+	s := &Stream{
+		jobs:    make(chan *streamJob, depth),
+		pending: make(chan *streamJob, depth),
+		done:    make(chan struct{}),
+	}
+	s.wg.Add(e.workers)
+	for w := 0; w < e.workers; w++ {
+		go func() {
+			defer s.wg.Done()
+			for j := range s.jobs {
+				j.out <- score(j.c)
+			}
+		}()
+	}
+	go func() {
+		for j := range s.pending {
+			emit(j.c, <-j.out)
+		}
+		close(s.done)
+	}()
+	return s
+}
+
+// Submit queues one connection for scoring. It blocks only when the
+// in-flight window (4× workers) is full. Not safe for concurrent Submit
+// calls from multiple goroutines; the submission order defines the emit
+// order.
+func (s *Stream) Submit(c *flow.Connection) {
+	j := &streamJob{c: c, out: make(chan core.Score, 1)}
+	s.pending <- j
+	s.jobs <- j
+}
+
+// Close drains the stream: it waits until every submitted connection has
+// been scored and emitted, then stops the workers. The stream cannot be
+// reused afterwards.
+func (s *Stream) Close() {
+	close(s.jobs)
+	close(s.pending)
+	<-s.done
+	s.wg.Wait()
+}

@@ -1,0 +1,65 @@
+package engine
+
+import (
+	"testing"
+
+	"clap/internal/core"
+	"clap/internal/flow"
+)
+
+// TestStreamOrderedEmission: results must be emitted strictly in
+// submission order with scores identical to the serial path, even though
+// scoring runs on a concurrent pool.
+func TestStreamOrderedEmission(t *testing.T) {
+	det := tinyDetector(t)
+	conns := mixedCorpus(t, 20, 31)
+	want := make([]core.Score, len(conns))
+	for i, c := range conns {
+		want[i] = det.Score(c)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		eng := New(Options{Workers: workers})
+		var gotConns []*flow.Connection
+		var gotScores []core.Score
+		stream := eng.NewStream(det.Score, func(c *flow.Connection, s core.Score) {
+			gotConns = append(gotConns, c)
+			gotScores = append(gotScores, s)
+		})
+		for _, c := range conns {
+			stream.Submit(c)
+		}
+		stream.Close()
+
+		if len(gotConns) != len(conns) {
+			t.Fatalf("workers=%d: emitted %d of %d connections", workers, len(gotConns), len(conns))
+		}
+		for i := range conns {
+			if gotConns[i] != conns[i] {
+				t.Fatalf("workers=%d: emission order broken at %d", workers, i)
+			}
+			sameScore(t, "Stream", i, gotScores[i], want[i])
+		}
+	}
+}
+
+// TestStreamBackpressure submits far more connections than the in-flight
+// window; Submit must block rather than drop, and Close must drain
+// everything.
+func TestStreamBackpressure(t *testing.T) {
+	det := tinyDetector(t)
+	conns := genConns(10, 41)
+	eng := New(Options{Workers: 2})
+	emitted := 0
+	stream := eng.NewStream(det.Score, func(*flow.Connection, core.Score) { emitted++ })
+	const rounds = 30 // 300 submissions through an 8-deep window
+	for r := 0; r < rounds; r++ {
+		for _, c := range conns {
+			stream.Submit(c)
+		}
+	}
+	stream.Close()
+	if want := rounds * len(conns); emitted != want {
+		t.Fatalf("emitted %d, want %d", emitted, want)
+	}
+}

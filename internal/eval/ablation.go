@@ -5,6 +5,7 @@ import (
 	"strings"
 
 	"clap/internal/core"
+	"clap/internal/flow"
 	"clap/internal/metrics"
 )
 
@@ -42,10 +43,48 @@ func (s *Suite) TrainVariant(mutate func(*core.Config), logf core.Logf) (*core.D
 	return core.Train(s.Data.Train, cfg, logf)
 }
 
+// neededBases collects, in first-use order, the unique carrier-pool indices
+// the named strategies reference — the set of base connections whose scores
+// a paired evaluation needs.
+func (s *Suite) neededBases(names []string) []int {
+	seen := map[int]bool{}
+	var need []int
+	for _, name := range names {
+		for _, bi := range s.Data.AdvSrc[name] {
+			if !seen[bi] {
+				seen[bi] = true
+				need = append(need, bi)
+			}
+		}
+	}
+	return need
+}
+
+// baseScoreMap scores the carrier-pool connections the named strategies
+// reference, through the engine, returning carrier index -> score.
+func (s *Suite) baseScoreMap(names []string, score func(*flow.Connection) float64) map[int]float64 {
+	need := s.neededBases(names)
+	baseConns := make([]*flow.Connection, len(need))
+	for i, bi := range need {
+		baseConns[i] = s.Data.AdvBase[bi]
+	}
+	baseVals := s.engineOrDefault().MapFloat(baseConns, score)
+	baseScores := make(map[int]float64, len(need))
+	for i, bi := range need {
+		baseScores[bi] = baseVals[i]
+	}
+	return baseScores
+}
+
 // EvaluateDetector computes the mean paired AUC of an arbitrary detector
-// over the named strategies.
+// over the named strategies. Carrier and adversarial corpora are scored
+// through the parallel engine; results are independent of the worker count.
 func (s *Suite) EvaluateDetector(det *core.Detector, names []string) float64 {
-	baseScores := map[int]float64{}
+	eng := s.engineOrDefault()
+	baseScores := s.baseScoreMap(names, func(c *flow.Connection) float64 {
+		return det.Score(c).Adversarial
+	})
+
 	var sum float64
 	var n int
 	for _, name := range names {
@@ -54,14 +93,10 @@ func (s *Suite) EvaluateDetector(det *core.Detector, names []string) float64 {
 		if len(conns) == 0 {
 			continue
 		}
-		var ben, adv []float64
-		for i, c := range conns {
-			bi := srcs[i]
-			if _, ok := baseScores[bi]; !ok {
-				baseScores[bi] = det.Score(s.Data.AdvBase[bi]).Adversarial
-			}
-			ben = append(ben, baseScores[bi])
-			adv = append(adv, det.Score(c).Adversarial)
+		adv := eng.AdversarialScores(det, conns)
+		ben := make([]float64, len(conns))
+		for i := range conns {
+			ben[i] = baseScores[srcs[i]]
 		}
 		sum += metrics.AUC(ben, adv)
 		n++
@@ -126,26 +161,28 @@ func aggregate(errs []float64, agg ScoreAggregation, window int) float64 {
 }
 
 // EvaluateScoreMetric computes the mean paired AUC of the suite's CLAP
-// detector under an alternative score aggregation.
+// detector under an alternative score aggregation, with window errors
+// computed through the parallel engine.
 func (s *Suite) EvaluateScoreMetric(agg ScoreAggregation, names []string) float64 {
-	baseScores := map[int]float64{}
+	eng := s.engineOrDefault()
+	w := s.Opt.CLAP.ScoreWindow
+	scoreAgg := func(c *flow.Connection) float64 {
+		return aggregate(s.CLAP.WindowErrors(c), agg, w)
+	}
+	baseScores := s.baseScoreMap(names, scoreAgg)
+
 	var sum float64
 	var n int
-	w := s.Opt.CLAP.ScoreWindow
 	for _, name := range names {
 		conns := s.Data.Adv[name]
 		srcs := s.Data.AdvSrc[name]
 		if len(conns) == 0 {
 			continue
 		}
-		var ben, adv []float64
-		for i, c := range conns {
-			bi := srcs[i]
-			if _, ok := baseScores[bi]; !ok {
-				baseScores[bi] = aggregate(s.CLAP.WindowErrors(s.Data.AdvBase[bi]), agg, w)
-			}
-			ben = append(ben, baseScores[bi])
-			adv = append(adv, aggregate(s.CLAP.WindowErrors(c), agg, w))
+		adv := eng.MapFloat(conns, scoreAgg)
+		ben := make([]float64, len(conns))
+		for i := range conns {
+			ben[i] = baseScores[srcs[i]]
 		}
 		sum += metrics.AUC(ben, adv)
 		n++

@@ -14,8 +14,8 @@ import (
 )
 
 // The renderers below regenerate the paper's tables and figures as text.
-// Figures become per-strategy series (one line per bar); EXPERIMENTS.md
-// records paper-vs-measured values.
+// Figures become per-strategy series (one line per bar); DESIGN.md §5
+// indexes which benchmark regenerates which table or figure.
 
 // Table1 renders the detection breakdown per strategy corpus (paper
 // Table 1).
@@ -66,7 +66,8 @@ func (t Throughput) ConnectionsPerSecond() float64 {
 	return float64(t.Connections) / t.Elapsed.Seconds()
 }
 
-// MeasureThroughputCLAP times CLAP's full inference pipeline over conns.
+// MeasureThroughputCLAP times CLAP's full inference pipeline over conns on
+// a single worker — the paper's single-core Table 3 measurement.
 func (s *Suite) MeasureThroughputCLAP(conns []*flow.Connection) Throughput {
 	th := Throughput{Connections: len(conns)}
 	start := time.Now()
@@ -75,6 +76,19 @@ func (s *Suite) MeasureThroughputCLAP(conns []*flow.Connection) Throughput {
 		th.Packets += c.Len()
 	}
 	th.Elapsed = time.Since(start)
+	return th
+}
+
+// MeasureThroughputEngine times the same pipeline through the suite's
+// parallel engine — the deployment-mode counterpart of Table 3.
+func (s *Suite) MeasureThroughputEngine(conns []*flow.Connection) Throughput {
+	th := Throughput{Connections: len(conns)}
+	start := time.Now()
+	_ = s.engineOrDefault().ScoreAll(s.CLAP, conns)
+	th.Elapsed = time.Since(start)
+	for _, c := range conns {
+		th.Packets += c.Len()
+	}
 	return th
 }
 
@@ -90,16 +104,23 @@ func (s *Suite) MeasureThroughputKitsune(conns []*flow.Connection) Throughput {
 	return th
 }
 
-// Table3 renders the throughput comparison (paper Table 3).
-func Table3(clap, kit Throughput) string {
+// Table3 renders the throughput comparison (paper Table 3). The paper's
+// measurement is single-core; an optional engine measurement adds an
+// all-cores deployment-mode row in the CLAP column.
+func Table3(clap, kit Throughput, eng ...Throughput) string {
 	var b strings.Builder
-	fmt.Fprintf(&b, "Table 3: model processing throughput (single core)\n")
-	fmt.Fprintf(&b, "%-22s %-14s %-14s\n", "Metric", "CLAP", "Kitsune [17]")
+	fmt.Fprintf(&b, "Table 3: model processing throughput\n")
+	fmt.Fprintf(&b, "%-28s %-14s %-14s\n", "Metric", "CLAP", "Kitsune [17]")
 	gain := clap.PacketsPerSecond()/kit.PacketsPerSecond()*100 - 100
-	fmt.Fprintf(&b, "%-22s %-14.1f %-14.1f (CLAP %+.1f%%)\n", "Packets/second",
+	fmt.Fprintf(&b, "%-28s %-14.1f %-14.1f (CLAP %+.1f%%)\n", "Packets/second (1 core)",
 		clap.PacketsPerSecond(), kit.PacketsPerSecond(), gain)
-	fmt.Fprintf(&b, "%-22s %-14.1f %-14.1f\n", "Connections/second",
+	fmt.Fprintf(&b, "%-28s %-14.1f %-14.1f\n", "Connections/second (1 core)",
 		clap.ConnectionsPerSecond(), kit.ConnectionsPerSecond())
+	for _, e := range eng {
+		speedup := e.PacketsPerSecond() / clap.PacketsPerSecond()
+		fmt.Fprintf(&b, "%-28s %-14.1f %-14s (%.2fx serial CLAP)\n",
+			"Packets/second (engine)", e.PacketsPerSecond(), "-", speedup)
+	}
 	return b.String()
 }
 
@@ -126,7 +147,7 @@ func Table4(d *Dataset) string {
 
 // Table5 renders the per-label RNN accuracy breakdown (paper Table 5).
 func Table5(s *Suite) string {
-	hits, totals := s.CLAP.RNNAccuracy(s.Data.TestBenign)
+	hits, totals := s.engineOrDefault().RNNAccuracy(s.CLAP, s.Data.TestBenign)
 	var b strings.Builder
 	fmt.Fprintf(&b, "Table 5: per-label RNN state-prediction accuracy\n")
 	fmt.Fprintf(&b, "%-26s %-10s %-10s %-10s\n", "Label", "Accuracy", "Hits", "Samples")
@@ -309,6 +330,7 @@ func FullReport(s *Suite, rs []StrategyResult) string {
 	for _, name := range names {
 		advConns = append(advConns, s.Data.Adv[name]...)
 	}
-	b.WriteString(Table3(s.MeasureThroughputCLAP(advConns), s.MeasureThroughputKitsune(advConns)))
+	b.WriteString(Table3(s.MeasureThroughputCLAP(advConns), s.MeasureThroughputKitsune(advConns),
+		s.MeasureThroughputEngine(advConns)))
 	return b.String()
 }

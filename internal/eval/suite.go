@@ -13,6 +13,7 @@ import (
 
 	"clap/internal/attacks"
 	"clap/internal/core"
+	"clap/internal/engine"
 	"clap/internal/flow"
 	"clap/internal/kitsune"
 	"clap/internal/metrics"
@@ -36,6 +37,10 @@ type Options struct {
 	TrainConns     int
 	TestBenign     int
 	AdvPerStrategy int
+
+	// Workers sizes the parallel scoring engine; <= 0 selects GOMAXPROCS.
+	// Scores are bit-identical at any worker count.
+	Workers int
 
 	CLAP core.Config
 	B1   core.Config
@@ -133,6 +138,10 @@ type Suite struct {
 	Opt  Options
 	Data *Dataset
 
+	// Eng is the parallel scoring engine every evaluation loop runs
+	// through. BuildSuite sets it from Options.Workers.
+	Eng *engine.Engine
+
 	CLAP *core.Detector
 	B1   *core.Detector
 	Kit  *kitsune.Kitsune
@@ -159,6 +168,7 @@ func BuildSuite(o Options, logf core.Logf) (*Suite, error) {
 		logf = func(string, ...any) {}
 	}
 	s := &Suite{Opt: o, TrainTime: map[string]time.Duration{}}
+	s.Eng = engine.New(engine.Options{Workers: o.Workers})
 	logf("generating dataset (profile %s)...", o.Profile)
 	s.Data = BuildDataset(o)
 
@@ -183,19 +193,25 @@ func BuildSuite(o Options, logf core.Logf) (*Suite, error) {
 	s.Kit.Train(flow.Flatten(s.Data.Train))
 	s.TrainTime["kitsune"] = time.Since(start)
 
-	logf("scoring benign test set (%d connections)...", len(s.Data.TestBenign))
-	for _, c := range s.Data.TestBenign {
-		s.BenignCLAP = append(s.BenignCLAP, s.CLAP.Score(c).Adversarial)
-		s.BenignB1 = append(s.BenignB1, s.B1.Score(c).Adversarial)
-		s.BenignKit = append(s.BenignKit, s.Kit.ScoreConnection(c))
-	}
+	logf("scoring benign test set (%d connections, %d workers)...",
+		len(s.Data.TestBenign), s.Eng.Workers())
+	s.BenignCLAP = s.Eng.AdversarialScores(s.CLAP, s.Data.TestBenign)
+	s.BenignB1 = s.Eng.AdversarialScores(s.B1, s.Data.TestBenign)
+	s.BenignKit = s.Eng.MapFloat(s.Data.TestBenign, s.Kit.ScoreConnection)
 	logf("scoring carrier pool (%d connections)...", len(s.Data.AdvBase))
-	for _, c := range s.Data.AdvBase {
-		s.BaseCLAP = append(s.BaseCLAP, s.CLAP.Score(c).Adversarial)
-		s.BaseB1 = append(s.BaseB1, s.B1.Score(c).Adversarial)
-		s.BaseKit = append(s.BaseKit, s.Kit.ScoreConnection(c))
-	}
+	s.BaseCLAP = s.Eng.AdversarialScores(s.CLAP, s.Data.AdvBase)
+	s.BaseB1 = s.Eng.AdversarialScores(s.B1, s.Data.AdvBase)
+	s.BaseKit = s.Eng.MapFloat(s.Data.AdvBase, s.Kit.ScoreConnection)
 	return s, nil
+}
+
+// engineOrDefault lets suites constructed without BuildSuite (tests,
+// deserialized fixtures) still run through an engine.
+func (s *Suite) engineOrDefault() *engine.Engine {
+	if s.Eng == nil {
+		s.Eng = engine.Default()
+	}
+	return s.Eng
 }
 
 // StrategyResult is the full per-strategy outcome (one bar of Figures 7-12).
@@ -227,19 +243,38 @@ func (s *Suite) EvaluateStrategy(st attacks.Strategy) StrategyResult {
 		benB1 = append(benB1, s.BaseB1[bi])
 		benKit = append(benKit, s.BaseKit[bi])
 	}
-	var clap, b1, kit []float64
+	// One parallel pass per strategy: every connection's scores and
+	// localization verdicts are independent, results land in per-index
+	// slots, and the reduction below runs in input order — deterministic at
+	// any worker count.
+	eng := s.engineOrDefault()
+	clap := make([]float64, len(conns))
+	b1 := make([]float64, len(conns))
+	kit := make([]float64, len(conns))
+	hits := make([][3]bool, len(conns))
+	eng.ParallelFor(len(conns), func(i int) {
+		c := conns[i]
+		// One CLAP inference pass per connection: score and all three
+		// localization levels derive from the same window errors.
+		errs := s.CLAP.WindowErrors(c)
+		clap[i] = s.CLAP.ScoreFromErrors(errs).Adversarial
+		hits[i] = [3]bool{
+			s.CLAP.LocalizationHitErrors(c, errs, 1),
+			s.CLAP.LocalizationHitErrors(c, errs, 3),
+			s.CLAP.LocalizationHitErrors(c, errs, 5),
+		}
+		b1[i] = s.B1.Score(c).Adversarial
+		kit[i] = s.Kit.ScoreConnection(c)
+	})
 	var hit1, hit3, hit5 int
-	for _, c := range conns {
-		clap = append(clap, s.CLAP.Score(c).Adversarial)
-		b1 = append(b1, s.B1.Score(c).Adversarial)
-		kit = append(kit, s.Kit.ScoreConnection(c))
-		if s.CLAP.LocalizationHit(c, 1) {
+	for _, h := range hits {
+		if h[0] {
 			hit1++
 		}
-		if s.CLAP.LocalizationHit(c, 3) {
+		if h[1] {
 			hit3++
 		}
-		if s.CLAP.LocalizationHit(c, 5) {
+		if h[2] {
 			hit5++
 		}
 	}

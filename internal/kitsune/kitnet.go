@@ -344,7 +344,9 @@ func (k *Kitsune) scoreWith(ext *Extractor, p *packet.Packet) float64 {
 // scored against a fresh statistics context (models and normalisation stay
 // shared and frozen) so that repeatedly scoring overlapping corpora — as
 // the per-strategy evaluation does — cannot contaminate the damped
-// statistics with replayed traffic.
+// statistics with replayed traffic. Because the per-call extractor is the
+// only mutable state, ScoreConnection on a trained (frozen) model is safe
+// for concurrent use and the parallel engine fans it out alongside CLAP.
 func (k *Kitsune) ScoreConnection(c *flow.Connection) float64 {
 	ext := NewExtractor(k.cfg.Lambdas)
 	var max float64

@@ -12,6 +12,19 @@ type Dense struct {
 	Tanh bool
 }
 
+// apply computes the layer's output into out — the single source of the
+// layer arithmetic, shared by the retaining forward pass and the pooled
+// inference path so both are structurally bit-identical.
+func (l *Dense) apply(in, out []float64) {
+	l.W.MulVec(in, out)
+	for j := range out {
+		out[j] += l.B.W[j]
+		if l.Tanh {
+			out[j] = math.Tanh(out[j])
+		}
+	}
+}
+
 // Autoencoder is a symmetric MLP autoencoder trained with L1 reconstruction
 // loss (§3.3(c)). Hidden layers use tanh; the output layer is linear so
 // reconstruction error is measured in input units. The paper's CLAP
@@ -20,6 +33,13 @@ type Dense struct {
 type Autoencoder struct {
 	Sizes  []int
 	Layers []*Dense
+
+	// scratch pools per-layer activation buffers for the inference path so
+	// concurrent Error/Errors callers do not allocate a full activation
+	// chain per window. The zero value is ready to use, which keeps the
+	// struct-literal construction sites (persistence, training shadows)
+	// working unchanged.
+	scratch sync.Pool
 }
 
 // NewAutoencoder builds a chain of len(sizes)-1 dense layers; sizes is the
@@ -73,13 +93,7 @@ func (ae *Autoencoder) forward(x []float64) [][]float64 {
 	acts[0] = x
 	for i, l := range ae.Layers {
 		out := make([]float64, l.W.R)
-		l.W.MulVec(acts[i], out)
-		for j := range out {
-			out[j] += l.B.W[j]
-			if l.Tanh {
-				out[j] = math.Tanh(out[j])
-			}
-		}
+		l.apply(acts[i], out)
 		acts[i+1] = out
 	}
 	return acts
@@ -91,23 +105,57 @@ func (ae *Autoencoder) Reconstruct(x []float64) []float64 {
 	return acts[len(acts)-1]
 }
 
-// Error returns the mean absolute (L1) reconstruction error of x — CLAP's
-// anomaly signal.
-func (ae *Autoencoder) Error(x []float64) float64 {
-	y := ae.Reconstruct(x)
-	var s float64
-	for i := range x {
-		s += math.Abs(y[i] - x[i])
-	}
-	return s / float64(len(x))
+// errScratch is one pooled set of per-layer activation buffers.
+type errScratch struct {
+	acts [][]float64 // acts[i] has layer i's output width
 }
 
-// Errors computes reconstruction errors for a batch.
+func (ae *Autoencoder) getScratch() *errScratch {
+	if v := ae.scratch.Get(); v != nil {
+		return v.(*errScratch)
+	}
+	s := &errScratch{acts: make([][]float64, len(ae.Layers))}
+	for i, l := range ae.Layers {
+		s.acts[i] = make([]float64, l.W.R)
+	}
+	return s
+}
+
+// errorWith computes the L1 reconstruction error of x using pooled
+// activation buffers. The operation order matches forward() exactly, so the
+// result is bit-identical to the allocating path.
+func (ae *Autoencoder) errorWith(s *errScratch, x []float64) float64 {
+	cur := x
+	for i, l := range ae.Layers {
+		l.apply(cur, s.acts[i])
+		cur = s.acts[i]
+	}
+	var sum float64
+	for i := range x {
+		sum += math.Abs(cur[i] - x[i])
+	}
+	return sum / float64(len(x))
+}
+
+// Error returns the mean absolute (L1) reconstruction error of x — CLAP's
+// anomaly signal. Safe for concurrent use on a trained (no longer mutating)
+// model: weights are only read and scratch buffers come from a sync.Pool.
+func (ae *Autoencoder) Error(x []float64) float64 {
+	s := ae.getScratch()
+	e := ae.errorWith(s, x)
+	ae.scratch.Put(s)
+	return e
+}
+
+// Errors computes reconstruction errors for a batch, reusing one scratch
+// set across the whole batch. Safe for concurrent use like Error.
 func (ae *Autoencoder) Errors(xs [][]float64) []float64 {
 	out := make([]float64, len(xs))
+	s := ae.getScratch()
 	for i, x := range xs {
-		out[i] = ae.Error(x)
+		out[i] = ae.errorWith(s, x)
 	}
+	ae.scratch.Put(s)
 	return out
 }
 

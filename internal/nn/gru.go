@@ -56,6 +56,46 @@ type GRUStates struct {
 	Probs [][]float64 // softmax outputs, T×Classes
 }
 
+// gruScratch holds one recurrence step's temporaries. Always per-call, so
+// concurrent forward passes on one model never share state.
+type gruScratch struct {
+	az, ar, ah, tmp, rh []float64
+}
+
+func newGRUScratch(hidden int) *gruScratch {
+	return &gruScratch{
+		az: make([]float64, hidden), ar: make([]float64, hidden), ah: make([]float64, hidden),
+		tmp: make([]float64, hidden), rh: make([]float64, hidden),
+	}
+}
+
+// step computes one GRU recurrence step into z, r, c and h — the single
+// source of the gate arithmetic, shared by Forward and ForwardGates so
+// their results are structurally bit-identical.
+func (m *GRUClassifier) step(sc *gruScratch, x, hPrev, z, r, c, h []float64) {
+	m.Wz.MulVec(x, sc.az)
+	m.Uz.MulVec(hPrev, sc.tmp)
+	for i := range z {
+		z[i] = sigmoid(sc.az[i] + sc.tmp[i] + m.Bz.W[i])
+	}
+	m.Wr.MulVec(x, sc.ar)
+	m.Ur.MulVec(hPrev, sc.tmp)
+	for i := range r {
+		r[i] = sigmoid(sc.ar[i] + sc.tmp[i] + m.Br.W[i])
+	}
+	for i := range sc.rh {
+		sc.rh[i] = r[i] * hPrev[i]
+	}
+	m.Wh.MulVec(x, sc.ah)
+	m.Uh.MulVec(sc.rh, sc.tmp)
+	for i := range c {
+		c[i] = math.Tanh(sc.ah[i] + sc.tmp[i] + m.Bh.W[i])
+	}
+	for i := range h {
+		h[i] = (1-z[i])*hPrev[i] + z[i]*c[i]
+	}
+}
+
 // Forward runs the GRU over a sequence, returning all intermediate states.
 func (m *GRUClassifier) Forward(seq [][]float64) *GRUStates {
 	T := len(seq)
@@ -65,40 +105,15 @@ func (m *GRUClassifier) Forward(seq [][]float64) *GRUStates {
 		Cand: make([][]float64, T), Probs: make([][]float64, T),
 	}
 	hPrev := make([]float64, m.Hidden)
-	az := make([]float64, m.Hidden)
-	ar := make([]float64, m.Hidden)
-	ah := make([]float64, m.Hidden)
-	tmp := make([]float64, m.Hidden)
-	rh := make([]float64, m.Hidden)
+	sc := newGRUScratch(m.Hidden)
 	logits := make([]float64, m.Classes)
 	for t := 0; t < T; t++ {
-		x := seq[t]
 		z := make([]float64, m.Hidden)
 		r := make([]float64, m.Hidden)
 		c := make([]float64, m.Hidden)
 		h := make([]float64, m.Hidden)
+		m.step(sc, seq[t], hPrev, z, r, c, h)
 
-		m.Wz.MulVec(x, az)
-		m.Uz.MulVec(hPrev, tmp)
-		for i := range z {
-			z[i] = sigmoid(az[i] + tmp[i] + m.Bz.W[i])
-		}
-		m.Wr.MulVec(x, ar)
-		m.Ur.MulVec(hPrev, tmp)
-		for i := range r {
-			r[i] = sigmoid(ar[i] + tmp[i] + m.Br.W[i])
-		}
-		for i := range rh {
-			rh[i] = r[i] * hPrev[i]
-		}
-		m.Wh.MulVec(x, ah)
-		m.Uh.MulVec(rh, tmp)
-		for i := range c {
-			c[i] = math.Tanh(ah[i] + tmp[i] + m.Bh.W[i])
-		}
-		for i := range h {
-			h[i] = (1-z[i])*hPrev[i] + z[i]*c[i]
-		}
 		probs := make([]float64, m.Classes)
 		m.Wo.MulVec(h, logits)
 		for i := range logits {
@@ -110,6 +125,31 @@ func (m *GRUClassifier) Forward(seq [][]float64) *GRUStates {
 		hPrev = h
 	}
 	return st
+}
+
+// ForwardGates runs the recurrence computing only the per-step update and
+// reset gate activations — the scoring-path variant of Forward. Stage (b)
+// harvests z_t and r_t but never reads the softmax head, so the output
+// multiply and per-step probability/candidate/state retention are skipped.
+// Both paths run the same step method, so the returned Z and R are
+// bit-identical to Forward(seq).Z/.R. All scratch state is per-call;
+// concurrent ForwardGates calls on one model are safe.
+func (m *GRUClassifier) ForwardGates(seq [][]float64) (Z, R [][]float64) {
+	T := len(seq)
+	Z = make([][]float64, T)
+	R = make([][]float64, T)
+	hPrev := make([]float64, m.Hidden)
+	h := make([]float64, m.Hidden)
+	c := make([]float64, m.Hidden)
+	sc := newGRUScratch(m.Hidden)
+	for t := 0; t < T; t++ {
+		z := make([]float64, m.Hidden)
+		r := make([]float64, m.Hidden)
+		m.step(sc, seq[t], hPrev, z, r, c, h)
+		Z[t], R[t] = z, r
+		hPrev, h = h, hPrev
+	}
+	return Z, R
 }
 
 // Loss computes the mean cross-entropy of a forward pass against labels.

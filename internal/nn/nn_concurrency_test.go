@@ -1,0 +1,167 @@
+package nn
+
+// Concurrency regression tests for the inference paths the scoring engine
+// drives in parallel (internal/engine). The audit behind these tests: every
+// forward-pass scratch buffer must be per-call or pooled, never hung off
+// the shared model, so overlapping Score calls on one trained detector stay
+// race-free and bit-deterministic. Run under -race to catch regressions
+// that reintroduce shared scratch state.
+
+import (
+	"math/rand"
+	"sync"
+	"testing"
+)
+
+// randSeq builds a deterministic test sequence.
+func randSeq(rng *rand.Rand, T, width int) [][]float64 {
+	seq := make([][]float64, T)
+	for t := range seq {
+		v := make([]float64, width)
+		for i := range v {
+			v[i] = rng.NormFloat64()
+		}
+		seq[t] = v
+	}
+	return seq
+}
+
+// TestForwardGatesMatchesForward pins the contract ForwardGates is built
+// on: its Z and R activations are bit-identical to the full Forward pass.
+func TestForwardGatesMatchesForward(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	m := NewGRUClassifier(12, 16, 5, rng)
+	for trial := 0; trial < 10; trial++ {
+		seq := randSeq(rng, 3+trial*4, 12)
+		st := m.Forward(seq)
+		Z, R := m.ForwardGates(seq)
+		if len(Z) != len(st.Z) || len(R) != len(st.R) {
+			t.Fatalf("trial %d: length mismatch", trial)
+		}
+		for ti := range Z {
+			for i := range Z[ti] {
+				if Z[ti][i] != st.Z[ti][i] {
+					t.Fatalf("trial %d step %d: Z[%d] = %v, Forward gives %v", trial, ti, i, Z[ti][i], st.Z[ti][i])
+				}
+				if R[ti][i] != st.R[ti][i] {
+					t.Fatalf("trial %d step %d: R[%d] = %v, Forward gives %v", trial, ti, i, R[ti][i], st.R[ti][i])
+				}
+			}
+		}
+	}
+}
+
+// TestGRUForwardConcurrent runs many overlapping forward passes on one
+// shared model and checks each against the serial result. Under -race this
+// is the scratch-buffer aliasing regression test for the GRU.
+func TestGRUForwardConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	m := NewGRUClassifier(10, 12, 4, rng)
+	const nSeq = 16
+	seqs := make([][][]float64, nSeq)
+	wantZ := make([][][]float64, nSeq)
+	wantR := make([][][]float64, nSeq)
+	wantPred := make([][]int, nSeq)
+	for i := range seqs {
+		seqs[i] = randSeq(rng, 5+i, 10)
+		st := m.Forward(seqs[i])
+		wantZ[i], wantR[i] = st.Z, st.R
+		wantPred[i] = m.Predict(seqs[i])
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan string, nSeq*4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i, seq := range seqs {
+				Z, R := m.ForwardGates(seq)
+				for ti := range Z {
+					for k := range Z[ti] {
+						if Z[ti][k] != wantZ[i][ti][k] || R[ti][k] != wantR[i][ti][k] {
+							errc <- "gate activations diverged under concurrency"
+							return
+						}
+					}
+				}
+				pred := m.Predict(seq)
+				for ti := range pred {
+					if pred[ti] != wantPred[i][ti] {
+						errc <- "predictions diverged under concurrency"
+						return
+					}
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+}
+
+// TestAutoencoderErrorPooledMatchesReconstruct guards the pooled-scratch
+// refactor: Error must equal the L1 distance computed from Reconstruct.
+func TestAutoencoderErrorPooledMatchesReconstruct(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	ae := NewAutoencoder([]int{20, 12, 6, 12, 20}, rng)
+	for trial := 0; trial < 20; trial++ {
+		x := make([]float64, 20)
+		for i := range x {
+			x[i] = rng.NormFloat64()
+		}
+		y := ae.Reconstruct(x)
+		var want float64
+		for i := range x {
+			d := y[i] - x[i]
+			if d < 0 {
+				d = -d
+			}
+			want += d
+		}
+		want /= float64(len(x))
+		if got := ae.Error(x); got != want {
+			t.Fatalf("trial %d: pooled Error = %v, reconstruct path gives %v", trial, got, want)
+		}
+	}
+}
+
+// TestAutoencoderErrorsConcurrent overlaps Errors calls on one shared
+// model; the pooled scratch buffers must neither race nor cross-contaminate
+// results.
+func TestAutoencoderErrorsConcurrent(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	ae := NewAutoencoder([]int{24, 16, 8, 16, 24}, rng)
+	const nBatch = 12
+	batches := make([][][]float64, nBatch)
+	want := make([][]float64, nBatch)
+	for b := range batches {
+		batches[b] = randSeq(rng, 6+b, 24)
+		want[b] = ae.Errors(batches[b])
+	}
+
+	var wg sync.WaitGroup
+	errc := make(chan string, nBatch*4)
+	for g := 0; g < 4; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for b, xs := range batches {
+				got := ae.Errors(xs)
+				for i := range got {
+					if got[i] != want[b][i] {
+						errc <- "reconstruction errors diverged under concurrency"
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(errc)
+	for msg := range errc {
+		t.Fatal(msg)
+	}
+}

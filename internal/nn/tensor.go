@@ -3,9 +3,13 @@
 // context carrier, §3.3(a)-(b)), a deep autoencoder trained with L1 loss
 // (§3.3(c)), and the Adam optimiser, all in pure Go on float64.
 //
-// Everything is deterministic given the caller-supplied *rand.Rand and
-// single-threaded unless stated otherwise; gradient correctness is verified
-// against finite differences in the package tests.
+// Everything is deterministic given the caller-supplied *rand.Rand.
+// Training is single-threaded unless stated otherwise; the inference paths
+// (GRU Forward/ForwardGates/Predict, Autoencoder Reconstruct/Error/Errors)
+// keep all scratch state per-call or pooled and are safe for concurrent use
+// on a model that is no longer being mutated — the contract the parallel
+// scoring engine (internal/engine) relies on. Gradient correctness is
+// verified against finite differences in the package tests.
 package nn
 
 import (
