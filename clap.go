@@ -24,14 +24,26 @@
 //	internal/nn         GRU + autoencoder substrate
 //	internal/features   Table 7 feature schema
 //	internal/core       the CLAP pipeline
+//	internal/backend    detection contract + named backend registry
 //	internal/engine     sharded worker-pool scoring engine
-//	internal/kitsune    Baseline #2 (ensemble-AE IDS)
+//	internal/kitsune    Baseline #2 (ensemble-AE IDS), a first-class backend
 //	internal/metrics    AUC/EER/Top-N
 //	internal/eval       experiment harness (tables & figures)
 //
-// Quickstart:
+// Quickstart — train any registered backend (clap, baseline1, kitsune) and
+// deploy it through the backend-agnostic Pipeline:
 //
-//	benign := clap.GenerateBenign(500, 1)
+//	b, _ := clap.NewBackend("clap")         // or "baseline1", "kitsune"
+//	_ = b.Train(clap.GenerateBenign(500, 1), func(string, ...any) {})
+//	p, _ := clap.NewPipeline(
+//	        clap.WithBackend(b),
+//	        clap.WithThresholdFPR(0.01, clap.TrafficGen(200, 5)),
+//	)
+//	summary, _ := p.Run(clap.PCAPFile("suspect.pcap"),
+//	        clap.NewTextReport(os.Stdout, false))
+//
+// The CLAP-native API remains for direct use:
+//
 //	det, _ := clap.Train(benign, clap.DefaultConfig(), nil)
 //	score := det.Score(suspect)            // adversarial score (§3.3(d))
 //	windows := det.Localize(suspect, 5)    // forensic localization
@@ -46,12 +58,16 @@ package clap
 
 import (
 	"io"
+	"os"
+	"path/filepath"
 
 	"clap/internal/attacks"
+	"clap/internal/backend"
 	"clap/internal/core"
 	"clap/internal/dpi"
 	"clap/internal/engine"
 	"clap/internal/flow"
+	"clap/internal/kitsune"
 	"clap/internal/metrics"
 	"clap/internal/pcapio"
 	"clap/internal/trafficgen"
@@ -77,9 +93,32 @@ type (
 	// Engine is the sharded worker-pool scoring engine: deterministic
 	// parallel batch scoring, sharded flow assembly, and ordered streaming.
 	Engine = engine.Engine
+	// EngineOptions pins the engine's worker and shard counts — the same
+	// knobs the CLIs expose (-workers/-shards), available to library users
+	// through NewEngineOpts.
+	EngineOptions = engine.Options
 	// Stream scores submitted connections concurrently and emits results in
 	// submission order — the online-deployment mode.
 	Stream = engine.Stream
+	// Backend is the backend-agnostic detection contract every detector
+	// family implements: CLAP, Baseline #1, Kitsune, and anything
+	// registered since.
+	Backend = backend.Backend
+	// CLAPBackend adapts the core CLAP/Baseline #1 pipeline family to the
+	// Backend contract; mutate Cfg before Train.
+	CLAPBackend = backend.CLAP
+	// KitsuneBackend adapts Baseline #2 to the Backend contract.
+	KitsuneBackend = backend.Kitsune
+	// KitsuneConfig tunes the Kitsune backend.
+	KitsuneConfig = kitsune.Config
+)
+
+// Registry tags of the built-in backends, accepted by NewBackend and the
+// CLI -backend flags.
+const (
+	BackendCLAP      = backend.TagCLAP
+	BackendBaseline1 = backend.TagBaseline1
+	BackendKitsune   = backend.TagKitsune
 )
 
 // NewEngine returns a parallel scoring engine with the given worker count;
@@ -87,6 +126,60 @@ type (
 // bit-identical to the serial Detector methods at any worker count.
 func NewEngine(workers int) *Engine {
 	return engine.New(engine.Options{Workers: workers})
+}
+
+// NewEngineOpts returns an engine with explicit worker and shard counts —
+// the full option surface the CLIs get.
+func NewEngineOpts(o EngineOptions) *Engine { return engine.New(o) }
+
+// NewBackend instantiates an untrained detection backend by registry tag
+// (see BackendTags).
+func NewBackend(tag string) (Backend, error) { return backend.New(tag) }
+
+// BackendTags lists the registered backend tags.
+func BackendTags() []string { return backend.Tags() }
+
+// BackendDoc returns the one-line description of a registered backend.
+func BackendDoc(tag string) string { return backend.Doc(tag) }
+
+// WrapDetector adapts an already-trained Detector to the Backend contract,
+// so existing CLAP models flow through the Pipeline unchanged.
+func WrapDetector(det *Detector) Backend { return backend.FromDetector(det) }
+
+// SaveBackend writes a trained backend to w with the tagged persistence
+// header, so LoadBackend can dispatch to the right decoder.
+func SaveBackend(w io.Writer, b Backend) error { return backend.Save(w, b) }
+
+// LoadBackend reads a model written by SaveBackend. Models saved before
+// the tagged format existed (plain Detector.Save streams) load as the
+// CLAP backend.
+func LoadBackend(r io.Reader) (Backend, error) { return backend.Load(r) }
+
+// SaveBackendFile persists a trained backend to path, creating parent
+// directories.
+func SaveBackendFile(path string, b Backend) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := backend.Save(f, b); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadBackendFile reads a backend model from disk.
+func LoadBackendFile(path string) (Backend, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return backend.Load(f)
 }
 
 // DefaultConfig returns the paper's CLAP configuration (Table 6).

@@ -1,6 +1,7 @@
 // Command attack-inject applies a DPI evasion strategy from the 73-strategy
-// corpus to connections in a benign capture and writes the adversarial
-// capture plus a ground-truth index.
+// corpus to connections in a benign capture — the pipeline's AttackCorpus
+// source over a pcap file — and writes the adversarial capture plus a
+// ground-truth index.
 //
 // Usage:
 //
@@ -13,12 +14,9 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"math/rand"
 	"os"
 
-	"clap/internal/attacks"
-	"clap/internal/flow"
-	"clap/internal/pcapio"
+	"clap"
 )
 
 func main() {
@@ -36,7 +34,7 @@ func main() {
 	flag.Parse()
 
 	if *list {
-		for _, s := range attacks.All() {
+		for _, s := range clap.Attacks() {
 			fmt.Printf("[%-8s] [%s] %s\n    %s\n", s.Source, s.Category, s.Name, s.Description)
 		}
 		return
@@ -44,52 +42,28 @@ func main() {
 	if *in == "" || *name == "" {
 		log.Fatal("need -in and -strategy (or -list)")
 	}
-	strategy, ok := attacks.ByName(*name)
-	if !ok {
+	if _, ok := clap.AttackByName(*name); !ok {
 		log.Fatalf("unknown strategy %q (use -list)", *name)
 	}
 
-	f, err := os.Open(*in)
+	src := clap.AttackCorpus(clap.PCAPFile(*in), *name, *fraction, *seed)
+	conns, skipped, err := src.Connections(clap.NewEngine(0))
 	if err != nil {
 		log.Fatal(err)
 	}
-	pkts, skipped, err := pcapio.ReadPackets(f)
-	f.Close()
-	if err != nil {
-		log.Fatalf("reading %s: %v", *in, err)
-	}
-	conns := flow.Assemble(pkts)
-	log.Printf("read %d connections (%d packets, %d records skipped)", len(conns), len(pkts), skipped)
-
-	rng := rand.New(rand.NewSource(*seed))
-	attacked := 0
+	packets, attacked := 0, 0
 	for _, c := range conns {
-		if rng.Float64() > *fraction {
-			continue
-		}
-		if strategy.Apply(c, rng) {
-			c.AttackName = strategy.Name
+		packets += c.Len()
+		if c.IsAdversarial() {
 			attacked++
 		}
 	}
+	log.Printf("read %d connections (%d packets after injection, %d records skipped)", len(conns), packets, skipped)
 
-	of, err := os.Create(*out)
-	if err != nil {
-		log.Fatal(err)
+	if err := clap.WritePCAPFile(*out, conns, false); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
 	}
-	w := pcapio.NewWriter(of, pcapio.LinkTypeEthernet)
-	for _, p := range flow.Flatten(conns) {
-		if err := w.WritePacket(p); err != nil {
-			log.Fatalf("writing packet: %v", err)
-		}
-	}
-	if err := w.Flush(); err != nil {
-		log.Fatal(err)
-	}
-	if err := of.Close(); err != nil {
-		log.Fatal(err)
-	}
-	fmt.Printf("attacked %d/%d connections with %q -> %s\n", attacked, len(conns), strategy.Name, *out)
+	fmt.Printf("attacked %d/%d connections with %q -> %s\n", attacked, len(conns), *name, *out)
 
 	if *truth != "" {
 		tf, err := os.Create(*truth)

@@ -1,43 +1,27 @@
 // Command clap-detect scores a (suspicious) pcap capture with a persisted
-// CLAP model: per-connection adversarial scores, verdicts against a
-// threshold, and Top-N localization of the most suspicious packets — the
-// online-detector and forensic deployment modes of §3.2. Assembly and
-// scoring run through the sharded parallel engine; scores are bit-identical
-// at any worker count.
+// detection model — CLAP, Baseline #1 or Kitsune; the tagged model header
+// selects the backend automatically. Per-connection adversarial scores,
+// verdicts against a threshold, and Top-N localization of the most
+// suspicious packets cover the online-detector and forensic deployment
+// modes of §3.2. Assembly and scoring run through the backend-agnostic
+// pipeline over the sharded parallel engine; scores are bit-identical at
+// any worker count.
 //
 // Usage:
 //
 //	clap-detect -in suspect.pcap -model clap.model -threshold 0.08 -top 5
 //	clap-detect -in suspect.pcap -model clap.model -calibrate benign.pcap -fpr 0.01
-//	clap-detect -in suspect.pcap -model clap.model -workers 8 -all
+//	clap-detect -in suspect.pcap -model kit.model -workers 8 -all
+//	clap-detect -in suspect.pcap -model clap.model -json | jq .score
 package main
 
 import (
 	"flag"
-	"fmt"
 	"log"
 	"os"
-	"sort"
 
-	"clap/internal/core"
-	"clap/internal/engine"
-	"clap/internal/flow"
-	"clap/internal/metrics"
-	"clap/internal/pcapio"
+	"clap"
 )
-
-func readConns(eng *engine.Engine, path string) []*flow.Connection {
-	f, err := os.Open(path)
-	if err != nil {
-		log.Fatal(err)
-	}
-	defer f.Close()
-	pkts, _, err := pcapio.ReadPackets(f)
-	if err != nil {
-		log.Fatalf("reading %s: %v", path, err)
-	}
-	return eng.Assemble(pkts)
-}
 
 func main() {
 	log.SetFlags(0)
@@ -50,6 +34,7 @@ func main() {
 		fpr       = flag.Float64("fpr", 0.01, "target false-positive rate for -calibrate")
 		top       = flag.Int("top", 5, "Top-N windows to localize per flagged connection")
 		all       = flag.Bool("all", false, "print every connection, not only flagged ones")
+		jsonOut   = flag.Bool("json", false, "emit JSON lines instead of the text report")
 		workers   = flag.Int("workers", 0, "scoring workers (0: all cores)")
 		shards    = flag.Int("shards", 0, "assembly shards (0: same as workers)")
 	)
@@ -58,78 +43,40 @@ func main() {
 		log.Fatal("need -in")
 	}
 
-	eng := engine.New(engine.Options{Workers: *workers, Shards: *shards})
-
-	det, err := core.LoadFile(*model)
+	b, err := clap.LoadBackendFile(*model)
 	if err != nil {
 		log.Fatalf("loading model: %v", err)
 	}
-	log.Printf("loaded %v", det)
+	log.Printf("loaded %s", b.Describe())
 
-	th := *threshold
+	opts := []clap.PipelineOption{
+		clap.WithBackend(b),
+		clap.WithWorkers(*workers),
+		clap.WithShards(*shards),
+		clap.WithTopN(*top),
+		clap.WithThreshold(*threshold),
+	}
 	if *calibrate != "" {
-		benign := eng.AdversarialScores(det, readConns(eng, *calibrate))
-		th = metrics.ThresholdAtFPR(benign, *fpr)
-		log.Printf("calibrated threshold %.6f at FPR <= %.3f over %d benign connections",
-			th, *fpr, len(benign))
+		opts = append(opts, clap.WithThresholdFPR(*fpr, clap.PCAPFile(*calibrate)))
+	}
+	p, err := clap.NewPipeline(opts...)
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	conns := readConns(eng, *in)
-	scores := eng.ScoreAll(det, conns)
-
-	type verdict struct {
-		c     *flow.Connection
-		score core.Score
+	var sink clap.Sink = clap.NewTextReport(os.Stdout, *all)
+	if *jsonOut {
+		sink = clap.NewJSONLines(os.Stdout)
 	}
-	var flagged []verdict
-	for i, c := range conns {
-		s := scores[i]
-		if *all {
-			fmt.Printf("%-48s score=%.6f\n", c.Key, s.Adversarial)
-		}
-		if th > 0 && s.Adversarial >= th {
-			flagged = append(flagged, verdict{c, s})
-		}
-		// Only flagged verdicts need their window errors (for Top-N
-		// localization below); release the rest so a large capture does not
-		// pin every connection's error series for the whole run.
-		scores[i].Errors = nil
+	sum, err := p.Run(clap.PCAPFile(*in), sink)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if th <= 0 {
-		// Score-only mode: rank everything by the scores already computed
-		// (ties broken by capture order so output is deterministic).
-		idx := make([]int, len(conns))
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool {
-			return scores[idx[a]].Adversarial > scores[idx[b]].Adversarial
-		})
-		fmt.Println("top connections by adversarial score:")
-		for rank, i := range idx {
-			if rank >= 10 {
-				break
-			}
-			fmt.Printf("%2d. %-48s score=%.6f\n", rank+1, conns[i].Key, scores[i].Adversarial)
-		}
-		return
+	if *calibrate != "" {
+		log.Printf("calibrated threshold %.6f at FPR <= %.3f over %d benign connections (%d records skipped)",
+			sum.Threshold, *fpr, sum.CalibrationConns, sum.CalibrationSkipped)
 	}
-
-	fmt.Printf("%d/%d connections flagged at threshold %.6f\n", len(flagged), len(conns), th)
-	for _, v := range flagged {
-		fmt.Printf("\n%s  score=%.6f peak-window=%d\n", v.c.Key, v.score.Adversarial, v.score.PeakWindow)
-		// Rank the window errors the batch pass already computed rather
-		// than re-running inference per flagged connection.
-		for _, w := range det.LocalizeErrors(v.score.Errors, *top) {
-			end := w + det.Cfg.StackLength - 1
-			if end >= v.c.Len() {
-				end = v.c.Len() - 1
-			}
-			fmt.Printf("  suspicious window %d: packets %d-%d", w, w, end)
-			for p := w; p <= end && p < v.c.Len(); p++ {
-				fmt.Printf("\n    [%d] %v", p, v.c.Packets[p])
-			}
-			fmt.Println()
-		}
-	}
+	// Surface undecodable records: a silently truncated capture would
+	// otherwise look like a clean, smaller one.
+	log.Printf("scored %d connections (%d records skipped)", len(sum.Results), sum.Skipped)
 }

@@ -42,8 +42,11 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	log.Printf("training took: CLAP %v, Baseline#1 %v, Kitsune %v",
-		suite.TrainTime["clap"], suite.TrainTime["baseline1"], suite.TrainTime["kitsune"])
+	// The suite trains every backend registered for the comparison; report
+	// times generically so a fourth backend shows up without CLI changes.
+	for _, tag := range suite.Tags() {
+		log.Printf("training %s took %v", tag, suite.TrainTime[tag])
+	}
 
 	results := suite.EvaluateAll()
 	report := eval.FullReport(suite, results)

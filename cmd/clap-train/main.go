@@ -1,69 +1,80 @@
-// Command clap-train trains a CLAP detector from a benign pcap capture and
-// persists it (feature profile + RNN + autoencoder) to disk.
+// Command clap-train trains a detection backend from a benign pcap capture
+// and persists it (with the tagged backend header) to disk. Any registered
+// backend works: CLAP, the context-agnostic Baseline #1, or the Kitsune
+// ensemble-AE IDS.
 //
 // Usage:
 //
 //	clap-train -in benign.pcap -model clap.model -rnn-epochs 14 -ae-epochs 30
+//	clap-train -in benign.pcap -model b1.model -backend baseline1
+//	clap-train -in benign.pcap -model kit.model -backend kitsune
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
-	"clap/internal/core"
-	"clap/internal/flow"
-	"clap/internal/pcapio"
+	"clap"
 )
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clap-train: ")
 	var (
-		in        = flag.String("in", "", "benign training pcap")
-		model     = flag.String("model", "clap.model", "output model path")
+		in         = flag.String("in", "", "benign training pcap")
+		model      = flag.String("model", "clap.model", "output model path")
+		backendTag = flag.String("backend", clap.BackendCLAP,
+			fmt.Sprintf("detection backend to train %v", clap.BackendTags()))
 		seed      = flag.Int64("seed", 1, "training seed")
-		rnnEpochs = flag.Int("rnn-epochs", 14, "RNN training epochs")
-		aeEpochs  = flag.Int("ae-epochs", 30, "autoencoder training epochs")
-		baseline1 = flag.Bool("baseline1", false, "train the context-agnostic Baseline #1 instead of CLAP")
+		rnnEpochs = flag.Int("rnn-epochs", 14, "RNN training epochs (clap/baseline1)")
+		aeEpochs  = flag.Int("ae-epochs", 30, "autoencoder training epochs (clap/baseline1)")
+		baseline1 = flag.Bool("baseline1", false, "deprecated: same as -backend baseline1")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
 	flag.Parse()
 	if *in == "" {
 		log.Fatal("need -in (generate one with trafficgen)")
 	}
+	tag := *backendTag
+	if *baseline1 {
+		backendSet := false
+		flag.Visit(func(f *flag.Flag) { backendSet = backendSet || f.Name == "backend" })
+		if backendSet && tag != clap.BackendBaseline1 {
+			log.Fatalf("-baseline1 conflicts with -backend %s", tag)
+		}
+		tag = clap.BackendBaseline1
+	}
 
-	f, err := os.Open(*in)
+	b, err := clap.NewBackend(tag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	pkts, skipped, err := pcapio.ReadPackets(f)
-	f.Close()
+	switch bk := b.(type) {
+	case *clap.CLAPBackend:
+		bk.Cfg.Seed = *seed
+		bk.Cfg.RNNEpochs = *rnnEpochs
+		bk.Cfg.AEEpochs = *aeEpochs
+	case *clap.KitsuneBackend:
+		bk.Cfg.Seed = *seed
+	}
+
+	eng := clap.NewEngine(0)
+	conns, skipped, err := clap.PCAPFile(*in).Connections(eng)
 	if err != nil {
-		log.Fatalf("reading %s: %v", *in, err)
+		log.Fatal(err)
 	}
-	conns := flow.Assemble(pkts)
-	log.Printf("read %d connections (%d packets, %d records skipped)", len(conns), len(pkts), skipped)
+	log.Printf("read %d connections (%d records skipped)", len(conns), skipped)
 
-	cfg := core.DefaultConfig()
-	if *baseline1 {
-		cfg = core.Baseline1Config()
-	}
-	cfg.Seed = *seed
-	cfg.RNNEpochs = *rnnEpochs
-	cfg.AEEpochs = *aeEpochs
-
-	logf := core.Logf(func(format string, args ...any) { log.Printf(format, args...) })
+	logf := func(format string, args ...any) { log.Printf(format, args...) }
 	if *quiet {
-		logf = nil
+		logf = func(string, ...any) {}
 	}
-	det, err := core.Train(conns, cfg, logf)
-	if err != nil {
-		log.Fatalf("training: %v", err)
+	if err := b.Train(conns, logf); err != nil {
+		log.Fatalf("training %s: %v", tag, err)
 	}
-	if err := det.SaveFile(*model); err != nil {
+	if err := clap.SaveBackendFile(*model, b); err != nil {
 		log.Fatalf("saving model: %v", err)
 	}
-	fmt.Printf("trained %v\nsaved to %s\n", det, *model)
+	fmt.Printf("trained %s\nsaved to %s\n", b.Describe(), *model)
 }

@@ -1,5 +1,6 @@
 // Command trafficgen writes a synthetic benign backbone-style capture — the
-// repository's stand-in for a MAWI trace — to a pcap file.
+// repository's stand-in for a MAWI trace — to a pcap file, using the
+// pipeline's TrafficGen source.
 //
 // Usage:
 //
@@ -10,11 +11,8 @@ import (
 	"flag"
 	"fmt"
 	"log"
-	"os"
 
-	"clap/internal/flow"
-	"clap/internal/pcapio"
-	"clap/internal/trafficgen"
+	"clap"
 )
 
 func main() {
@@ -28,32 +26,17 @@ func main() {
 	)
 	flag.Parse()
 
-	cfg := trafficgen.DefaultConfig(*conns)
-	cfg.Seed = *seed
-	generated := trafficgen.Generate(cfg)
-	pkts := flow.Flatten(generated)
-
-	f, err := os.Create(*out)
+	generated, _, err := clap.TrafficGen(*conns, *seed).Connections(nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	linkType := uint32(pcapio.LinkTypeEthernet)
-	if *raw {
-		linkType = pcapio.LinkTypeRaw
+	if err := clap.WritePCAPFile(*out, generated, *raw); err != nil {
+		log.Fatalf("writing %s: %v", *out, err)
 	}
-	w := pcapio.NewWriter(f, linkType)
-	for _, p := range pkts {
-		if err := w.WritePacket(p); err != nil {
-			log.Fatalf("writing packet: %v", err)
-		}
+	packets := 0
+	for _, c := range generated {
+		packets += c.Len()
 	}
-	if err := w.Flush(); err != nil {
-		log.Fatal(err)
-	}
-	if err := f.Close(); err != nil {
-		log.Fatal(err)
-	}
-	stats := flow.Census(generated)
 	fmt.Printf("wrote %s: %d connections, %d packets (seed %d)\n",
-		*out, stats.Connections, stats.Packets, *seed)
+		*out, len(generated), packets, *seed)
 }

@@ -6,6 +6,8 @@ package clap_test
 // localize. Run with -short to skip.
 
 import (
+	"encoding/json"
+	"fmt"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -183,6 +185,112 @@ func TestClapDetectEndToEnd(t *testing.T) {
 		"-calibrate", benign, "-fpr", "0.05", "-workers", "4")
 	if !strings.Contains(out, "connections flagged") {
 		t.Fatalf("calibrated run missing flag summary:\n%s", out)
+	}
+
+	// The -json sink: one JSON object per connection plus a summary
+	// trailer, deterministic across worker counts.
+	jsonSerial := goRun(t, "./cmd/clap-detect", "-in", adv, "-model", model,
+		"-json", "-workers", "1", "-shards", "1")
+	jsonLines := jsonRecords(t, jsonSerial)
+	if len(jsonLines) == 0 {
+		t.Fatalf("-json emitted no JSON records:\n%s", jsonSerial)
+	}
+	var trailer struct {
+		Summary     bool `json:"summary"`
+		Connections int  `json:"connections"`
+	}
+	if err := json.Unmarshal([]byte(jsonLines[len(jsonLines)-1]), &trailer); err != nil || !trailer.Summary {
+		t.Fatalf("missing JSON summary trailer: %v %s", err, jsonLines[len(jsonLines)-1])
+	}
+	if len(jsonLines) != trailer.Connections+1 || trailer.Connections < 30 {
+		t.Fatalf("-json emitted %d records for %d connections (+1 summary)", len(jsonLines), trailer.Connections)
+	}
+	jsonPar := goRun(t, "./cmd/clap-detect", "-in", adv, "-model", model,
+		"-json", "-workers", "8", "-shards", "8")
+	parLines := jsonRecords(t, jsonPar)
+	if len(parLines) != len(jsonLines) {
+		t.Fatalf("-json emitted %d records at workers=8, %d at workers=1", len(parLines), len(jsonLines))
+	}
+	for i := range jsonLines {
+		if parLines[i] != jsonLines[i] {
+			t.Fatalf("-json line %d diverged across worker counts:\n%s\n%s", i, parLines[i], jsonLines[i])
+		}
+	}
+
+	// The JSON scores must be the same numbers the text report printed.
+	var first struct {
+		Key   string  `json:"key"`
+		Score float64 `json:"score"`
+	}
+	if err := json.Unmarshal([]byte(jsonLines[0]), &first); err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("score=%.6f", first.Score); !strings.Contains(serialScores[0], want) {
+		t.Fatalf("JSON score %s not in text line %q", want, serialScores[0])
+	}
+}
+
+// jsonRecords splits -json stdout into JSON lines, skipping log output.
+func jsonRecords(t *testing.T, out string) []string {
+	t.Helper()
+	var recs []string
+	for _, l := range strings.Split(out, "\n") {
+		if strings.HasPrefix(l, "{") {
+			if !json.Valid([]byte(l)) {
+				t.Fatalf("invalid JSON line: %s", l)
+			}
+			recs = append(recs, l)
+		}
+	}
+	return recs
+}
+
+// TestBackendFlagEndToEnd trains every registered backend through
+// clap-train -backend and scores a suspect capture with clap-detect on the
+// resulting model — the tagged persistence header must route each model to
+// its own decoder.
+func TestBackendFlagEndToEnd(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tools := buildTools(t)
+	work := t.TempDir()
+	benign := filepath.Join(work, "benign.pcap")
+	suspect := filepath.Join(work, "suspect.pcap")
+	adv := filepath.Join(work, "adv.pcap")
+
+	run(t, tools, "trafficgen", "-out", benign, "-connections", "60", "-seed", "21")
+	run(t, tools, "trafficgen", "-out", suspect, "-connections", "20", "-seed", "22")
+	run(t, tools, "attack-inject",
+		"-in", suspect, "-out", adv,
+		"-strategy", "GFW: Injected RST Bad TCP-Checksum/MD5-Option",
+		"-fraction", "0.5")
+
+	for _, tag := range []string{"clap", "baseline1", "kitsune"} {
+		model := filepath.Join(work, tag+".model")
+		out := run(t, tools, "clap-train", "-in", benign, "-model", model,
+			"-backend", tag, "-rnn-epochs", "2", "-ae-epochs", "3", "-quiet")
+		if !strings.Contains(out, "saved to") {
+			t.Fatalf("clap-train -backend %s: %s", tag, out)
+		}
+		out = run(t, tools, "clap-detect", "-in", adv, "-model", model, "-all")
+		scores := scoreLines(out)
+		if len(scores) < 20 {
+			t.Fatalf("backend %s scored %d connections, want >= 20:\n%s", tag, len(scores), out)
+		}
+		if !strings.Contains(out, "top connections by adversarial score:") {
+			t.Fatalf("backend %s missing ranking:\n%s", tag, out)
+		}
+	}
+
+	// The deprecated -baseline1 alias still works and produces a
+	// baseline1-tagged model.
+	model := filepath.Join(work, "b1-alias.model")
+	run(t, tools, "clap-train", "-in", benign, "-model", model,
+		"-baseline1", "-rnn-epochs", "2", "-ae-epochs", "3", "-quiet")
+	out := run(t, tools, "clap-detect", "-in", adv, "-model", model)
+	if !strings.Contains(out, "top connections by adversarial score:") {
+		t.Fatalf("-baseline1 alias model unusable:\n%s", out)
 	}
 }
 

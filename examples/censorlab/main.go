@@ -5,8 +5,8 @@
 //  1. the strict endhost drops the garbled RST and keeps talking,
 //  2. the GFW model believes the connection is over and stops monitoring —
 //     the follow-up "malicious" payload escapes inspection,
-//  3. CLAP, trained only on benign traffic, flags the connection and
-//     localizes the injected packet.
+//  3. CLAP — as a pipeline backend, trained only on benign traffic —
+//     flags the connection and localizes the injected packet.
 package main
 
 import (
@@ -47,38 +47,49 @@ func main() {
 	fmt.Println("  -> the GFW model disengaged on the forged RST; the strict endhost")
 	fmt.Println("     ignored it (bad checksum) and accepted the follow-up data.")
 
-	// Vantage point 3: CLAP.
+	// Vantage point 3: CLAP as a pipeline backend.
 	fmt.Println("\n=== CLAP (defence) ===")
-	cfg := clap.DefaultConfig()
-	cfg.RNNEpochs, cfg.AEEpochs, cfg.AERestarts = 8, 35, 2
-	det, err := clap.Train(clap.GenerateBenign(200, 1), cfg, nil)
+	bk, err := clap.NewBackend(clap.BackendCLAP)
 	if err != nil {
 		log.Fatal(err)
 	}
-	var benign []float64
-	for _, c := range clap.GenerateBenign(60, 5) {
-		benign = append(benign, det.Score(c).Adversarial)
+	cb := bk.(*clap.CLAPBackend)
+	cb.Cfg.RNNEpochs, cb.Cfg.AEEpochs, cb.Cfg.AERestarts = 8, 35, 2
+	train := clap.GenerateBenign(200, 1)
+	if err := bk.Train(train, func(string, ...any) {}); err != nil {
+		log.Fatal(err)
 	}
-	th := clap.ThresholdAtFPR(benign, 0.02)
+	pipe, err := clap.NewPipeline(
+		clap.WithBackend(bk),
+		clap.WithThresholdFPR(0.02, clap.TrafficGen(60, 5)),
+		clap.WithWindowErrors(true),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := pipe.Run(clap.Conns(victim))
+	if err != nil {
+		log.Fatal(err)
+	}
+	r := sum.Results[0]
 
-	s := det.Score(victim)
-	fmt.Printf("  adversarial score: %.5f (threshold %.5f)\n", s.Adversarial, th)
-	if s.Adversarial >= th {
+	fmt.Printf("  adversarial score: %.5f (threshold %.5f)\n", r.Score, sum.Threshold)
+	if r.Flagged {
 		fmt.Println("  verdict: EVASION DETECTED")
 	} else {
 		fmt.Println("  verdict: missed (try more training epochs)")
 	}
 	fmt.Printf("  peak reconstruction error at window %d; windows cover packets [w, w+%d)\n",
-		s.PeakWindow, det.Cfg.StackLength)
+		r.PeakWindow, sum.WindowSpan)
 	fmt.Printf("  ground truth adversarial packet: %v\n", victim.AdvIdx)
 	fmt.Println("\n  per-window reconstruction errors (Figure 6's shape):")
 	max := 0.0
-	for _, e := range s.Errors {
+	for _, e := range r.Errors {
 		if e > max {
 			max = e
 		}
 	}
-	for i, e := range s.Errors {
+	for i, e := range r.Errors {
 		bar := ""
 		for j := 0; j < int(e/max*40); j++ {
 			bar += "#"

@@ -1,7 +1,7 @@
-// Forensics: CLAP as an offline analysis tool (§3.2) — load a capture
-// containing a handful of different evasion attempts, rank connections by
-// adversarial score, and pinpoint the injected packets with
-// localize-and-estimate.
+// Forensics: the Pipeline as an offline analysis tool (§3.2) — run a
+// capture containing a handful of different evasion attempts through a
+// score-only pipeline, rank connections by adversarial score, and pinpoint
+// the injected packets with the localized windows each Result carries.
 package main
 
 import (
@@ -17,10 +17,14 @@ func main() {
 	log.SetFlags(0)
 
 	fmt.Println("training CLAP on benign traffic...")
-	cfg := clap.DefaultConfig()
-	cfg.RNNEpochs, cfg.AEEpochs, cfg.AERestarts = 8, 35, 2
-	det, err := clap.Train(clap.GenerateBenign(200, 1), cfg, nil)
+	bk, err := clap.NewBackend(clap.BackendCLAP)
 	if err != nil {
+		log.Fatal(err)
+	}
+	cb := bk.(*clap.CLAPBackend)
+	cb.Cfg.RNNEpochs, cb.Cfg.AEEpochs, cb.Cfg.AERestarts = 8, 35, 2
+	train := clap.GenerateBenign(200, 1)
+	if err := bk.Train(train, func(string, ...any) {}); err != nil {
 		log.Fatal(err)
 	}
 
@@ -49,39 +53,47 @@ func main() {
 	}
 	fmt.Printf("capture: %d connections, %d with hidden evasion attempts\n\n", len(capture), injected)
 
+	// Score-only pipeline run: no threshold, Top-3 localization, full
+	// error series kept for the analyst view.
+	pipe, err := clap.NewPipeline(
+		clap.WithBackend(bk),
+		clap.WithTopN(3),
+		clap.WithWindowErrors(true),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	sum, err := pipe.Run(clap.Conns(capture...))
+	if err != nil {
+		log.Fatal(err)
+	}
+
 	// Rank by adversarial score.
-	type ranked struct {
-		c     *clap.Connection
-		score clap.Score
-	}
-	var rs []ranked
-	for _, c := range capture {
-		rs = append(rs, ranked{c, det.Score(c)})
-	}
-	sort.Slice(rs, func(i, j int) bool { return rs[i].score.Adversarial > rs[j].score.Adversarial })
+	rs := append([]clap.Result(nil), sum.Results...)
+	sort.Slice(rs, func(i, j int) bool { return rs[i].Score > rs[j].Score })
 
 	fmt.Println("top suspicious connections (analyst view):")
 	hits := 0
 	for i, r := range rs[:8] {
 		truth := "benign"
-		if r.c.AttackName != "" {
-			truth = r.c.AttackName
+		if r.Conn.AttackName != "" {
+			truth = r.Conn.AttackName
 			hits++
 		}
-		fmt.Printf("%d. score=%.5f %-44s truth: %s\n", i+1, r.score.Adversarial, r.c.Key, truth)
-		if r.c.AttackName == "" {
+		fmt.Printf("%d. score=%.5f %-44s truth: %s\n", i+1, r.Score, r.Conn.Key, truth)
+		if r.Conn.AttackName == "" {
 			continue
 		}
 		// Localize the attack vector within the connection.
-		wins := det.Localize(r.c, 3)
-		fmt.Printf("   localized windows %v; ground-truth adversarial packets %v\n", wins, r.c.AdvIdx)
-		if w := r.score.PeakWindow; w >= 0 {
-			end := w + det.Cfg.StackLength
-			if end > r.c.Len() {
-				end = r.c.Len()
+		fmt.Printf("   localized windows %v; ground-truth adversarial packets %v\n",
+			r.TopWindows, r.Conn.AdvIdx)
+		if w := r.PeakWindow; w >= 0 {
+			end := w + sum.WindowSpan
+			if end > r.Conn.Len() {
+				end = r.Conn.Len()
 			}
 			for p := w; p < end; p++ {
-				fmt.Printf("   [%d] %v\n", p, r.c.Packets[p])
+				fmt.Printf("   [%d] %v\n", p, r.Conn.Packets[p])
 			}
 		}
 	}

@@ -1,11 +1,10 @@
-// Livemonitor: CLAP as an online detector beside a DPI (Figure 3's
-// deployment mode). A packet source streams interleaved traffic; the
-// monitor assembles connections on the fly, submits each one to the
-// parallel scoring engine as it closes (or when its packet budget fills),
-// and raises alerts past a threshold calibrated to a target false-positive
-// rate. Scoring runs concurrently across the engine's worker pool, but
-// alerts are emitted strictly in submission order, so the alert log is
-// deterministic and replayable.
+// Livemonitor: the Pipeline's streaming mode as an online detector beside
+// a DPI (Figure 3's deployment mode). Connections are submitted to the
+// pipeline stream as they close (or when their packet budget fills);
+// scoring runs concurrently across the engine's worker pool, but results
+// are emitted strictly in submission order, so the alert log is
+// deterministic and replayable. The monitor is backend-agnostic — point
+// WithBackend at a Kitsune model and nothing else changes.
 package main
 
 import (
@@ -17,25 +16,23 @@ import (
 	"clap"
 )
 
-// monitor consumes scored connections from the engine stream. Its emit
-// method runs on the stream's single emitter goroutine, in submission
-// order, so the counters need no locking.
+// monitor consumes ordered pipeline results. Its emit method runs on the
+// stream's single emitter goroutine, so the counters need no locking.
 type monitor struct {
-	threshold float64
-	alerts    int
-	scored    int
+	alerts int
+	scored int
 }
 
-func (m *monitor) emit(c *clap.Connection, s clap.Score) {
+func (m *monitor) emit(r clap.Result) {
 	m.scored++
-	if s.Adversarial >= m.threshold {
+	if r.Flagged {
 		m.alerts++
 		truth := "FALSE ALARM"
-		if c.AttackName != "" {
-			truth = "attack: " + c.AttackName
+		if r.Conn.AttackName != "" {
+			truth = "attack: " + r.Conn.AttackName
 		}
 		fmt.Printf("ALERT %-44s score=%.5f peak-window=%d (%s)\n",
-			c.Key, s.Adversarial, s.PeakWindow, truth)
+			r.Conn.Key, r.Score, r.PeakWindow, truth)
 	}
 }
 
@@ -43,19 +40,27 @@ func main() {
 	log.SetFlags(0)
 
 	fmt.Println("training CLAP...")
-	cfg := clap.DefaultConfig()
-	cfg.RNNEpochs, cfg.AEEpochs, cfg.AERestarts = 8, 35, 2
-	det, err := clap.Train(clap.GenerateBenign(200, 1), cfg, nil)
+	bk, err := clap.NewBackend(clap.BackendCLAP)
 	if err != nil {
 		log.Fatal(err)
 	}
+	bk.(*clap.CLAPBackend).Cfg.RNNEpochs = 8
+	bk.(*clap.CLAPBackend).Cfg.AEEpochs = 35
+	bk.(*clap.CLAPBackend).Cfg.AERestarts = 2
+	train := clap.GenerateBenign(200, 1)
+	if err := bk.Train(train, func(string, ...any) {}); err != nil {
+		log.Fatal(err)
+	}
 
-	// Calibrate the deployment threshold on held-out benign traffic,
-	// batch-scored through the engine.
-	eng := clap.NewEngine(0)
-	benign := eng.AdversarialScores(det, clap.GenerateBenign(80, 5))
-	threshold := clap.ThresholdAtFPR(benign, 0.04)
-	fmt.Printf("operating threshold %.5f (<= 4%% FPR over %d benign flows)\n\n", threshold, len(benign))
+	// The pipeline calibrates the deployment threshold on held-out benign
+	// traffic when the stream opens.
+	pipe, err := clap.NewPipeline(
+		clap.WithBackend(bk),
+		clap.WithThresholdFPR(0.04, clap.TrafficGen(80, 5)),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	// Live feed: benign flows with a few evasion attempts mixed in.
 	flows := clap.GenerateBenign(50, 99)
@@ -76,8 +81,12 @@ func main() {
 		}
 	}
 
-	m := &monitor{threshold: threshold}
-	stream := eng.NewStream(det.Score, m.emit)
+	m := &monitor{}
+	stream, err := pipe.NewStream(m.emit)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("operating threshold %.5f (<= 4%% FPR)\n\n", stream.Threshold())
 	start := time.Now()
 	packets := 0
 	for _, c := range flows {
@@ -89,6 +98,6 @@ func main() {
 
 	fmt.Printf("\nprocessed %d flows / %d packets in %v (%.0f pkts/s, %d workers)\n",
 		m.scored, packets, elapsed.Round(time.Millisecond),
-		float64(packets)/elapsed.Seconds(), eng.Workers())
+		float64(packets)/elapsed.Seconds(), pipe.Engine().Workers())
 	fmt.Printf("alerts: %d (attacks planted: %d)\n", m.alerts, attacksPlanted)
 }

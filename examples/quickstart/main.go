@@ -1,11 +1,13 @@
-// Quickstart: train CLAP on benign traffic, inject one evasion attack, and
-// detect it — the README's 60-second tour of the public API.
+// Quickstart: train a detection backend on benign traffic, inject one
+// evasion attack, and detect it through the backend-agnostic Pipeline —
+// the README's 60-second tour of the public API. Swap the backend tag for
+// "baseline1" or "kitsune" and the rest of the program is unchanged.
 package main
 
 import (
 	"fmt"
 	"log"
-	"math/rand"
+	"os"
 
 	"clap"
 )
@@ -13,54 +15,59 @@ import (
 func main() {
 	log.SetFlags(0)
 
-	// 1. Benign traffic (the stand-in for a MAWI capture).
-	fmt.Println("generating benign traffic...")
-	train := clap.GenerateBenign(200, 1)
-
-	// 2. Train CLAP: RNN state predictor + context autoencoder, benign only.
-	cfg := clap.DefaultConfig()
-	cfg.RNNEpochs, cfg.AEEpochs, cfg.AERestarts = 8, 35, 2
+	// 1. Pick a backend from the registry and train it on benign traffic
+	// only (the stand-in for a MAWI capture).
+	bk, err := clap.NewBackend(clap.BackendCLAP)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if cb, ok := bk.(*clap.CLAPBackend); ok {
+		cb.Cfg.RNNEpochs, cb.Cfg.AEEpochs, cb.Cfg.AERestarts = 8, 35, 2
+	}
 	fmt.Println("training CLAP (unsupervised, benign traffic only)...")
-	det, err := clap.Train(train, cfg, nil)
+	train := clap.GenerateBenign(200, 1)
+	if err := bk.Train(train, func(string, ...any) {}); err != nil {
+		log.Fatal(err)
+	}
+
+	// 2. Build the deployment pipeline: calibrate the operating point at
+	// 5% FPR on held-out benign traffic, localize the top 3 windows.
+	pipe, err := clap.NewPipeline(
+		clap.WithBackend(bk),
+		clap.WithThresholdFPR(0.05, clap.TrafficGen(80, 5)),
+		clap.WithTopN(3),
+	)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// 3. Fresh traffic: inject the paper's motivating example into half.
-	carriers := clap.GenerateBenign(60, 42)
-	strategy, _ := clap.AttackByName("GFW: Injected RST Bad TCP-Checksum/MD5-Option")
-	rng := rand.New(rand.NewSource(7))
-
-	var benignScores []float64
-	type scored struct {
-		name  string
-		score float64
-	}
-	var results []scored
-	for i, c := range carriers {
-		if i%2 == 0 {
-			benignScores = append(benignScores, det.Score(c).Adversarial)
-			continue
-		}
-		cc := c.Clone()
-		if !strategy.Apply(cc, rng) {
-			continue
-		}
-		results = append(results, scored{cc.Key.String(), det.Score(cc).Adversarial})
+	// 3. Fresh traffic with the paper's motivating example injected into
+	// half the connections, scored end to end. The alert-log sink prints
+	// each detection as it is emitted.
+	suspect := clap.AttackCorpus(
+		clap.TrafficGen(60, 42),
+		"GFW: Injected RST Bad TCP-Checksum/MD5-Option",
+		0.5, 7,
+	)
+	sum, err := pipe.Run(suspect, clap.NewAlertLog(os.Stdout))
+	if err != nil {
+		log.Fatal(err)
 	}
 
-	// 4. Pick an operating point: at most 5% false positives on benign.
-	threshold := clap.ThresholdAtFPR(benignScores, 0.05)
-	fmt.Printf("\nthreshold at 5%% FPR: %.5f\n", threshold)
-	fmt.Printf("%-46s %-10s %s\n", "connection", "score", "verdict")
-	caught := 0
-	for _, r := range results {
-		verdict := "benign"
-		if r.score >= threshold {
-			verdict = "EVASION DETECTED"
-			caught++
+	// 4. The summary holds every verdict for programmatic use.
+	fmt.Printf("\nthreshold at 5%% FPR: %.5f\n", sum.Threshold)
+	attacked, caught, falseAlarms := 0, 0, 0
+	for _, r := range sum.Results {
+		switch {
+		case r.Conn.AttackName != "":
+			attacked++
+			if r.Flagged {
+				caught++
+			}
+		case r.Flagged:
+			falseAlarms++
 		}
-		fmt.Printf("%-46s %-10.5f %s\n", r.name, r.score, verdict)
 	}
-	fmt.Printf("\ndetected %d/%d injected %q attacks\n", caught, len(results), strategy.Name)
+	fmt.Printf("detected %d/%d injected attacks (%d false alarms over %d benign flows)\n",
+		caught, attacked, falseAlarms, len(sum.Results)-attacked)
 }

@@ -1,0 +1,199 @@
+// Package backend defines the detection contract every detector family in
+// this repository implements, plus the named registry that makes backends
+// swappable behind one interface. The paper compares CLAP against two
+// baselines (a temporal-context-agnostic CLAP and Kitsune); deploying any
+// of them — or a future fourth system — through the same pipeline requires
+// exactly what this package provides: a uniform Train/Score/Save surface,
+// and a tagged persistence header so a saved model knows which decoder
+// reads it back.
+//
+// Registering a new backend is a one-file change: implement Backend,
+// call Register in an init func, and every CLI, the Pipeline facade and
+// the evaluation suite can drive it by tag.
+package backend
+
+import (
+	"bytes"
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+
+	"clap/internal/flow"
+)
+
+// Logf is an optional training progress sink (nil-safe at the call sites
+// that accept it; implementations receive a non-nil function).
+type Logf func(format string, args ...any)
+
+// Backend is the detection contract: an anomaly detector trained on benign
+// traffic only that scores TCP connections. A trained backend must be safe
+// for concurrent scoring calls — the parallel engine fans connections out
+// across a worker pool and relies on it.
+type Backend interface {
+	// Tag returns the registry tag the backend persists under.
+	Tag() string
+	// Describe returns a one-line human description of the model.
+	Describe() string
+	// WindowSpan reports how many consecutive packets one entry of
+	// WindowErrors covers (CLAP: the stacking length; per-packet systems: 1).
+	WindowSpan() int
+	// Trained reports whether the backend holds a fitted model — the
+	// scoring methods may only be called when it does.
+	Trained() bool
+	// Train fits the backend on benign connections only. logf is never nil.
+	Train(benign []*flow.Connection, logf Logf) error
+	// ScoreConn returns the scalar adversarial score of one connection.
+	ScoreConn(c *flow.Connection) float64
+	// WindowErrors returns the per-window anomaly series the score
+	// summarises — the localization substrate (Figure 6's series).
+	WindowErrors(c *flow.Connection) []float64
+	// Summarize reduces a WindowErrors series to the connection score and
+	// the peak window index (-1 when the series is empty). For every
+	// backend, Summarize(WindowErrors(c)) equals ScoreConn(c) bit for bit —
+	// callers holding the series never re-run inference to score.
+	Summarize(errs []float64) (score float64, peak int)
+	// Save writes the trained model payload to w. The registry's Save
+	// frames it with the tagged header; use that for anything on disk.
+	Save(w io.Writer) error
+}
+
+// Factory creates and decodes one backend family.
+type Factory struct {
+	// Doc is a one-line description shown by CLI -backend listings.
+	Doc string
+	// New returns an untrained backend with default configuration.
+	New func() Backend
+	// Load decodes a model payload written by Backend.Save.
+	Load func(r io.Reader) (Backend, error)
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Factory{}
+)
+
+// Register adds a backend family under tag. It panics on duplicate tags —
+// registration is an init-time, programmer-error condition.
+func Register(tag string, f Factory) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[tag]; dup {
+		panic("backend: duplicate tag " + tag)
+	}
+	if f.New == nil || f.Load == nil {
+		panic("backend: factory for " + tag + " missing New or Load")
+	}
+	registry[tag] = f
+}
+
+// Tags lists the registered backend tags, sorted.
+func Tags() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	out := make([]string, 0, len(registry))
+	for t := range registry {
+		out = append(out, t)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Doc returns the registered one-line description for tag.
+func Doc(tag string) string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return registry[tag].Doc
+}
+
+// New instantiates an untrained backend by tag.
+func New(tag string) (Backend, error) {
+	regMu.RLock()
+	f, ok := registry[tag]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: unknown tag %q (registered: %v)", tag, Tags())
+	}
+	return f.New(), nil
+}
+
+// The persistence header: magic, a format version, then the length-prefixed
+// tag. Everything after the header is the backend's own payload. Models
+// saved before the header existed (plain core.Detector gob streams) carry
+// no magic; Load detects that and falls back to the CLAP decoder, so old
+// model files keep working.
+var magic = [8]byte{'C', 'L', 'A', 'P', 'B', 'K', 'N', 'D'}
+
+const headerVersion = 1
+
+// Save writes b to w with the tagged header, so Load can dispatch to the
+// right decoder.
+func Save(w io.Writer, b Backend) error {
+	tag := b.Tag()
+	if len(tag) == 0 || len(tag) > 255 {
+		return fmt.Errorf("backend: tag %q not encodable", tag)
+	}
+	hdr := make([]byte, 0, len(magic)+2+len(tag))
+	hdr = append(hdr, magic[:]...)
+	hdr = append(hdr, headerVersion, byte(len(tag)))
+	hdr = append(hdr, tag...)
+	if _, err := w.Write(hdr); err != nil {
+		return fmt.Errorf("backend: writing header: %w", err)
+	}
+	return b.Save(w)
+}
+
+// Load reads a model written by Save and dispatches on its tag. Streams
+// without the tagged header load through the CLAP decoder (the legacy
+// on-disk format).
+func Load(r io.Reader) (Backend, error) {
+	head := make([]byte, len(magic))
+	n, err := io.ReadFull(r, head)
+	if err == io.ErrUnexpectedEOF || err == io.EOF {
+		// Too short for a header; let the legacy decoder report the detail.
+		return loadLegacy(io.MultiReader(bytes.NewReader(head[:n]), r))
+	}
+	if err != nil {
+		return nil, fmt.Errorf("backend: reading header: %w", err)
+	}
+	if !bytes.Equal(head, magic[:]) {
+		return loadLegacy(io.MultiReader(bytes.NewReader(head), r))
+	}
+	var meta [2]byte
+	if _, err := io.ReadFull(r, meta[:]); err != nil {
+		return nil, fmt.Errorf("backend: truncated header: %w", err)
+	}
+	if meta[0] != headerVersion {
+		return nil, fmt.Errorf("backend: unsupported model format version %d", meta[0])
+	}
+	tag := make([]byte, meta[1])
+	if _, err := io.ReadFull(r, tag); err != nil {
+		return nil, fmt.Errorf("backend: truncated tag: %w", err)
+	}
+	regMu.RLock()
+	f, ok := registry[string(tag)]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: model tagged with unknown backend %q (registered: %v)", tag, Tags())
+	}
+	b, err := f.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("backend: loading %q model: %w", tag, err)
+	}
+	return b, nil
+}
+
+// loadLegacy decodes a header-less stream as a plain CLAP detector.
+func loadLegacy(r io.Reader) (Backend, error) {
+	regMu.RLock()
+	f, ok := registry[TagCLAP]
+	regMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("backend: CLAP decoder not registered")
+	}
+	b, err := f.Load(r)
+	if err != nil {
+		return nil, fmt.Errorf("backend: loading untagged model as CLAP: %w", err)
+	}
+	return b, nil
+}

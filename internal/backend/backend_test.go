@@ -1,0 +1,304 @@
+package backend
+
+import (
+	"bytes"
+	"io"
+	"math/rand"
+	"reflect"
+	"strings"
+	"testing"
+
+	"clap/internal/core"
+	"clap/internal/features"
+	"clap/internal/flow"
+	"clap/internal/nn"
+	"clap/internal/tcpstate"
+	"clap/internal/trafficgen"
+)
+
+func genConns(n int, seed int64) []*flow.Connection {
+	cfg := trafficgen.DefaultConfig(n)
+	cfg.Seed = seed
+	return trafficgen.Generate(cfg)
+}
+
+// randomDetector builds an untrained but fully-shaped detector under cfg —
+// persistence round-trips don't need fitted weights, just deterministic
+// ones, which keeps the all-ablation sweep fast.
+func randomDetector(cfg core.Config, conns []*flow.Connection, seed int64) *core.Detector {
+	rng := rand.New(rand.NewSource(seed))
+	return &core.Detector{
+		Cfg:     cfg,
+		Profile: features.FitProfile(conns),
+		RNN:     nn.NewGRUClassifier(features.NumRNN, cfg.RNNHidden, tcpstate.NumClasses, rng),
+		AE:      nn.NewAutoencoder(cfg.AESizes(), rng),
+	}
+}
+
+func TestRegistryHasAllThreeBackends(t *testing.T) {
+	tags := Tags()
+	for _, want := range []string{TagCLAP, TagBaseline1, TagKitsune} {
+		found := false
+		for _, tag := range tags {
+			if tag == want {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("registry missing %q (have %v)", want, tags)
+		}
+		if Doc(want) == "" {
+			t.Errorf("backend %q has no doc line", want)
+		}
+		b, err := New(want)
+		if err != nil {
+			t.Fatalf("New(%q): %v", want, err)
+		}
+		if b.Tag() != want {
+			t.Errorf("New(%q).Tag() = %q", want, b.Tag())
+		}
+		if b.WindowSpan() < 1 {
+			t.Errorf("backend %q window span %d < 1", want, b.WindowSpan())
+		}
+		if !strings.Contains(b.Describe(), "untrained") {
+			t.Errorf("untrained %q should say so: %q", want, b.Describe())
+		}
+		if b.Trained() {
+			t.Errorf("fresh %q backend reports itself trained", want)
+		}
+	}
+}
+
+func TestNewRejectsUnknownTag(t *testing.T) {
+	if _, err := New("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Fatalf("New(nope) error = %v, want mention of the tag", err)
+	}
+}
+
+// sameSeries asserts bit-identity of two float series.
+func sameSeries(t *testing.T, label string, got, want []float64) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d values, want %d", label, len(got), len(want))
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("%s: value %d = %v, want %v", label, i, got[i], want[i])
+		}
+	}
+}
+
+// roundTrip saves b through the tagged registry format and loads it back.
+func roundTrip(t *testing.T, b Backend) Backend {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := Save(&buf, b); err != nil {
+		t.Fatalf("Save(%s): %v", b.Tag(), err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load(%s): %v", b.Tag(), err)
+	}
+	if got.Tag() != b.Tag() {
+		t.Fatalf("round-trip changed tag %q -> %q", b.Tag(), got.Tag())
+	}
+	return got
+}
+
+// TestTaggedRoundTripAllAblations round-trips every Config ablation flag
+// combination (gates × amplification × stacking) through the tagged
+// header: the loaded detector must score bit-identically and keep its
+// exact config.
+func TestTaggedRoundTripAllAblations(t *testing.T) {
+	conns := genConns(12, 3)
+	probe := genConns(4, 9)
+	seed := int64(0)
+	for _, update := range []bool{true, false} {
+		for _, reset := range []bool{true, false} {
+			for _, amp := range []bool{true, false} {
+				for _, stack := range []int{1, 3} {
+					seed++
+					cfg := core.DefaultConfig()
+					cfg.UseUpdateGates, cfg.UseResetGates, cfg.UseAmplification = update, reset, amp
+					cfg.StackLength = stack
+					b := &CLAP{tag: TagCLAP, Cfg: cfg, Det: randomDetector(cfg, conns, seed)}
+					got := roundTrip(t, b).(*CLAP)
+					if !reflect.DeepEqual(got.Cfg, cfg) {
+						t.Fatalf("ablation %v/%v/%v/%d: config changed: %+v", update, reset, amp, stack, got.Cfg)
+					}
+					for i, c := range probe {
+						sameSeries(t, "window errors", got.WindowErrors(c), b.WindowErrors(c))
+						if got.ScoreConn(c) != b.ScoreConn(c) {
+							t.Fatalf("ablation %v/%v/%v/%d: conn %d score drifted", update, reset, amp, stack, i)
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestBaseline1TagRoundTrip(t *testing.T) {
+	conns := genConns(12, 5)
+	cfg := core.Baseline1Config()
+	b := &CLAP{tag: TagBaseline1, Cfg: cfg, Det: randomDetector(cfg, conns, 2)}
+	got := roundTrip(t, b)
+	if _, ok := got.(*CLAP); !ok {
+		t.Fatalf("baseline1 loaded as %T", got)
+	}
+	probe := genConns(3, 11)[0]
+	sameSeries(t, "baseline1 errors", got.WindowErrors(probe), b.WindowErrors(probe))
+}
+
+func TestKitsuneTagRoundTrip(t *testing.T) {
+	b, err := New(TagKitsune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	kb := b.(*Kitsune)
+	kb.Cfg.FMWindow = 200 // keep the grace window inside the tiny corpus
+	if err := b.Train(genConns(30, 7), func(string, ...any) {}); err != nil {
+		t.Fatalf("training kitsune: %v", err)
+	}
+	got := roundTrip(t, b)
+	for _, c := range genConns(4, 13) {
+		sameSeries(t, "kitsune errors", got.WindowErrors(c), b.WindowErrors(c))
+		if got.ScoreConn(c) != b.ScoreConn(c) {
+			t.Fatal("kitsune score drifted across round-trip")
+		}
+	}
+}
+
+// TestSummarizeMatchesScoreConn pins the Backend contract shared by every
+// implementation: Summarize(WindowErrors(c)) == ScoreConn(c).
+func TestSummarizeMatchesScoreConn(t *testing.T) {
+	conns := genConns(12, 3)
+	probe := genConns(5, 17)
+	cfg := core.DefaultConfig()
+	backends := []Backend{
+		&CLAP{tag: TagCLAP, Cfg: cfg, Det: randomDetector(cfg, conns, 1)},
+	}
+	kb, _ := New(TagKitsune)
+	kb.(*Kitsune).Cfg.FMWindow = 200
+	if err := kb.Train(conns, func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+	backends = append(backends, kb)
+	for _, b := range backends {
+		for i, c := range probe {
+			score, _ := b.Summarize(b.WindowErrors(c))
+			if got := b.ScoreConn(c); got != score {
+				t.Errorf("%s: conn %d ScoreConn %v != Summarize %v", b.Tag(), i, got, score)
+			}
+		}
+		if score, peak := b.Summarize(nil); score != 0 || peak != -1 {
+			t.Errorf("%s: empty series summarized to (%v, %d), want (0, -1)", b.Tag(), score, peak)
+		}
+	}
+}
+
+// TestLegacyUntaggedLoad keeps pre-registry model files working: a plain
+// Detector.Save stream (no header) loads as the CLAP backend.
+func TestLegacyUntaggedLoad(t *testing.T) {
+	conns := genConns(12, 3)
+	cfg := core.DefaultConfig()
+	det := randomDetector(cfg, conns, 4)
+	var buf bytes.Buffer
+	if err := det.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	b, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("legacy load: %v", err)
+	}
+	if b.Tag() != TagCLAP {
+		t.Fatalf("legacy model loaded under tag %q", b.Tag())
+	}
+	probe := genConns(2, 21)[0]
+	sameSeries(t, "legacy errors", b.WindowErrors(probe), det.WindowErrors(probe))
+}
+
+func TestLoadRejectsUnknownTag(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(headerVersion)
+	buf.WriteByte(byte(len("mystery")))
+	buf.WriteString("mystery")
+	_, err := Load(&buf)
+	if err == nil || !strings.Contains(err.Error(), "mystery") {
+		t.Fatalf("unknown-tag load error = %v, want the tag named", err)
+	}
+}
+
+func TestLoadRejectsBadVersion(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(99)
+	buf.WriteByte(4)
+	buf.WriteString(TagCLAP)
+	if _, err := Load(&buf); err == nil || !strings.Contains(err.Error(), "version") {
+		t.Fatalf("bad-version load error = %v", err)
+	}
+}
+
+func TestLoadRejectsTruncatedHeader(t *testing.T) {
+	var buf bytes.Buffer
+	buf.Write(magic[:])
+	buf.WriteByte(headerVersion) // tag length byte missing
+	if _, err := Load(&buf); err == nil {
+		t.Fatal("truncated header should fail to load")
+	}
+	// Corrupt payload after a valid header must surface the decoder error.
+	var buf2 bytes.Buffer
+	buf2.Write(magic[:])
+	buf2.WriteByte(headerVersion)
+	buf2.WriteByte(byte(len(TagCLAP)))
+	buf2.WriteString(TagCLAP)
+	buf2.WriteString("not a gob stream")
+	if _, err := Load(&buf2); err == nil {
+		t.Fatal("corrupt payload should fail to load")
+	}
+}
+
+func TestLoadGarbageFallsBackWithError(t *testing.T) {
+	// Garbage without the magic goes down the legacy path and must fail
+	// loudly, not panic.
+	if _, err := Load(strings.NewReader("complete nonsense, definitely not a model")); err == nil {
+		t.Fatal("garbage should not load")
+	}
+	if _, err := Load(strings.NewReader("x")); err == nil {
+		t.Fatal("too-short garbage should not load")
+	}
+	if _, err := Load(bytes.NewReader(nil)); err == nil {
+		t.Fatal("empty stream should not load")
+	}
+}
+
+func TestSaveRejectsUntrained(t *testing.T) {
+	for _, tag := range []string{TagCLAP, TagKitsune} {
+		b, err := New(tag)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Save(io.Discard, b); err == nil {
+			t.Errorf("saving untrained %q should fail", tag)
+		}
+	}
+}
+
+func TestFromDetectorWraps(t *testing.T) {
+	conns := genConns(12, 3)
+	cfg := core.Baseline1Config()
+	det := randomDetector(cfg, conns, 6)
+	b := FromDetector(det)
+	if b.Detector() != det {
+		t.Fatal("FromDetector must wrap the given detector")
+	}
+	if b.WindowSpan() != cfg.StackLength {
+		t.Fatalf("window span = %d, want %d", b.WindowSpan(), cfg.StackLength)
+	}
+	probe := genConns(2, 23)[0]
+	if b.ScoreConn(probe) != det.Score(probe).Adversarial {
+		t.Fatal("wrapped backend must score through the detector")
+	}
+}

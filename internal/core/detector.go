@@ -330,9 +330,11 @@ func (d *Detector) windowCoversPacket(w, p, n int) bool {
 	return p >= w && p < w+t
 }
 
-// LocalizeErrors ranks precomputed window errors, returning the indices of
-// the topN highest-error windows.
-func (d *Detector) LocalizeErrors(errs []float64, topN int) []int {
+// TopWindows ranks a window-error series and returns the indices of the
+// topN highest-error windows, best first (stable insertion sort, ties
+// broken by window order) — the single ranking implementation behind both
+// the serial forensic path and the backend-agnostic pipeline.
+func TopWindows(errs []float64, topN int) []int {
 	if len(errs) == 0 {
 		return nil
 	}
@@ -349,6 +351,12 @@ func (d *Detector) LocalizeErrors(errs []float64, topN int) []int {
 		idx = idx[:topN]
 	}
 	return idx
+}
+
+// LocalizeErrors ranks precomputed window errors, returning the indices of
+// the topN highest-error windows.
+func (d *Detector) LocalizeErrors(errs []float64, topN int) []int {
+	return TopWindows(errs, topN)
 }
 
 // Localize returns the indices of the topN highest-error windows, each

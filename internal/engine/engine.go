@@ -22,6 +22,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"clap/internal/backend"
 	"clap/internal/core"
 	"clap/internal/flow"
 	"clap/internal/packet"
@@ -130,6 +131,23 @@ func (e *Engine) MapFloat(conns []*flow.Connection, score func(*flow.Connection)
 func (e *Engine) WindowErrorsAll(det *core.Detector, conns []*flow.Connection) [][]float64 {
 	out := make([][]float64, len(conns))
 	e.ParallelFor(len(conns), func(i int) { out[i] = det.WindowErrors(conns[i]) })
+	return out
+}
+
+// ScoreBackend scores every connection with an arbitrary detection backend
+// across the pool, in input order — the backend-agnostic counterpart of
+// AdversarialScores. The backend must be trained (its scoring path is
+// required to be concurrency-safe by the Backend contract).
+func (e *Engine) ScoreBackend(b backend.Backend, conns []*flow.Connection) []float64 {
+	return e.MapFloat(conns, b.ScoreConn)
+}
+
+// WindowErrorsBackend computes each connection's per-window anomaly series
+// with an arbitrary backend, in input order. One series plus the backend's
+// Summarize is a full scoring pass without re-running inference.
+func (e *Engine) WindowErrorsBackend(b backend.Backend, conns []*flow.Connection) [][]float64 {
+	out := make([][]float64, len(conns))
+	e.ParallelFor(len(conns), func(i int) { out[i] = b.WindowErrors(conns[i]) })
 	return out
 }
 

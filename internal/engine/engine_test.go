@@ -6,6 +6,7 @@ import (
 	"testing"
 
 	"clap/internal/attacks"
+	"clap/internal/backend"
 	"clap/internal/core"
 	"clap/internal/flow"
 	"clap/internal/trafficgen"
@@ -242,5 +243,39 @@ func TestEngineDefaults(t *testing.T) {
 	}
 	if e2 := New(Options{Workers: 3}); e2.Shards() != 3 {
 		t.Fatalf("shards should mirror workers, got %d", e2.Shards())
+	}
+}
+
+// TestScoreBackendMatchesSerial pins the backend-agnostic scoring wrapper:
+// engine scores through any Backend are bit-identical to the serial
+// ScoreConn path, in input order, at several worker counts.
+func TestScoreBackendMatchesSerial(t *testing.T) {
+	det := tinyDetector(t)
+	b := backend.FromDetector(det)
+	conns := mixedCorpus(t, 18, 9)
+
+	want := make([]float64, len(conns))
+	wantErrs := make([][]float64, len(conns))
+	for i, c := range conns {
+		want[i] = b.ScoreConn(c)
+		wantErrs[i] = b.WindowErrors(c)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		eng := New(Options{Workers: workers})
+		got := eng.ScoreBackend(b, conns)
+		gotErrs := eng.WindowErrorsBackend(b, conns)
+		for i := range conns {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: conn %d score %v != serial %v", workers, i, got[i], want[i])
+			}
+			if len(gotErrs[i]) != len(wantErrs[i]) {
+				t.Fatalf("workers=%d: conn %d has %d errors, serial %d", workers, i, len(gotErrs[i]), len(wantErrs[i]))
+			}
+			for w := range gotErrs[i] {
+				if gotErrs[i][w] != wantErrs[i][w] {
+					t.Fatalf("workers=%d: conn %d window %d diverged", workers, i, w)
+				}
+			}
+		}
 	}
 }

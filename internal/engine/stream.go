@@ -7,31 +7,38 @@ import (
 	"clap/internal/flow"
 )
 
-// Stream is the engine's online-deployment mode (Figure 3): connections are
-// submitted as they close, scored by the worker pool, and emitted strictly
-// in submission order — so a live monitor behind a DPI keeps deterministic,
-// replayable alert logs even though scoring runs concurrently.
-type Stream struct {
-	jobs    chan *streamJob
-	pending chan *streamJob
+// StreamOf is the engine's online-deployment mode (Figure 3), generalized
+// over the per-connection result type: connections are submitted as they
+// close, scored by the worker pool, and emitted strictly in submission
+// order — so a live monitor behind a DPI keeps deterministic, replayable
+// alert logs even though scoring runs concurrently. T is whatever the
+// score function produces: a core.Score for CLAP, a scalar for Kitsune, or
+// a pipeline Result for the backend-agnostic facade.
+type StreamOf[T any] struct {
+	jobs    chan *streamJob[T]
+	pending chan *streamJob[T]
 	done    chan struct{}
 	wg      sync.WaitGroup
 }
 
-type streamJob struct {
+type streamJob[T any] struct {
 	c   *flow.Connection
-	out chan core.Score
+	out chan T
 }
 
-// NewStream starts a scoring stream. score runs on pool workers and must be
-// safe for concurrent calls (a trained Detector's Score method is); emit is
-// invoked on a single goroutine, one connection at a time, in submission
-// order. Close the stream to drain and release the workers.
-func (e *Engine) NewStream(score func(*flow.Connection) core.Score, emit func(*flow.Connection, core.Score)) *Stream {
+// Stream is the CLAP-native stream, kept as the common case's name.
+type Stream = StreamOf[core.Score]
+
+// NewStreamOf starts a scoring stream producing results of type T. score
+// runs on pool workers and must be safe for concurrent calls (any trained
+// Backend's scoring methods are); emit is invoked on a single goroutine,
+// one connection at a time, in submission order. Close the stream to drain
+// and release the workers.
+func NewStreamOf[T any](e *Engine, score func(*flow.Connection) T, emit func(*flow.Connection, T)) *StreamOf[T] {
 	depth := 4 * e.workers
-	s := &Stream{
-		jobs:    make(chan *streamJob, depth),
-		pending: make(chan *streamJob, depth),
+	s := &StreamOf[T]{
+		jobs:    make(chan *streamJob[T], depth),
+		pending: make(chan *streamJob[T], depth),
 		done:    make(chan struct{}),
 	}
 	s.wg.Add(e.workers)
@@ -52,12 +59,17 @@ func (e *Engine) NewStream(score func(*flow.Connection) core.Score, emit func(*f
 	return s
 }
 
+// NewStream starts a CLAP-scored stream; see NewStreamOf for the contract.
+func (e *Engine) NewStream(score func(*flow.Connection) core.Score, emit func(*flow.Connection, core.Score)) *Stream {
+	return NewStreamOf(e, score, emit)
+}
+
 // Submit queues one connection for scoring. It blocks only when the
 // in-flight window (4× workers) is full. Not safe for concurrent Submit
 // calls from multiple goroutines; the submission order defines the emit
 // order.
-func (s *Stream) Submit(c *flow.Connection) {
-	j := &streamJob{c: c, out: make(chan core.Score, 1)}
+func (s *StreamOf[T]) Submit(c *flow.Connection) {
+	j := &streamJob[T]{c: c, out: make(chan T, 1)}
 	s.pending <- j
 	s.jobs <- j
 }
@@ -65,7 +77,7 @@ func (s *Stream) Submit(c *flow.Connection) {
 // Close drains the stream: it waits until every submitted connection has
 // been scored and emitted, then stops the workers. The stream cannot be
 // reused afterwards.
-func (s *Stream) Close() {
+func (s *StreamOf[T]) Close() {
 	close(s.jobs)
 	close(s.pending)
 	<-s.done

@@ -3,6 +3,7 @@ package engine
 import (
 	"testing"
 
+	"clap/internal/backend"
 	"clap/internal/core"
 	"clap/internal/flow"
 )
@@ -61,5 +62,42 @@ func TestStreamBackpressure(t *testing.T) {
 	stream.Close()
 	if want := rounds * len(conns); emitted != want {
 		t.Fatalf("emitted %d, want %d", emitted, want)
+	}
+}
+
+// TestStreamOfGenericResultType drives the generalized stream with a
+// non-Score result type (a backend-style scalar verdict): emission must
+// stay in submission order regardless of scoring concurrency.
+func TestStreamOfGenericResultType(t *testing.T) {
+	det := tinyDetector(t)
+	b := backend.FromDetector(det)
+	conns := genConns(20, 31)
+
+	type verdict struct {
+		key   string
+		score float64
+	}
+	var emitted []verdict
+	eng := New(Options{Workers: 4})
+	s := NewStreamOf(eng, func(c *flow.Connection) verdict {
+		return verdict{key: c.Key.String(), score: b.ScoreConn(c)}
+	}, func(_ *flow.Connection, v verdict) {
+		emitted = append(emitted, v)
+	})
+	for _, c := range conns {
+		s.Submit(c)
+	}
+	s.Close()
+
+	if len(emitted) != len(conns) {
+		t.Fatalf("emitted %d results for %d submissions", len(emitted), len(conns))
+	}
+	for i, c := range conns {
+		if emitted[i].key != c.Key.String() {
+			t.Fatalf("slot %d emitted %s, want %s (order broken)", i, emitted[i].key, c.Key)
+		}
+		if want := b.ScoreConn(c); emitted[i].score != want {
+			t.Fatalf("slot %d score %v != serial %v", i, emitted[i].score, want)
+		}
 	}
 }

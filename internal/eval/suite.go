@@ -12,6 +12,7 @@ import (
 	"time"
 
 	"clap/internal/attacks"
+	"clap/internal/backend"
 	"clap/internal/core"
 	"clap/internal/engine"
 	"clap/internal/flow"
@@ -132,8 +133,8 @@ func BuildDataset(o Options) *Dataset {
 	return d
 }
 
-// Suite bundles the dataset with the trained detectors and cached benign
-// scores.
+// Suite bundles the dataset with the trained detection backends and their
+// cached benign scores.
 type Suite struct {
 	Opt  Options
 	Data *Dataset
@@ -142,66 +143,89 @@ type Suite struct {
 	// through. BuildSuite sets it from Options.Workers.
 	Eng *engine.Engine
 
+	// Backends holds the compared systems keyed by registry tag.
+	// BuildSuite constructs all three through the backend registry; adding
+	// a fourth system to the comparison is a registry entry plus an
+	// Options hook, not new suite plumbing.
+	Backends map[string]backend.Backend
+
+	// CLAP, B1 and Kit are typed views of the backends for the analyses
+	// that are inherently system-specific (localization criteria, RNN
+	// accuracy, ablations, Table 6's hyper-parameters).
 	CLAP *core.Detector
 	B1   *core.Detector
 	Kit  *kitsune.Kitsune
 
-	// Benign scores over the held-out benign test set (threshold selection,
-	// Table 5, deployment examples).
-	BenignCLAP []float64
-	BenignB1   []float64
-	BenignKit  []float64
+	// Base caches each backend's scores over the unmodified carrier pool,
+	// keyed by backend tag and indexed like Data.AdvBase: the paired
+	// negative class for per-strategy ROC curves.
+	Base map[string][]float64
 
-	// Cached scores of the unmodified carrier pool, indexed like
-	// Data.AdvBase: the paired negative class for per-strategy ROC curves.
-	BaseCLAP []float64
-	BaseB1   []float64
-	BaseKit  []float64
-
-	// TrainTime records how long each model took to train.
+	// TrainTime records how long each backend took to train, keyed by tag.
 	TrainTime map[string]time.Duration
 }
 
-// BuildSuite generates data and trains all three detectors.
+// suiteSystems enumerates the compared backends: registry tag plus the
+// profile-configuration hook applied before training.
+func suiteSystems(o Options) []struct {
+	tag   string
+	setup func(backend.Backend)
+} {
+	return []struct {
+		tag   string
+		setup func(backend.Backend)
+	}{
+		{backend.TagCLAP, func(b backend.Backend) { b.(*backend.CLAP).Cfg = o.CLAP }},
+		{backend.TagBaseline1, func(b backend.Backend) { b.(*backend.CLAP).Cfg = o.B1 }},
+		{backend.TagKitsune, func(b backend.Backend) { b.(*backend.Kitsune).Cfg = o.Kit }},
+	}
+}
+
+// Tags returns the suite's backend tags in sorted (deterministic) order.
+func (s *Suite) Tags() []string {
+	tags := make([]string, 0, len(s.Backends))
+	for t := range s.Backends {
+		tags = append(tags, t)
+	}
+	sort.Strings(tags)
+	return tags
+}
+
+// BuildSuite generates data and trains all compared backends through the
+// registry.
 func BuildSuite(o Options, logf core.Logf) (*Suite, error) {
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	s := &Suite{Opt: o, TrainTime: map[string]time.Duration{}}
+	s := &Suite{Opt: o, TrainTime: map[string]time.Duration{}, Backends: map[string]backend.Backend{}}
 	s.Eng = engine.New(engine.Options{Workers: o.Workers})
 	logf("generating dataset (profile %s)...", o.Profile)
 	s.Data = BuildDataset(o)
 
-	start := time.Now()
-	var err error
-	logf("training CLAP on %d connections...", len(s.Data.Train))
-	if s.CLAP, err = core.Train(s.Data.Train, o.CLAP, logf); err != nil {
-		return nil, fmt.Errorf("training CLAP: %w", err)
+	for _, sys := range suiteSystems(o) {
+		b, err := backend.New(sys.tag)
+		if err != nil {
+			return nil, err
+		}
+		sys.setup(b)
+		logf("training %s on %d connections...", sys.tag, len(s.Data.Train))
+		start := time.Now()
+		if err := b.Train(s.Data.Train, backend.Logf(logf)); err != nil {
+			return nil, fmt.Errorf("training %s: %w", sys.tag, err)
+		}
+		s.TrainTime[sys.tag] = time.Since(start)
+		s.Backends[sys.tag] = b
 	}
-	s.TrainTime["clap"] = time.Since(start)
+	s.CLAP = s.Backends[backend.TagCLAP].(*backend.CLAP).Detector()
+	s.B1 = s.Backends[backend.TagBaseline1].(*backend.CLAP).Detector()
+	s.Kit = s.Backends[backend.TagKitsune].(*backend.Kitsune).Model()
 
-	start = time.Now()
-	logf("training Baseline #1...")
-	if s.B1, err = core.Train(s.Data.Train, o.B1, logf); err != nil {
-		return nil, fmt.Errorf("training Baseline #1: %w", err)
+	logf("scoring carrier pool (%d connections, %d workers)...",
+		len(s.Data.AdvBase), s.Eng.Workers())
+	s.Base = map[string][]float64{}
+	for _, tag := range s.Tags() {
+		s.Base[tag] = s.Eng.ScoreBackend(s.Backends[tag], s.Data.AdvBase)
 	}
-	s.TrainTime["baseline1"] = time.Since(start)
-
-	start = time.Now()
-	logf("training Baseline #2 (Kitsune)...")
-	s.Kit = kitsune.New(o.Kit)
-	s.Kit.Train(flow.Flatten(s.Data.Train))
-	s.TrainTime["kitsune"] = time.Since(start)
-
-	logf("scoring benign test set (%d connections, %d workers)...",
-		len(s.Data.TestBenign), s.Eng.Workers())
-	s.BenignCLAP = s.Eng.AdversarialScores(s.CLAP, s.Data.TestBenign)
-	s.BenignB1 = s.Eng.AdversarialScores(s.B1, s.Data.TestBenign)
-	s.BenignKit = s.Eng.MapFloat(s.Data.TestBenign, s.Kit.ScoreConnection)
-	logf("scoring carrier pool (%d connections)...", len(s.Data.AdvBase))
-	s.BaseCLAP = s.Eng.AdversarialScores(s.CLAP, s.Data.AdvBase)
-	s.BaseB1 = s.Eng.AdversarialScores(s.B1, s.Data.AdvBase)
-	s.BaseKit = s.Eng.MapFloat(s.Data.AdvBase, s.Kit.ScoreConnection)
 	return s, nil
 }
 
@@ -219,6 +243,13 @@ type StrategyResult struct {
 	Strategy attacks.Strategy
 	N        int // adversarial connections evaluated
 
+	// AUCByTag and EERByTag hold every compared backend's paired detection
+	// metrics, keyed by registry tag — the generic comparison surface.
+	AUCByTag map[string]float64
+	EERByTag map[string]float64
+
+	// Flattened views of the three paper systems for the fixed-shape
+	// tables and figures.
 	AUC, EER       float64 // CLAP
 	AUCB1, EERB1   float64
 	AUCKit, EERKit float64
@@ -226,45 +257,67 @@ type StrategyResult struct {
 	Top1, Top3, Top5 float64 // CLAP localization hit rates
 }
 
-// EvaluateStrategy scores one strategy's adversarial corpus against all
-// three detectors. The negative class is paired: the exact carrier
+// flatten mirrors the per-tag maps into the paper's named columns.
+func (r *StrategyResult) flatten() {
+	r.AUC, r.EER = r.AUCByTag[backend.TagCLAP], r.EERByTag[backend.TagCLAP]
+	r.AUCB1, r.EERB1 = r.AUCByTag[backend.TagBaseline1], r.EERByTag[backend.TagBaseline1]
+	r.AUCKit, r.EERKit = r.AUCByTag[backend.TagKitsune], r.EERByTag[backend.TagKitsune]
+}
+
+// EvaluateStrategy scores one strategy's adversarial corpus against every
+// backend in the suite. The negative class is paired: the exact carrier
 // connections the strategy was injected into, unmodified, so the ROC
 // reflects the injected manipulation and not carrier-population skew.
 func (s *Suite) EvaluateStrategy(st attacks.Strategy) StrategyResult {
 	conns := s.Data.Adv[st.Name]
 	srcs := s.Data.AdvSrc[st.Name]
-	res := StrategyResult{Strategy: st, N: len(conns)}
+	res := StrategyResult{
+		Strategy: st, N: len(conns),
+		AUCByTag: map[string]float64{}, EERByTag: map[string]float64{},
+	}
 	if len(conns) == 0 {
 		return res
 	}
-	var benCLAP, benB1, benKit []float64
-	for _, bi := range srcs {
-		benCLAP = append(benCLAP, s.BaseCLAP[bi])
-		benB1 = append(benB1, s.BaseB1[bi])
-		benKit = append(benKit, s.BaseKit[bi])
+	tags := s.Tags()
+	systems := make([]backend.Backend, len(tags))
+	ben := make([][]float64, len(tags))
+	adv := make([][]float64, len(tags))
+	clapIdx := -1
+	for ti, tag := range tags {
+		systems[ti] = s.Backends[tag]
+		adv[ti] = make([]float64, len(conns))
+		ben[ti] = make([]float64, len(srcs))
+		for i, bi := range srcs {
+			ben[ti][i] = s.Base[tag][bi]
+		}
+		if tag == backend.TagCLAP {
+			clapIdx = ti
+		}
 	}
 	// One parallel pass per strategy: every connection's scores and
 	// localization verdicts are independent, results land in per-index
 	// slots, and the reduction below runs in input order — deterministic at
 	// any worker count.
 	eng := s.engineOrDefault()
-	clap := make([]float64, len(conns))
-	b1 := make([]float64, len(conns))
-	kit := make([]float64, len(conns))
 	hits := make([][3]bool, len(conns))
 	eng.ParallelFor(len(conns), func(i int) {
 		c := conns[i]
-		// One CLAP inference pass per connection: score and all three
-		// localization levels derive from the same window errors.
-		errs := s.CLAP.WindowErrors(c)
-		clap[i] = s.CLAP.ScoreFromErrors(errs).Adversarial
-		hits[i] = [3]bool{
-			s.CLAP.LocalizationHitErrors(c, errs, 1),
-			s.CLAP.LocalizationHitErrors(c, errs, 3),
-			s.CLAP.LocalizationHitErrors(c, errs, 5),
+		for ti, b := range systems {
+			if ti == clapIdx && s.CLAP != nil {
+				// One CLAP inference pass per connection: score and all
+				// three localization levels derive from the same window
+				// errors.
+				errs := s.CLAP.WindowErrors(c)
+				adv[ti][i] = s.CLAP.ScoreFromErrors(errs).Adversarial
+				hits[i] = [3]bool{
+					s.CLAP.LocalizationHitErrors(c, errs, 1),
+					s.CLAP.LocalizationHitErrors(c, errs, 3),
+					s.CLAP.LocalizationHitErrors(c, errs, 5),
+				}
+				continue
+			}
+			adv[ti][i] = b.ScoreConn(c)
 		}
-		b1[i] = s.B1.Score(c).Adversarial
-		kit[i] = s.Kit.ScoreConnection(c)
 	})
 	var hit1, hit3, hit5 int
 	for _, h := range hits {
@@ -278,12 +331,11 @@ func (s *Suite) EvaluateStrategy(st attacks.Strategy) StrategyResult {
 			hit5++
 		}
 	}
-	res.AUC = metrics.AUC(benCLAP, clap)
-	res.EER = metrics.EER(benCLAP, clap)
-	res.AUCB1 = metrics.AUC(benB1, b1)
-	res.EERB1 = metrics.EER(benB1, b1)
-	res.AUCKit = metrics.AUC(benKit, kit)
-	res.EERKit = metrics.EER(benKit, kit)
+	for ti, tag := range tags {
+		res.AUCByTag[tag] = metrics.AUC(ben[ti], adv[ti])
+		res.EERByTag[tag] = metrics.EER(ben[ti], adv[ti])
+	}
+	res.flatten()
 	n := float64(len(conns))
 	res.Top1, res.Top3, res.Top5 = float64(hit1)/n, float64(hit3)/n, float64(hit5)/n
 	return res

@@ -339,6 +339,20 @@ func (k *Kitsune) scoreWith(ext *Extractor, p *packet.Packet) float64 {
 	return k.output.Error(errs)
 }
 
+// ConnectionErrors returns the per-packet anomaly-score series of a
+// connection against a fresh statistics context — the Kitsune analogue of
+// CLAP's per-window reconstruction errors, and the substrate
+// ScoreConnection reduces with max. Safe for concurrent use on a frozen
+// model, like ScoreConnection.
+func (k *Kitsune) ConnectionErrors(c *flow.Connection) []float64 {
+	ext := NewExtractor(k.cfg.Lambdas)
+	out := make([]float64, c.Len())
+	for i, p := range c.Packets {
+		out[i] = k.scoreWith(ext, p)
+	}
+	return out
+}
+
 // ScoreConnection scores one connection as the maximum packet score, the
 // conventional flow-level reduction for per-packet IDSs. The connection is
 // scored against a fresh statistics context (models and normalisation stay

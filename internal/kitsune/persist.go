@@ -1,0 +1,94 @@
+package kitsune
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"io"
+
+	"clap/internal/nn"
+)
+
+// A trained (frozen) Kitsune persists as one gob snapshot: the config, the
+// learned feature map, the frozen normalisation bounds, and the ensemble
+// and output autoencoders framed as byte blobs (the same framing rationale
+// as core's persistence: a gob decoder may read ahead on the underlying
+// reader). Extractor statistics are deliberately not persisted —
+// ScoreConnection builds a fresh statistics context per connection, and a
+// loaded model starts streaming mode from an empty one.
+
+type kitSnap struct {
+	Cfg      Config
+	Clusters [][]int
+	Min, Max []float64
+	OutMin   []float64
+	OutMax   []float64
+	Ensemble [][]byte
+	Output   []byte
+}
+
+// Save writes the trained model to w. It fails on an untrained instance:
+// the feature map and ensemble only exist after Train.
+func (k *Kitsune) Save(w io.Writer) error {
+	if len(k.ensemble) == 0 || k.output == nil {
+		return fmt.Errorf("kitsune: saving untrained model")
+	}
+	s := kitSnap{
+		Cfg:      k.cfg,
+		Clusters: k.clusters,
+		Min:      k.min,
+		Max:      k.max,
+		OutMin:   k.outMin,
+		OutMax:   k.outMax,
+	}
+	for _, ae := range k.ensemble {
+		var buf bytes.Buffer
+		if err := nn.SaveAutoencoder(&buf, ae); err != nil {
+			return fmt.Errorf("kitsune: saving ensemble member: %w", err)
+		}
+		s.Ensemble = append(s.Ensemble, buf.Bytes())
+	}
+	var buf bytes.Buffer
+	if err := nn.SaveAutoencoder(&buf, k.output); err != nil {
+		return fmt.Errorf("kitsune: saving output layer: %w", err)
+	}
+	s.Output = buf.Bytes()
+	if err := gob.NewEncoder(w).Encode(s); err != nil {
+		return fmt.Errorf("kitsune: encoding snapshot: %w", err)
+	}
+	return nil
+}
+
+// Load reads a model written by Save. The result is frozen (execute phase
+// only); further Train calls are not supported.
+func Load(r io.Reader) (*Kitsune, error) {
+	var s kitSnap
+	if err := gob.NewDecoder(r).Decode(&s); err != nil {
+		return nil, fmt.Errorf("kitsune: decoding snapshot: %w", err)
+	}
+	if len(s.Clusters) != len(s.Ensemble) {
+		return nil, fmt.Errorf("kitsune: snapshot has %d clusters but %d ensemble members",
+			len(s.Clusters), len(s.Ensemble))
+	}
+	k := New(s.Cfg)
+	k.clusters = s.Clusters
+	k.min, k.max = s.Min, s.Max
+	k.outMin, k.outMax = s.OutMin, s.OutMax
+	for i, blob := range s.Ensemble {
+		ae, err := nn.LoadAutoencoder(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("kitsune: loading ensemble member %d: %w", i, err)
+		}
+		k.ensemble = append(k.ensemble, ae)
+	}
+	out, err := nn.LoadAutoencoder(bytes.NewReader(s.Output))
+	if err != nil {
+		return nil, fmt.Errorf("kitsune: loading output layer: %w", err)
+	}
+	k.output = out
+	k.frozen = true
+	return k, nil
+}
+
+// Config returns the configuration the model was built with.
+func (k *Kitsune) Config() Config { return k.cfg }

@@ -1,0 +1,89 @@
+package kitsune
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"clap/internal/flow"
+	"clap/internal/trafficgen"
+)
+
+func TestSaveLoadRoundTrip(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FMWindow = 300
+	k := New(cfg)
+	k.Train(trainStream(60, 3))
+
+	var buf bytes.Buffer
+	if err := k.Save(&buf); err != nil {
+		t.Fatalf("Save: %v", err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatalf("Load: %v", err)
+	}
+	if got.EnsembleSize() != k.EnsembleSize() {
+		t.Fatalf("ensemble size %d != %d", got.EnsembleSize(), k.EnsembleSize())
+	}
+	if got.Config().FMWindow != cfg.FMWindow {
+		t.Errorf("config not preserved: %+v", got.Config())
+	}
+
+	// Scores must be bit-identical: same clusters, weights and frozen
+	// normalisation bounds.
+	gen := trafficgen.DefaultConfig(6)
+	gen.Seed = 11
+	for i, c := range trafficgen.Generate(gen) {
+		want := k.ScoreConnection(c)
+		if s := got.ScoreConnection(c); s != want {
+			t.Fatalf("conn %d: loaded score %v != original %v", i, s, want)
+		}
+		we, ge := k.ConnectionErrors(c), got.ConnectionErrors(c)
+		for j := range we {
+			if we[j] != ge[j] {
+				t.Fatalf("conn %d packet %d: error series diverged", i, j)
+			}
+		}
+	}
+}
+
+func TestSaveRejectsUntrained(t *testing.T) {
+	var buf bytes.Buffer
+	if err := New(DefaultConfig()).Save(&buf); err == nil || !strings.Contains(err.Error(), "untrained") {
+		t.Fatalf("untrained save error = %v", err)
+	}
+}
+
+func TestLoadRejectsGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("junk")); err == nil {
+		t.Fatal("garbage should not load")
+	}
+}
+
+func TestConnectionErrorsMatchScore(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.FMWindow = 300
+	k := New(cfg)
+	k.Train(trainStream(60, 5))
+	gen := trafficgen.DefaultConfig(5)
+	gen.Seed = 23
+	for _, c := range trafficgen.Generate(gen) {
+		errs := k.ConnectionErrors(c)
+		if len(errs) != c.Len() {
+			t.Fatalf("%d errors for %d packets", len(errs), c.Len())
+		}
+		max := 0.0
+		for _, e := range errs {
+			if e > max {
+				max = e
+			}
+		}
+		if got := k.ScoreConnection(c); got != max {
+			t.Fatalf("ScoreConnection %v != max packet error %v", got, max)
+		}
+	}
+	if errs := k.ConnectionErrors(&flow.Connection{}); len(errs) != 0 {
+		t.Fatalf("empty connection produced %d errors", len(errs))
+	}
+}

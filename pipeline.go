@@ -1,0 +1,252 @@
+package clap
+
+import (
+	"errors"
+	"fmt"
+
+	"clap/internal/core"
+	"clap/internal/engine"
+)
+
+// Pipeline is the backend-agnostic deployment unit: a Source feeds
+// connections, any registered Backend scores them through the sharded
+// parallel engine, and Sinks render the results. The same pipeline serves
+// the online-detector and forensic modes of §3.2 for CLAP, Baseline #1,
+// Kitsune, or any future backend — swap WithBackend and nothing else
+// changes.
+//
+//	b, _ := clap.LoadBackendFile("clap.model")
+//	p, _ := clap.NewPipeline(
+//	        clap.WithBackend(b),
+//	        clap.WithThresholdFPR(0.01, clap.PCAPFile("benign.pcap")),
+//	        clap.WithTopN(5),
+//	)
+//	summary, _ := p.Run(clap.PCAPFile("suspect.pcap"), clap.NewTextReport(os.Stdout, false))
+//
+// Scores produced through a Pipeline are bit-identical to the backend's
+// serial scoring path at any worker or shard count.
+type Pipeline struct {
+	backend Backend
+	eng     *Engine
+
+	workers, shards int
+
+	threshold   float64
+	fpr         float64
+	calibration Source
+
+	topN       int
+	keepErrors bool
+}
+
+// PipelineOption configures a Pipeline.
+type PipelineOption func(*Pipeline)
+
+// WithBackend selects the detection backend. Required; the backend must be
+// trained (or freshly loaded) before Run.
+func WithBackend(b Backend) PipelineOption { return func(p *Pipeline) { p.backend = b } }
+
+// WithWorkers sets the scoring worker count; 0 sizes it to the machine.
+func WithWorkers(n int) PipelineOption { return func(p *Pipeline) { p.workers = n } }
+
+// WithShards sets the assembly shard count; 0 mirrors the worker count.
+func WithShards(n int) PipelineOption { return func(p *Pipeline) { p.shards = n } }
+
+// WithThreshold sets a fixed adversarial-score threshold. 0 (the default)
+// means score-only: nothing is flagged.
+func WithThreshold(th float64) PipelineOption { return func(p *Pipeline) { p.threshold = th } }
+
+// WithThresholdFPR calibrates the threshold at Run (or NewStream) time:
+// the calibration source is scored with the pipeline's backend and the
+// threshold is picked to keep the false-positive rate on it at or below
+// fpr (the deployment knob of §3.3(d)). Overrides WithThreshold.
+func WithThresholdFPR(fpr float64, calibration Source) PipelineOption {
+	return func(p *Pipeline) { p.fpr, p.calibration = fpr, calibration }
+}
+
+// WithTopN sets how many highest-error windows each result localizes
+// (default 5). 0 disables localization.
+func WithTopN(n int) PipelineOption { return func(p *Pipeline) { p.topN = n } }
+
+// WithWindowErrors keeps the full per-window error series on every Result
+// (Figure 6's series). By default only flagged results retain it, so large
+// captures do not pin every connection's series for the whole run.
+func WithWindowErrors(keep bool) PipelineOption { return func(p *Pipeline) { p.keepErrors = keep } }
+
+// NewPipeline builds a pipeline over a backend. It fails without one, and
+// fails on an untrained one — scoring through an untrained backend would
+// otherwise panic on a pool goroutine.
+func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
+	p := &Pipeline{topN: 5}
+	for _, o := range opts {
+		o(p)
+	}
+	if p.backend == nil {
+		return nil, errors.New("clap: pipeline needs a backend (WithBackend)")
+	}
+	if !p.backend.Trained() {
+		return nil, fmt.Errorf("clap: backend %q is not trained (Train it or load a model first)", p.backend.Tag())
+	}
+	p.eng = engine.New(engine.Options{Workers: p.workers, Shards: p.shards})
+	return p, nil
+}
+
+// Backend returns the pipeline's detection backend.
+func (p *Pipeline) Backend() Backend { return p.backend }
+
+// Engine returns the pipeline's scoring engine (for Source implementations
+// and ad-hoc scoring alongside a Run).
+func (p *Pipeline) Engine() *Engine { return p.eng }
+
+// Result is one connection's verdict.
+type Result struct {
+	// Conn is the scored connection.
+	Conn *Connection
+	// Score is the backend's scalar adversarial score.
+	Score float64
+	// Flagged reports Score >= threshold (never set in score-only mode).
+	Flagged bool
+	// PeakWindow is the index of the highest-error window (-1 when the
+	// backend produced no windows).
+	PeakWindow int
+	// TopWindows holds the indices of the highest-error windows, best
+	// first (up to the pipeline's TopN) — CLAP's forensic localization.
+	// Computed for flagged results, and for every result under
+	// WithWindowErrors(true); nil otherwise, so score-only batch runs do
+	// not pay for ranking they never read.
+	TopWindows []int
+	// Errors is the per-window anomaly series. Retained for flagged
+	// results, and for every result under WithWindowErrors(true).
+	Errors []float64
+}
+
+// RunSummary reports one Run.
+type RunSummary struct {
+	// Results holds every connection's verdict in capture order.
+	Results []Result
+	// Threshold is the operating threshold used (0 in score-only mode).
+	Threshold float64
+	// Flagged counts results over the threshold.
+	Flagged int
+	// Skipped counts records the source could not decode (e.g. truncated
+	// or non-TCP pcap records).
+	Skipped int
+	// CalibrationConns and CalibrationSkipped report the calibration
+	// source's corpus when WithThresholdFPR was used.
+	CalibrationConns   int
+	CalibrationSkipped int
+	// WindowSpan is the backend's packets-per-window (for expanding window
+	// indices to packet ranges).
+	WindowSpan int
+}
+
+// calibrate resolves the operating threshold, scoring the calibration
+// source if one was configured.
+func (p *Pipeline) calibrate() (th float64, calN, calSkipped int, err error) {
+	th = p.threshold
+	if p.calibration == nil {
+		return th, 0, 0, nil
+	}
+	benign, skipped, err := p.calibration.Connections(p.eng)
+	if err != nil {
+		return 0, 0, 0, fmt.Errorf("clap: reading calibration source: %w", err)
+	}
+	scores := p.eng.ScoreBackend(p.backend, benign)
+	return ThresholdAtFPR(scores, p.fpr), len(benign), skipped, nil
+}
+
+// resultFor scores one connection from its precomputed window errors.
+func (p *Pipeline) resultFor(c *Connection, errs []float64, th float64) Result {
+	score, peak := p.backend.Summarize(errs)
+	r := Result{Conn: c, Score: score, PeakWindow: peak}
+	if th > 0 && score >= th {
+		r.Flagged = true
+	}
+	if r.Flagged || p.keepErrors {
+		if p.topN > 0 {
+			r.TopWindows = core.TopWindows(errs, p.topN)
+		}
+		r.Errors = errs
+	}
+	return r
+}
+
+// Run reads the source, scores every connection through the engine, and
+// emits each result to every sink in capture order (then Finish, in sink
+// order). Sinks may be nil-free but are optional: forensic callers can
+// work off the returned summary alone.
+func (p *Pipeline) Run(src Source, sinks ...Sink) (*RunSummary, error) {
+	th, calN, calSkipped, err := p.calibrate()
+	if err != nil {
+		return nil, err
+	}
+	conns, skipped, err := src.Connections(p.eng)
+	if err != nil {
+		return nil, fmt.Errorf("clap: reading source: %w", err)
+	}
+	errsAll := p.eng.WindowErrorsBackend(p.backend, conns)
+	sum := &RunSummary{
+		Results:            make([]Result, len(conns)),
+		Threshold:          th,
+		Skipped:            skipped,
+		CalibrationConns:   calN,
+		CalibrationSkipped: calSkipped,
+		WindowSpan:         p.backend.WindowSpan(),
+	}
+	for i, c := range conns {
+		r := p.resultFor(c, errsAll[i], th)
+		errsAll[i] = nil
+		if r.Flagged {
+			sum.Flagged++
+		}
+		sum.Results[i] = r
+		for _, s := range sinks {
+			if err := s.Emit(r); err != nil {
+				return nil, fmt.Errorf("clap: sink: %w", err)
+			}
+		}
+	}
+	for _, s := range sinks {
+		if err := s.Finish(sum); err != nil {
+			return nil, fmt.Errorf("clap: sink finish: %w", err)
+		}
+	}
+	return sum, nil
+}
+
+// PipelineStream is the pipeline's online mode: connections are submitted
+// as they close, scored concurrently by the engine, and emitted strictly
+// in submission order.
+type PipelineStream struct {
+	inner     *engine.StreamOf[Result]
+	threshold float64
+}
+
+// NewStream opens the pipeline in streaming mode. Threshold calibration
+// (if configured) runs now, before the first Submit; emit then receives
+// every submitted connection's Result in submission order on a single
+// goroutine. Close the stream to drain it.
+func (p *Pipeline) NewStream(emit func(Result)) (*PipelineStream, error) {
+	th, _, _, err := p.calibrate()
+	if err != nil {
+		return nil, err
+	}
+	score := func(c *Connection) Result {
+		return p.resultFor(c, p.backend.WindowErrors(c), th)
+	}
+	return &PipelineStream{
+		inner:     engine.NewStreamOf(p.eng, score, func(_ *Connection, r Result) { emit(r) }),
+		threshold: th,
+	}, nil
+}
+
+// Threshold reports the stream's operating threshold.
+func (s *PipelineStream) Threshold() float64 { return s.threshold }
+
+// Submit queues one connection for scoring; results arrive at emit in
+// submission order. Not safe for concurrent Submit calls.
+func (s *PipelineStream) Submit(c *Connection) { s.inner.Submit(c) }
+
+// Close drains the stream: every submitted connection is scored and
+// emitted before Close returns.
+func (s *PipelineStream) Close() { s.inner.Close() }

@@ -1,0 +1,323 @@
+package clap
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// One shared tiny backend for the pipeline tests.
+var (
+	pipeOnce sync.Once
+	pipeBk   Backend
+	pipeErr  error
+)
+
+func pipelineBackend(t *testing.T) Backend {
+	t.Helper()
+	pipeOnce.Do(func() {
+		b, err := NewBackend(BackendCLAP)
+		if err != nil {
+			pipeErr = err
+			return
+		}
+		cb := b.(*CLAPBackend)
+		cb.Cfg.RNNEpochs, cb.Cfg.AEEpochs = 4, 6
+		pipeErr = b.Train(GenerateBenign(80, 1), func(string, ...any) {})
+		pipeBk = b
+	})
+	if pipeErr != nil {
+		t.Fatalf("training pipeline backend: %v", pipeErr)
+	}
+	return pipeBk
+}
+
+// suspectSource injects the motivating example into half a fresh corpus.
+// The shared fixture is deliberately under-trained (seconds, not minutes),
+// so tests that need flagged connections calibrate at a loose FPR; the
+// decisively-trained flagging path is covered by the cmd integration
+// tests.
+func suspectSource() Source {
+	return AttackCorpus(TrafficGen(24, 42), "GFW: Injected RST Bad TCP-Checksum/MD5-Option", 0.5, 7)
+}
+
+// TestPipelineBitIdenticalAcrossWorkers is the acceptance contract:
+// pipeline scores (and the rendered text report) are byte-for-byte
+// identical to the serial detector path at any worker or shard count.
+func TestPipelineBitIdenticalAcrossWorkers(t *testing.T) {
+	bk := pipelineBackend(t)
+	det := bk.(*CLAPBackend).Detector()
+
+	// Serial reference: the pre-redesign scoring path.
+	conns, _, err := suspectSource().Connections(NewEngine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScores := make([]float64, len(conns))
+	for i, c := range conns {
+		wantScores[i] = det.Score(c).Adversarial
+	}
+
+	var refReport []byte
+	for _, workers := range []int{1, 4, 8} {
+		p, err := NewPipeline(WithBackend(bk), WithWorkers(workers), WithShards(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		sum, err := p.Run(suspectSource(), NewTextReport(&buf, true))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(sum.Results) != len(conns) {
+			t.Fatalf("workers=%d: %d results, want %d", workers, len(sum.Results), len(conns))
+		}
+		for i, r := range sum.Results {
+			if r.Score != wantScores[i] {
+				t.Fatalf("workers=%d: conn %d score %v != serial %v", workers, i, r.Score, wantScores[i])
+			}
+		}
+		if refReport == nil {
+			refReport = buf.Bytes()
+		} else if !bytes.Equal(refReport, buf.Bytes()) {
+			t.Fatalf("workers=%d: text report diverged from workers=1 output", workers)
+		}
+	}
+	if !strings.Contains(string(refReport), "top connections by adversarial score:") {
+		t.Fatalf("score-only report missing ranking:\n%s", refReport)
+	}
+}
+
+// TestPipelineCalibratedThresholdFlags exercises the WithThresholdFPR path
+// end to end: calibration, flagging, localization and the flagged text
+// report.
+func TestPipelineCalibratedThresholdFlags(t *testing.T) {
+	bk := pipelineBackend(t)
+	p, err := NewPipeline(
+		WithBackend(bk),
+		WithThresholdFPR(0.25, TrafficGen(80, 1)),
+		WithTopN(3),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sum, err := p.Run(suspectSource(), NewTextReport(&buf, false))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Threshold <= 0 {
+		t.Fatalf("calibration produced threshold %v", sum.Threshold)
+	}
+	if sum.CalibrationConns != 80 {
+		t.Errorf("calibration corpus = %d connections, want 80", sum.CalibrationConns)
+	}
+	if sum.Flagged == 0 {
+		t.Fatal("nothing flagged at a 25% FPR threshold")
+	}
+	out := buf.String()
+	if !strings.Contains(out, "connections flagged at threshold") {
+		t.Fatalf("flagged report missing summary line:\n%s", out)
+	}
+	if !strings.Contains(out, "suspicious window") {
+		t.Fatalf("flagged report missing localization:\n%s", out)
+	}
+	flagged := 0
+	for _, r := range sum.Results {
+		if !r.Flagged {
+			if r.Errors != nil {
+				t.Error("unflagged result kept its error series without WithWindowErrors")
+			}
+			continue
+		}
+		flagged++
+		if r.Score < sum.Threshold {
+			t.Errorf("flagged result under threshold: %v < %v", r.Score, sum.Threshold)
+		}
+		if len(r.TopWindows) == 0 || len(r.TopWindows) > 3 {
+			t.Errorf("flagged result has %d localized windows, want 1..3", len(r.TopWindows))
+		}
+		if len(r.Errors) == 0 {
+			t.Error("flagged result lost its error series")
+		}
+	}
+	if flagged != sum.Flagged {
+		t.Errorf("summary counts %d flagged, results say %d", sum.Flagged, flagged)
+	}
+}
+
+func TestPipelineJSONSink(t *testing.T) {
+	bk := pipelineBackend(t)
+	p, err := NewPipeline(WithBackend(bk), WithThreshold(0.001))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	sum, err := p.Run(suspectSource(), NewJSONLines(&buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != len(sum.Results)+1 {
+		t.Fatalf("%d JSON lines for %d results (+1 summary)", len(lines), len(sum.Results))
+	}
+	for i, l := range lines[:len(lines)-1] {
+		var rec struct {
+			Key        string  `json:"key"`
+			Score      float64 `json:"score"`
+			Flagged    bool    `json:"flagged"`
+			PeakWindow int     `json:"peak_window"`
+		}
+		if err := json.Unmarshal([]byte(l), &rec); err != nil {
+			t.Fatalf("line %d not valid JSON: %v\n%s", i, err, l)
+		}
+		if rec.Key == "" {
+			t.Fatalf("line %d missing key: %s", i, l)
+		}
+		if rec.Score != sum.Results[i].Score || rec.Flagged != sum.Results[i].Flagged {
+			t.Fatalf("line %d disagrees with summary: %s", i, l)
+		}
+	}
+	var trailer struct {
+		Summary     bool `json:"summary"`
+		Connections int  `json:"connections"`
+		Flagged     int  `json:"flagged"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &trailer); err != nil || !trailer.Summary {
+		t.Fatalf("missing summary trailer: %v %s", err, lines[len(lines)-1])
+	}
+	if trailer.Connections != len(sum.Results) || trailer.Flagged != sum.Flagged {
+		t.Fatalf("summary trailer disagrees: %+v vs %d/%d", trailer, len(sum.Results), sum.Flagged)
+	}
+}
+
+func TestPipelineStreamMatchesRun(t *testing.T) {
+	bk := pipelineBackend(t)
+	p, err := NewPipeline(WithBackend(bk), WithThresholdFPR(0.25, TrafficGen(80, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := p.Run(suspectSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	conns, _, _ := suspectSource().Connections(p.Engine())
+	var streamed []Result
+	s, err := p.NewStream(func(r Result) { streamed = append(streamed, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threshold() != sum.Threshold {
+		t.Fatalf("stream threshold %v != run threshold %v", s.Threshold(), sum.Threshold)
+	}
+	for _, c := range conns {
+		s.Submit(c)
+	}
+	s.Close()
+	if len(streamed) != len(sum.Results) {
+		t.Fatalf("streamed %d results, run produced %d", len(streamed), len(sum.Results))
+	}
+	for i := range streamed {
+		if streamed[i].Score != sum.Results[i].Score || streamed[i].Flagged != sum.Results[i].Flagged {
+			t.Fatalf("stream result %d diverged from batch run", i)
+		}
+	}
+}
+
+func TestPipelineNeedsBackend(t *testing.T) {
+	if _, err := NewPipeline(); err == nil {
+		t.Fatal("NewPipeline without a backend should fail")
+	}
+	untrained, err := NewBackend(BackendCLAP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewPipeline(WithBackend(untrained)); err == nil || !strings.Contains(err.Error(), "not trained") {
+		t.Fatalf("NewPipeline with an untrained backend: err = %v", err)
+	}
+}
+
+// TestPipelineKitsuneBackend runs the whole pipeline over the promoted
+// Kitsune backend — the point of the redesign: nothing but WithBackend
+// changes.
+func TestPipelineKitsuneBackend(t *testing.T) {
+	b, err := NewBackend(BackendKitsune)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b.(*KitsuneBackend).Cfg.FMWindow = 200
+	if err := b.Train(GenerateBenign(30, 1), func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(WithBackend(b), WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := p.Run(suspectSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(sum.Results) == 0 {
+		t.Fatal("no results")
+	}
+	if sum.WindowSpan != 1 {
+		t.Errorf("kitsune window span = %d, want 1 (per-packet)", sum.WindowSpan)
+	}
+	for i, r := range sum.Results {
+		if want := b.ScoreConn(r.Conn); r.Score != want {
+			t.Fatalf("conn %d: pipeline score %v != serial kitsune score %v", i, r.Score, want)
+		}
+	}
+}
+
+func TestBackendPersistenceThroughFacade(t *testing.T) {
+	bk := pipelineBackend(t)
+	dir := t.TempDir()
+	path := dir + "/model.bin"
+	if err := SaveBackendFile(path, bk); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadBackendFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Tag() != BackendCLAP {
+		t.Fatalf("loaded tag %q", got.Tag())
+	}
+	probe := GenerateBenign(3, 77)
+	for i, c := range probe {
+		if got.ScoreConn(c) != bk.ScoreConn(c) {
+			t.Fatalf("conn %d: facade round-trip changed the score", i)
+		}
+	}
+}
+
+func TestSourcesReportSkipped(t *testing.T) {
+	// A pcap with a trailing truncated record must surface the skip count
+	// through the Source, not hide it.
+	conns := GenerateBenign(5, 3)
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, conns); err != nil {
+		t.Fatal(err)
+	}
+	got, skipped, err := PCAPStream(&buf).Connections(nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skipped != 0 {
+		t.Errorf("clean capture reported %d skipped", skipped)
+	}
+	if len(got) < len(conns) {
+		t.Errorf("read %d connections, wrote %d", len(got), len(conns))
+	}
+
+	if _, _, err := PCAPFile("/definitely/not/here.pcap").Connections(nil); err == nil {
+		t.Error("missing pcap file should error")
+	}
+	if _, _, err := AttackCorpus(TrafficGen(2, 1), "no such strategy", 1, 1).Connections(nil); err == nil {
+		t.Error("unknown strategy should error")
+	}
+}
