@@ -12,8 +12,11 @@ package clap
 // numbers (the headline results are recorded in CHANGES.md).
 
 import (
+	"encoding/json"
 	"fmt"
 	"os"
+	"runtime"
+	"sort"
 	"sync"
 	"testing"
 
@@ -379,6 +382,84 @@ func BenchmarkEngineAssemble(b *testing.B) {
 				_ = eng.Assemble(pkts)
 			}
 		})
+	}
+}
+
+// --- Backend throughput trajectory: pkts/s for every registered backend
+// at 1/4/8 workers, written to BENCH_pr3.json so CI uploads a
+// machine-readable benchmark artifact per PR (the BENCH trajectory).
+
+// benchTrajectory accumulates BenchmarkBackendThroughput samples; the
+// file is rewritten after every sample so partial bench runs still leave
+// a valid artifact.
+var benchTrajectory = struct {
+	sync.Mutex
+	samples map[string]benchSample
+}{samples: map[string]benchSample{}}
+
+type benchSample struct {
+	Backend    string  `json:"backend"`
+	Workers    int     `json:"workers"`
+	PktsPerSec float64 `json:"pkts_per_sec"`
+}
+
+func recordBenchSample(backendTag string, workers int, pktsPerSec float64) {
+	benchTrajectory.Lock()
+	defer benchTrajectory.Unlock()
+	key := fmt.Sprintf("%s/%d", backendTag, workers)
+	benchTrajectory.samples[key] = benchSample{Backend: backendTag, Workers: workers, PktsPerSec: pktsPerSec}
+
+	keys := make([]string, 0, len(benchTrajectory.samples))
+	for k := range benchTrajectory.samples {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	out := struct {
+		PR         int           `json:"pr"`
+		Profile    string        `json:"profile"`
+		GOMAXPROCS int           `json:"gomaxprocs"`
+		Results    []benchSample `json:"results"`
+	}{PR: 3, Profile: string(benchProfile()), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	for _, k := range keys {
+		out.Results = append(out.Results, benchTrajectory.samples[k])
+	}
+	data, err := json.MarshalIndent(out, "", "  ")
+	if err != nil {
+		return
+	}
+	_ = os.WriteFile("BENCH_pr3.json", append(data, '\n'), 0o644)
+}
+
+// BenchmarkBackendThroughput measures scoring throughput (pkts/s) for
+// each registered backend across worker counts and records the samples
+// into BENCH_pr3.json. Sub-benchmark names carry backend and workers, so
+// the text output doubles as the human-readable table.
+func BenchmarkBackendThroughput(b *testing.B) {
+	s, _ := fixture(b)
+	conns := append(append([]*flow.Connection{}, s.Data.TestBenign...), advCorpus(s)...)
+	pkts := 0
+	for _, c := range conns {
+		pkts += c.Len()
+	}
+	tags := make([]string, 0, len(s.Backends))
+	for tag := range s.Backends {
+		tags = append(tags, tag)
+	}
+	sort.Strings(tags)
+	for _, tag := range tags {
+		bk := s.Backends[tag]
+		for _, workers := range []int{1, 4, 8} {
+			eng := engine.New(engine.Options{Workers: workers})
+			b.Run(fmt.Sprintf("%s/workers=%d", tag, workers), func(b *testing.B) {
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					_ = eng.ScoreBackend(bk, conns)
+				}
+				rate := float64(pkts*b.N) / b.Elapsed().Seconds()
+				b.ReportMetric(rate, "pkts/s")
+				recordBenchSample(tag, workers, rate)
+			})
+		}
 	}
 }
 

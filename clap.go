@@ -29,6 +29,7 @@
 //	internal/kitsune    Baseline #2 (ensemble-AE IDS), a first-class backend
 //	internal/metrics    AUC/EER/Top-N
 //	internal/eval       experiment harness (tables & figures)
+//	internal/serve      clap-serve: the always-on online detection daemon
 //
 // Quickstart — train any registered backend (clap, baseline1, kitsune) and
 // deploy it through the backend-agnostic Pipeline:
@@ -41,6 +42,27 @@
 //	)
 //	summary, _ := p.Run(clap.PCAPFile("suspect.pcap"),
 //	        clap.NewTextReport(os.Stdout, false))
+//
+// For an always-on deployment, clap-serve wraps the same pipeline in a
+// long-running daemon: live ingest (tail a growing pcap, read a pcap
+// pipe, or synthetic soak load), Prometheus metrics, flagged-connection
+// and threshold endpoints, and hot model reload over HTTP or SIGHUP —
+// see DESIGN.md §7. Quickstart:
+//
+//	clap-train -in benign.pcap -model clap.model
+//	clap-serve -model clap.model -tail /var/run/capture.pcap \
+//	        -calibrate benign.pcap -fpr 0.01 -alerts alerts.log
+//	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+//	curl localhost:8080/v1/flagged?n=10
+//	curl -X PUT  -d '{"threshold":0.08}'     localhost:8080/v1/threshold
+//	curl -X POST -d '{"path":"retrained.model"}' localhost:8080/v1/reload
+//
+// The serving substrate is reusable from the library too: ServeSource is
+// the streaming ingest contract (TailPCAP, FollowPCAP, Soak, Replay),
+// NewHotBackend wraps any backend in a reload-safe atomic handle, a
+// PipelineStream's threshold is live-adjustable via SetThreshold, and
+// NewDedupAlertLog hardens the alert log for continuous operation.
 //
 // The CLAP-native API remains for direct use:
 //
@@ -104,6 +126,10 @@ type (
 	// family implements: CLAP, Baseline #1, Kitsune, and anything
 	// registered since.
 	Backend = backend.Backend
+	// HotBackend is a reload-safe backend handle: scoring delegates to the
+	// current model behind an atomic pointer, and Swap replaces it in
+	// place — the substrate of clap-serve's hot model reload.
+	HotBackend = backend.Hot
 	// CLAPBackend adapts the core CLAP/Baseline #1 pipeline family to the
 	// Backend contract; mutate Cfg before Train.
 	CLAPBackend = backend.CLAP
@@ -145,6 +171,12 @@ func BackendDoc(tag string) string { return backend.Doc(tag) }
 // WrapDetector adapts an already-trained Detector to the Backend contract,
 // so existing CLAP models flow through the Pipeline unchanged.
 func WrapDetector(det *Detector) Backend { return backend.FromDetector(det) }
+
+// NewHotBackend wraps a trained backend in a reload-safe handle. Pass the
+// handle to WithBackend and call Swap to hot-reload the model while a
+// Pipeline stream keeps scoring; each connection is scored wholly by one
+// model, never a mixture.
+func NewHotBackend(b Backend) (*HotBackend, error) { return backend.NewHot(b) }
 
 // SaveBackend writes a trained backend to w with the tagged persistence
 // header, so LoadBackend can dispatch to the right decoder.

@@ -51,10 +51,14 @@ func main() {
 
 	opts := []clap.PipelineOption{
 		clap.WithBackend(b),
-		clap.WithWorkers(*workers),
-		clap.WithShards(*shards),
 		clap.WithTopN(*top),
 		clap.WithThreshold(*threshold),
+	}
+	if *workers > 0 {
+		opts = append(opts, clap.WithWorkers(*workers))
+	}
+	if *shards > 0 {
+		opts = append(opts, clap.WithShards(*shards))
 	}
 	if *calibrate != "" {
 		opts = append(opts, clap.WithThresholdFPR(*fpr, clap.PCAPFile(*calibrate)))

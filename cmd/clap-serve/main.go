@@ -1,0 +1,177 @@
+// Command clap-serve is the always-on online detector: it ingests
+// connections continuously from live sources, scores them through any
+// registered backend, and exposes an ops API for health, Prometheus
+// metrics, flagged connections, live threshold adjustment, and hot model
+// reload (POST /v1/reload, or SIGHUP). SIGINT/SIGTERM drain the queue and
+// scoring stream before exiting, so every accepted connection is scored.
+//
+// Usage:
+//
+//	clap-serve -model clap.model -tail /var/run/capture.pcap
+//	clap-serve -model clap.model -stdin < fifo.pcap
+//	clap-serve -model clap.model -soak 0 -soak-rate 50 -soak-attack 0.2
+//	clap-serve -model clap.model -replay suspect.pcap -calibrate benign.pcap
+//
+// Ops API (default 127.0.0.1:8080; see DESIGN.md §7):
+//
+//	curl localhost:8080/healthz
+//	curl localhost:8080/metrics
+//	curl localhost:8080/v1/flagged?n=10
+//	curl -X PUT -d '{"threshold":0.08}' localhost:8080/v1/threshold
+//	curl -X POST -d '{"path":"new.model"}' localhost:8080/v1/reload
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"clap"
+	"clap/internal/serve"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("clap-serve: ")
+	var (
+		model     = flag.String("model", "", "trained model path (required; also the default -reload source)")
+		addr      = flag.String("addr", "127.0.0.1:8080", "ops API listen address")
+		threshold = flag.Float64("threshold", 0, "fixed operating threshold (0 with no -calibrate: score-only)")
+		calibrate = flag.String("calibrate", "", "benign pcap to calibrate the threshold from")
+		fpr       = flag.Float64("fpr", 0.01, "target false-positive rate for -calibrate")
+		top       = flag.Int("top", 5, "Top-N windows to localize per flagged connection (negative: disable localization)")
+		workers   = flag.Int("workers", 0, "scoring workers (0: all cores)")
+		shards    = flag.Int("shards", 0, "assembly shards (0: same as workers)")
+		queue     = flag.Int("queue", 256, "ingest queue depth")
+		shed      = flag.Bool("shed", false, "drop connections at a full queue instead of backpressuring sources")
+
+		tail   = flag.String("tail", "", "follow a growing pcap file")
+		stdin  = flag.Bool("stdin", false, "read pcap records from stdin (a pipe or fifo)")
+		replay = flag.String("replay", "", "replay a recorded pcap once")
+		poll   = flag.Duration("poll", 250*time.Millisecond, "tail poll interval")
+		idle   = flag.Duration("idle-flush", 5*time.Second, "emit live connections idle this long")
+		budget = flag.Int("max-packets", 512, "cut live connections at this packet budget (0: unbounded)")
+
+		soak       = flag.Int("soak", -1, "soak mode: generate this many synthetic connections (0: unbounded)")
+		soakRate   = flag.Float64("soak-rate", 0, "soak connections per second (0: as fast as accepted)")
+		soakAttack = flag.Float64("soak-attack", 0, "fraction of soak connections carrying an evasion attack")
+		soakSeed   = flag.Int64("soak-seed", 1, "soak determinism seed")
+
+		alerts      = flag.String("alerts", "", "write an alert log to this path (\"-\": stdout)")
+		alertWindow = flag.Duration("alert-window", 30*time.Second, "suppress duplicate alerts per connection key within this window")
+		alertRate   = flag.Int("alert-rate", 20, "cap alert lines per second (0: uncapped)")
+
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain on shutdown")
+	)
+	flag.Parse()
+	if *model == "" {
+		log.Fatal("need -model")
+	}
+
+	b, err := clap.LoadBackendFile(*model)
+	if err != nil {
+		log.Fatalf("loading model: %v", err)
+	}
+	log.Printf("loaded %s", b.Describe())
+
+	cfg := serve.Config{
+		Backend:      b,
+		ModelPath:    *model,
+		Addr:         *addr,
+		Workers:      *workers,
+		Shards:       *shards,
+		Threshold:    *threshold,
+		TopN:         *top,
+		QueueDepth:   *queue,
+		DropWhenFull: *shed,
+		Logf:         log.Printf,
+	}
+	if *calibrate != "" {
+		cfg.FPR = *fpr
+		cfg.Calibration = clap.PCAPFile(*calibrate)
+	}
+
+	// Alert sink: flagged results flow through the dedup+rate-limited log.
+	if *alerts != "" {
+		out := os.Stdout
+		if *alerts != "-" {
+			f, err := os.Create(*alerts)
+			if err != nil {
+				log.Fatalf("alert log: %v", err)
+			}
+			defer f.Close()
+			out = f
+		}
+		sink := clap.NewDedupAlertLog(out, *alertWindow, *alertRate)
+		cfg.OnResult = func(r clap.Result) {
+			if err := sink.Emit(r); err != nil {
+				log.Printf("alert sink: %v", err)
+			}
+		}
+	}
+
+	srv, err := serve.New(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	live := clap.LiveConfig{MaxPackets: *budget, IdleFlush: *idle, Poll: *poll}
+	nSources := 0
+	if *tail != "" {
+		srv.AddSource(clap.TailPCAP(*tail, live))
+		nSources++
+	}
+	if *stdin {
+		srv.AddSource(clap.FollowPCAP("stdin", os.Stdin, live))
+		nSources++
+	}
+	if *replay != "" {
+		srv.AddSource(clap.Replay("replay:"+*replay, clap.PCAPFile(*replay)))
+		nSources++
+	}
+	if *soak >= 0 {
+		srv.AddSource(clap.Soak(clap.SoakConfig{
+			Connections:    *soak,
+			Seed:           *soakSeed,
+			Rate:           *soakRate,
+			AttackFraction: *soakAttack,
+		}))
+		nSources++
+	}
+	if nSources == 0 {
+		log.Fatal("no ingest source: need -tail, -stdin, -replay or -soak")
+	}
+
+	if err := srv.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+
+	// SIGHUP reloads the model in place; SIGINT/SIGTERM drain and exit.
+	hup := make(chan os.Signal, 1)
+	signal.Notify(hup, syscall.SIGHUP)
+	stop := make(chan os.Signal, 2)
+	signal.Notify(stop, syscall.SIGINT, syscall.SIGTERM)
+	for {
+		select {
+		case <-hup:
+			if _, after, err := srv.Reload(""); err != nil {
+				log.Printf("SIGHUP reload failed: %v", err)
+			} else {
+				log.Printf("SIGHUP reload ok: now serving %s (generation %d)", after.Tag, after.Generation)
+			}
+		case sig := <-stop:
+			log.Printf("%s: draining...", sig)
+			ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+			err := srv.Shutdown(ctx)
+			cancel()
+			if err != nil {
+				log.Fatalf("shutdown: %v", err)
+			}
+			return
+		}
+	}
+}

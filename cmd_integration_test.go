@@ -8,12 +8,16 @@ package clap_test
 import (
 	"encoding/json"
 	"fmt"
+	"io"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
 	"testing"
+	"time"
 )
 
 var (
@@ -30,7 +34,7 @@ func buildTools(t *testing.T) string {
 		if buildErr != nil {
 			return
 		}
-		for _, tool := range []string{"trafficgen", "attack-inject", "clap-train", "clap-detect", "clap-eval"} {
+		for _, tool := range []string{"trafficgen", "attack-inject", "clap-train", "clap-detect", "clap-eval", "clap-serve"} {
 			cmd := exec.Command("go", "build", "-o", filepath.Join(buildDir, tool), "./cmd/"+tool)
 			out, err := cmd.CombinedOutput()
 			if err != nil {
@@ -292,6 +296,128 @@ func TestBackendFlagEndToEnd(t *testing.T) {
 	if !strings.Contains(out, "top connections by adversarial score:") {
 		t.Fatalf("-baseline1 alias model unusable:\n%s", out)
 	}
+}
+
+// TestClapServeDaemon boots the clap-serve binary on a bounded soak
+// source, drives its ops API over HTTP (health, metrics, flagged,
+// threshold, hot reload to a different backend tag), and asserts a clean
+// drain on SIGTERM.
+func TestClapServeDaemon(t *testing.T) {
+	if testing.Short() {
+		t.Skip("integration test")
+	}
+	tools := buildTools(t)
+	work := t.TempDir()
+	benign := filepath.Join(work, "benign.pcap")
+	clapModel := filepath.Join(work, "clap.model")
+	b1Model := filepath.Join(work, "b1.model")
+
+	run(t, tools, "trafficgen", "-out", benign, "-connections", "60", "-seed", "5")
+	run(t, tools, "clap-train", "-in", benign, "-model", clapModel,
+		"-rnn-epochs", "3", "-ae-epochs", "4", "-quiet")
+	run(t, tools, "clap-train", "-in", benign, "-model", b1Model,
+		"-backend", "baseline1", "-rnn-epochs", "2", "-ae-epochs", "3", "-quiet")
+
+	cmd := exec.Command(filepath.Join(tools, "clap-serve"),
+		"-model", clapModel, "-addr", "127.0.0.1:0",
+		"-calibrate", benign, "-fpr", "0.25",
+		"-soak", "40", "-soak-attack", "0.4", "-soak-seed", "8")
+	var logBuf syncBuffer
+	cmd.Stdout = &logBuf
+	cmd.Stderr = &logBuf
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill()
+
+	// The daemon logs its ephemeral ops address; wait for it.
+	var base string
+	deadline := time.Now().Add(60 * time.Second)
+	for base == "" {
+		if time.Now().After(deadline) {
+			t.Fatalf("daemon never announced its ops API:\n%s", logBuf.String())
+		}
+		for _, line := range strings.Split(logBuf.String(), "\n") {
+			if i := strings.Index(line, "listening on http://"); i >= 0 {
+				base = strings.TrimSpace(line[i+len("listening on "):])
+			}
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+
+	getBody := func(path string) string {
+		resp, err := http.Get(base + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v\nlog:\n%s", path, err, logBuf.String())
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("GET %s: %s: %s", path, resp.Status, body)
+		}
+		return string(body)
+	}
+
+	if h := getBody("/healthz"); !strings.Contains(h, `"status": "ok"`) {
+		t.Fatalf("healthz: %s", h)
+	}
+	// Wait for the bounded soak to drain through the scorer.
+	for !strings.Contains(getBody("/metrics"), "clap_serve_connections_scored_total 40") {
+		if time.Now().After(deadline) {
+			t.Fatalf("soak never finished:\n%s\n%s", getBody("/metrics"), logBuf.String())
+		}
+		time.Sleep(100 * time.Millisecond)
+	}
+	if f := getBody("/v1/flagged"); strings.Contains(f, `"total_flagged": 0`) {
+		t.Fatalf("nothing flagged at a 25%% FPR threshold over a 40%% attacked soak:\n%s", f)
+	}
+
+	// Hot reload to the baseline1 model over HTTP.
+	resp, err := http.Post(base+"/v1/reload", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"path": %q}`, b1Model)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, _ := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK || !strings.Contains(string(body), `"tag": "baseline1"`) {
+		t.Fatalf("reload: %s: %s", resp.Status, body)
+	}
+	if m := getBody("/metrics"); !strings.Contains(m, "clap_serve_reloads_total 1") ||
+		!strings.Contains(m, `clap_serve_model_info{tag="baseline1"} 1`) {
+		t.Fatalf("metrics missing reload accounting:\n%s", m)
+	}
+
+	// Graceful shutdown: SIGTERM drains and exits 0.
+	if err := cmd.Process.Signal(syscall.SIGTERM); err != nil {
+		t.Fatal(err)
+	}
+	if err := cmd.Wait(); err != nil {
+		t.Fatalf("daemon exited uncleanly: %v\n%s", err, logBuf.String())
+	}
+	if !strings.Contains(logBuf.String(), "shutdown complete") {
+		t.Fatalf("missing clean shutdown message:\n%s", logBuf.String())
+	}
+}
+
+// syncBuffer is a goroutine-safe byte buffer for capturing daemon output
+// while the test reads it.
+type syncBuffer struct {
+	mu  sync.Mutex
+	buf []byte
+}
+
+func (b *syncBuffer) Write(p []byte) (int, error) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.buf = append(b.buf, p...)
+	return len(p), nil
+}
+
+func (b *syncBuffer) String() string {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return string(b.buf)
 }
 
 func TestAttackInjectList(t *testing.T) {

@@ -1,103 +1,198 @@
-// Livemonitor: the Pipeline's streaming mode as an online detector beside
-// a DPI (Figure 3's deployment mode). Connections are submitted to the
-// pipeline stream as they close (or when their packet budget fills);
-// scoring runs concurrently across the engine's worker pool, but results
-// are emitted strictly in submission order, so the alert log is
-// deterministic and replayable. The monitor is backend-agnostic — point
-// WithBackend at a Kitsune model and nothing else changes.
+// Livemonitor: the serving layer as an operator sees it. The example
+// trains two small models (CLAP and Baseline #1), boots a clap-serve
+// Server on an ephemeral port with a soak source mixing evasion attacks
+// into benign traffic, and then drives the daemon purely over its HTTP
+// ops API: health, Prometheus metrics, the flagged-connection feed, a
+// live threshold adjustment, and a hot reload to the second model while
+// scoring is in flight — the full online-deployment loop of Figure 3,
+// operated like a production service instead of a library.
 package main
 
 import (
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"log"
-	"math/rand"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
 	"time"
 
 	"clap"
+	"clap/internal/serve"
 )
 
-// monitor consumes ordered pipeline results. Its emit method runs on the
-// stream's single emitter goroutine, so the counters need no locking.
-type monitor struct {
-	alerts int
-	scored int
+func get(url string) []byte {
+	resp, err := http.Get(url)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		log.Fatalf("GET %s: %s: %s", url, resp.Status, body)
+	}
+	return body
 }
 
-func (m *monitor) emit(r clap.Result) {
-	m.scored++
-	if r.Flagged {
-		m.alerts++
-		truth := "FALSE ALARM"
-		if r.Conn.AttackName != "" {
-			truth = "attack: " + r.Conn.AttackName
-		}
-		fmt.Printf("ALERT %-44s score=%.5f peak-window=%d (%s)\n",
-			r.Conn.Key, r.Score, r.PeakWindow, truth)
+func trainModel(tag string, dir string) string {
+	fmt.Printf("training %s...\n", tag)
+	bk, err := clap.NewBackend(tag)
+	if err != nil {
+		log.Fatal(err)
 	}
+	cb := bk.(*clap.CLAPBackend)
+	cb.Cfg.RNNEpochs, cb.Cfg.AEEpochs, cb.Cfg.AERestarts = 8, 35, 2
+	if err := bk.Train(clap.GenerateBenign(200, 1), func(string, ...any) {}); err != nil {
+		log.Fatal(err)
+	}
+	path := filepath.Join(dir, tag+".model")
+	if err := clap.SaveBackendFile(path, bk); err != nil {
+		log.Fatal(err)
+	}
+	return path
 }
 
 func main() {
 	log.SetFlags(0)
-
-	fmt.Println("training CLAP...")
-	bk, err := clap.NewBackend(clap.BackendCLAP)
+	dir, err := os.MkdirTemp("", "livemonitor-*")
 	if err != nil {
 		log.Fatal(err)
 	}
-	bk.(*clap.CLAPBackend).Cfg.RNNEpochs = 8
-	bk.(*clap.CLAPBackend).Cfg.AEEpochs = 35
-	bk.(*clap.CLAPBackend).Cfg.AERestarts = 2
-	train := clap.GenerateBenign(200, 1)
-	if err := bk.Train(train, func(string, ...any) {}); err != nil {
-		log.Fatal(err)
-	}
+	defer os.RemoveAll(dir)
 
-	// The pipeline calibrates the deployment threshold on held-out benign
-	// traffic when the stream opens.
-	pipe, err := clap.NewPipeline(
-		clap.WithBackend(bk),
-		clap.WithThresholdFPR(0.04, clap.TrafficGen(80, 5)),
-	)
+	clapModel := trainModel(clap.BackendCLAP, dir)
+	b1Model := trainModel(clap.BackendBaseline1, dir)
+
+	initial, err := clap.LoadBackendFile(clapModel)
 	if err != nil {
 		log.Fatal(err)
 	}
 
-	// Live feed: benign flows with a few evasion attempts mixed in.
-	flows := clap.GenerateBenign(50, 99)
-	rng := rand.New(rand.NewSource(13))
-	attacksPlanted := 0
-	for i, name := range []string{
-		"GFW: Injected RST Bad TCP-Checksum/MD5-Option",
-		"Low TTL (Max)",
-		"Injected RST-ACK / Bad TCP Checksum",
-	} {
-		strategy, _ := clap.AttackByName(name)
-		for j := i * 11; j < len(flows); j++ {
-			if strategy.Apply(flows[j], rng) {
-				flows[j].AttackName = name
-				attacksPlanted++
-				break
+	// The daemon: soak ingest (benign + 20% evasion attacks), threshold
+	// calibrated to a 4% FPR, ops API on an ephemeral port, and a
+	// dedup+rate-limited alert log on stdout.
+	alerts := clap.NewDedupAlertLog(os.Stdout, 10*time.Second, 5)
+	srv, err := serve.New(serve.Config{
+		Backend:     initial,
+		ModelPath:   clapModel,
+		Addr:        "127.0.0.1:0",
+		Calibration: clap.TrafficGen(80, 5),
+		FPR:         0.04,
+		OnResult: func(r clap.Result) {
+			if err := alerts.Emit(r); err != nil {
+				log.Printf("alert sink: %v", err)
 			}
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	const soakN = 120
+	srv.AddSource(clap.Soak(clap.SoakConfig{
+		Connections:    soakN,
+		Seed:           99,
+		AttackFraction: 0.2,
+		Rate:           200, // pace the soak so the reload lands mid-stream
+	}))
+	if err := srv.Start(context.Background()); err != nil {
+		log.Fatal(err)
+	}
+	base := "http://" + srv.OpsAddr()
+	fmt.Printf("\nops API at %s\n\n", base)
+
+	// 1. Health.
+	fmt.Printf("healthz: %s\n", strings.TrimSpace(string(get(base+"/healthz"))))
+
+	// 2. Live threshold adjustment over HTTP.
+	var th struct {
+		Threshold float64 `json:"threshold"`
+	}
+	json.Unmarshal(get(base+"/v1/threshold"), &th)
+	fmt.Printf("calibrated threshold: %.6f\n", th.Threshold)
+	req, _ := http.NewRequest(http.MethodPut, base+"/v1/threshold",
+		strings.NewReader(fmt.Sprintf(`{"threshold": %g}`, th.Threshold*1.1)))
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		log.Fatal(err)
+	} else {
+		resp.Body.Close()
+		fmt.Printf("threshold nudged +10%% via PUT /v1/threshold\n")
+	}
+
+	// 3. Hot reload to the Baseline #1 model while the soak is running.
+	time.Sleep(200 * time.Millisecond)
+	resp, err := http.Post(base+"/v1/reload", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"path": %q}`, b1Model)))
+	if err != nil {
+		log.Fatal(err)
+	}
+	var reload struct {
+		Old, New serve.ReloadInfo
+	}
+	json.NewDecoder(resp.Body).Decode(&reload)
+	resp.Body.Close()
+	fmt.Printf("hot reload: %s (gen %d) -> %s (gen %d), scoring never paused\n",
+		reload.Old.Tag, reload.Old.Generation, reload.New.Tag, reload.New.Generation)
+
+	// A threshold is model-specific: after a cross-family reload the
+	// operator recalibrates it for the new model's score scale and pushes
+	// it through the same live knob.
+	b1, err := clap.LoadBackendFile(b1Model)
+	if err != nil {
+		log.Fatal(err)
+	}
+	var benignScores []float64
+	for _, c := range clap.GenerateBenign(80, 5) {
+		benignScores = append(benignScores, b1.ScoreConn(c))
+	}
+	newTh := clap.ThresholdAtFPR(benignScores, 0.04)
+	req, _ = http.NewRequest(http.MethodPut, base+"/v1/threshold",
+		strings.NewReader(fmt.Sprintf(`{"threshold": %g}`, newTh)))
+	if resp, err := http.DefaultClient.Do(req); err != nil {
+		log.Fatal(err)
+	} else {
+		resp.Body.Close()
+		fmt.Printf("threshold recalibrated for %s: %.6f\n\n", reload.New.Tag, newTh)
+	}
+
+	// 4. Wait for the soak to drain, then read the final state.
+	for srv.Scored() < soakN {
+		time.Sleep(20 * time.Millisecond)
+	}
+
+	var flagged struct {
+		Flagged      []serve.FlaggedConn `json:"flagged"`
+		TotalFlagged int                 `json:"total_flagged"`
+	}
+	json.Unmarshal(get(base+"/v1/flagged?n=5"), &flagged)
+	fmt.Printf("\n/v1/flagged: %d total, most recent:\n", flagged.TotalFlagged)
+	for _, f := range flagged.Flagged {
+		truth := "FALSE ALARM"
+		if f.Attack != "" {
+			truth = "attack: " + f.Attack
+		}
+		fmt.Printf("  %-44s score=%.5f (%s)\n", f.Key, f.Score, truth)
+	}
+
+	// 5. A slice of the Prometheus exposition.
+	fmt.Printf("\n/metrics (selected):\n")
+	for _, line := range strings.Split(string(get(base+"/metrics")), "\n") {
+		if strings.HasPrefix(line, "clap_serve_connections_scored_total") ||
+			strings.HasPrefix(line, "clap_serve_packets_total") ||
+			strings.HasPrefix(line, "clap_serve_flagged_total") ||
+			strings.HasPrefix(line, "clap_serve_reloads_total") ||
+			strings.HasPrefix(line, "clap_serve_model_info") {
+			fmt.Printf("  %s\n", line)
 		}
 	}
 
-	m := &monitor{}
-	stream, err := pipe.NewStream(m.emit)
-	if err != nil {
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(ctx); err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("operating threshold %.5f (<= 4%% FPR)\n\n", stream.Threshold())
-	start := time.Now()
-	packets := 0
-	for _, c := range flows {
-		packets += c.Len()
-		stream.Submit(c) // in a live deployment this fires on FIN/RST/timeout
-	}
-	stream.Close() // drain: every submitted flow is scored and emitted
-	elapsed := time.Since(start)
-
-	fmt.Printf("\nprocessed %d flows / %d packets in %v (%.0f pkts/s, %d workers)\n",
-		m.scored, packets, elapsed.Round(time.Millisecond),
-		float64(packets)/elapsed.Seconds(), pipe.Engine().Workers())
-	fmt.Printf("alerts: %d (attacks planted: %d)\n", m.alerts, attacksPlanted)
+	fmt.Println("\nclean shutdown: every accepted connection was scored")
 }

@@ -1,0 +1,94 @@
+package backend
+
+import (
+	"errors"
+	"io"
+	"sync/atomic"
+
+	"clap/internal/flow"
+)
+
+// Hot is a reload-safe backend handle: it implements Backend by delegating
+// every call to the current underlying model, held behind an atomic
+// pointer, so a long-running serving process can swap models in place
+// while scoring goroutines keep running. A swap is atomic — a scoring call
+// sees either the old model or the new one, never a mixture — and callers
+// that need one consistent model across several calls (score a connection,
+// then summarize its window errors) pin a snapshot with Current first.
+//
+// Generation counts successful swaps, so operators can verify a reload
+// actually took effect.
+type Hot struct {
+	cur atomic.Pointer[hotModel]
+}
+
+// hotModel pairs a backend with the generation it was installed at, so a
+// single atomic load yields a consistent (model, generation) view.
+type hotModel struct {
+	b   Backend
+	gen uint64
+}
+
+// NewHot wraps a trained backend in a reload-safe handle.
+func NewHot(b Backend) (*Hot, error) {
+	if b == nil {
+		return nil, errors.New("backend: hot handle needs a backend")
+	}
+	if !b.Trained() {
+		return nil, errors.New("backend: hot handle refuses an untrained backend")
+	}
+	h := &Hot{}
+	h.cur.Store(&hotModel{b: b, gen: 0})
+	return h, nil
+}
+
+// Current returns the live model. Callers making multiple related calls
+// for one connection must make them all on this snapshot.
+func (h *Hot) Current() Backend { return h.cur.Load().b }
+
+// Generation reports how many swaps the handle has absorbed.
+func (h *Hot) Generation() uint64 { return h.cur.Load().gen }
+
+// Swap atomically replaces the live model and returns the previous one.
+// Untrained or nil replacements are rejected without disturbing the
+// current model, so a failed reload can never take the service down. The
+// (model, generation) pair is published in one CAS, so concurrent swaps
+// always leave the newest generation holding the model that won.
+func (h *Hot) Swap(b Backend) (prev Backend, err error) {
+	if b == nil {
+		return nil, errors.New("backend: hot swap needs a backend")
+	}
+	if !b.Trained() {
+		return nil, errors.New("backend: hot swap refuses an untrained backend")
+	}
+	for {
+		old := h.cur.Load()
+		next := &hotModel{b: b, gen: old.gen + 1}
+		if h.cur.CompareAndSwap(old, next) {
+			return old.b, nil
+		}
+	}
+}
+
+// The Backend interface, delegated to the live model. One method call
+// resolves the model once, so each individual call is internally
+// consistent under concurrent swaps.
+
+func (h *Hot) Tag() string      { return h.Current().Tag() }
+func (h *Hot) Describe() string { return h.Current().Describe() }
+func (h *Hot) WindowSpan() int  { return h.Current().WindowSpan() }
+func (h *Hot) Trained() bool    { return h.Current().Trained() }
+func (h *Hot) Train(benign []*flow.Connection, logf Logf) error {
+	return h.Current().Train(benign, logf)
+}
+func (h *Hot) ScoreConn(c *flow.Connection) float64      { return h.Current().ScoreConn(c) }
+func (h *Hot) WindowErrors(c *flow.Connection) []float64 { return h.Current().WindowErrors(c) }
+func (h *Hot) Summarize(errs []float64) (float64, int)   { return h.Current().Summarize(errs) }
+func (h *Hot) Save(w io.Writer) error                    { return h.Current().Save(w) }
+
+// Snapshotter is implemented by backends that hand out a pinned model for
+// multi-call consistency; the Pipeline snapshots through it so one
+// connection is never scored half by the old model and half by the new.
+type Snapshotter interface {
+	Current() Backend
+}

@@ -1,0 +1,148 @@
+package backend
+
+import (
+	"sync"
+	"testing"
+
+	"clap/internal/flow"
+	"clap/internal/trafficgen"
+)
+
+func tinyCorpus(n int, seed int64) []*flow.Connection {
+	cfg := trafficgen.DefaultConfig(n)
+	cfg.Seed = seed
+	return trafficgen.Generate(cfg)
+}
+
+func trainedBackend(t *testing.T, tag string) Backend {
+	t.Helper()
+	b, err := New(tag)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cb, ok := b.(*CLAP); ok {
+		cb.Cfg.RNNEpochs, cb.Cfg.AEEpochs = 2, 3
+	}
+	if err := b.Train(tinyCorpus(25, 1), func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+	return b
+}
+
+func TestHotRejectsUntrained(t *testing.T) {
+	if _, err := NewHot(nil); err == nil {
+		t.Fatal("NewHot(nil) succeeded")
+	}
+	untrained, _ := New(TagCLAP)
+	if _, err := NewHot(untrained); err == nil {
+		t.Fatal("NewHot accepted an untrained backend")
+	}
+	h, err := NewHot(trainedBackend(t, TagCLAP))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := h.Swap(untrained); err == nil {
+		t.Fatal("Swap accepted an untrained backend")
+	}
+	if _, err := h.Swap(nil); err == nil {
+		t.Fatal("Swap accepted nil")
+	}
+	if h.Generation() != 0 {
+		t.Fatalf("failed swaps bumped generation to %d", h.Generation())
+	}
+}
+
+// TestHotDelegatesAndSwaps: the handle is a faithful Backend before and
+// after a swap, and Swap returns the previous model.
+func TestHotDelegatesAndSwaps(t *testing.T) {
+	a := trainedBackend(t, TagCLAP)
+	b := trainedBackend(t, TagBaseline1)
+	h, err := NewHot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := tinyCorpus(3, 9)
+
+	if h.Tag() != a.Tag() || h.WindowSpan() != a.WindowSpan() || !h.Trained() {
+		t.Fatal("handle does not delegate metadata to the initial model")
+	}
+	for _, c := range probe {
+		if h.ScoreConn(c) != a.ScoreConn(c) {
+			t.Fatal("handle score != initial model score")
+		}
+	}
+
+	prev, err := h.Swap(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prev != a {
+		t.Fatal("Swap did not return the previous model")
+	}
+	if h.Generation() != 1 || h.Tag() != TagBaseline1 {
+		t.Fatalf("after swap: generation=%d tag=%s", h.Generation(), h.Tag())
+	}
+	for _, c := range probe {
+		if h.ScoreConn(c) != b.ScoreConn(c) {
+			t.Fatal("handle score != swapped model score")
+		}
+	}
+}
+
+// TestHotConcurrentSwapAndScore runs scoring and swapping concurrently;
+// under -race this pins the handle's synchronization, and every observed
+// score must belong to one of the two models.
+func TestHotConcurrentSwapAndScore(t *testing.T) {
+	a := trainedBackend(t, TagCLAP)
+	b := trainedBackend(t, TagBaseline1)
+	h, err := NewHot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	probe := tinyCorpus(6, 5)
+	wantA := make([]float64, len(probe))
+	wantB := make([]float64, len(probe))
+	for i, c := range probe {
+		wantA[i], wantB[i] = a.ScoreConn(c), b.ScoreConn(c)
+	}
+
+	stop := make(chan struct{})
+	swapperDone := make(chan struct{})
+	go func() {
+		defer close(swapperDone)
+		models := []Backend{b, a}
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if _, err := h.Swap(models[i%2]); err != nil {
+				t.Errorf("swap: %v", err)
+				return
+			}
+		}
+	}()
+
+	var scorers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		scorers.Add(1)
+		go func() {
+			defer scorers.Done()
+			for round := 0; round < 50; round++ {
+				for i, c := range probe {
+					// Pin a snapshot: errors and summary must agree.
+					m := h.Current()
+					score, _ := m.Summarize(m.WindowErrors(c))
+					if score != wantA[i] && score != wantB[i] {
+						t.Errorf("conn %d: score %v from a mixed model", i, score)
+						return
+					}
+				}
+			}
+		}()
+	}
+	scorers.Wait()
+	close(stop)
+	<-swapperDone
+}

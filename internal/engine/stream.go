@@ -2,6 +2,7 @@ package engine
 
 import (
 	"sync"
+	"time"
 
 	"clap/internal/core"
 	"clap/internal/flow"
@@ -19,15 +20,43 @@ type StreamOf[T any] struct {
 	pending chan *streamJob[T]
 	done    chan struct{}
 	wg      sync.WaitGroup
+	hooks   StreamHooks
 }
 
 type streamJob[T any] struct {
 	c   *flow.Connection
 	out chan T
+	// Stage timestamps, populated only when the stream has an Observe
+	// hook so the unobserved hot path never touches the clock.
+	submitted time.Time
+	started   time.Time
+	scored    time.Time
 }
 
 // Stream is the CLAP-native stream, kept as the common case's name.
 type Stream = StreamOf[core.Score]
+
+// StreamStats carries one connection's measured stage latencies through a
+// stream: how long it waited for a worker, how long scoring took, and how
+// long the finished result waited behind earlier submissions before the
+// ordered emit — the per-stage numbers a serving layer turns into latency
+// histograms.
+type StreamStats struct {
+	// QueueWait is Submit → worker pickup.
+	QueueWait time.Duration
+	// Score is the scoring function's runtime.
+	Score time.Duration
+	// EmitWait is scoring completion → ordered emit (head-of-line wait).
+	EmitWait time.Duration
+}
+
+// StreamHooks instruments a stream. All fields are optional.
+type StreamHooks struct {
+	// Observe is called once per connection, after its emit, on the
+	// stream's single emitter goroutine (so implementations need no
+	// locking against themselves).
+	Observe func(*flow.Connection, StreamStats)
+}
 
 // NewStreamOf starts a scoring stream producing results of type T. score
 // runs on pool workers and must be safe for concurrent calls (any trained
@@ -35,24 +64,52 @@ type Stream = StreamOf[core.Score]
 // one connection at a time, in submission order. Close the stream to drain
 // and release the workers.
 func NewStreamOf[T any](e *Engine, score func(*flow.Connection) T, emit func(*flow.Connection, T)) *StreamOf[T] {
+	return NewStreamOfHooked(e, score, emit, StreamHooks{})
+}
+
+// NewStreamOfHooked is NewStreamOf with per-stage latency instrumentation.
+func NewStreamOfHooked[T any](e *Engine, score func(*flow.Connection) T, emit func(*flow.Connection, T), hooks StreamHooks) *StreamOf[T] {
 	depth := 4 * e.workers
 	s := &StreamOf[T]{
 		jobs:    make(chan *streamJob[T], depth),
 		pending: make(chan *streamJob[T], depth),
 		done:    make(chan struct{}),
+		hooks:   hooks,
 	}
+	observed := hooks.Observe != nil
 	s.wg.Add(e.workers)
 	for w := 0; w < e.workers; w++ {
 		go func() {
 			defer s.wg.Done()
 			for j := range s.jobs {
-				j.out <- score(j.c)
+				if observed {
+					j.started = time.Now()
+				}
+				r := score(j.c)
+				if observed {
+					j.scored = time.Now()
+				}
+				j.out <- r
 			}
 		}()
 	}
 	go func() {
 		for j := range s.pending {
-			emit(j.c, <-j.out)
+			r := <-j.out
+			// EmitWait is head-of-line wait only, measured before the
+			// emit callback so a slow consumer does not inflate it.
+			var emitAt time.Time
+			if observed {
+				emitAt = time.Now()
+			}
+			emit(j.c, r)
+			if observed {
+				hooks.Observe(j.c, StreamStats{
+					QueueWait: j.started.Sub(j.submitted),
+					Score:     j.scored.Sub(j.started),
+					EmitWait:  emitAt.Sub(j.scored),
+				})
+			}
 		}
 		close(s.done)
 	}()
@@ -70,9 +127,17 @@ func (e *Engine) NewStream(score func(*flow.Connection) core.Score, emit func(*f
 // order.
 func (s *StreamOf[T]) Submit(c *flow.Connection) {
 	j := &streamJob[T]{c: c, out: make(chan T, 1)}
+	if s.hooks.Observe != nil {
+		j.submitted = time.Now()
+	}
 	s.pending <- j
 	s.jobs <- j
 }
+
+// InFlight reports how many submitted connections have not yet been
+// emitted — the stream's internal queue depth, surfaced to serving
+// metrics. Safe to call concurrently with Submit and emit.
+func (s *StreamOf[T]) InFlight() int { return len(s.pending) }
 
 // Close drains the stream: it waits until every submitted connection has
 // been scored and emitted, then stops the workers. The stream cannot be

@@ -2,6 +2,7 @@ package engine
 
 import (
 	"testing"
+	"time"
 
 	"clap/internal/backend"
 	"clap/internal/core"
@@ -62,6 +63,68 @@ func TestStreamBackpressure(t *testing.T) {
 	stream.Close()
 	if want := rounds * len(conns); emitted != want {
 		t.Fatalf("emitted %d, want %d", emitted, want)
+	}
+}
+
+// TestStreamHooksObserveStages: the instrumented stream reports one
+// StreamStats per connection, in emission order, with sane latencies —
+// the feed for clap-serve's per-stage histograms.
+func TestStreamHooksObserveStages(t *testing.T) {
+	det := tinyDetector(t)
+	conns := genConns(12, 17)
+	eng := New(Options{Workers: 4})
+
+	var emitted []*flow.Connection
+	var observed []*flow.Connection
+	var stats []StreamStats
+	s := NewStreamOfHooked(eng,
+		func(c *flow.Connection) float64 {
+			// A measurable floor so Score latencies cannot round to zero.
+			time.Sleep(200 * time.Microsecond)
+			return det.Score(c).Adversarial
+		},
+		func(c *flow.Connection, _ float64) { emitted = append(emitted, c) },
+		StreamHooks{Observe: func(c *flow.Connection, st StreamStats) {
+			observed = append(observed, c)
+			stats = append(stats, st)
+		}})
+	for _, c := range conns {
+		s.Submit(c)
+	}
+	s.Close()
+
+	if len(observed) != len(conns) || len(emitted) != len(conns) {
+		t.Fatalf("observed %d / emitted %d of %d connections", len(observed), len(emitted), len(conns))
+	}
+	for i := range conns {
+		if observed[i] != conns[i] {
+			t.Fatalf("observation order broken at %d", i)
+		}
+		st := stats[i]
+		if st.Score < 200*time.Microsecond {
+			t.Errorf("conn %d: score latency %v below the sleep floor", i, st.Score)
+		}
+		if st.QueueWait < 0 || st.EmitWait < 0 {
+			t.Errorf("conn %d: negative stage latency %+v", i, st)
+		}
+	}
+}
+
+// TestStreamUnhookedSkipsClock: without an Observe hook the stream leaves
+// job timestamps untouched (the hot path stays clock-free).
+func TestStreamUnhookedSkipsClock(t *testing.T) {
+	det := tinyDetector(t)
+	eng := New(Options{Workers: 2})
+	s := eng.NewStream(det.Score, func(*flow.Connection, core.Score) {})
+	for _, c := range genConns(4, 3) {
+		s.Submit(c)
+	}
+	if s.InFlight() < 0 {
+		t.Fatal("InFlight went negative")
+	}
+	s.Close()
+	if got := s.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after Close, want 0", got)
 	}
 }
 

@@ -1,0 +1,169 @@
+package flow
+
+import (
+	"time"
+
+	"clap/internal/packet"
+)
+
+// Assembler is the incremental form of Assemble for live capture: packets
+// are fed one at a time as they arrive and finished connections are emitted
+// through a callback, so a long-running ingest loop never holds the whole
+// capture in memory. The grouping rules are identical to Assemble — same
+// client orientation, same port-reuse handling — and a Feed-everything-
+// then-Flush run emits exactly the slice Assemble would have returned, in
+// the same order.
+//
+// Because live TCP teardowns trail packets after the closing FIN/RST (the
+// final ACK, retransmitted FINs), a connection is not emitted the instant
+// it closes. Emission happens on:
+//
+//   - Budget: the connection reached MaxPackets (long-lived flows are cut
+//     and scored in segments rather than buffered forever);
+//   - Port reuse: a fresh SYN on a closed 4-tuple emits the old
+//     connection and opens a new one, exactly where Assemble splits;
+//   - FlushIdle: the connection saw no packet for the idle window
+//     (serving loops call this on a ticker);
+//   - Flush: end of stream.
+//
+// An Assembler is not safe for concurrent use; live sources feed it from
+// their single ingest goroutine.
+type Assembler struct {
+	// MaxPackets is the per-connection packet budget; a connection
+	// reaching it is emitted immediately. 0 means unbounded.
+	MaxPackets int
+
+	emit   func(*Connection)
+	active map[Key]*asmSlot
+	order  []*asmSlot // insertion order, the order Assemble would emit
+	now    func() time.Time
+}
+
+type asmSlot struct {
+	conn     *Connection
+	closed   bool
+	finC2S   bool
+	finS2C   bool
+	lastFeed time.Time
+	emitted  bool
+}
+
+// NewAssembler returns an incremental assembler delivering finished
+// connections to emit.
+func NewAssembler(emit func(*Connection)) *Assembler {
+	return &Assembler{emit: emit, active: make(map[Key]*asmSlot), now: time.Now}
+}
+
+// Feed appends one capture-ordered packet, emitting any connection the
+// packet completes (budget fill or port reuse after close).
+func (a *Assembler) Feed(p *packet.Packet) {
+	k := keyOf(p)
+	var s *asmSlot
+	var dir Direction
+	if sl, ok := a.active[k]; ok {
+		s, dir = sl, ClientToServer
+	} else if sl, ok := a.active[k.Reverse()]; ok {
+		s, dir = sl, ServerToClient
+	}
+	isSYN := p.TCP.Flags.Has(packet.SYN) && !p.TCP.Flags.Has(packet.ACK)
+	if s != nil && isSYN && dir == ClientToServer && s.closed {
+		// Port reuse after close: the old connection is complete.
+		a.emitSlot(s)
+		s = nil
+	}
+	if s == nil {
+		s = &asmSlot{conn: &Connection{Key: k}}
+		a.active[k] = s
+		a.order = append(a.order, s)
+		dir = ClientToServer
+	}
+	s.conn.Append(p, dir)
+	s.lastFeed = a.now()
+	switch {
+	case p.TCP.Flags.Has(packet.RST):
+		s.closed = true
+	case p.TCP.Flags.Has(packet.FIN):
+		if dir == ClientToServer {
+			s.finC2S = true
+		} else {
+			s.finS2C = true
+		}
+		if s.finC2S && s.finS2C {
+			s.closed = true
+		}
+	}
+	if a.MaxPackets > 0 && s.conn.Len() >= a.MaxPackets {
+		a.emitSlot(s)
+	}
+}
+
+// emitSlot delivers a slot's connection and retires it. Slots stay in the
+// order list (marked emitted) so Flush keeps Assemble's output order
+// without re-sorting.
+func (a *Assembler) emitSlot(s *asmSlot) {
+	if s.emitted {
+		return
+	}
+	s.emitted = true
+	delete(a.active, s.conn.Key)
+	a.emit(s.conn)
+}
+
+// Pending reports how many connections are buffered awaiting close/flush.
+func (a *Assembler) Pending() int { return len(a.active) }
+
+// PendingPackets reports the total packets buffered in open connections —
+// the assembler's memory footprint, surfaced to serving metrics.
+func (a *Assembler) PendingPackets() int {
+	n := 0
+	for _, s := range a.active {
+		n += s.conn.Len()
+	}
+	return n
+}
+
+// FlushIdle emits every connection that saw no packet for at least idle
+// (by wall clock of the Feed calls, not packet timestamps — live replay
+// and synthetic captures carry fake timestamps). It returns the number of
+// connections emitted.
+func (a *Assembler) FlushIdle(idle time.Duration) int {
+	cutoff := a.now().Add(-idle)
+	n := 0
+	for _, s := range a.order {
+		if !s.emitted && s.lastFeed.Before(cutoff) {
+			a.emitSlot(s)
+			n++
+		}
+	}
+	a.compact()
+	return n
+}
+
+// Flush emits every remaining connection in first-packet order — the end
+// of the stream. After Flush the assembler is empty and reusable.
+func (a *Assembler) Flush() {
+	for _, s := range a.order {
+		if !s.emitted {
+			a.emitSlot(s)
+		}
+	}
+	a.order = a.order[:0]
+}
+
+// compact drops emitted slots from the order list once they dominate it,
+// so a long-running assembler does not grow without bound.
+func (a *Assembler) compact() {
+	if len(a.order) < 64 || len(a.active)*2 > len(a.order) {
+		return
+	}
+	live := a.order[:0]
+	for _, s := range a.order {
+		if !s.emitted {
+			live = append(live, s)
+		}
+	}
+	for i := len(live); i < len(a.order); i++ {
+		a.order[i] = nil
+	}
+	a.order = live
+}

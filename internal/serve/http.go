@@ -1,0 +1,188 @@
+package serve
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"strconv"
+	"time"
+)
+
+// Handler returns the ops API. Endpoints (see DESIGN.md §7):
+//
+//	GET  /healthz      liveness + uptime + model tag
+//	GET  /metrics      Prometheus text exposition
+//	GET  /v1/flagged   recent flagged connections (?n= caps the count)
+//	GET  /v1/summary   totals, per-source accounting, model + threshold
+//	GET  /v1/threshold current operating threshold
+//	PUT  /v1/threshold adjust it: {"threshold": 0.08}
+//	POST /v1/reload    hot model reload: {"path": "..."} (optional)
+func (s *Server) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", s.handleHealthz)
+	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/flagged", s.handleFlagged)
+	mux.HandleFunc("/v1/summary", s.handleSummary)
+	mux.HandleFunc("/v1/threshold", s.handleThreshold)
+	mux.HandleFunc("/v1/reload", s.handleReload)
+	return mux
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"status":         "ok",
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+		"model":          s.hot.Tag(),
+		"generation":     s.hot.Generation(),
+		"scored":         s.metrics.connsScored.Load(),
+	})
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.streamOrNil()
+	if st == nil {
+		httpError(w, http.StatusServiceUnavailable, "not started")
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	s.metrics.writeProm(w, len(s.queue), cap(s.queue), st.InFlight(),
+		st.Threshold(), s.hot.Tag(), s.hot.Generation(), s.stats)
+}
+
+func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad n=%q", q)
+			return
+		}
+		n = v
+	}
+	flagged := s.Flagged(n)
+	writeJSON(w, http.StatusOK, map[string]any{
+		"flagged":       flagged,
+		"total_flagged": s.metrics.flagged.Load(),
+	})
+}
+
+// sourceSummary is one source's accounting in /v1/summary.
+type sourceSummary struct {
+	Name      string `json:"name"`
+	Delivered uint64 `json:"delivered"`
+	Dropped   uint64 `json:"dropped"`
+	Skipped   uint64 `json:"skipped"`
+	Done      bool   `json:"done"`
+}
+
+func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	st := s.streamOrNil()
+	if st == nil {
+		httpError(w, http.StatusServiceUnavailable, "not started")
+		return
+	}
+	srcs := make([]sourceSummary, 0, len(s.stats))
+	for _, st := range s.stats {
+		srcs = append(srcs, sourceSummary{
+			Name:      st.name,
+			Delivered: st.delivered.Load(),
+			Dropped:   st.dropped.Load(),
+			Skipped:   st.skipped.Load(),
+			Done:      st.done.Load(),
+		})
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"scored":             s.metrics.connsScored.Load(),
+		"packets":            s.metrics.packets.Load(),
+		"flagged":            s.metrics.flagged.Load(),
+		"reloads":            s.metrics.reloads.Load(),
+		"threshold":          st.Threshold(),
+		"packets_per_second": s.metrics.windowRate(),
+		"queue_depth":        len(s.queue),
+		"queue_capacity":     cap(s.queue),
+		"model": map[string]any{
+			"tag":        s.hot.Tag(),
+			"describe":   s.hot.Describe(),
+			"generation": s.hot.Generation(),
+		},
+		"sources":        srcs,
+		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
+	})
+}
+
+func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
+	st := s.streamOrNil()
+	if st == nil {
+		httpError(w, http.StatusServiceUnavailable, "not started")
+		return
+	}
+	switch r.Method {
+	case http.MethodGet:
+		writeJSON(w, http.StatusOK, map[string]float64{"threshold": st.Threshold()})
+	case http.MethodPut:
+		var body struct {
+			Threshold *float64 `json:"threshold"`
+		}
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Threshold == nil {
+			httpError(w, http.StatusBadRequest, `want {"threshold": <number>}`)
+			return
+		}
+		if err := s.SetThreshold(*body.Threshold); err != nil {
+			httpError(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, map[string]float64{"threshold": st.Threshold()})
+	default:
+		httpError(w, http.StatusMethodNotAllowed, "GET or PUT")
+	}
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodPost {
+		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	var body struct {
+		Path string `json:"path"`
+	}
+	if r.ContentLength != 0 {
+		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+			httpError(w, http.StatusBadRequest, `want {"path": "..."} or an empty body`)
+			return
+		}
+	}
+	before, after, err := s.Reload(body.Path)
+	if err != nil {
+		httpError(w, http.StatusUnprocessableEntity, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"old": before, "new": after})
+}

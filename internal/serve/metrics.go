@@ -1,0 +1,205 @@
+package serve
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// metrics is the daemon's operational state, exported in Prometheus text
+// format at /metrics. Counters are atomics (updated from the emit and
+// ingest goroutines, read by HTTP handlers); the packets/s window is the
+// only mutex-guarded piece.
+type metrics struct {
+	start time.Time
+
+	connsScored atomic.Uint64
+	packets     atomic.Uint64
+	flagged     atomic.Uint64
+	reloads     atomic.Uint64
+
+	// Per-stage latency histograms: queue wait, scoring, ordered-emit wait.
+	stages [3]*histogram
+
+	// rate is a sliding window of (timestamp, packets) samples maintained
+	// by the single emit goroutine; windowRate reads it under the mutex.
+	rateMu      sync.Mutex
+	rateSamples []rateSample
+}
+
+type rateSample struct {
+	at   time.Time
+	pkts int
+}
+
+// stage indices into metrics.stages.
+const (
+	stageQueue = iota
+	stageScore
+	stageEmit
+)
+
+var stageNames = [3]string{"queue", "score", "emit"}
+
+const rateWindow = 5 * time.Second
+
+func newMetrics() *metrics {
+	m := &metrics{start: time.Now()}
+	for i := range m.stages {
+		m.stages[i] = newHistogram()
+	}
+	return m
+}
+
+// observeConn records one scored connection: counters, the rate window,
+// and the per-stage latencies. Called from the single emit goroutine.
+func (m *metrics) observeConn(pkts int, flagged bool, queue, score, emit time.Duration) {
+	m.connsScored.Add(1)
+	m.packets.Add(uint64(pkts))
+	if flagged {
+		m.flagged.Add(1)
+	}
+	m.stages[stageQueue].observe(queue)
+	m.stages[stageScore].observe(score)
+	m.stages[stageEmit].observe(emit)
+
+	now := time.Now()
+	m.rateMu.Lock()
+	m.rateSamples = append(m.rateSamples, rateSample{at: now, pkts: pkts})
+	m.trimRateLocked(now)
+	m.rateMu.Unlock()
+}
+
+func (m *metrics) trimRateLocked(now time.Time) {
+	cutoff := now.Add(-rateWindow)
+	i := 0
+	for i < len(m.rateSamples) && m.rateSamples[i].at.Before(cutoff) {
+		i++
+	}
+	if i > 0 {
+		m.rateSamples = append(m.rateSamples[:0], m.rateSamples[i:]...)
+	}
+}
+
+// windowRate reports packets per second over the sliding window.
+func (m *metrics) windowRate() float64 {
+	now := time.Now()
+	m.rateMu.Lock()
+	defer m.rateMu.Unlock()
+	m.trimRateLocked(now)
+	total := 0
+	for _, s := range m.rateSamples {
+		total += s.pkts
+	}
+	return float64(total) / rateWindow.Seconds()
+}
+
+// histogram is a fixed-bucket latency histogram with atomic counters, the
+// minimal Prometheus-compatible implementation (cumulative buckets are
+// computed at render time).
+type histogram struct {
+	counts  []atomic.Uint64
+	sumNano atomic.Uint64
+	total   atomic.Uint64
+}
+
+// histBounds are the bucket upper bounds in seconds, spanning sub-100µs
+// scoring to multi-second stalls.
+var histBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+func newHistogram() *histogram {
+	return &histogram{counts: make([]atomic.Uint64, len(histBounds))}
+}
+
+func (h *histogram) observe(d time.Duration) {
+	if d < 0 {
+		d = 0
+	}
+	sec := d.Seconds()
+	for i, b := range histBounds {
+		if sec <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1)
+	h.sumNano.Add(uint64(d))
+}
+
+// srcCounters is one ingest source's accounting.
+type srcCounters struct {
+	name      string
+	delivered atomic.Uint64 // connections handed to the queue
+	dropped   atomic.Uint64 // connections shed at a full queue
+	skipped   atomic.Uint64 // undecodable records reported by the source
+	done      atomic.Bool   // the source's Stream returned
+}
+
+// writeProm renders the full metrics exposition. queueDepth/queueCap and
+// the model info are sampled by the caller at render time.
+func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, threshold float64, tag string, generation uint64, sources []*srcCounters) {
+	c := func(name, help string, v uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	g := func(name, help string, v float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
+	}
+	c("clap_serve_connections_scored_total", "Connections scored since start.", m.connsScored.Load())
+	c("clap_serve_packets_total", "Packets in scored connections since start.", m.packets.Load())
+	c("clap_serve_flagged_total", "Connections flagged over the operating threshold.", m.flagged.Load())
+	c("clap_serve_reloads_total", "Successful hot model reloads.", m.reloads.Load())
+	g("clap_serve_packets_per_second", "Scoring throughput over the last 5s window.", m.windowRate())
+	g("clap_serve_queue_depth", "Connections waiting in the ingest queue.", float64(queueDepth))
+	g("clap_serve_queue_capacity", "Ingest queue capacity.", float64(queueCap))
+	g("clap_serve_stream_in_flight", "Connections inside the scoring stream.", float64(inFlight))
+	g("clap_serve_threshold", "Current operating threshold.", threshold)
+	g("clap_serve_uptime_seconds", "Seconds since the daemon started.", time.Since(m.start).Seconds())
+
+	fmt.Fprintf(w, "# HELP clap_serve_model_info Current model (value is the reload generation).\n")
+	fmt.Fprintf(w, "# TYPE clap_serve_model_info gauge\n")
+	fmt.Fprintf(w, "clap_serve_model_info{tag=%q} %d\n", tag, generation)
+
+	// Per-source accounting, sorted for a stable exposition.
+	sorted := append([]*srcCounters(nil), sources...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].name < sorted[j].name })
+	for _, metric := range []struct {
+		suffix, help string
+		get          func(*srcCounters) uint64
+	}{
+		{"connections_total", "Connections delivered by the source.", func(s *srcCounters) uint64 { return s.delivered.Load() }},
+		{"dropped_total", "Connections shed at a full ingest queue.", func(s *srcCounters) uint64 { return s.dropped.Load() }},
+		{"skipped_total", "Undecodable records skipped by the source.", func(s *srcCounters) uint64 { return s.skipped.Load() }},
+	} {
+		name := "clap_serve_source_" + metric.suffix
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, metric.help, name)
+		for _, s := range sorted {
+			fmt.Fprintf(w, "%s{source=%q} %d\n", name, s.name, metric.get(s))
+		}
+	}
+
+	// Stage latency histograms.
+	name := "clap_serve_stage_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Per-stage latency through the scoring stream.\n# TYPE %s histogram\n", name, name)
+	for si, h := range m.stages {
+		stage := stageNames[si]
+		cum := uint64(0)
+		for i, b := range histBounds {
+			cum += h.counts[i].Load()
+			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", name, stage, trimFloat(b), cum)
+		}
+		total := h.total.Load()
+		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, stage, total)
+		fmt.Fprintf(w, "%s_sum{stage=%q} %g\n", name, stage, time.Duration(h.sumNano.Load()).Seconds())
+		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, stage, total)
+	}
+}
+
+// trimFloat renders a bucket bound the Prometheus way (no exponent for
+// these magnitudes, no trailing zeros).
+func trimFloat(f float64) string { return fmt.Sprintf("%g", f) }

@@ -1,0 +1,459 @@
+// Package serve is the long-running online detection service: the layer
+// that turns the clap library into a deployable daemon running beside a
+// DPI middlebox (the paper's Figure 3 deployment, kept alive indefinitely).
+//
+// A Server wires three moving parts together:
+//
+//   - ingest: any number of live ServeSources (tailed pcap files, pcap
+//     pipes, the trafficgen soak mode) deliver connections into one
+//     bounded queue with explicit backpressure or load-shedding and
+//     per-source drop/skip accounting;
+//   - scoring: a single pump goroutine feeds the queue into
+//     Pipeline.NewStream, so any registered backend scores connections
+//     concurrently while results emerge in submission order;
+//   - ops: a stdlib net/http surface exposes health, Prometheus metrics,
+//     flagged-connection and summary JSON, live threshold adjustment, and
+//     hot model reload (POST /v1/reload or SIGHUP in the CLI) through an
+//     atomic backend swap that never mixes models within one connection.
+//
+// See DESIGN.md §7 for the architecture diagram and endpoint table.
+package serve
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"clap"
+	"clap/internal/backend"
+)
+
+// Config assembles a Server.
+type Config struct {
+	// Backend is the initial trained model (required). It is wrapped in a
+	// reload-safe handle internally; pass any registered backend.
+	Backend clap.Backend
+	// ModelPath is the default model file for reloads (optional; reload
+	// requests may name an explicit path instead).
+	ModelPath string
+
+	// Addr is the ops API listen address (e.g. "127.0.0.1:8080").
+	// Empty means no listener — tests drive Handler directly.
+	Addr string
+
+	// Workers/Shards size the scoring engine (0: auto).
+	Workers, Shards int
+
+	// Threshold fixes the operating threshold; Calibration+FPR derive it
+	// instead when Calibration is non-nil. Both may later be adjusted
+	// live via /v1/threshold.
+	Threshold   float64
+	FPR         float64
+	Calibration clap.Source
+
+	// TopN windows are localized per flagged connection. 0 keeps the
+	// default of 5; a negative value disables localization (the Go
+	// zero value cannot mean "disable" and "default" at once).
+	TopN int
+
+	// QueueDepth bounds the ingest queue (default 256).
+	QueueDepth int
+	// DropWhenFull selects load-shedding: a full queue drops (and counts)
+	// new connections instead of blocking the source. Default false =
+	// backpressure.
+	DropWhenFull bool
+
+	// FlaggedRing caps how many recent flagged results /v1/flagged serves
+	// (default 256).
+	FlaggedRing int
+
+	// OnResult, if set, observes every scored result on the emit
+	// goroutine — the hook the CLI uses for alert sinks and tests use for
+	// score capture.
+	OnResult func(clap.Result)
+
+	// Logf receives operational log lines (nil: silent).
+	Logf func(format string, args ...any)
+}
+
+// FlaggedConn is one flagged connection as served by /v1/flagged.
+type FlaggedConn struct {
+	Key        string    `json:"key"`
+	Score      float64   `json:"score"`
+	PeakWindow int       `json:"peak_window"`
+	TopWindows []int     `json:"top_windows,omitempty"`
+	Attack     string    `json:"attack,omitempty"`
+	Time       time.Time `json:"time"`
+}
+
+// Server is the clap-serve daemon: ingest, scoring stream, ops API.
+type Server struct {
+	cfg  Config
+	logf func(string, ...any)
+
+	hot    *backend.Hot
+	pipe   *clap.Pipeline
+	stream *clap.PipelineStream
+
+	queue   chan queued
+	sources []serveSource
+	stats   []*srcCounters
+
+	metrics *metrics
+
+	flaggedMu   sync.Mutex
+	flaggedRing []FlaggedConn
+	flaggedNext int
+
+	// lastFlagged carries one result's verdict from emit to the observe
+	// hook that follows it; both run on the stream's single emitter
+	// goroutine, so no synchronization is needed.
+	lastFlagged bool
+
+	reloadMu sync.Mutex // serializes reloads (swap itself is atomic)
+
+	httpLn  net.Listener
+	httpSrv *http.Server
+
+	cancel  context.CancelFunc
+	stopped chan struct{} // closed when the pump has drained
+	ingest  sync.WaitGroup
+	started bool
+	mu      sync.Mutex
+}
+
+type serveSource struct {
+	src   clap.ServeSource
+	stats *srcCounters
+}
+
+type queued struct {
+	conn  *clap.Connection
+	stats *srcCounters
+}
+
+// New builds a Server (not yet started) around a trained backend.
+func New(cfg Config) (*Server, error) {
+	if cfg.Backend == nil {
+		return nil, errors.New("serve: config needs a trained Backend")
+	}
+	hot, err := backend.NewHot(cfg.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 256
+	}
+	if cfg.FlaggedRing <= 0 {
+		cfg.FlaggedRing = 256
+	}
+	switch {
+	case cfg.TopN == 0:
+		cfg.TopN = 5
+	case cfg.TopN < 0:
+		cfg.TopN = 0 // Pipeline's "localization off"
+	}
+	logf := cfg.Logf
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+
+	opts := []clap.PipelineOption{clap.WithBackend(hot), clap.WithTopN(cfg.TopN)}
+	if cfg.Workers > 0 {
+		opts = append(opts, clap.WithWorkers(cfg.Workers))
+	}
+	if cfg.Shards > 0 {
+		opts = append(opts, clap.WithShards(cfg.Shards))
+	}
+	if cfg.Calibration != nil {
+		opts = append(opts, clap.WithThresholdFPR(cfg.FPR, cfg.Calibration))
+	} else if cfg.Threshold > 0 {
+		opts = append(opts, clap.WithThreshold(cfg.Threshold))
+	}
+	pipe, err := clap.NewPipeline(opts...)
+	if err != nil {
+		return nil, err
+	}
+
+	return &Server{
+		cfg:         cfg,
+		logf:        logf,
+		hot:         hot,
+		pipe:        pipe,
+		queue:       make(chan queued, cfg.QueueDepth),
+		metrics:     newMetrics(),
+		flaggedRing: make([]FlaggedConn, 0, cfg.FlaggedRing),
+		stopped:     make(chan struct{}),
+	}, nil
+}
+
+// AddSource registers a live source. Must be called before Start.
+func (s *Server) AddSource(src clap.ServeSource) {
+	st := &srcCounters{name: src.Name()}
+	s.sources = append(s.sources, serveSource{src: src, stats: st})
+	s.stats = append(s.stats, st)
+}
+
+// Start opens the scoring stream (running threshold calibration if
+// configured), launches every source's ingest goroutine and the pump, and
+// — when cfg.Addr is set — begins serving the ops API. It returns once
+// the service is live.
+func (s *Server) Start(ctx context.Context) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.started {
+		return errors.New("serve: already started")
+	}
+
+	stream, err := s.pipe.NewStream(s.emit, clap.StreamHooks{Observe: s.observe})
+	if err != nil {
+		return err
+	}
+	s.stream = stream
+	s.logf("serving %s (threshold %.6f, %d workers)",
+		s.hot.Describe(), stream.Threshold(), s.pipe.Engine().Workers())
+
+	ctx, s.cancel = context.WithCancel(ctx)
+
+	// Ingest: one goroutine per source, all feeding the bounded queue.
+	for _, src := range s.sources {
+		src := src
+		s.ingest.Add(1)
+		go func() {
+			defer s.ingest.Done()
+			skipped, err := src.src.Stream(ctx, s.deliverFunc(ctx, src.stats))
+			src.stats.skipped.Add(uint64(skipped))
+			src.stats.done.Store(true)
+			if err != nil {
+				s.logf("source %s failed: %v", src.src.Name(), err)
+			} else {
+				s.logf("source %s finished (%d delivered, %d dropped, %d skipped)",
+					src.src.Name(), src.stats.delivered.Load(),
+					src.stats.dropped.Load(), src.stats.skipped.Load())
+			}
+		}()
+	}
+
+	// Close the queue once every source is done, so the pump can drain.
+	go func() {
+		s.ingest.Wait()
+		close(s.queue)
+	}()
+
+	// Pump: the single Submit goroutine the stream contract requires.
+	go func() {
+		for q := range s.queue {
+			s.stream.Submit(q.conn)
+		}
+		s.stream.Close()
+		close(s.stopped)
+	}()
+
+	if s.cfg.Addr != "" {
+		ln, err := net.Listen("tcp", s.cfg.Addr)
+		if err != nil {
+			s.cancel()
+			return fmt.Errorf("serve: listening on %s: %w", s.cfg.Addr, err)
+		}
+		s.httpLn = ln
+		s.httpSrv = &http.Server{Handler: s.Handler()}
+		go func() {
+			if err := s.httpSrv.Serve(ln); err != nil && err != http.ErrServerClosed {
+				s.logf("ops API server: %v", err)
+			}
+		}()
+		s.logf("ops API listening on http://%s", ln.Addr())
+	}
+	s.started = true
+	return nil
+}
+
+// OpsAddr reports the ops API's bound address ("" without a listener) —
+// useful with Addr ":0".
+func (s *Server) OpsAddr() string {
+	if s.httpLn == nil {
+		return ""
+	}
+	return s.httpLn.Addr().String()
+}
+
+// deliverFunc builds one source's delivery callback: bounded enqueue with
+// either backpressure (block until the pump catches up or shutdown) or
+// load-shedding (count the drop and move on).
+func (s *Server) deliverFunc(ctx context.Context, st *srcCounters) func(*clap.Connection) {
+	return func(c *clap.Connection) {
+		q := queued{conn: c, stats: st}
+		if s.cfg.DropWhenFull {
+			select {
+			case s.queue <- q:
+				st.delivered.Add(1)
+			default:
+				st.dropped.Add(1)
+			}
+			return
+		}
+		select {
+		case s.queue <- q:
+			st.delivered.Add(1)
+		case <-ctx.Done():
+			st.dropped.Add(1)
+		}
+	}
+}
+
+// emit consumes ordered results on the stream's emitter goroutine.
+func (s *Server) emit(r clap.Result) {
+	s.lastFlagged = r.Flagged
+	if r.Flagged {
+		s.flaggedMu.Lock()
+		fc := FlaggedConn{
+			Key:        r.Conn.Key.String(),
+			Score:      r.Score,
+			PeakWindow: r.PeakWindow,
+			TopWindows: r.TopWindows,
+			Attack:     r.Conn.AttackName,
+			Time:       time.Now(),
+		}
+		if len(s.flaggedRing) < cap(s.flaggedRing) {
+			s.flaggedRing = append(s.flaggedRing, fc)
+		} else {
+			s.flaggedRing[s.flaggedNext] = fc
+			s.flaggedNext = (s.flaggedNext + 1) % cap(s.flaggedRing)
+		}
+		s.flaggedMu.Unlock()
+	}
+	if s.cfg.OnResult != nil {
+		s.cfg.OnResult(r)
+	}
+}
+
+// observe feeds the stream's stage latencies into the metrics. It runs on
+// the emitter goroutine right after this connection's emit, so the
+// verdict recorded there and the latencies land together.
+func (s *Server) observe(c *clap.Connection, st clap.StreamStats) {
+	s.metrics.observeConn(c.Len(), s.lastFlagged, st.QueueWait, st.Score, st.EmitWait)
+	s.lastFlagged = false
+}
+
+// Flagged returns the most recent flagged connections, newest last,
+// capped at n (n <= 0: all retained).
+func (s *Server) Flagged(n int) []FlaggedConn {
+	s.flaggedMu.Lock()
+	defer s.flaggedMu.Unlock()
+	out := make([]FlaggedConn, 0, len(s.flaggedRing))
+	// Ring order: oldest first.
+	if len(s.flaggedRing) == cap(s.flaggedRing) {
+		out = append(out, s.flaggedRing[s.flaggedNext:]...)
+		out = append(out, s.flaggedRing[:s.flaggedNext]...)
+	} else {
+		out = append(out, s.flaggedRing...)
+	}
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out
+}
+
+// streamOrNil returns the scoring stream, or nil before Start — the ops
+// handlers guard on it so a Handler mounted early serves 503 instead of
+// panicking.
+func (s *Server) streamOrNil() *clap.PipelineStream {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.stream
+}
+
+// Threshold reports the live operating threshold (0 before Start).
+func (s *Server) Threshold() float64 {
+	st := s.streamOrNil()
+	if st == nil {
+		return 0
+	}
+	return st.Threshold()
+}
+
+// SetThreshold adjusts the live operating threshold.
+func (s *Server) SetThreshold(th float64) error {
+	st := s.streamOrNil()
+	if st == nil {
+		return errors.New("serve: not started")
+	}
+	if err := st.SetThreshold(th); err != nil {
+		return err
+	}
+	s.logf("threshold set to %.6f", th)
+	return nil
+}
+
+// ReloadInfo describes the models on either side of a reload.
+type ReloadInfo struct {
+	Tag        string `json:"tag"`
+	Describe   string `json:"describe"`
+	Generation uint64 `json:"generation"`
+}
+
+// Reload hot-swaps the serving model from a model file written with
+// SaveBackend (any registered backend tag — the tagged header picks the
+// decoder). path "" falls back to the configured ModelPath. The swap is
+// atomic: in-flight connections finish on the model that picked them up,
+// later ones score on the new model, and a failed load leaves the current
+// model serving.
+func (s *Server) Reload(path string) (before, after ReloadInfo, err error) {
+	s.reloadMu.Lock()
+	defer s.reloadMu.Unlock()
+	if path == "" {
+		path = s.cfg.ModelPath
+	}
+	if path == "" {
+		return before, after, errors.New("serve: no model path configured for reload")
+	}
+	b, err := clap.LoadBackendFile(path)
+	if err != nil {
+		return before, after, fmt.Errorf("serve: reload: %w", err)
+	}
+	prev, err := s.hot.Swap(b)
+	if err != nil {
+		return before, after, fmt.Errorf("serve: reload: %w", err)
+	}
+	gen := s.hot.Generation()
+	s.metrics.reloads.Add(1)
+	before = ReloadInfo{Tag: prev.Tag(), Describe: prev.Describe(), Generation: gen - 1}
+	after = ReloadInfo{Tag: b.Tag(), Describe: b.Describe(), Generation: gen}
+	s.logf("reloaded model from %s: %s -> %s (generation %d)", path, before.Tag, after.Tag, gen)
+	return before, after, nil
+}
+
+// Shutdown stops ingest, drains the queue and the scoring stream (every
+// accepted connection is scored and emitted), and closes the ops API. It
+// is bounded by ctx; a second call is a no-op.
+func (s *Server) Shutdown(ctx context.Context) error {
+	s.mu.Lock()
+	if !s.started {
+		s.mu.Unlock()
+		return errors.New("serve: not started")
+	}
+	cancel := s.cancel
+	s.mu.Unlock()
+
+	cancel() // sources see ctx.Done and return; queue closes after them
+	select {
+	case <-s.stopped: // pump drained and closed the stream
+	case <-ctx.Done():
+		return fmt.Errorf("serve: drain interrupted: %w", ctx.Err())
+	}
+	if s.httpSrv != nil {
+		if err := s.httpSrv.Shutdown(ctx); err != nil {
+			return err
+		}
+	}
+	s.logf("shutdown complete: %d connections scored, %d flagged",
+		s.metrics.connsScored.Load(), s.metrics.flagged.Load())
+	return nil
+}
+
+// Scored reports the total connections scored so far.
+func (s *Server) Scored() uint64 { return s.metrics.connsScored.Load() }

@@ -3,7 +3,10 @@ package clap
 import (
 	"errors"
 	"fmt"
+	"math"
+	"sync/atomic"
 
+	"clap/internal/backend"
 	"clap/internal/core"
 	"clap/internal/engine"
 )
@@ -37,49 +40,110 @@ type Pipeline struct {
 
 	topN       int
 	keepErrors bool
+
+	optErr error // first invalid option, surfaced by NewPipeline
 }
 
 // PipelineOption configures a Pipeline.
 type PipelineOption func(*Pipeline)
 
+// fail records the first invalid option; NewPipeline returns it.
+func (p *Pipeline) fail(format string, args ...any) {
+	if p.optErr == nil {
+		p.optErr = fmt.Errorf(format, args...)
+	}
+}
+
 // WithBackend selects the detection backend. Required; the backend must be
 // trained (or freshly loaded) before Run.
 func WithBackend(b Backend) PipelineOption { return func(p *Pipeline) { p.backend = b } }
 
-// WithWorkers sets the scoring worker count; 0 sizes it to the machine.
-func WithWorkers(n int) PipelineOption { return func(p *Pipeline) { p.workers = n } }
+// WithWorkers sets the scoring worker count. Omit the option to size it to
+// the machine; explicit non-positive counts are rejected by NewPipeline.
+func WithWorkers(n int) PipelineOption {
+	return func(p *Pipeline) {
+		if n <= 0 {
+			p.fail("clap: WithWorkers(%d): worker count must be positive (omit the option to auto-size)", n)
+			return
+		}
+		p.workers = n
+	}
+}
 
-// WithShards sets the assembly shard count; 0 mirrors the worker count.
-func WithShards(n int) PipelineOption { return func(p *Pipeline) { p.shards = n } }
+// WithShards sets the assembly shard count. Omit the option to mirror the
+// worker count; explicit non-positive counts are rejected by NewPipeline.
+func WithShards(n int) PipelineOption {
+	return func(p *Pipeline) {
+		if n <= 0 {
+			p.fail("clap: WithShards(%d): shard count must be positive (omit the option to mirror workers)", n)
+			return
+		}
+		p.shards = n
+	}
+}
 
 // WithThreshold sets a fixed adversarial-score threshold. 0 (the default)
-// means score-only: nothing is flagged.
-func WithThreshold(th float64) PipelineOption { return func(p *Pipeline) { p.threshold = th } }
+// means score-only: nothing is flagged. Negative or NaN thresholds are
+// rejected by NewPipeline.
+func WithThreshold(th float64) PipelineOption {
+	return func(p *Pipeline) {
+		if th < 0 || math.IsNaN(th) {
+			p.fail("clap: WithThreshold(%v): threshold must be >= 0", th)
+			return
+		}
+		p.threshold = th
+	}
+}
 
 // WithThresholdFPR calibrates the threshold at Run (or NewStream) time:
 // the calibration source is scored with the pipeline's backend and the
 // threshold is picked to keep the false-positive rate on it at or below
-// fpr (the deployment knob of §3.3(d)). Overrides WithThreshold.
+// fpr (the deployment knob of §3.3(d)). Overrides WithThreshold. fpr must
+// lie in (0, 1) — 0 would flag nothing and 1 everything — and the
+// calibration source must be non-nil; NewPipeline rejects both.
 func WithThresholdFPR(fpr float64, calibration Source) PipelineOption {
-	return func(p *Pipeline) { p.fpr, p.calibration = fpr, calibration }
+	return func(p *Pipeline) {
+		if !(fpr > 0 && fpr < 1) { // the negation also catches NaN
+			p.fail("clap: WithThresholdFPR(%v): target FPR must be in (0, 1)", fpr)
+			return
+		}
+		if calibration == nil {
+			p.fail("clap: WithThresholdFPR needs a calibration source")
+			return
+		}
+		p.fpr, p.calibration = fpr, calibration
+	}
 }
 
 // WithTopN sets how many highest-error windows each result localizes
-// (default 5). 0 disables localization.
-func WithTopN(n int) PipelineOption { return func(p *Pipeline) { p.topN = n } }
+// (default 5). 0 disables localization; negative counts are rejected by
+// NewPipeline.
+func WithTopN(n int) PipelineOption {
+	return func(p *Pipeline) {
+		if n < 0 {
+			p.fail("clap: WithTopN(%d): window count must be >= 0", n)
+			return
+		}
+		p.topN = n
+	}
+}
 
 // WithWindowErrors keeps the full per-window error series on every Result
 // (Figure 6's series). By default only flagged results retain it, so large
 // captures do not pin every connection's series for the whole run.
 func WithWindowErrors(keep bool) PipelineOption { return func(p *Pipeline) { p.keepErrors = keep } }
 
-// NewPipeline builds a pipeline over a backend. It fails without one, and
+// NewPipeline builds a pipeline over a backend. It fails without one,
 // fails on an untrained one — scoring through an untrained backend would
-// otherwise panic on a pool goroutine.
+// otherwise panic on a pool goroutine — and fails on any invalid option
+// value rather than silently coercing it.
 func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
 	p := &Pipeline{topN: 5}
 	for _, o := range opts {
 		o(p)
+	}
+	if p.optErr != nil {
+		return nil, p.optErr
 	}
 	if p.backend == nil {
 		return nil, errors.New("clap: pipeline needs a backend (WithBackend)")
@@ -93,6 +157,17 @@ func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
 
 // Backend returns the pipeline's detection backend.
 func (p *Pipeline) Backend() Backend { return p.backend }
+
+// snapshot pins the model one connection is scored with. For a reload-safe
+// HotBackend handle this resolves the live model once, so a hot swap can
+// never split a single connection's WindowErrors/Summarize pair across two
+// models; for plain backends it is the backend itself.
+func (p *Pipeline) snapshot() Backend {
+	if s, ok := p.backend.(backend.Snapshotter); ok {
+		return s.Current()
+	}
+	return p.backend
+}
 
 // Engine returns the pipeline's scoring engine (for Source implementations
 // and ad-hoc scoring alongside a Run).
@@ -141,8 +216,8 @@ type RunSummary struct {
 }
 
 // calibrate resolves the operating threshold, scoring the calibration
-// source if one was configured.
-func (p *Pipeline) calibrate() (th float64, calN, calSkipped int, err error) {
+// source with the given model if one was configured.
+func (p *Pipeline) calibrate(b Backend) (th float64, calN, calSkipped int, err error) {
 	th = p.threshold
 	if p.calibration == nil {
 		return th, 0, 0, nil
@@ -151,13 +226,14 @@ func (p *Pipeline) calibrate() (th float64, calN, calSkipped int, err error) {
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("clap: reading calibration source: %w", err)
 	}
-	scores := p.eng.ScoreBackend(p.backend, benign)
+	scores := p.eng.ScoreBackend(b, benign)
 	return ThresholdAtFPR(scores, p.fpr), len(benign), skipped, nil
 }
 
-// resultFor scores one connection from its precomputed window errors.
-func (p *Pipeline) resultFor(c *Connection, errs []float64, th float64) Result {
-	score, peak := p.backend.Summarize(errs)
+// resultFor scores one connection from its precomputed window errors under
+// the model that produced them.
+func (p *Pipeline) resultFor(b Backend, c *Connection, errs []float64, th float64) Result {
+	score, peak := b.Summarize(errs)
 	r := Result{Conn: c, Score: score, PeakWindow: peak}
 	if th > 0 && score >= th {
 		r.Flagged = true
@@ -176,7 +252,10 @@ func (p *Pipeline) resultFor(c *Connection, errs []float64, th float64) Result {
 // order). Sinks may be nil-free but are optional: forensic callers can
 // work off the returned summary alone.
 func (p *Pipeline) Run(src Source, sinks ...Sink) (*RunSummary, error) {
-	th, calN, calSkipped, err := p.calibrate()
+	// One snapshot for the whole batch: under a hot-swappable backend every
+	// connection of a Run is scored by the same model.
+	b := p.snapshot()
+	th, calN, calSkipped, err := p.calibrate(b)
 	if err != nil {
 		return nil, err
 	}
@@ -184,17 +263,17 @@ func (p *Pipeline) Run(src Source, sinks ...Sink) (*RunSummary, error) {
 	if err != nil {
 		return nil, fmt.Errorf("clap: reading source: %w", err)
 	}
-	errsAll := p.eng.WindowErrorsBackend(p.backend, conns)
+	errsAll := p.eng.WindowErrorsBackend(b, conns)
 	sum := &RunSummary{
 		Results:            make([]Result, len(conns)),
 		Threshold:          th,
 		Skipped:            skipped,
 		CalibrationConns:   calN,
 		CalibrationSkipped: calSkipped,
-		WindowSpan:         p.backend.WindowSpan(),
+		WindowSpan:         b.WindowSpan(),
 	}
 	for i, c := range conns {
-		r := p.resultFor(c, errsAll[i], th)
+		r := p.resultFor(b, c, errsAll[i], th)
 		errsAll[i] = nil
 		if r.Flagged {
 			sum.Flagged++
@@ -216,32 +295,65 @@ func (p *Pipeline) Run(src Source, sinks ...Sink) (*RunSummary, error) {
 
 // PipelineStream is the pipeline's online mode: connections are submitted
 // as they close, scored concurrently by the engine, and emitted strictly
-// in submission order.
+// in submission order. The operating threshold is live-adjustable
+// (SetThreshold), and under a reload-safe HotBackend each connection is
+// scored wholly by whichever model is current at its pickup — the serving
+// substrate for clap-serve.
 type PipelineStream struct {
 	inner     *engine.StreamOf[Result]
-	threshold float64
+	threshold atomic.Uint64 // math.Float64bits
 }
+
+// StreamHooks instruments a pipeline stream with per-stage latencies; see
+// engine.StreamHooks.
+type StreamHooks = engine.StreamHooks
+
+// StreamStats is one streamed connection's stage latency measurement.
+type StreamStats = engine.StreamStats
 
 // NewStream opens the pipeline in streaming mode. Threshold calibration
 // (if configured) runs now, before the first Submit; emit then receives
 // every submitted connection's Result in submission order on a single
-// goroutine. Close the stream to drain it.
-func (p *Pipeline) NewStream(emit func(Result)) (*PipelineStream, error) {
-	th, _, _, err := p.calibrate()
+// goroutine. Optional hooks observe per-stage latencies. Close the stream
+// to drain it.
+func (p *Pipeline) NewStream(emit func(Result), hooks ...StreamHooks) (*PipelineStream, error) {
+	th, _, _, err := p.calibrate(p.snapshot())
 	if err != nil {
 		return nil, err
 	}
+	s := &PipelineStream{}
+	s.threshold.Store(math.Float64bits(th))
 	score := func(c *Connection) Result {
-		return p.resultFor(c, p.backend.WindowErrors(c), th)
+		b := p.snapshot()
+		return p.resultFor(b, c, b.WindowErrors(c), s.Threshold())
 	}
-	return &PipelineStream{
-		inner:     engine.NewStreamOf(p.eng, score, func(_ *Connection, r Result) { emit(r) }),
-		threshold: th,
-	}, nil
+	var h StreamHooks
+	if len(hooks) > 0 {
+		h = hooks[0]
+	}
+	s.inner = engine.NewStreamOfHooked(p.eng, score, func(_ *Connection, r Result) { emit(r) }, h)
+	return s, nil
 }
 
-// Threshold reports the stream's operating threshold.
-func (s *PipelineStream) Threshold() float64 { return s.threshold }
+// Threshold reports the stream's current operating threshold.
+func (s *PipelineStream) Threshold() float64 {
+	return math.Float64frombits(s.threshold.Load())
+}
+
+// SetThreshold adjusts the operating threshold live — the /v1/threshold
+// knob of the serving layer. Connections already scored keep their
+// verdicts; connections picked up after the store see the new value. th
+// must be >= 0 (0 reverts to score-only).
+func (s *PipelineStream) SetThreshold(th float64) error {
+	if th < 0 || math.IsNaN(th) {
+		return fmt.Errorf("clap: SetThreshold(%v): threshold must be >= 0", th)
+	}
+	s.threshold.Store(math.Float64bits(th))
+	return nil
+}
+
+// InFlight reports how many submitted connections await scoring or emit.
+func (s *PipelineStream) InFlight() int { return s.inner.InFlight() }
 
 // Submit queues one connection for scoring; results arrive at emit in
 // submission order. Not safe for concurrent Submit calls.

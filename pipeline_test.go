@@ -3,6 +3,7 @@ package clap
 import (
 	"bytes"
 	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -224,6 +225,147 @@ func TestPipelineStreamMatchesRun(t *testing.T) {
 		if streamed[i].Score != sum.Results[i].Score || streamed[i].Flagged != sum.Results[i].Flagged {
 			t.Fatalf("stream result %d diverged from batch run", i)
 		}
+	}
+}
+
+// TestPipelineOptionValidation: invalid option values fail NewPipeline
+// loudly instead of being silently coerced.
+func TestPipelineOptionValidation(t *testing.T) {
+	bk := pipelineBackend(t)
+	cases := []struct {
+		name string
+		opt  PipelineOption
+		want string
+	}{
+		{"zero workers", WithWorkers(0), "worker count must be positive"},
+		{"negative workers", WithWorkers(-2), "worker count must be positive"},
+		{"zero shards", WithShards(0), "shard count must be positive"},
+		{"negative shards", WithShards(-1), "shard count must be positive"},
+		{"negative topN", WithTopN(-1), "window count must be >= 0"},
+		{"negative threshold", WithThreshold(-0.5), "threshold must be >= 0"},
+		{"NaN threshold", WithThreshold(math.NaN()), "threshold must be >= 0"},
+		{"zero FPR", WithThresholdFPR(0, TrafficGen(5, 1)), "FPR must be in (0, 1)"},
+		{"FPR of one", WithThresholdFPR(1, TrafficGen(5, 1)), "FPR must be in (0, 1)"},
+		{"FPR above one", WithThresholdFPR(1.5, TrafficGen(5, 1)), "FPR must be in (0, 1)"},
+		{"NaN FPR", WithThresholdFPR(math.NaN(), TrafficGen(5, 1)), "FPR must be in (0, 1)"},
+		{"nil calibration", WithThresholdFPR(0.1, nil), "needs a calibration source"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := NewPipeline(WithBackend(bk), tc.opt)
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("err = %v, want it to mention %q", err, tc.want)
+			}
+		})
+	}
+	// Valid boundary values still construct.
+	if _, err := NewPipeline(WithBackend(bk), WithWorkers(1), WithShards(1),
+		WithTopN(0), WithThreshold(0)); err != nil {
+		t.Fatalf("valid boundary options rejected: %v", err)
+	}
+}
+
+// TestPipelineStreamSetThreshold: the stream's operating threshold is
+// live-adjustable and bad values are rejected.
+func TestPipelineStreamSetThreshold(t *testing.T) {
+	bk := pipelineBackend(t)
+	p, err := NewPipeline(WithBackend(bk), WithThreshold(0.5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var flags []bool
+	s, err := p.NewStream(func(r Result) { flags = append(flags, r.Flagged) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Threshold() != 0.5 {
+		t.Fatalf("threshold = %v, want 0.5", s.Threshold())
+	}
+	if err := s.SetThreshold(-1); err == nil {
+		t.Fatal("negative threshold accepted")
+	}
+	if err := s.SetThreshold(math.NaN()); err == nil {
+		t.Fatal("NaN threshold accepted")
+	}
+	// A tiny positive threshold flags everything a benign corpus scores.
+	if err := s.SetThreshold(1e-12); err != nil {
+		t.Fatal(err)
+	}
+	conns := GenerateBenign(4, 8)
+	for _, c := range conns {
+		s.Submit(c)
+	}
+	s.Close()
+	if len(flags) != len(conns) {
+		t.Fatalf("emitted %d results, want %d", len(flags), len(conns))
+	}
+	for i, f := range flags {
+		if !f {
+			t.Errorf("conn %d not flagged at threshold 1e-12", i)
+		}
+	}
+}
+
+// TestPipelineHotBackendStream: a Pipeline over a HotBackend handle swaps
+// models mid-stream; every connection is scored wholly by one model.
+func TestPipelineHotBackendStream(t *testing.T) {
+	bk := pipelineBackend(t)
+	hot, err := NewHotBackend(bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(WithBackend(hot))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A second model of a different tag to swap to.
+	b2, err := NewBackend(BackendBaseline1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := b2.(*CLAPBackend)
+	cb.Cfg.RNNEpochs, cb.Cfg.AEEpochs = 2, 3
+	if err := b2.Train(GenerateBenign(30, 2), func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+
+	conns := GenerateBenign(12, 55)
+	var scores []float64
+	s, err := p.NewStream(func(r Result) { scores = append(scores, r.Score) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range conns {
+		if i == len(conns)/2 {
+			if _, err := hot.Swap(b2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Submit(c)
+	}
+	s.Close()
+	if hot.Generation() != 1 {
+		t.Fatalf("generation = %d, want 1", hot.Generation())
+	}
+	if len(scores) != len(conns) {
+		t.Fatalf("emitted %d results, want %d", len(scores), len(conns))
+	}
+	// Every score must match one of the two models' serial outputs —
+	// never a mixture.
+	for i, c := range conns {
+		s1, s2 := bk.ScoreConn(c), b2.ScoreConn(c)
+		if scores[i] != s1 && scores[i] != s2 {
+			t.Fatalf("conn %d score %v matches neither model (%v / %v)", i, scores[i], s1, s2)
+		}
+	}
+	// An untrained swap is rejected and leaves the current model serving.
+	untrained, _ := NewBackend(BackendCLAP)
+	if _, err := hot.Swap(untrained); err == nil {
+		t.Fatal("untrained hot swap accepted")
+	}
+	if hot.Generation() != 1 {
+		t.Fatalf("failed swap bumped generation to %d", hot.Generation())
 	}
 }
 

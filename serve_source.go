@@ -1,0 +1,347 @@
+package clap
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"math/rand"
+	"os"
+	"time"
+
+	"clap/internal/attacks"
+	"clap/internal/flow"
+	"clap/internal/packet"
+	"clap/internal/pcapio"
+)
+
+// ServeSource is the live counterpart of Source: instead of returning one
+// finished corpus, it delivers connections continuously as they complete —
+// the ingest contract of the clap-serve daemon. Implementations run until
+// the context is cancelled or the underlying feed ends, and report how
+// many records they could not decode.
+type ServeSource interface {
+	// Name labels the source in serving metrics and logs.
+	Name() string
+	// Stream blocks, handing each completed connection to deliver in
+	// arrival order, until ctx is cancelled or the feed is exhausted.
+	// deliver may block (backpressure) or drop internally; the source
+	// just produces. skipped counts records the source could not decode.
+	Stream(ctx context.Context, deliver func(*Connection)) (skipped int, err error)
+}
+
+// LiveConfig tunes the pcap-fed live sources.
+type LiveConfig struct {
+	// MaxPackets cuts connections that exceed this packet budget so a
+	// long-lived flow is scored in segments instead of buffered forever.
+	// 0 means unbounded. Default 512.
+	MaxPackets int
+	// IdleFlush emits connections that saw no packet for this long (wall
+	// clock), catching half-open flows and lost teardowns. 0 disables;
+	// default 5s.
+	IdleFlush time.Duration
+	// Poll is how often a tailing source re-checks a quiet file.
+	// Default 250ms.
+	Poll time.Duration
+}
+
+func (c LiveConfig) withDefaults() LiveConfig {
+	if c.MaxPackets == 0 {
+		c.MaxPackets = 512
+	}
+	if c.IdleFlush == 0 {
+		c.IdleFlush = 5 * time.Second
+	}
+	if c.Poll == 0 {
+		c.Poll = 250 * time.Millisecond
+	}
+	return c
+}
+
+// TailPCAP follows a growing pcap file — the capture file a DPI-side
+// tcpdump keeps appending to. The source waits for the file (and its
+// global header) to appear, then streams records as they are written,
+// polling on quiet periods, assembling connections incrementally and
+// delivering each one as it closes, fills its packet budget, or goes
+// idle. The stream ends only on context cancellation.
+func TailPCAP(path string, cfg LiveConfig) ServeSource {
+	return &tailSource{path: path, cfg: cfg.withDefaults()}
+}
+
+type tailSource struct {
+	path string
+	cfg  LiveConfig
+}
+
+func (s *tailSource) Name() string { return "tail:" + s.path }
+
+func (s *tailSource) Stream(ctx context.Context, deliver func(*Connection)) (int, error) {
+	// Wait for the file to exist at all.
+	var f *os.File
+	for {
+		var err error
+		f, err = os.Open(s.path)
+		if err == nil {
+			break
+		}
+		if !os.IsNotExist(err) {
+			return 0, err
+		}
+		select {
+		case <-ctx.Done():
+			return 0, nil
+		case <-time.After(s.cfg.Poll):
+		}
+	}
+	defer f.Close()
+	fr := &followReader{ctx: ctx, r: f, poll: s.cfg.Poll}
+	return streamPCAPRecords(ctx, fr, s.cfg, deliver)
+}
+
+// followReader turns a growing file into a blocking reader: EOF means
+// "no new data yet", so it polls until the context ends, at which point
+// it reports EOF to terminate the pcap reader cleanly.
+type followReader struct {
+	ctx  context.Context
+	r    io.Reader
+	poll time.Duration
+}
+
+func (f *followReader) Read(p []byte) (int, error) {
+	for {
+		n, err := f.r.Read(p)
+		if n > 0 {
+			return n, nil
+		}
+		if err != nil && err != io.EOF {
+			return 0, err
+		}
+		select {
+		case <-f.ctx.Done():
+			return 0, io.EOF
+		case <-time.After(f.poll):
+		}
+	}
+}
+
+// FollowPCAP streams pcap records from r — stdin, a named pipe from a
+// capture process, a socket — assembling and delivering connections live.
+// The stream ends at EOF or context cancellation; with a blocking reader,
+// cancellation takes effect at the next record boundary.
+func FollowPCAP(name string, r io.Reader, cfg LiveConfig) ServeSource {
+	return &followSource{name: name, r: r, cfg: cfg.withDefaults()}
+}
+
+type followSource struct {
+	name string
+	r    io.Reader
+	cfg  LiveConfig
+}
+
+func (s *followSource) Name() string { return s.name }
+
+func (s *followSource) Stream(ctx context.Context, deliver func(*Connection)) (int, error) {
+	return streamPCAPRecords(ctx, s.r, s.cfg, deliver)
+}
+
+// streamPCAPRecords is the shared pcap ingest loop. A reader goroutine
+// decodes records (it may block on a quiet feed); the main loop feeds the
+// incremental assembler, flushes idle connections on a ticker even while
+// the feed is silent, and flushes everything at end of stream.
+//
+// On cancellation with a reader that never unblocks (a pipe with no
+// writer), the reader goroutine lingers until the underlying Read
+// returns; the stream itself ends promptly.
+func streamPCAPRecords(ctx context.Context, r io.Reader, cfg LiveConfig, deliver func(*Connection)) (int, error) {
+	type recOrErr struct {
+		p    *packet.Packet
+		skip bool
+		err  error
+	}
+	recs := make(chan recOrErr, 64)
+	go func() {
+		defer close(recs)
+		rd, err := pcapio.NewReader(r)
+		if err != nil {
+			recs <- recOrErr{err: err}
+			return
+		}
+		for {
+			rec, err := rd.Next()
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				recs <- recOrErr{err: err}
+				return
+			}
+			if len(rec.Data) == 0 {
+				recs <- recOrErr{skip: true}
+				continue
+			}
+			p, derr := packet.Decode(rec.Data)
+			if derr != nil {
+				recs <- recOrErr{skip: true}
+				continue
+			}
+			p.Timestamp = rec.Timestamp
+			recs <- recOrErr{p: p}
+		}
+	}()
+
+	asm := flow.NewAssembler(deliver)
+	asm.MaxPackets = cfg.MaxPackets
+	var flush <-chan time.Time
+	if cfg.IdleFlush > 0 {
+		t := time.NewTicker(cfg.IdleFlush)
+		defer t.Stop()
+		flush = t.C
+	}
+	skipped := 0
+	for {
+		select {
+		case <-ctx.Done():
+			asm.Flush()
+			return skipped, nil
+		case ro, ok := <-recs:
+			if !ok {
+				asm.Flush()
+				return skipped, nil
+			}
+			if ro.err != nil {
+				asm.Flush()
+				if ctx.Err() != nil {
+					// A header or record truncated by cancellation
+					// mid-read is not a corrupt capture.
+					return skipped, nil
+				}
+				return skipped, ro.err
+			}
+			if ro.skip {
+				skipped++
+				continue
+			}
+			asm.Feed(ro.p)
+		case <-flush:
+			asm.FlushIdle(cfg.IdleFlush)
+		}
+	}
+}
+
+// SoakConfig tunes the synthetic soak source.
+type SoakConfig struct {
+	// Connections is the total to generate; 0 means run until cancelled.
+	Connections int
+	// Seed makes the soak deterministic (connections and attack plan).
+	Seed int64
+	// Rate caps delivery at roughly this many connections per second;
+	// 0 delivers as fast as downstream accepts (pure load test).
+	Rate float64
+	// AttackFraction injects an evasion strategy into this fraction of
+	// connections (0: all benign).
+	AttackFraction float64
+	// Strategies names the evasion strategies to rotate through; empty
+	// selects a default detectable mix.
+	Strategies []string
+	// Batch is the generation granularity (connections per trafficgen
+	// call); default 64.
+	Batch int
+}
+
+// Soak is the load-testing source: an endless stream of synthetic
+// backbone-style connections, optionally laced with evasion attacks — the
+// trafficgen soak mode used to exercise a clap-serve deployment without a
+// capture feed. Fully deterministic under cfg.Seed when Rate is 0.
+func Soak(cfg SoakConfig) ServeSource {
+	if cfg.Batch <= 0 {
+		cfg.Batch = 64
+	}
+	if len(cfg.Strategies) == 0 {
+		cfg.Strategies = []string{
+			"GFW: Injected RST Bad TCP-Checksum/MD5-Option",
+			"Low TTL (Max)",
+			"Injected RST-ACK / Bad TCP Checksum",
+		}
+	}
+	return &soakSource{cfg: cfg}
+}
+
+type soakSource struct{ cfg SoakConfig }
+
+func (s *soakSource) Name() string { return "soak" }
+
+func (s *soakSource) Stream(ctx context.Context, deliver func(*Connection)) (int, error) {
+	strategies := make([]Strategy, 0, len(s.cfg.Strategies))
+	for _, name := range s.cfg.Strategies {
+		st, ok := attacks.ByName(name)
+		if !ok {
+			return 0, fmt.Errorf("soak: unknown strategy %q", name)
+		}
+		strategies = append(strategies, st)
+	}
+	rng := rand.New(rand.NewSource(s.cfg.Seed))
+	var ticker *time.Ticker
+	if s.cfg.Rate > 0 {
+		ticker = time.NewTicker(time.Duration(float64(time.Second) / s.cfg.Rate))
+		defer ticker.Stop()
+	}
+	produced := 0
+	for batch := 0; ; batch++ {
+		n := s.cfg.Batch
+		if s.cfg.Connections > 0 {
+			if remaining := s.cfg.Connections - produced; remaining <= 0 {
+				return 0, nil
+			} else if n > remaining {
+				n = remaining
+			}
+		}
+		// Each batch gets its own derived seed so the stream never repeats.
+		conns := GenerateBenign(n, s.cfg.Seed+int64(batch)*7919)
+		for i, c := range conns {
+			if s.cfg.AttackFraction > 0 && rng.Float64() < s.cfg.AttackFraction {
+				st := strategies[(produced+i)%len(strategies)]
+				if st.Apply(c, rng) {
+					c.AttackName = st.Name
+				}
+			}
+			if ticker != nil {
+				select {
+				case <-ctx.Done():
+					return 0, nil
+				case <-ticker.C:
+				}
+			} else if ctx.Err() != nil {
+				return 0, nil
+			}
+			deliver(c)
+		}
+		produced += n
+	}
+}
+
+// Replay adapts a batch Source to the live contract: the corpus is read
+// once and delivered connection by connection — replaying a recorded pcap
+// through a running clap-serve instance.
+func Replay(name string, src Source) ServeSource {
+	return &replaySource{name: name, src: src}
+}
+
+type replaySource struct {
+	name string
+	src  Source
+}
+
+func (s *replaySource) Name() string { return s.name }
+
+func (s *replaySource) Stream(ctx context.Context, deliver func(*Connection)) (int, error) {
+	conns, skipped, err := s.src.Connections(nil)
+	if err != nil {
+		return skipped, err
+	}
+	for _, c := range conns {
+		if ctx.Err() != nil {
+			return skipped, nil
+		}
+		deliver(c)
+	}
+	return skipped, nil
+}

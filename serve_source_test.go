@@ -1,0 +1,227 @@
+package clap
+
+import (
+	"context"
+	"io"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"clap/internal/flow"
+	"clap/internal/pcapio"
+)
+
+// fastLive keeps live-source tests snappy.
+var fastLive = LiveConfig{Poll: 5 * time.Millisecond, IdleFlush: 50 * time.Millisecond, MaxPackets: 512}
+
+// collectServe drains a ServeSource until it returns, collecting
+// everything it delivers.
+func collectServe(t *testing.T, src ServeSource, ctx context.Context) (conns []*Connection, skipped int) {
+	t.Helper()
+	ch := make(chan *Connection, 1024)
+	done := make(chan struct{})
+	var err error
+	go func() {
+		defer close(done)
+		skipped, err = src.Stream(ctx, func(c *Connection) { ch <- c })
+	}()
+	select {
+	case <-done:
+	case <-time.After(30 * time.Second):
+		t.Fatal("source did not finish")
+	}
+	if err != nil {
+		t.Fatalf("source %s: %v", src.Name(), err)
+	}
+	close(ch)
+	for c := range ch {
+		conns = append(conns, c)
+	}
+	return conns, skipped
+}
+
+// TestTailPCAPFollowsGrowingFile appends a capture to a file in stages —
+// including the file not existing at open time and a record split across
+// writes — and the tail source must deliver every connection.
+func TestTailPCAPFollowsGrowingFile(t *testing.T) {
+	want := GenerateBenign(6, 41)
+	var whole []byte
+	{
+		f, err := os.CreateTemp(t.TempDir(), "whole-*.pcap")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WritePCAP(f, want); err != nil {
+			t.Fatal(err)
+		}
+		f.Close()
+		whole, err = os.ReadFile(f.Name())
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	path := filepath.Join(t.TempDir(), "grow.pcap")
+	src := TailPCAP(path, fastLive)
+	ctx, cancel := context.WithCancel(context.Background())
+
+	got := make(chan *Connection, 64)
+	done := make(chan error, 1)
+	go func() {
+		_, err := src.Stream(ctx, func(c *Connection) { got <- c })
+		done <- err
+	}()
+
+	// Write the capture in uneven chunks with pauses, splitting records
+	// mid-byte; the tailer must ride through every partial state.
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for off := 0; off < len(whole); {
+		n := 700
+		if off+n > len(whole) {
+			n = len(whole) - off
+		}
+		if _, err := f.Write(whole[off : off+n]); err != nil {
+			t.Fatal(err)
+		}
+		off += n
+		time.Sleep(10 * time.Millisecond)
+	}
+	f.Close()
+
+	// Collect until every connection arrived (idle flush emits the tail).
+	var conns []*Connection
+	deadline := time.After(20 * time.Second)
+	for len(conns) < len(want) {
+		select {
+		case c := <-got:
+			conns = append(conns, c)
+		case <-deadline:
+			t.Fatalf("tail delivered %d connections, want %d", len(conns), len(want))
+		}
+	}
+	cancel()
+	if err := <-done; err != nil {
+		t.Fatalf("tail stream: %v", err)
+	}
+
+	wantPkts := 0
+	for _, c := range want {
+		wantPkts += c.Len()
+	}
+	gotPkts := 0
+	for _, c := range conns {
+		gotPkts += c.Len()
+	}
+	if gotPkts != wantPkts {
+		t.Fatalf("tail delivered %d packets, capture had %d", gotPkts, wantPkts)
+	}
+}
+
+// TestFollowPCAPFromPipe streams a capture through an io.Pipe — the
+// stdin/named-pipe deployment — and must deliver the same connections the
+// batch reader assembles.
+func TestFollowPCAPFromPipe(t *testing.T) {
+	want := GenerateBenign(8, 17)
+	pr, pw := io.Pipe()
+	go func() {
+		WritePCAP(pw, want)
+		pw.Close()
+	}()
+
+	src := FollowPCAP("pipe", pr, fastLive)
+	conns, skipped := collectServe(t, src, context.Background())
+	if skipped != 0 {
+		t.Errorf("clean capture reported %d skipped", skipped)
+	}
+	if len(conns) != len(want) {
+		t.Fatalf("pipe delivered %d connections, want %d", len(conns), len(want))
+	}
+	for i := range want {
+		if conns[i].Key != want[i].Key {
+			t.Fatalf("conn %d: key %v != %v", i, conns[i].Key, want[i].Key)
+		}
+	}
+}
+
+// TestFollowPCAPCountsSkipped: undecodable records surface in the skip
+// count instead of vanishing.
+func TestFollowPCAPCountsSkipped(t *testing.T) {
+	conns := GenerateBenign(3, 5)
+	pr, pw := io.Pipe()
+	go func() {
+		w := pcapio.NewWriter(pw, pcapio.LinkTypeRaw)
+		for _, p := range flow.Flatten(conns) {
+			w.WritePacket(p)
+		}
+		// A structurally undecodable record.
+		w.WriteRaw(time.Unix(0, 0), []byte{0xde, 0xad, 0xbe, 0xef}, 4)
+		w.Flush()
+		pw.Close()
+	}()
+	got, skipped := collectServe(t, FollowPCAP("pipe", pr, fastLive), context.Background())
+	if skipped != 1 {
+		t.Errorf("skipped = %d, want 1", skipped)
+	}
+	if len(got) != len(conns) {
+		t.Errorf("delivered %d connections, want %d", len(got), len(conns))
+	}
+}
+
+// TestSoakDeterministic: same seed, same stream — connections, order and
+// attack plan.
+func TestSoakDeterministic(t *testing.T) {
+	cfg := SoakConfig{Connections: 150, Seed: 3, AttackFraction: 0.4, Batch: 40}
+	a, _ := collectServe(t, Soak(cfg), context.Background())
+	b, _ := collectServe(t, Soak(cfg), context.Background())
+	if len(a) != 150 || len(b) != 150 {
+		t.Fatalf("soak delivered %d/%d connections, want 150", len(a), len(b))
+	}
+	attacks := 0
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].AttackName != b[i].AttackName || a[i].Len() != b[i].Len() {
+			t.Fatalf("soak diverged at connection %d", i)
+		}
+		if a[i].AttackName != "" {
+			attacks++
+		}
+	}
+	if attacks == 0 {
+		t.Fatal("soak with AttackFraction 0.4 planted no attacks")
+	}
+}
+
+// TestSoakCancellation: an unbounded soak stops at context cancellation.
+func TestSoakCancellation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Soak(SoakConfig{Seed: 1, Batch: 8}).Stream(ctx, func(*Connection) {
+			n++
+			if n == 20 {
+				cancel()
+			}
+		})
+	}()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("unbounded soak did not stop on cancellation")
+	}
+	if n < 20 {
+		t.Fatalf("soak delivered %d connections before cancel", n)
+	}
+}
+
+// TestReplaySource: a batch source replayed connection by connection.
+func TestReplaySource(t *testing.T) {
+	conns, skipped := collectServe(t, Replay("replay", TrafficGen(9, 4)), context.Background())
+	if skipped != 0 || len(conns) != 9 {
+		t.Fatalf("replay delivered %d connections (%d skipped), want 9/0", len(conns), skipped)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"time"
 )
 
 // Sink consumes pipeline results: Emit is called once per connection in
@@ -143,17 +144,103 @@ type alertLog struct {
 	err error
 }
 
-func (a *alertLog) Emit(r Result) error {
-	if !r.Flagged || a.err != nil {
-		return a.err
-	}
+// writeAlert renders the one-line alert format shared by every alert
+// sink, so the batch and serving logs can never drift apart.
+func writeAlert(w io.Writer, r Result) error {
 	truth := ""
 	if r.Conn.AttackName != "" {
 		truth = "  (attack: " + r.Conn.AttackName + ")"
 	}
-	_, a.err = fmt.Fprintf(a.w, "ALERT %-44s score=%.5f peak-window=%d%s\n",
+	_, err := fmt.Fprintf(w, "ALERT %-44s score=%.5f peak-window=%d%s\n",
 		r.Conn.Key, r.Score, r.PeakWindow, truth)
+	return err
+}
+
+func (a *alertLog) Emit(r Result) error {
+	if !r.Flagged || a.err != nil {
+		return a.err
+	}
+	a.err = writeAlert(a.w, r)
 	return a.err
 }
 
 func (a *alertLog) Finish(*RunSummary) error { return a.err }
+
+// NewDedupAlertLog is the alert log hardened for always-on serving: a
+// flagged connection is written at most once per dedup window per
+// connection key (retransmitted or re-segmented flows re-entering the
+// pipeline do not spam the log), and output is capped at maxPerSec lines
+// per second so an attack burst cannot turn the alert channel into its
+// own denial of service. Suppressed alerts are counted and summarised by
+// Finish. window <= 0 disables dedup; maxPerSec <= 0 disables the cap.
+func NewDedupAlertLog(w io.Writer, window time.Duration, maxPerSec int) Sink {
+	return &dedupAlertLog{
+		w:         w,
+		window:    window,
+		maxPerSec: maxPerSec,
+		seen:      make(map[string]time.Time),
+		now:       time.Now,
+	}
+}
+
+type dedupAlertLog struct {
+	w         io.Writer
+	window    time.Duration
+	maxPerSec int
+
+	seen       map[string]time.Time // key -> last alert written
+	second     time.Time            // start of the current rate bucket
+	inSecond   int                  // lines written in the current bucket
+	suppressed int
+
+	now func() time.Time // injectable clock for tests
+	err error
+}
+
+func (a *dedupAlertLog) Emit(r Result) error {
+	if !r.Flagged || a.err != nil {
+		return a.err
+	}
+	now := a.now()
+	key := r.Conn.Key.String()
+	if a.window > 0 {
+		if last, ok := a.seen[key]; ok && now.Sub(last) < a.window {
+			a.suppressed++
+			return nil
+		}
+	}
+	if a.maxPerSec > 0 {
+		if bucket := now.Truncate(time.Second); !bucket.Equal(a.second) {
+			a.second, a.inSecond = bucket, 0
+		}
+		if a.inSecond >= a.maxPerSec {
+			// Rate-capped alerts are not recorded as seen, so the key can
+			// still alert once the burst subsides.
+			a.suppressed++
+			return nil
+		}
+		a.inSecond++
+	}
+	if a.window > 0 {
+		// Opportunistically expire stale entries so a long-running server
+		// does not accumulate every key it ever flagged.
+		if len(a.seen) > 4096 {
+			for k, t := range a.seen {
+				if now.Sub(t) >= a.window {
+					delete(a.seen, k)
+				}
+			}
+		}
+		a.seen[key] = now
+	}
+	a.err = writeAlert(a.w, r)
+	return a.err
+}
+
+func (a *dedupAlertLog) Finish(*RunSummary) error {
+	if a.err == nil && a.suppressed > 0 {
+		_, a.err = fmt.Fprintf(a.w, "(%d alerts suppressed: dedup window %v, rate cap %d/s)\n",
+			a.suppressed, a.window, a.maxPerSec)
+	}
+	return a.err
+}
