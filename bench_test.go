@@ -21,6 +21,7 @@ import (
 	"testing"
 
 	"clap/internal/attacks"
+	"clap/internal/backend"
 	"clap/internal/core"
 	"clap/internal/engine"
 	"clap/internal/eval"
@@ -386,8 +387,10 @@ func BenchmarkEngineAssemble(b *testing.B) {
 }
 
 // --- Backend throughput trajectory: pkts/s for every registered backend
-// at 1/4/8 workers, written to BENCH_pr3.json so CI uploads a
-// machine-readable benchmark artifact per PR (the BENCH trajectory).
+// across worker counts and micro-batch sizes, written to BENCH_pr4.json
+// so CI uploads a machine-readable benchmark artifact per PR (the BENCH
+// trajectory) and cmd/bench-gate can compare it against the committed
+// BENCH_pr3.json snapshot.
 
 // benchTrajectory accumulates BenchmarkBackendThroughput samples; the
 // file is rewritten after every sample so partial bench runs still leave
@@ -400,14 +403,15 @@ var benchTrajectory = struct {
 type benchSample struct {
 	Backend    string  `json:"backend"`
 	Workers    int     `json:"workers"`
+	Batch      int     `json:"batch,omitempty"` // 0/absent: unbatched (pre-PR4 snapshots)
 	PktsPerSec float64 `json:"pkts_per_sec"`
 }
 
-func recordBenchSample(backendTag string, workers int, pktsPerSec float64) {
+func recordBenchSample(backendTag string, workers, batch int, pktsPerSec float64) {
 	benchTrajectory.Lock()
 	defer benchTrajectory.Unlock()
-	key := fmt.Sprintf("%s/%d", backendTag, workers)
-	benchTrajectory.samples[key] = benchSample{Backend: backendTag, Workers: workers, PktsPerSec: pktsPerSec}
+	key := fmt.Sprintf("%s/%03d/%05d", backendTag, workers, batch)
+	benchTrajectory.samples[key] = benchSample{Backend: backendTag, Workers: workers, Batch: batch, PktsPerSec: pktsPerSec}
 
 	keys := make([]string, 0, len(benchTrajectory.samples))
 	for k := range benchTrajectory.samples {
@@ -419,7 +423,7 @@ func recordBenchSample(backendTag string, workers int, pktsPerSec float64) {
 		Profile    string        `json:"profile"`
 		GOMAXPROCS int           `json:"gomaxprocs"`
 		Results    []benchSample `json:"results"`
-	}{PR: 3, Profile: string(benchProfile()), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	}{PR: 4, Profile: string(benchProfile()), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, k := range keys {
 		out.Results = append(out.Results, benchTrajectory.samples[k])
 	}
@@ -427,13 +431,17 @@ func recordBenchSample(backendTag string, workers int, pktsPerSec float64) {
 	if err != nil {
 		return
 	}
-	_ = os.WriteFile("BENCH_pr3.json", append(data, '\n'), 0o644)
+	_ = os.WriteFile("BENCH_pr4.json", append(data, '\n'), 0o644)
 }
 
 // BenchmarkBackendThroughput measures scoring throughput (pkts/s) for
-// each registered backend across worker counts and records the samples
-// into BENCH_pr3.json. Sub-benchmark names carry backend and workers, so
-// the text output doubles as the human-readable table.
+// each registered backend across worker counts and micro-batch sizes,
+// recording the samples into BENCH_pr4.json. batch=1 is the unbatched
+// path (comparable to the BENCH_pr3 snapshot); larger batches run the
+// micro-batched matrix-matrix kernels on capable backends (scores are
+// bit-identical — see the engine and pipeline determinism tests). Sub-
+// benchmark names carry backend, workers and batch, so the text output
+// doubles as the human-readable table.
 func BenchmarkBackendThroughput(b *testing.B) {
 	s, _ := fixture(b)
 	conns := append(append([]*flow.Connection{}, s.Data.TestBenign...), advCorpus(s)...)
@@ -448,17 +456,23 @@ func BenchmarkBackendThroughput(b *testing.B) {
 	sort.Strings(tags)
 	for _, tag := range tags {
 		bk := s.Backends[tag]
+		_, batchable := bk.(backend.BatchScorer)
 		for _, workers := range []int{1, 4, 8} {
-			eng := engine.New(engine.Options{Workers: workers})
-			b.Run(fmt.Sprintf("%s/workers=%d", tag, workers), func(b *testing.B) {
-				b.ResetTimer()
-				for i := 0; i < b.N; i++ {
-					_ = eng.ScoreBackend(bk, conns)
+			for _, batchN := range []int{1, engine.DefaultBatch, 60} {
+				if batchN > 1 && !batchable {
+					continue // the fallback path is the batch=1 row
 				}
-				rate := float64(pkts*b.N) / b.Elapsed().Seconds()
-				b.ReportMetric(rate, "pkts/s")
-				recordBenchSample(tag, workers, rate)
-			})
+				eng := engine.New(engine.Options{Workers: workers, Batch: batchN})
+				b.Run(fmt.Sprintf("%s/workers=%d/batch=%d", tag, workers, batchN), func(b *testing.B) {
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						_ = eng.ScoresBatched(bk, conns)
+					}
+					rate := float64(pkts*b.N) / b.Elapsed().Seconds()
+					b.ReportMetric(rate, "pkts/s")
+					recordBenchSample(tag, workers, batchN, rate)
+				})
+			}
 		}
 	}
 }

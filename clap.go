@@ -76,6 +76,13 @@
 //
 //	eng := clap.NewEngine(0) // 0 = all cores
 //	scores := eng.ScoreAll(det, conns)
+//
+// Scoring through the Pipeline (or clap-detect/clap-serve) also batches
+// inference on capable backends: stacked-profile windows from many
+// connections ride one matrix-matrix autoencoder pass instead of one
+// matrix-vector pass each — ≥2× single-core throughput for CLAP with
+// bit-identical scores (DESIGN.md §8). WithBatchSize (or the CLIs'
+// -batch flag) tunes the micro-batch size; 1 disables batching.
 package clap
 
 import (

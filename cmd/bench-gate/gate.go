@@ -1,0 +1,88 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// artifact mirrors the JSON BenchmarkBackendThroughput writes. Batch is
+// absent in pre-PR4 snapshots (those rows are the unbatched path).
+type artifact struct {
+	PR         int      `json:"pr"`
+	Profile    string   `json:"profile"`
+	GOMAXPROCS int      `json:"gomaxprocs"`
+	Results    []sample `json:"results"`
+}
+
+type sample struct {
+	Backend    string  `json:"backend"`
+	Workers    int     `json:"workers"`
+	Batch      int     `json:"batch,omitempty"`
+	PktsPerSec float64 `json:"pkts_per_sec"`
+}
+
+func readArtifact(path string) (*artifact, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var a artifact
+	if err := json.Unmarshal(data, &a); err != nil {
+		return nil, fmt.Errorf("parsing %s: %w", path, err)
+	}
+	if len(a.Results) == 0 {
+		return nil, fmt.Errorf("%s holds no bench results", path)
+	}
+	return &a, nil
+}
+
+// verdict is one gate evaluation.
+type verdict struct {
+	Baseline  float64  // baseline pkts/s (best matching cell of the old artifact)
+	Best      float64  // best matching pkts/s in the new artifact
+	BestBatch int      // batch size of that best sample
+	Speedup   float64  // Best / Baseline
+	Failures  []string // non-nil when the gate fails
+}
+
+// best returns the highest-throughput sample for one backend/workers cell
+// across its batch variants; ok is false when the cell is absent.
+func best(a *artifact, backendTag string, workers int) (sample, bool) {
+	var top sample
+	found := false
+	for _, s := range a.Results {
+		if s.Backend != backendTag || s.Workers != workers {
+			continue
+		}
+		if !found || s.PktsPerSec > top.PktsPerSec {
+			top, found = s, true
+		}
+	}
+	return top, found
+}
+
+// gate compares the fresh artifact against the baseline for one
+// backend/workers cell.
+func gate(oldArt, newArt *artifact, backendTag string, workers int, maxRegress, minSpeedup float64) (verdict, error) {
+	base, ok := best(oldArt, backendTag, workers)
+	if !ok {
+		return verdict{}, fmt.Errorf("baseline has no %s workers=%d sample", backendTag, workers)
+	}
+	top, ok := best(newArt, backendTag, workers)
+	if !ok {
+		return verdict{}, fmt.Errorf("fresh artifact has no %s workers=%d sample", backendTag, workers)
+	}
+	v := verdict{Baseline: base.PktsPerSec, Best: top.PktsPerSec, BestBatch: top.Batch,
+		Speedup: top.PktsPerSec / base.PktsPerSec}
+	if floor := base.PktsPerSec * (1 - maxRegress); top.PktsPerSec < floor {
+		v.Failures = append(v.Failures, fmt.Sprintf(
+			"REGRESSION: %.0f pkts/s is below the %.0f floor (baseline %.0f, max regress %.0f%%)",
+			top.PktsPerSec, floor, base.PktsPerSec, maxRegress*100))
+	}
+	if minSpeedup > 0 && v.Speedup < minSpeedup {
+		v.Failures = append(v.Failures, fmt.Sprintf(
+			"SPEEDUP FLOOR: %.2fx is below the required %.2fx", v.Speedup, minSpeedup))
+	}
+	return v, nil
+}

@@ -1,0 +1,61 @@
+// Command bench-gate is the benchmark regression gate: it compares a
+// fresh BenchmarkBackendThroughput artifact (BENCH_pr4.json) against a
+// committed baseline snapshot (e.g. BENCH_pr3.json) and fails — exit
+// status 1 — when the watched backend's serial throughput regresses by
+// more than the allowed fraction. CI runs it after the bench smoke so a
+// PR that slows the hot path down fails loudly instead of silently
+// bending the BENCH trajectory.
+//
+// The new artifact may carry several batch variants per backend/workers
+// cell; the gate takes the best of them (the deployed default is the
+// batched path) and also reports the speedup over the baseline.
+//
+// Usage:
+//
+//	bench-gate -old BENCH_pr3.json -new BENCH_pr4.json
+//	bench-gate -old BENCH_pr3.json -new BENCH_pr4.json -max-regress 0.10 -min-speedup 2
+package main
+
+import (
+	"flag"
+	"log"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("bench-gate: ")
+	var (
+		oldPath    = flag.String("old", "", "baseline bench artifact (committed snapshot)")
+		newPath    = flag.String("new", "", "fresh bench artifact to gate")
+		backendTag = flag.String("backend", "clap", "backend whose throughput is gated")
+		workers    = flag.Int("workers", 1, "worker count of the gated cell (1: serial)")
+		maxRegress = flag.Float64("max-regress", 0.10, "fail if best new pkts/s falls below (1-max-regress) x baseline")
+		minSpeedup = flag.Float64("min-speedup", 0, "additionally fail below this new/old speedup (0: no floor)")
+	)
+	flag.Parse()
+	if *oldPath == "" || *newPath == "" {
+		log.Fatal("need -old and -new")
+	}
+
+	oldArt, err := readArtifact(*oldPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	newArt, err := readArtifact(*newPath)
+	if err != nil {
+		log.Fatal(err)
+	}
+	verdict, err := gate(oldArt, newArt, *backendTag, *workers, *maxRegress, *minSpeedup)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("%s workers=%d: baseline %.0f pkts/s (pr %d), best new %.0f pkts/s (batch=%d, pr %d): %.2fx",
+		*backendTag, *workers, verdict.Baseline, oldArt.PR, verdict.Best, verdict.BestBatch, newArt.PR, verdict.Speedup)
+	if verdict.Failures != nil {
+		for _, f := range verdict.Failures {
+			log.Print(f)
+		}
+		log.Fatal("benchmark gate FAILED")
+	}
+	log.Print("benchmark gate passed")
+}

@@ -37,6 +37,7 @@ func main() {
 		jsonOut   = flag.Bool("json", false, "emit JSON lines instead of the text report")
 		workers   = flag.Int("workers", 0, "scoring workers (0: all cores)")
 		shards    = flag.Int("shards", 0, "assembly shards (0: same as workers)")
+		batch     = flag.Int("batch", 0, "inference micro-batch size (0: default 24; 1: unbatched)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -59,6 +60,9 @@ func main() {
 	}
 	if *shards > 0 {
 		opts = append(opts, clap.WithShards(*shards))
+	}
+	if *batch > 0 {
+		opts = append(opts, clap.WithBatchSize(*batch))
 	}
 	if *calibrate != "" {
 		opts = append(opts, clap.WithThresholdFPR(*fpr, clap.PCAPFile(*calibrate)))

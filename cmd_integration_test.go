@@ -161,25 +161,34 @@ func TestClapDetectEndToEnd(t *testing.T) {
 	goRun(t, "./cmd/clap-train", "-in", benign, "-model", model,
 		"-rnn-epochs", "3", "-ae-epochs", "4", "-quiet")
 
-	// Scores out: every connection with -all, one worker.
+	// Scores out: every connection with -all, one worker, batching off —
+	// the true unbatched serial reference.
 	serial := goRun(t, "./cmd/clap-detect", "-in", adv, "-model", model,
-		"-all", "-workers", "1", "-shards", "1")
+		"-all", "-workers", "1", "-shards", "1", "-batch", "1")
 	serialScores := scoreLines(serial)
 	if len(serialScores) < 30 {
 		t.Fatalf("expected >= 30 scored connections, got %d:\n%s", len(serialScores), serial)
 	}
 
-	// The parallel engine must reproduce the serial output byte-for-byte.
-	for _, wk := range []string{"4", "8"} {
-		par := goRun(t, "./cmd/clap-detect", "-in", adv, "-model", model,
-			"-all", "-workers", wk, "-shards", wk)
-		parScores := scoreLines(par)
-		if len(parScores) != len(serialScores) {
-			t.Fatalf("workers=%s: %d scored connections, serial %d", wk, len(parScores), len(serialScores))
-		}
-		for i := range parScores {
-			if parScores[i] != serialScores[i] {
-				t.Fatalf("workers=%s: line %d diverged\nparallel: %s\nserial:   %s", wk, i, parScores[i], serialScores[i])
+	// The parallel engine and the batched inference path must reproduce
+	// the serial output byte-for-byte at every batch × worker combination.
+	for _, wk := range []string{"1", "4", "8"} {
+		for _, batch := range []string{"1", "8", "64"} {
+			if wk == "1" && batch == "1" {
+				continue // the reference run itself
+			}
+			par := goRun(t, "./cmd/clap-detect", "-in", adv, "-model", model,
+				"-all", "-workers", wk, "-shards", wk, "-batch", batch)
+			parScores := scoreLines(par)
+			if len(parScores) != len(serialScores) {
+				t.Fatalf("workers=%s batch=%s: %d scored connections, serial %d",
+					wk, batch, len(parScores), len(serialScores))
+			}
+			for i := range parScores {
+				if parScores[i] != serialScores[i] {
+					t.Fatalf("workers=%s batch=%s: line %d diverged\nparallel: %s\nserial:   %s",
+						wk, batch, i, parScores[i], serialScores[i])
+				}
 			}
 		}
 	}

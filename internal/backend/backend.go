@@ -58,6 +58,40 @@ type Backend interface {
 	Save(w io.Writer) error
 }
 
+// BatchScorer is an optional Backend capability: splitting WindowErrors
+// into its two halves — producing a connection's model-input windows, and
+// scoring a batch of windows in one amortized pass — so a caller can pool
+// windows from many connections into micro-batches and run each batch as
+// one matrix-matrix inference pass instead of len(batch) matrix-vector
+// passes. The contract mirrors the Summarize/WindowErrors pinning:
+//
+//	ScoreWindows(Windows(c)) == WindowErrors(c)   element-wise, bit for bit,
+//
+// at any batch split of the windows (scoring windows [0:k] and [k:n]
+// separately concatenates to scoring [0:n]). Both methods must be safe for
+// concurrent use on a trained backend, like the rest of the scoring
+// surface.
+type BatchScorer interface {
+	// Windows returns the connection's model-input windows — one row per
+	// entry of WindowErrors, in the same order.
+	Windows(c *flow.Connection) [][]float64
+	// ScoreWindows computes the per-window anomaly values of a batch;
+	// element k is the unbatched anomaly value of wins[k].
+	ScoreWindows(wins [][]float64) []float64
+}
+
+// BatchRecycler is an optional refinement of BatchScorer: the backend's
+// Windows buffers come from an internal pool, and the caller hands them
+// back once their scores are in. Recycling is what keeps steady-state
+// batched scoring allocation-free — at ~3KB per window the garbage
+// collector is otherwise a measurable slice of the hot path. A recycled
+// result must never be read again; callers that retain windows simply
+// skip the call and let the GC take them.
+type BatchRecycler interface {
+	// RecycleWindows releases one Windows() result back to the pool.
+	RecycleWindows(wins [][]float64)
+}
+
 // Factory creates and decodes one backend family.
 type Factory struct {
 	// Doc is a one-line description shown by CLI -backend listings.

@@ -33,6 +33,13 @@ func init() {
 	})
 }
 
+// CLAP (and therefore Baseline #1) supports batched scoring with pooled,
+// recyclable window buffers.
+var (
+	_ BatchScorer   = (*CLAP)(nil)
+	_ BatchRecycler = (*CLAP)(nil)
+)
+
 // CLAP adapts the core.Detector pipeline family — both the full system and
 // Baseline #1, which is the same pipeline under an ablated Config — to the
 // Backend contract. Mutate Cfg before Train to set seeds, epoch budgets or
@@ -111,6 +118,25 @@ func (b *CLAP) Summarize(errs []float64) (float64, int) {
 	s := b.Det.ScoreFromErrors(errs)
 	return s.Adversarial, s.PeakWindow
 }
+
+// Windows implements BatchScorer: the connection's stacked context
+// profiles, computed through the batched GRU kernel (bit-identical to the
+// serial stage-(b) pass).
+func (b *CLAP) Windows(c *flow.Connection) [][]float64 {
+	return b.Det.StackedProfilesBatched(c)
+}
+
+// ScoreWindows implements BatchScorer: one batched autoencoder pass over
+// the window stack. Element k is bit-identical to the unbatched
+// reconstruction error of wins[k], so WindowErrors(c) ==
+// ScoreWindows(Windows(c)) bit for bit at any batch split.
+func (b *CLAP) ScoreWindows(wins [][]float64) []float64 {
+	return b.Det.AE.ErrorsBatch(wins)
+}
+
+// RecycleWindows implements backend.BatchRecycler: Windows results come
+// from a pooled arena; scored windows go back to it.
+func (b *CLAP) RecycleWindows(wins [][]float64) { b.Det.RecycleStacked(wins) }
 
 // Save implements Backend (payload only; use the registry Save for the
 // tagged on-disk format).

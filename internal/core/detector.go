@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"runtime"
 	"sort"
+	"sync"
 
 	"clap/internal/features"
 	"clap/internal/flow"
@@ -81,8 +82,8 @@ func Train(benign []*flow.Connection, cfg Config, logf Logf) (*Detector, error) 
 
 	// Stage (b): benign context profiles.
 	var stacked [][]float64
-	for i, c := range benign {
-		profs := d.contextProfilesFromVecs(c, vecs[i])
+	for i := range benign {
+		profs := d.contextProfiles(vecs[i], false, nil)
 		stacked = append(stacked, d.stack(profs)...)
 	}
 	logf("built %d stacked context profiles (width %d)", len(stacked), cfg.ProfileWidth()*cfg.StackLength)
@@ -103,7 +104,7 @@ func Train(benign []*flow.Connection, cfg Config, logf Logf) (*Detector, error) 
 	}
 	var valWindows [][][]float64
 	for i := valStart; i < len(benign); i++ {
-		profs := d.contextProfilesFromVecs(benign[i], vecs[i])
+		profs := d.contextProfiles(vecs[i], false, nil)
 		if w := d.stack(profs); len(w) > 0 {
 			valWindows = append(valWindows, w)
 		}
@@ -181,10 +182,44 @@ func trainAE(stacked [][]float64, cfg Config, rng *rand.Rand, restart int, logf 
 	return ae, epochLoss
 }
 
-// contextProfilesFromVecs fuses packet features with the RNN's per-step
-// gate activations (Equation 2): CxtProf = [P_IP, P_TCP, P_amp, G_update,
-// G_reset].
-func (d *Detector) contextProfilesFromVecs(c *flow.Connection, vecs [][]float64) [][]float64 {
+// backingPool recycles the batched scoring path's flat float64 backings
+// (context profiles, stacked windows). At ~3KB per window, allocating
+// them fresh per connection makes the garbage collector a measurable
+// fraction of the hot path; the pool keeps steady-state batched scoring
+// allocation-free. Only the batched path uses it — its buffers have a
+// clear release point (engine / pipeline recycle after scoring) — while
+// the serial path keeps plain allocations, since its windows escape to
+// callers indefinitely (training, forensics).
+var backingPool sync.Pool
+
+// getBacking returns a zero-length float64 buffer with at least the given
+// capacity.
+func getBacking(n int) []float64 {
+	if v := backingPool.Get(); v != nil {
+		if b := *(v.(*[]float64)); cap(b) >= n {
+			return b[:0]
+		}
+	}
+	return make([]float64, 0, n)
+}
+
+// putBacking recycles a buffer obtained from getBacking.
+func putBacking(b []float64) {
+	if cap(b) == 0 {
+		return
+	}
+	b = b[:0]
+	backingPool.Put(&b)
+}
+
+// contextProfiles fuses packet features with the RNN's per-step gate
+// activations (Equation 2): CxtProf = [P_IP, P_TCP, P_amp, G_update,
+// G_reset]. batched selects the batched GRU kernel, which hoists the
+// input projections of the whole sequence into matrix-matrix passes;
+// both kernels produce bit-identical gates. A non-nil backing (capacity
+// >= len(vecs)*ProfileWidth) is carved into the profile rows instead of a
+// fresh allocation — the batched path passes a pooled one.
+func (d *Detector) contextProfiles(vecs [][]float64, batched bool, backing []float64) [][]float64 {
 	if len(vecs) == 0 {
 		return nil
 	}
@@ -192,7 +227,15 @@ func (d *Detector) contextProfilesFromVecs(c *flow.Connection, vecs [][]float64)
 	// Z/R are bit-identical to the full Forward pass.
 	var gz, gr [][]float64
 	if d.Cfg.UseUpdateGates || d.Cfg.UseResetGates {
-		gz, gr = d.RNN.ForwardGates(features.RNNInputs(vecs))
+		if batched {
+			// Pooled gate buffers: the gates are copied into the profile
+			// rows below, so the backing is released before returning.
+			var release func()
+			gz, gr, release = d.RNN.ForwardGatesBatchPooled(features.RNNInputs(vecs))
+			defer release()
+		} else {
+			gz, gr = d.RNN.ForwardGates(features.RNNInputs(vecs))
+		}
 	}
 	width := d.Cfg.ProfileWidth()
 	featWidth := features.NumPacket
@@ -200,23 +243,35 @@ func (d *Detector) contextProfilesFromVecs(c *flow.Connection, vecs [][]float64)
 		featWidth = features.NumRNN
 	}
 	out := make([][]float64, len(vecs))
+	// One backing array for all profiles: n small slices would otherwise
+	// be n allocations the GC has to trace on the scoring hot path.
+	// Pooled backings are carved as two-index slices so the buffer can be
+	// recovered from row 0 at recycle time; fresh ones get full-cap rows.
+	pooled := backing != nil
+	if !pooled {
+		backing = make([]float64, 0, len(vecs)*width)
+	}
 	for t, v := range vecs {
-		prof := make([]float64, 0, width)
-		prof = append(prof, v[:featWidth]...)
+		start := len(backing)
+		backing = append(backing, v[:featWidth]...)
 		if d.Cfg.UseUpdateGates {
-			prof = append(prof, gz[t]...)
+			backing = append(backing, gz[t]...)
 		}
 		if d.Cfg.UseResetGates {
-			prof = append(prof, gr[t]...)
+			backing = append(backing, gr[t]...)
 		}
-		out[t] = prof
+		if pooled {
+			out[t] = backing[start:len(backing)]
+		} else {
+			out[t] = backing[start:len(backing):len(backing)]
+		}
 	}
 	return out
 }
 
 // ContextProfiles computes per-packet context profiles for a connection.
 func (d *Detector) ContextProfiles(c *flow.Connection) [][]float64 {
-	return d.contextProfilesFromVecs(c, d.Profile.Vectorize(c))
+	return d.contextProfiles(d.Profile.Vectorize(c), false, nil)
 }
 
 // stack concatenates every StackLength consecutive profiles in a sliding
@@ -244,13 +299,17 @@ func (d *Detector) stack(profs [][]float64) [][]float64 {
 		}
 		return [][]float64{win}
 	}
-	out := make([][]float64, 0, len(profs)-t+1)
+	n := len(profs) - t + 1
+	out := make([][]float64, 0, n)
+	// One backing array for every window, carved into full-cap slices —
+	// the windows are the scoring path's dominant allocation.
+	backing := make([]float64, 0, n*t*width)
 	for i := 0; i+t <= len(profs); i++ {
-		win := make([]float64, 0, t*width)
+		start := len(backing)
 		for _, p := range profs[i : i+t] {
-			win = append(win, p...)
+			backing = append(backing, p...)
 		}
-		out = append(out, win)
+		out = append(out, backing[start:len(backing):len(backing)])
 	}
 	return out
 }
@@ -259,6 +318,67 @@ func (d *Detector) stack(profs [][]float64) [][]float64 {
 // connection.
 func (d *Detector) StackedProfiles(c *flow.Connection) [][]float64 {
 	return d.stack(d.ContextProfiles(c))
+}
+
+// stackPooled is stack over a pooled backing, for the batched scoring
+// path: windows are carved as two-index slices so RecycleStacked can
+// recover the whole buffer from window 0. Values are identical to stack.
+func (d *Detector) stackPooled(profs [][]float64, t int) [][]float64 {
+	width := len(profs[0])
+	if len(profs) < t {
+		win := getBacking(t * width)
+		for pad := 0; pad < t-len(profs); pad++ {
+			win = append(win, profs[0]...)
+		}
+		for _, p := range profs {
+			win = append(win, p...)
+		}
+		return [][]float64{win}
+	}
+	n := len(profs) - t + 1
+	out := make([][]float64, 0, n)
+	backing := getBacking(n * t * width)
+	for i := 0; i+t <= len(profs); i++ {
+		start := len(backing)
+		for _, p := range profs[i : i+t] {
+			backing = append(backing, p...)
+		}
+		out = append(out, backing[start:len(backing)])
+	}
+	return out
+}
+
+// StackedProfilesBatched is StackedProfiles through the batched GRU kernel
+// (nn.ForwardGatesBatch) — the stage-(b) half of the batched scoring path.
+// Output is bit-identical to StackedProfiles, but the returned windows are
+// carved from pooled buffers: hand them back via RecycleStacked once they
+// have been scored, and do not touch them afterwards.
+func (d *Detector) StackedProfilesBatched(c *flow.Connection) [][]float64 {
+	vecs := d.Profile.Vectorize(c)
+	if len(vecs) == 0 {
+		return nil
+	}
+	pb := getBacking(len(vecs) * d.Cfg.ProfileWidth())
+	profs := d.contextProfiles(vecs, true, pb)
+	t := d.Cfg.StackLength
+	if t <= 1 {
+		// The profiles are the windows; their backing is recycled by
+		// RecycleStacked, not here.
+		return profs
+	}
+	wins := d.stackPooled(profs, t)
+	putBacking(pb)
+	return wins
+}
+
+// RecycleStacked returns the pooled buffer behind a StackedProfilesBatched
+// result for reuse. The windows must not be read after the call. Nil/empty
+// results are no-ops.
+func (d *Detector) RecycleStacked(wins [][]float64) {
+	if len(wins) == 0 {
+		return
+	}
+	putBacking(wins[0][:0])
 }
 
 // WindowErrors runs the autoencoder over every stacked profile and returns

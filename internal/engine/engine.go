@@ -13,8 +13,16 @@
 // back into exact capture order (the order flow.Assemble would have
 // produced serially).
 //
-// The zero-config entry point is Default(); New lets callers pin worker and
-// shard counts. An Engine is stateless and safe for concurrent use.
+// For backends exposing the backend.BatchScorer capability the engine also
+// batches inference itself: WindowErrorsBatched pools the stacked windows
+// of many queued connections into micro-batches (Options.Batch windows per
+// batch) so the autoencoder runs one matrix-matrix pass per batch instead
+// of one matrix-vector pass per window — same bits, a fraction of the
+// wall clock.
+//
+// The zero-config entry point is Default(); New lets callers pin worker,
+// shard and micro-batch counts. An Engine is stateless and safe for
+// concurrent use.
 package engine
 
 import (
@@ -29,18 +37,42 @@ import (
 	"clap/internal/tcpstate"
 )
 
+// DefaultBatch is the micro-batch size batched scoring defaults to —
+// tuned by BenchmarkBackendThroughput: the pkts/s curve is flat from ~6
+// windows up, so the knob mostly trades cache residency against batch
+// fill. 24 keeps one batch's activations L2-resident, is a multiple of
+// the kernel's 6-lane block (so no window rides the slower tail lanes),
+// and still fills well from a single average connection in stream mode.
+const DefaultBatch = 24
+
+// minChunk is the smallest per-worker share of a ParallelFor that pays
+// for its goroutine: below it, handing items across the pool costs more
+// than scoring them in place (BENCH_pr3.json: clap at workers=8 was
+// *slower* than serial on a 1-CPU box), so the engine shrinks the pool to
+// keep at least minChunk items per worker and falls back to the serial
+// loop when even two workers cannot be fed. Two is deliberately gentle:
+// per-connection items are coarse (milliseconds each), so a small capture
+// of heavy flows on a real multi-core box keeps most of its fan-out —
+// only runs of two or three connections drop to the serial loop.
+const minChunk = 2
+
 // Options configures an Engine.
 type Options struct {
 	// Workers is the scoring goroutine count; <= 0 selects GOMAXPROCS.
 	Workers int
 	// Shards is the assembly shard count; <= 0 mirrors Workers.
 	Shards int
+	// Batch is the micro-batch size for backends implementing
+	// backend.BatchScorer: how many windows ride one batched inference
+	// pass. <= 0 selects DefaultBatch; 1 disables batching.
+	Batch int
 }
 
 // Engine schedules per-connection work across a worker pool.
 type Engine struct {
 	workers int
 	shards  int
+	batch   int
 }
 
 // New builds an engine from options.
@@ -53,7 +85,11 @@ func New(o Options) *Engine {
 	if s <= 0 {
 		s = w
 	}
-	return &Engine{workers: w, shards: s}
+	b := o.Batch
+	if b <= 0 {
+		b = DefaultBatch
+	}
+	return &Engine{workers: w, shards: s, batch: b}
 }
 
 // Default returns an engine sized to the machine.
@@ -65,17 +101,36 @@ func (e *Engine) Workers() int { return e.workers }
 // Shards reports the configured assembly shard count.
 func (e *Engine) Shards() int { return e.shards }
 
+// Batch reports the configured micro-batch size (1: batching disabled).
+func (e *Engine) Batch() int { return e.batch }
+
 // ParallelFor runs fn(i) for every i in [0, n) across the worker pool. Work
 // is handed out through an atomic cursor, so callers writing fn results
 // into slot i of a pre-sized slice get deterministic output regardless of
 // scheduling. fn must be safe to call concurrently.
+//
+// Small inputs do not fan out: the pool is shrunk so every worker gets at
+// least minChunk items, dropping to the plain serial loop when even two
+// workers cannot be fed — an explicit -workers flag never pessimizes a
+// small run. Results are identical either way; only scheduling changes.
 func (e *Engine) ParallelFor(n int, fn func(i int)) {
+	e.parallelFor(n, minChunk, fn)
+}
+
+// parallelForWide is ParallelFor without the small-n serial fallback, for
+// coarse-grained items (assembly shards, micro-batches) where one item is
+// itself a large unit of work worth its own goroutine.
+func (e *Engine) parallelForWide(n int, fn func(i int)) {
+	e.parallelFor(n, 1, fn)
+}
+
+func (e *Engine) parallelFor(n, minPer int, fn func(i int)) {
 	if n <= 0 {
 		return
 	}
 	w := e.workers
-	if w > n {
-		w = n
+	if w > n/minPer {
+		w = n / minPer
 	}
 	if w <= 1 {
 		for i := 0; i < n; i++ {
@@ -148,6 +203,101 @@ func (e *Engine) ScoreBackend(b backend.Backend, conns []*flow.Connection) []flo
 func (e *Engine) WindowErrorsBackend(b backend.Backend, conns []*flow.Connection) [][]float64 {
 	out := make([][]float64, len(conns))
 	e.ParallelFor(len(conns), func(i int) { out[i] = b.WindowErrors(conns[i]) })
+	return out
+}
+
+// batchGroup is how many connections one micro-batching group holds: the
+// group's windows are materialized together, so the group bounds resident
+// memory while staying large enough to fill many batches per barrier.
+func (e *Engine) batchGroup() int {
+	g := 8 * e.workers
+	if g < 64 {
+		g = 64
+	}
+	return g
+}
+
+// WindowErrorsBatched computes every connection's per-window anomaly
+// series like WindowErrorsBackend, but — when the backend implements
+// backend.BatchScorer and the engine's batch size is > 1 — amortized:
+// window production (stage (b)) fans out per connection, the produced
+// windows are pooled ACROSS connections into micro-batches of the
+// engine's batch size, and each batch runs as one matrix-matrix inference
+// pass on the pool. Connections are processed in bounded groups so a huge
+// capture never holds every window resident at once.
+//
+// Results are slot-indexed and bit-identical to the unbatched serial path
+// at any worker, shard or batch size: batch boundaries only split the
+// window list, and the BatchScorer contract pins every split to the same
+// bits. Backends without the capability fall back to WindowErrorsBackend.
+func (e *Engine) WindowErrorsBatched(b backend.Backend, conns []*flow.Connection) [][]float64 {
+	bs, ok := b.(backend.BatchScorer)
+	if !ok || e.batch <= 1 {
+		return e.WindowErrorsBackend(b, conns)
+	}
+	out := make([][]float64, len(conns))
+	group := e.batchGroup()
+	for lo := 0; lo < len(conns); lo += group {
+		hi := lo + group
+		if hi > len(conns) {
+			hi = len(conns)
+		}
+		e.windowErrorsGroup(bs, conns[lo:hi], out[lo:hi])
+	}
+	return out
+}
+
+// windowErrorsGroup scores one bounded group of connections through the
+// micro-batched path.
+func (e *Engine) windowErrorsGroup(bs backend.BatchScorer, conns []*flow.Connection, out [][]float64) {
+	wins := make([][][]float64, len(conns))
+	e.ParallelFor(len(conns), func(i int) { wins[i] = bs.Windows(conns[i]) })
+
+	total := 0
+	for _, w := range wins {
+		total += len(w)
+	}
+	flat := make([][]float64, 0, total)
+	for _, w := range wins {
+		flat = append(flat, w...)
+	}
+	errsFlat := make([]float64, total)
+	nb := (total + e.batch - 1) / e.batch
+	e.parallelForWide(nb, func(k int) {
+		blo := k * e.batch
+		bhi := blo + e.batch
+		if bhi > total {
+			bhi = total
+		}
+		copy(errsFlat[blo:bhi], bs.ScoreWindows(flat[blo:bhi]))
+	})
+
+	at := 0
+	for i, w := range wins {
+		out[i] = errsFlat[at : at+len(w) : at+len(w)]
+		at += len(w)
+	}
+	// All scores are in; hand pooled window buffers back to the backend.
+	if rec, ok := bs.(backend.BatchRecycler); ok {
+		for _, w := range wins {
+			rec.RecycleWindows(w)
+		}
+	}
+}
+
+// ScoresBatched returns the scalar adversarial score per connection like
+// ScoreBackend, but through the micro-batched window path; the Backend
+// contract pins Summarize(WindowErrors(c)) == ScoreConn(c) bit for bit,
+// so scores are identical to the serial path at any batch size.
+func (e *Engine) ScoresBatched(b backend.Backend, conns []*flow.Connection) []float64 {
+	if _, ok := b.(backend.BatchScorer); !ok || e.batch <= 1 {
+		return e.ScoreBackend(b, conns)
+	}
+	errsAll := e.WindowErrorsBatched(b, conns)
+	out := make([]float64, len(conns))
+	for i, errs := range errsAll {
+		out[i], _ = b.Summarize(errs)
+	}
 	return out
 }
 
@@ -231,7 +381,7 @@ func (e *Engine) Assemble(pkts []*packet.Packet) []*flow.Connection {
 		parts[s] = append(parts[s], p)
 	}
 	assembled := make([][]*flow.Connection, shards)
-	e.ParallelFor(shards, func(i int) { assembled[i] = flow.Assemble(parts[i]) })
+	e.parallelForWide(shards, func(i int) { assembled[i] = flow.Assemble(parts[i]) })
 
 	// Merge back to capture order without indexing every packet: map only
 	// each connection's first packet (#connections entries, not #packets),

@@ -1,0 +1,101 @@
+package engine
+
+// Determinism tests for the micro-batched scoring path: batched window
+// errors and scores must be bit-identical to the unbatched serial path at
+// every worker × batch combination, including batch sizes that straddle
+// connection boundaries and the group bound.
+
+import (
+	"testing"
+
+	"clap/internal/backend"
+)
+
+func TestWindowErrorsBatchedBitIdentity(t *testing.T) {
+	det := tinyDetector(t)
+	b := backend.FromDetector(det)
+	conns := mixedCorpus(t, 70, 13) // spans the 64-connection batch group
+
+	wantErrs := make([][]float64, len(conns))
+	wantScore := make([]float64, len(conns))
+	for i, c := range conns {
+		wantErrs[i] = b.WindowErrors(c)
+		wantScore[i] = b.ScoreConn(c)
+	}
+
+	for _, workers := range []int{1, 4, 8} {
+		for _, batch := range []int{1, 3, 8, 64, 1024} {
+			eng := New(Options{Workers: workers, Batch: batch})
+			gotErrs := eng.WindowErrorsBatched(b, conns)
+			gotScore := eng.ScoresBatched(b, conns)
+			for i := range conns {
+				if gotScore[i] != wantScore[i] {
+					t.Fatalf("workers=%d batch=%d: conn %d score %v != serial %v",
+						workers, batch, i, gotScore[i], wantScore[i])
+				}
+				if len(gotErrs[i]) != len(wantErrs[i]) {
+					t.Fatalf("workers=%d batch=%d: conn %d has %d errors, serial %d",
+						workers, batch, i, len(gotErrs[i]), len(wantErrs[i]))
+				}
+				for w := range gotErrs[i] {
+					if gotErrs[i][w] != wantErrs[i][w] {
+						t.Fatalf("workers=%d batch=%d: conn %d window %d error %v != serial %v",
+							workers, batch, i, w, gotErrs[i][w], wantErrs[i][w])
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestBatchedFallsBackWithoutCapability: a backend that does not implement
+// BatchScorer must route through the unbatched path unchanged.
+func TestBatchedFallsBackWithoutCapability(t *testing.T) {
+	det := tinyDetector(t)
+	b := noBatch{backend.FromDetector(det)}
+	conns := mixedCorpus(t, 10, 5)
+	eng := New(Options{Workers: 2, Batch: 64})
+	got := eng.ScoresBatched(b, conns)
+	errs := eng.WindowErrorsBatched(b, conns)
+	for i, c := range conns {
+		if want := b.ScoreConn(c); got[i] != want {
+			t.Fatalf("conn %d: fallback score %v != serial %v", i, got[i], want)
+		}
+		want := b.WindowErrors(c)
+		for w := range errs[i] {
+			if errs[i][w] != want[w] {
+				t.Fatalf("conn %d window %d: fallback error diverged", i, w)
+			}
+		}
+	}
+}
+
+// noBatch embeds the CLAP backend but shadows Windows with an
+// incompatible method, hiding the BatchScorer capability.
+type noBatch struct{ *backend.CLAP }
+
+func (noBatch) Windows() {}
+
+func TestEngineBatchDefaults(t *testing.T) {
+	if got := New(Options{}).Batch(); got != DefaultBatch {
+		t.Fatalf("default batch %d, want %d", got, DefaultBatch)
+	}
+	if got := New(Options{Batch: 1}).Batch(); got != 1 {
+		t.Fatalf("explicit batch 1 became %d", got)
+	}
+}
+
+// TestParallelForSmallInputStaysSerial pins the small-input fallback: every
+// index is still visited exactly once when n is far below workers*minChunk.
+func TestParallelForSmallInputStaysSerial(t *testing.T) {
+	eng := New(Options{Workers: 8})
+	for _, n := range []int{1, 3, 7, 31} {
+		hits := make([]int, n)
+		eng.ParallelFor(n, func(i int) { hits[i]++ })
+		for i, h := range hits {
+			if h != 1 {
+				t.Fatalf("n=%d: index %d visited %d times", n, i, h)
+			}
+		}
+	}
+}

@@ -181,14 +181,20 @@ type connState struct {
 func ExtractRaw(c *flow.Connection) [][]float64 {
 	st := &connState{}
 	out := make([][]float64, c.Len())
+	// One backing array for the whole train: a per-packet make would be
+	// c.Len() small GC-traced allocations on the scoring hot path.
+	backing := make([]float64, c.Len()*NumPacket)
 	for i, p := range c.Packets {
-		out[i] = st.packetRaw(p, c.Dirs[i])
+		v := backing[i*NumPacket : (i+1)*NumPacket : (i+1)*NumPacket]
+		st.packetRaw(v, p, c.Dirs[i])
+		out[i] = v
 	}
 	return out
 }
 
-func (st *connState) packetRaw(p *packet.Packet, dir flow.Direction) []float64 {
-	v := make([]float64, NumPacket)
+// packetRaw fills v (length NumPacket, zeroed) with one packet's raw
+// feature vector.
+func (st *connState) packetRaw(v []float64, p *packet.Packet, dir flow.Direction) {
 	d := int(dir)
 
 	if !st.began {
@@ -272,5 +278,4 @@ func (st *connState) packetRaw(p *packet.Packet, dir flow.Direction) []float64 {
 	if p.PayloadLen == int(p.IP.TotalLen)-p.IP.HeaderLen()-p.TCP.HeaderLen() {
 		v[FPayloadEquiv] = 1
 	}
-	return v
 }

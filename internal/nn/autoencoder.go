@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 	"sync"
@@ -40,6 +41,10 @@ type Autoencoder struct {
 	// struct-literal construction sites (persistence, training shadows)
 	// working unchanged.
 	scratch sync.Pool
+
+	// batches pools flat ping-pong activation buffers for ErrorsBatch; like
+	// scratch, the zero value is ready to use.
+	batches sync.Pool
 }
 
 // NewAutoencoder builds a chain of len(sizes)-1 dense layers; sizes is the
@@ -156,6 +161,95 @@ func (ae *Autoencoder) Errors(xs [][]float64) []float64 {
 		out[i] = ae.errorWith(s, x)
 	}
 	ae.scratch.Put(s)
+	return out
+}
+
+// batchScratch is one pooled pair of flat row-major activation buffers for
+// the batched forward pass; each holds rows×maxWidth float64s.
+type batchScratch struct {
+	rows int
+	a, b []float64
+}
+
+// maxWidth returns the widest layer of the chain (the flat buffer stride
+// bound).
+func (ae *Autoencoder) maxWidth() int {
+	max := 0
+	for _, s := range ae.Sizes {
+		if s > max {
+			max = s
+		}
+	}
+	return max
+}
+
+func (ae *Autoencoder) getBatchScratch(rows int) *batchScratch {
+	if v := ae.batches.Get(); v != nil {
+		if s := v.(*batchScratch); s.rows >= rows {
+			return s
+		}
+		// Too small for this batch: drop it and size up.
+	}
+	w := ae.maxWidth()
+	return &batchScratch{rows: rows, a: make([]float64, rows*w), b: make([]float64, rows*w)}
+}
+
+// ErrorsBatch computes the L1 reconstruction errors of a whole window
+// stack in one forward pass per layer: every layer runs as a single
+// cache-blocked matrix-matrix multiply (Tensor.MulMat) over the batch
+// instead of len(xs) matrix-vector passes. Element k is bit-identical to
+// Error(xs[k]) at any batch size — MulMat preserves MulVec's per-element
+// accumulation order and the bias/tanh/L1 arithmetic is applied in the
+// same per-element order as the unbatched path. Scratch buffers are
+// pooled; like Error/Errors, ErrorsBatch is safe for concurrent use on a
+// trained (no longer mutating) model.
+func (ae *Autoencoder) ErrorsBatch(xs [][]float64) []float64 {
+	n := len(xs)
+	out := make([]float64, n)
+	if n == 0 {
+		return out
+	}
+	in := ae.Sizes[0]
+	for _, x := range xs {
+		if len(x) != in {
+			panic(fmt.Sprintf("nn: ErrorsBatch input width %d, want %d", len(x), in))
+		}
+	}
+	s := ae.getBatchScratch(n)
+	cur, nxt := s.a, s.b
+	for b, x := range xs {
+		copy(cur[b*in:(b+1)*in], x)
+	}
+	width := in
+	for _, l := range ae.Layers {
+		r := l.W.R
+		l.W.MulMat(cur[:n*width], n, nxt[:n*r])
+		bias := l.B.W[:r]
+		for b := 0; b < n; b++ {
+			o := nxt[b*r : b*r+r]
+			if l.Tanh {
+				for i, bv := range bias {
+					o[i] = math.Tanh(o[i] + bv)
+				}
+			} else {
+				for i, bv := range bias {
+					o[i] += bv
+				}
+			}
+		}
+		cur, nxt = nxt, cur
+		width = r
+	}
+	for b, x := range xs {
+		rec := cur[b*width : b*width+width]
+		var sum float64
+		for i := range x {
+			sum += math.Abs(rec[i] - x[i])
+		}
+		out[b] = sum / float64(len(x))
+	}
+	s.a, s.b = cur, nxt // keep the swap state consistent for reuse
+	ae.batches.Put(s)
 	return out
 }
 

@@ -1,8 +1,10 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
+	"sync"
 )
 
 // GRUClassifier is a single-layer GRU followed by a softmax head, the
@@ -26,6 +28,10 @@ type GRUClassifier struct {
 	Wr, Ur, Br *Tensor
 	Wh, Uh, Bh *Tensor
 	Wo, Bo     *Tensor
+
+	// gateBufs pools ForwardGatesBatchPooled backings; the zero value is
+	// ready, keeping struct-literal construction sites working unchanged.
+	gateBufs sync.Pool
 }
 
 // NewGRUClassifier builds a Xavier-initialised model.
@@ -146,6 +152,106 @@ func (m *GRUClassifier) ForwardGates(seq [][]float64) (Z, R [][]float64) {
 		z := make([]float64, m.Hidden)
 		r := make([]float64, m.Hidden)
 		m.step(sc, seq[t], hPrev, z, r, c, h)
+		Z[t], R[t] = z, r
+		hPrev, h = h, hPrev
+	}
+	return Z, R
+}
+
+// ForwardGatesBatch is the batched-inference variant of ForwardGates: the
+// input projections Wz·x_t, Wr·x_t and Wh·x_t for the whole packet
+// sequence are hoisted out of the recurrence into three matrix-matrix
+// passes (Tensor.MulMat), leaving only the hidden-state multiplies
+// sequential — the part the recurrence genuinely orders. MulMat preserves
+// MulVec's per-element accumulation order and the gate arithmetic matches
+// step() exactly, so Z and R are bit-identical to ForwardGates(seq) at any
+// sequence length. All scratch state is per-call; concurrent calls on one
+// model are safe.
+func (m *GRUClassifier) ForwardGatesBatch(seq [][]float64) (Z, R [][]float64) {
+	return m.forwardGatesBatch(seq, nil)
+}
+
+// ForwardGatesBatchPooled is ForwardGatesBatch over a pooled backing
+// buffer: call release (always non-nil) once Z and R have been consumed,
+// and do not read them afterwards. Bit-identical to ForwardGatesBatch;
+// the pooling only removes the ~(In+5·Hidden)·T float64 allocation per
+// call from the scoring hot path.
+func (m *GRUClassifier) ForwardGatesBatchPooled(seq [][]float64) (Z, R [][]float64, release func()) {
+	T := len(seq)
+	need := T*(m.In+5*m.Hidden) + 5*m.Hidden
+	var backing []float64
+	if v := m.gateBufs.Get(); v != nil {
+		if b := *(v.(*[]float64)); cap(b) >= need {
+			backing = b[:need]
+		}
+	}
+	if backing == nil {
+		backing = make([]float64, need)
+	}
+	Z, R = m.forwardGatesBatch(seq, backing)
+	return Z, R, func() { m.gateBufs.Put(&backing) }
+}
+
+// forwardGatesBatch runs the batched pass over the given backing (nil:
+// allocate fresh; pooled backings may hold stale values — every region is
+// fully written or explicitly cleared before its first read).
+func (m *GRUClassifier) forwardGatesBatch(seq [][]float64, backing []float64) (Z, R [][]float64) {
+	T := len(seq)
+	Z = make([][]float64, T)
+	R = make([][]float64, T)
+	if T == 0 {
+		return Z, R
+	}
+	H := m.Hidden
+	// One backing allocation for every per-call buffer: the flattened
+	// inputs, the three hoisted projections, the gate outputs, and the
+	// recurrence scratch.
+	if backing == nil {
+		backing = make([]float64, T*(m.In+5*H)+5*H)
+	}
+	x, rest := backing[:T*m.In], backing[T*m.In:]
+	az, rest := rest[:T*H], rest[T*H:]
+	ar, rest := rest[:T*H], rest[T*H:]
+	ah, rest := rest[:T*H], rest[T*H:]
+	zbuf, rest := rest[:T*H], rest[T*H:]
+	rbuf, rest := rest[:T*H], rest[T*H:]
+	hPrev, rest := rest[:H], rest[H:]
+	h, rest := rest[:H], rest[H:]
+	c, rest := rest[:H], rest[H:]
+	tmp, rh := rest[:H], rest[H:2*H]
+	// hPrev is the only buffer read before it is written (h_0 = 0); a
+	// pooled backing may carry a previous call's values.
+	clear(hPrev)
+	for t, v := range seq {
+		if len(v) != m.In {
+			panic(fmt.Sprintf("nn: ForwardGatesBatch step width %d, want %d", len(v), m.In))
+		}
+		copy(x[t*m.In:(t+1)*m.In], v)
+	}
+	m.Wz.MulMat(x, T, az)
+	m.Wr.MulMat(x, T, ar)
+	m.Wh.MulMat(x, T, ah)
+	for t := 0; t < T; t++ {
+		z := zbuf[t*H : (t+1)*H]
+		r := rbuf[t*H : (t+1)*H]
+		m.Uz.MulVec(hPrev, tmp)
+		for i := range z {
+			z[i] = sigmoid(az[t*H+i] + tmp[i] + m.Bz.W[i])
+		}
+		m.Ur.MulVec(hPrev, tmp)
+		for i := range r {
+			r[i] = sigmoid(ar[t*H+i] + tmp[i] + m.Br.W[i])
+		}
+		for i := range rh {
+			rh[i] = r[i] * hPrev[i]
+		}
+		m.Uh.MulVec(rh, tmp)
+		for i := range c {
+			c[i] = math.Tanh(ah[t*H+i] + tmp[i] + m.Bh.W[i])
+		}
+		for i := range h {
+			h[i] = (1-z[i])*hPrev[i] + z[i]*c[i]
+		}
 		Z[t], R[t] = z, r
 		hPrev, h = h, hPrev
 	}

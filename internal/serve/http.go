@@ -66,7 +66,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeProm(w, len(s.queue), cap(s.queue), st.InFlight(),
-		st.Threshold(), s.hot.Tag(), s.hot.Generation(), s.stats)
+		st.Threshold(), st.BatchFill(), s.hot.Tag(), s.hot.Generation(), s.stats)
 }
 
 func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
@@ -125,6 +125,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		"flagged":            s.metrics.flagged.Load(),
 		"reloads":            s.metrics.reloads.Load(),
 		"threshold":          st.Threshold(),
+		"batch_fill":         st.BatchFill(),
 		"packets_per_second": s.metrics.windowRate(),
 		"queue_depth":        len(s.queue),
 		"queue_capacity":     cap(s.queue),
@@ -151,8 +152,15 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		var body struct {
 			Threshold *float64 `json:"threshold"`
 		}
-		if err := json.NewDecoder(r.Body).Decode(&body); err != nil || body.Threshold == nil {
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&body); err != nil || body.Threshold == nil {
 			httpError(w, http.StatusBadRequest, `want {"threshold": <number>}`)
+			return
+		}
+		// A concatenated second value ({"threshold":1}{"threshold":99})
+		// would otherwise be silently accepted with only the first applied.
+		if dec.More() {
+			httpError(w, http.StatusBadRequest, "request body must be a single JSON object")
 			return
 		}
 		if err := s.SetThreshold(*body.Threshold); err != nil {
@@ -174,8 +182,13 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		Path string `json:"path"`
 	}
 	if r.ContentLength != 0 {
-		if err := json.NewDecoder(r.Body).Decode(&body); err != nil {
+		dec := json.NewDecoder(r.Body)
+		if err := dec.Decode(&body); err != nil {
 			httpError(w, http.StatusBadRequest, `want {"path": "..."} or an empty body`)
+			return
+		}
+		if dec.More() {
+			httpError(w, http.StatusBadRequest, "request body must be a single JSON object")
 			return
 		}
 	}

@@ -141,9 +141,9 @@ type srcCounters struct {
 	done      atomic.Bool   // the source's Stream returned
 }
 
-// writeProm renders the full metrics exposition. queueDepth/queueCap and
-// the model info are sampled by the caller at render time.
-func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, threshold float64, tag string, generation uint64, sources []*srcCounters) {
+// writeProm renders the full metrics exposition. queueDepth/queueCap,
+// batchFill and the model info are sampled by the caller at render time.
+func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, threshold, batchFill float64, tag string, generation uint64, sources []*srcCounters) {
 	c := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -159,6 +159,7 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, thr
 	g("clap_serve_queue_capacity", "Ingest queue capacity.", float64(queueCap))
 	g("clap_serve_stream_in_flight", "Connections inside the scoring stream.", float64(inFlight))
 	g("clap_serve_threshold", "Current operating threshold.", threshold)
+	g("clap_serve_batch_fill", "Mean occupancy of batched inference micro-batches (1 = full; 0 = unbatched).", batchFill)
 	g("clap_serve_uptime_seconds", "Seconds since the daemon started.", time.Since(m.start).Seconds())
 
 	fmt.Fprintf(w, "# HELP clap_serve_model_info Current model (value is the reload generation).\n")

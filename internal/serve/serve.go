@@ -23,6 +23,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"net/http"
 	"sync"
@@ -47,6 +48,11 @@ type Config struct {
 
 	// Workers/Shards size the scoring engine (0: auto).
 	Workers, Shards int
+
+	// Batch is the micro-batch size for batched inference on capable
+	// backends (0: the bench-tuned default of 24; 1: unbatched). Scores
+	// are bit-identical at any batch size.
+	Batch int
 
 	// Threshold fixes the operating threshold; Calibration+FPR derive it
 	// instead when Calibration is non-nil. Both may later be adjusted
@@ -141,6 +147,12 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Backend == nil {
 		return nil, errors.New("serve: config needs a trained Backend")
 	}
+	// Reject non-finite thresholds here rather than relying on the
+	// pipeline's WithThreshold guard: NaN would not survive the > 0 gate
+	// below and would silently fall back to score-only mode.
+	if cfg.Threshold < 0 || math.IsNaN(cfg.Threshold) || math.IsInf(cfg.Threshold, 0) {
+		return nil, fmt.Errorf("serve: threshold %v must be finite and >= 0", cfg.Threshold)
+	}
 	hot, err := backend.NewHot(cfg.Backend)
 	if err != nil {
 		return nil, fmt.Errorf("serve: %w", err)
@@ -168,6 +180,9 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.Shards > 0 {
 		opts = append(opts, clap.WithShards(cfg.Shards))
+	}
+	if cfg.Batch > 0 {
+		opts = append(opts, clap.WithBatchSize(cfg.Batch))
 	}
 	if cfg.Calibration != nil {
 		opts = append(opts, clap.WithThresholdFPR(cfg.FPR, cfg.Calibration))
@@ -214,8 +229,8 @@ func (s *Server) Start(ctx context.Context) error {
 		return err
 	}
 	s.stream = stream
-	s.logf("serving %s (threshold %.6f, %d workers)",
-		s.hot.Describe(), stream.Threshold(), s.pipe.Engine().Workers())
+	s.logf("serving %s (threshold %.6f, %d workers, batch %d)",
+		s.hot.Describe(), stream.Threshold(), s.pipe.Engine().Workers(), s.pipe.BatchSize())
 
 	ctx, s.cancel = context.WithCancel(ctx)
 

@@ -266,6 +266,25 @@ func TestServeEndToEnd(t *testing.T) {
 		t.Fatalf("PUT bad threshold: %v %v", err, resp.Status)
 	}
 	resp.Body.Close()
+	// Concatenated JSON values must be rejected outright, not applied
+	// first-value-wins; the live threshold must be untouched afterwards.
+	dupReq, _ := http.NewRequest(http.MethodPut, ts.URL+"/v1/threshold",
+		strings.NewReader(`{"threshold": 0.001}{"threshold": 99}`))
+	resp, err = http.DefaultClient.Do(dupReq)
+	if err != nil || resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("PUT concatenated threshold bodies: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	getJSON(t, ts.URL+"/v1/threshold", &th)
+	if th.Threshold != origTh {
+		t.Fatalf("threshold %v changed by rejected PUT, want %v", th.Threshold, origTh)
+	}
+
+	// Batched inference ran (CLAP supports it; the default batch size is
+	// on), so the fill gauge must be live and sane.
+	if fill := m1["clap_serve_batch_fill"]; !(fill > 0 && fill <= 1) {
+		t.Fatalf("clap_serve_batch_fill = %v, want in (0, 1]", fill)
+	}
 
 	// Hot reload to the baseline1 model — a different registry tag.
 	resp, err = http.Post(ts.URL+"/v1/reload", "application/json",

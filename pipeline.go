@@ -27,12 +27,16 @@ import (
 //	summary, _ := p.Run(clap.PCAPFile("suspect.pcap"), clap.NewTextReport(os.Stdout, false))
 //
 // Scores produced through a Pipeline are bit-identical to the backend's
-// serial scoring path at any worker or shard count.
+// serial scoring path at any worker, shard or batch count: for backends
+// with the batch-scoring capability (CLAP, Baseline #1) the engine pools
+// stacked windows across connections into micro-batches and runs each as
+// one matrix-matrix inference pass, changing the wall clock but never the
+// bits (WithBatchSize tunes it; 1 disables).
 type Pipeline struct {
 	backend Backend
 	eng     *Engine
 
-	workers, shards int
+	workers, shards, batch int
 
 	threshold   float64
 	fpr         float64
@@ -83,15 +87,45 @@ func WithShards(n int) PipelineOption {
 }
 
 // WithThreshold sets a fixed adversarial-score threshold. 0 (the default)
-// means score-only: nothing is flagged. Negative or NaN thresholds are
-// rejected by NewPipeline.
+// means score-only: nothing is flagged. Non-finite (NaN, ±Inf) or negative
+// thresholds are rejected by NewPipeline — +Inf in particular would
+// silently disable flagging forever while looking like a configured
+// threshold.
 func WithThreshold(th float64) PipelineOption {
 	return func(p *Pipeline) {
-		if th < 0 || math.IsNaN(th) {
-			p.fail("clap: WithThreshold(%v): threshold must be >= 0", th)
+		if err := validThreshold("WithThreshold", th); err != nil {
+			if p.optErr == nil { // first invalid option wins, like fail()
+				p.optErr = err
+			}
 			return
 		}
 		p.threshold = th
+	}
+}
+
+// validThreshold is the single gate every operating threshold passes
+// through — options, live SetThreshold, and (through those) the
+// /v1/threshold PUT and the CLI -threshold flags.
+func validThreshold(who string, th float64) error {
+	if math.IsNaN(th) || math.IsInf(th, 0) || th < 0 {
+		return fmt.Errorf("clap: %s(%v): threshold must be finite and >= 0", who, th)
+	}
+	return nil
+}
+
+// WithBatchSize sets how many stacked-profile windows ride one batched
+// inference pass for backends with the batch-scoring capability (micro-
+// batches pool windows across connections in Run; streams batch within
+// each connection). Omit the option for the bench-tuned default (24); 1
+// disables batching; non-positive sizes are rejected by NewPipeline.
+// Scores are bit-identical at any batch size — only throughput changes.
+func WithBatchSize(n int) PipelineOption {
+	return func(p *Pipeline) {
+		if n < 1 {
+			p.fail("clap: WithBatchSize(%d): batch size must be >= 1 (omit the option for the default)", n)
+			return
+		}
+		p.batch = n
 	}
 }
 
@@ -151,9 +185,13 @@ func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
 	if !p.backend.Trained() {
 		return nil, fmt.Errorf("clap: backend %q is not trained (Train it or load a model first)", p.backend.Tag())
 	}
-	p.eng = engine.New(engine.Options{Workers: p.workers, Shards: p.shards})
+	p.eng = engine.New(engine.Options{Workers: p.workers, Shards: p.shards, Batch: p.batch})
+	p.batch = p.eng.Batch()
 	return p, nil
 }
+
+// BatchSize reports the pipeline's micro-batch size (1: batching disabled).
+func (p *Pipeline) BatchSize() int { return p.batch }
 
 // Backend returns the pipeline's detection backend.
 func (p *Pipeline) Backend() Backend { return p.backend }
@@ -226,7 +264,7 @@ func (p *Pipeline) calibrate(b Backend) (th float64, calN, calSkipped int, err e
 	if err != nil {
 		return 0, 0, 0, fmt.Errorf("clap: reading calibration source: %w", err)
 	}
-	scores := p.eng.ScoreBackend(b, benign)
+	scores := p.eng.ScoresBatched(b, benign)
 	return ThresholdAtFPR(scores, p.fpr), len(benign), skipped, nil
 }
 
@@ -263,7 +301,7 @@ func (p *Pipeline) Run(src Source, sinks ...Sink) (*RunSummary, error) {
 	if err != nil {
 		return nil, fmt.Errorf("clap: reading source: %w", err)
 	}
-	errsAll := p.eng.WindowErrorsBackend(b, conns)
+	errsAll := p.eng.WindowErrorsBatched(b, conns)
 	sum := &RunSummary{
 		Results:            make([]Result, len(conns)),
 		Threshold:          th,
@@ -302,6 +340,12 @@ func (p *Pipeline) Run(src Source, sinks ...Sink) (*RunSummary, error) {
 type PipelineStream struct {
 	inner     *engine.StreamOf[Result]
 	threshold atomic.Uint64 // math.Float64bits
+
+	// Batched-scoring occupancy accounting: windows actually scored vs.
+	// the slots the micro-batches they rode had — the serving layer's
+	// clap_serve_batch_fill gauge.
+	batchWindows atomic.Uint64
+	batchSlots   atomic.Uint64
 }
 
 // StreamHooks instruments a pipeline stream with per-stage latencies; see
@@ -325,7 +369,7 @@ func (p *Pipeline) NewStream(emit func(Result), hooks ...StreamHooks) (*Pipeline
 	s.threshold.Store(math.Float64bits(th))
 	score := func(c *Connection) Result {
 		b := p.snapshot()
-		return p.resultFor(b, c, b.WindowErrors(c), s.Threshold())
+		return p.resultFor(b, c, s.windowErrors(b, c, p.batch), s.Threshold())
 	}
 	var h StreamHooks
 	if len(hooks) > 0 {
@@ -333,6 +377,48 @@ func (p *Pipeline) NewStream(emit func(Result), hooks ...StreamHooks) (*Pipeline
 	}
 	s.inner = engine.NewStreamOfHooked(p.eng, score, func(_ *Connection, r Result) { emit(r) }, h)
 	return s, nil
+}
+
+// windowErrors computes one streamed connection's anomaly series, riding
+// the batched kernels (chunked at the pipeline's batch size) when the
+// model supports them — bit-identical to the unbatched path either way.
+// Scoring runs on pool workers concurrently; the accounting is atomic.
+func (s *PipelineStream) windowErrors(b Backend, c *Connection, batch int) []float64 {
+	bs, ok := b.(backend.BatchScorer)
+	if !ok || batch <= 1 {
+		return b.WindowErrors(c)
+	}
+	wins := bs.Windows(c)
+	if len(wins) == 0 {
+		return []float64{}
+	}
+	errs := make([]float64, 0, len(wins))
+	for lo := 0; lo < len(wins); lo += batch {
+		hi := lo + batch
+		if hi > len(wins) {
+			hi = len(wins)
+		}
+		errs = append(errs, bs.ScoreWindows(wins[lo:hi])...)
+	}
+	if rec, ok := bs.(backend.BatchRecycler); ok {
+		rec.RecycleWindows(wins)
+	}
+	nb := (len(wins) + batch - 1) / batch
+	s.batchWindows.Add(uint64(len(wins)))
+	s.batchSlots.Add(uint64(nb * batch))
+	return errs
+}
+
+// BatchFill reports the mean occupancy of the batched inference passes
+// this stream has run: 1 means every micro-batch was full, lower values
+// mean short connections are padding out batches. 0 before any batched
+// scoring (or with batching disabled).
+func (s *PipelineStream) BatchFill() float64 {
+	slots := s.batchSlots.Load()
+	if slots == 0 {
+		return 0
+	}
+	return float64(s.batchWindows.Load()) / float64(slots)
 }
 
 // Threshold reports the stream's current operating threshold.
@@ -343,10 +429,11 @@ func (s *PipelineStream) Threshold() float64 {
 // SetThreshold adjusts the operating threshold live — the /v1/threshold
 // knob of the serving layer. Connections already scored keep their
 // verdicts; connections picked up after the store see the new value. th
-// must be >= 0 (0 reverts to score-only).
+// must be finite and >= 0 (0 reverts to score-only); NaN and ±Inf are
+// rejected like everywhere else a threshold enters.
 func (s *PipelineStream) SetThreshold(th float64) error {
-	if th < 0 || math.IsNaN(th) {
-		return fmt.Errorf("clap: SetThreshold(%v): threshold must be >= 0", th)
+	if err := validThreshold("SetThreshold", th); err != nil {
+		return err
 	}
 	s.threshold.Store(math.Float64bits(th))
 	return nil

@@ -91,6 +91,83 @@ func TestPipelineBitIdenticalAcrossWorkers(t *testing.T) {
 	}
 }
 
+// TestPipelineBitIdenticalAcrossBatchSizes pins the batched-inference
+// contract at the facade: Run and NewStream produce the same scores and
+// window-error series at every batch × worker combination, equal to the
+// serial detector path — batching changes the wall clock, never the bits.
+func TestPipelineBitIdenticalAcrossBatchSizes(t *testing.T) {
+	bk := pipelineBackend(t)
+	det := bk.(*CLAPBackend).Detector()
+
+	conns, _, err := suspectSource().Connections(NewEngine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScores := make([]float64, len(conns))
+	wantErrs := make([][]float64, len(conns))
+	for i, c := range conns {
+		wantScores[i] = det.Score(c).Adversarial
+		wantErrs[i] = det.WindowErrors(c)
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, batch := range []int{1, 3, 8, 64} {
+			p, err := NewPipeline(WithBackend(bk), WithWorkers(workers),
+				WithBatchSize(batch), WithWindowErrors(true))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if p.BatchSize() != batch {
+				t.Fatalf("BatchSize() = %d, want %d", p.BatchSize(), batch)
+			}
+			sum, err := p.Run(suspectSource())
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, r := range sum.Results {
+				if r.Score != wantScores[i] {
+					t.Fatalf("workers=%d batch=%d: conn %d score %v != serial %v",
+						workers, batch, i, r.Score, wantScores[i])
+				}
+				if len(r.Errors) != len(wantErrs[i]) {
+					t.Fatalf("workers=%d batch=%d: conn %d has %d window errors, serial %d",
+						workers, batch, i, len(r.Errors), len(wantErrs[i]))
+				}
+				for w := range r.Errors {
+					if r.Errors[w] != wantErrs[i][w] {
+						t.Fatalf("workers=%d batch=%d: conn %d window %d diverged",
+							workers, batch, i, w)
+					}
+				}
+			}
+
+			// Streaming mode batches within each connection; same bits.
+			var streamed []float64
+			s, err := p.NewStream(func(r Result) { streamed = append(streamed, r.Score) })
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, c := range conns {
+				s.Submit(c)
+			}
+			s.Close()
+			for i, got := range streamed {
+				if got != wantScores[i] {
+					t.Fatalf("workers=%d batch=%d: streamed conn %d score %v != serial %v",
+						workers, batch, i, got, wantScores[i])
+				}
+			}
+			fill := s.BatchFill()
+			if batch == 1 && fill != 0 {
+				t.Fatalf("batch=1: BatchFill = %v, want 0 (unbatched)", fill)
+			}
+			if batch > 1 && (fill <= 0 || fill > 1) {
+				t.Fatalf("batch=%d: BatchFill = %v, want in (0, 1]", batch, fill)
+			}
+		}
+	}
+}
+
 // TestPipelineCalibratedThresholdFlags exercises the WithThresholdFPR path
 // end to end: calibration, flagging, localization and the flagged text
 // report.
@@ -242,8 +319,12 @@ func TestPipelineOptionValidation(t *testing.T) {
 		{"zero shards", WithShards(0), "shard count must be positive"},
 		{"negative shards", WithShards(-1), "shard count must be positive"},
 		{"negative topN", WithTopN(-1), "window count must be >= 0"},
-		{"negative threshold", WithThreshold(-0.5), "threshold must be >= 0"},
-		{"NaN threshold", WithThreshold(math.NaN()), "threshold must be >= 0"},
+		{"negative threshold", WithThreshold(-0.5), "threshold must be finite and >= 0"},
+		{"NaN threshold", WithThreshold(math.NaN()), "threshold must be finite and >= 0"},
+		{"+Inf threshold", WithThreshold(math.Inf(1)), "threshold must be finite and >= 0"},
+		{"-Inf threshold", WithThreshold(math.Inf(-1)), "threshold must be finite and >= 0"},
+		{"zero batch", WithBatchSize(0), "batch size must be >= 1"},
+		{"negative batch", WithBatchSize(-8), "batch size must be >= 1"},
 		{"zero FPR", WithThresholdFPR(0, TrafficGen(5, 1)), "FPR must be in (0, 1)"},
 		{"FPR of one", WithThresholdFPR(1, TrafficGen(5, 1)), "FPR must be in (0, 1)"},
 		{"FPR above one", WithThresholdFPR(1.5, TrafficGen(5, 1)), "FPR must be in (0, 1)"},
@@ -286,6 +367,13 @@ func TestPipelineStreamSetThreshold(t *testing.T) {
 	}
 	if err := s.SetThreshold(math.NaN()); err == nil {
 		t.Fatal("NaN threshold accepted")
+	}
+	// +Inf would silently disable flagging forever while looking set.
+	if err := s.SetThreshold(math.Inf(1)); err == nil {
+		t.Fatal("+Inf threshold accepted")
+	}
+	if got := s.Threshold(); got != 0.5 {
+		t.Fatalf("threshold changed to %v by rejected values", got)
 	}
 	// A tiny positive threshold flags everything a benign corpus scores.
 	if err := s.SetThreshold(1e-12); err != nil {
