@@ -64,6 +64,34 @@
 // PipelineStream's threshold is live-adjustable via SetThreshold, and
 // NewDedupAlertLog hardens the alert log for continuous operation.
 //
+// Long-running deployments drift: the benign score distribution shifts
+// and the calibrated threshold silently stops meaning its target FPR.
+// The calibration subsystem (DESIGN.md §9) detects and fixes that.
+// Calibrate freezes a snapshot — threshold plus the benign-score
+// reference distribution as a deterministic quantile Sketch — which
+// clap-serve persists alongside the model and compares live traffic
+// against, exposing clap_serve_drift / clap_serve_operating_fpr gauges,
+// /v1/drift, and drift alerts; /v1/reload then re-derives the threshold
+// for the incoming model and swaps {model, threshold} in one atomic
+// transaction. Drift-aware serving quickstart:
+//
+//	clap-serve -model clap.model -tail capture.pcap \
+//	        -calibrate benign.pcap -fpr 0.01 \
+//	        -drift-window 256 -drift-max-shift 0.5 -alerts alerts.log
+//	curl localhost:8080/v1/drift                 # shift + operating FPR
+//	curl -X POST -d '{"calibration":"live"}' \
+//	        localhost:8080/v1/reload             # recalibrate in place
+//	curl -X POST \
+//	  -d '{"path":"retrained.model","calibration":"benign.pcap","fpr":0.01}' \
+//	        localhost:8080/v1/reload             # swap model+threshold atomically
+//
+// And from the library:
+//
+//	p, _ := clap.NewPipeline(clap.WithBackend(b))
+//	cal, _ := p.Calibrate(0.01, clap.PCAPFile("benign.pcap"))
+//	_ = clap.SaveCalibrationFile("clap.model.calib", cal)
+//	p2, _ := clap.NewPipeline(clap.WithBackend(b), clap.WithCalibration(cal))
+//
 // The CLAP-native API remains for direct use:
 //
 //	det, _ := clap.Train(benign, clap.DefaultConfig(), nil)
@@ -92,6 +120,7 @@ import (
 
 	"clap/internal/attacks"
 	"clap/internal/backend"
+	"clap/internal/calib"
 	"clap/internal/core"
 	"clap/internal/dpi"
 	"clap/internal/engine"
@@ -144,6 +173,15 @@ type (
 	KitsuneBackend = backend.Kitsune
 	// KitsuneConfig tunes the Kitsune backend.
 	KitsuneConfig = kitsune.Config
+	// Calibration is a frozen calibration outcome: the operating threshold
+	// derived at a target FPR plus the benign-score reference distribution
+	// it came from — produced by Pipeline.Calibrate, persisted alongside
+	// the model file, and compared against live traffic by drift monitors.
+	Calibration = calib.Calibration
+	// Sketch is the deterministic streaming quantile sketch behind
+	// calibration references and drift monitoring: identical input order
+	// yields bit-identical quantiles and serialized snapshots.
+	Sketch = calib.Sketch
 )
 
 // Registry tags of the built-in backends, accepted by NewBackend and the
@@ -219,6 +257,53 @@ func LoadBackendFile(path string) (Backend, error) {
 	}
 	defer f.Close()
 	return backend.Load(f)
+}
+
+// NewSketch returns an empty deterministic score-quantile sketch with the
+// default accuracy (1% relative error, 2048 buckets).
+func NewSketch() *Sketch { return calib.NewSketch(0, 0) }
+
+// SaveCalibrationFile persists a calibration snapshot (threshold +
+// benign-score reference distribution) to path, creating parent
+// directories — conventionally "<model>.calib", next to the tagged model
+// file, so a restarted daemon resumes drift monitoring with the same
+// reference instead of starting blind. The write goes to a temp file
+// renamed into place, so a crash mid-write can never leave a truncated
+// snapshot that would make the next start silently score-only.
+func SaveCalibrationFile(path string, cal *Calibration) error {
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return err
+	}
+	f, err := os.CreateTemp(filepath.Dir(path), filepath.Base(path)+".tmp-*")
+	if err != nil {
+		return err
+	}
+	tmp := f.Name()
+	if err := cal.Save(f); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return nil
+}
+
+// LoadCalibrationFile reads a calibration snapshot written by
+// SaveCalibrationFile.
+func LoadCalibrationFile(path string) (*Calibration, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return calib.Load(f)
 }
 
 // DefaultConfig returns the paper's CLAP configuration (Table 6).

@@ -1,8 +1,9 @@
 // Command clap-serve is the always-on online detector: it ingests
 // connections continuously from live sources, scores them through any
 // registered backend, and exposes an ops API for health, Prometheus
-// metrics, flagged connections, live threshold adjustment, and hot model
-// reload (POST /v1/reload, or SIGHUP). SIGINT/SIGTERM drain the queue and
+// metrics, flagged connections, live threshold adjustment, drift
+// monitoring, and hot model reload with optional atomic recalibration
+// (POST /v1/reload, or SIGHUP). SIGINT/SIGTERM drain the queue and
 // scoring stream before exiting, so every accepted connection is scored.
 //
 // Usage:
@@ -12,18 +13,28 @@
 //	clap-serve -model clap.model -soak 0 -soak-rate 50 -soak-attack 0.2
 //	clap-serve -model clap.model -replay suspect.pcap -calibrate benign.pcap
 //
-// Ops API (default 127.0.0.1:8080; see DESIGN.md §7):
+// A -calibrate start persists its calibration snapshot (threshold plus
+// the benign-score reference distribution) to <model>.calib, and a later
+// start without -calibrate resumes from it, so drift monitoring keeps
+// its reference across restarts.
+//
+// Ops API (default 127.0.0.1:8080; see DESIGN.md §7 and §9):
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
 //	curl localhost:8080/v1/flagged?n=10
+//	curl localhost:8080/v1/drift
 //	curl -X PUT -d '{"threshold":0.08}' localhost:8080/v1/threshold
 //	curl -X POST -d '{"path":"new.model"}' localhost:8080/v1/reload
+//	curl -X POST -d '{"path":"new.model","calibration":"benign.pcap","fpr":0.01}' \
+//	        localhost:8080/v1/reload
+//	curl -X POST -d '{"calibration":"live"}' localhost:8080/v1/reload
 package main
 
 import (
 	"context"
 	"flag"
+	"fmt"
 	"log"
 	"os"
 	"os/signal"
@@ -62,6 +73,12 @@ func main() {
 		soakAttack = flag.Float64("soak-attack", 0, "fraction of soak connections carrying an evasion attack")
 		soakSeed   = flag.Int64("soak-seed", 1, "soak determinism seed")
 
+		calibFile      = flag.String("calib-file", "", "calibration snapshot path (default <model>.calib; \"off\" disables persistence)")
+		driftWindow    = flag.Int("drift-window", 256, "scores per rolling drift window (0: disable drift monitoring)")
+		driftRing      = flag.Int("drift-ring", 4, "rolling windows retained for drift statistics")
+		driftMaxShift  = flag.Float64("drift-max-shift", 0.5, "relative quantile shift that trips the drift alert (negative: rule off)")
+		driftFPRFactor = flag.Float64("drift-fpr-factor", 3, "operating-FPR deviation factor that trips the drift alert (negative: rule off)")
+
 		alerts      = flag.String("alerts", "", "write an alert log to this path (\"-\": stdout)")
 		alertWindow = flag.Duration("alert-window", 30*time.Second, "suppress duplicate alerts per connection key within this window")
 		alertRate   = flag.Int("alert-rate", 20, "cap alert lines per second (0: uncapped)")
@@ -80,21 +97,41 @@ func main() {
 	log.Printf("loaded %s", b.Describe())
 
 	cfg := serve.Config{
-		Backend:      b,
-		ModelPath:    *model,
-		Addr:         *addr,
-		Workers:      *workers,
-		Shards:       *shards,
-		Batch:        *batch,
-		Threshold:    *threshold,
-		TopN:         *top,
-		QueueDepth:   *queue,
-		DropWhenFull: *shed,
-		Logf:         log.Printf,
+		Backend:        b,
+		ModelPath:      *model,
+		Addr:           *addr,
+		Workers:        *workers,
+		Shards:         *shards,
+		Batch:          *batch,
+		Threshold:      *threshold,
+		TopN:           *top,
+		QueueDepth:     *queue,
+		DropWhenFull:   *shed,
+		IdleFlush:      *idle,
+		DriftWindows:   *driftRing,
+		DriftMaxShift:  *driftMaxShift,
+		DriftFPRFactor: *driftFPRFactor,
+		Logf:           log.Printf,
 	}
+	cfg.FPR = *fpr
 	if *calibrate != "" {
-		cfg.FPR = *fpr
 		cfg.Calibration = clap.PCAPFile(*calibrate)
+	}
+	// The drift monitor's rolling-window size; 0 on the flag means "off"
+	// (the Config encodes that as a negative value).
+	cfg.DriftWindow = *driftWindow
+	if *driftWindow == 0 {
+		cfg.DriftWindow = -1
+	}
+	// Calibration snapshots live alongside the model file by default, so
+	// a calibrated start persists its reference distribution and a
+	// restart without -calibrate resumes from it.
+	switch *calibFile {
+	case "off":
+	case "":
+		cfg.CalibrationFile = *model + ".calib"
+	default:
+		cfg.CalibrationFile = *calibFile
 	}
 
 	// Alert sink: flagged results flow through the dedup+rate-limited log.
@@ -114,6 +151,13 @@ func main() {
 				log.Printf("alert sink: %v", err)
 			}
 		}
+		// Drift alerts land in the same log. Both hooks fire on the
+		// stream's single emit goroutine, so the writes interleave
+		// line-atomically with the dedup sink's.
+		cfg.OnDriftAlert = func(st serve.DriftStatus) {
+			fmt.Fprintf(out, "DRIFT ALERT %s (drift=%.4f operating-fpr=%.4f target-fpr=%.4f over %d scores)\n",
+				st.Reason, st.Drift, st.OperatingFPR, st.TargetFPR, st.LiveCount)
+		}
 	}
 
 	srv, err := serve.New(cfg)
@@ -121,7 +165,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	live := clap.LiveConfig{MaxPackets: *budget, IdleFlush: *idle, Poll: *poll}
+	// IdleFlush deliberately stays off the LiveConfig here: the serving
+	// layer plumbs cfg.IdleFlush into every compatible source at
+	// AddSource, the per-source knob.
+	live := clap.LiveConfig{MaxPackets: *budget, Poll: *poll}
 	nSources := 0
 	if *tail != "" {
 		srv.AddSource(clap.TailPCAP(*tail, live))

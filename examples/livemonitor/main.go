@@ -3,9 +3,11 @@
 // Server on an ephemeral port with a soak source mixing evasion attacks
 // into benign traffic, and then drives the daemon purely over its HTTP
 // ops API: health, Prometheus metrics, the flagged-connection feed, a
-// live threshold adjustment, and a hot reload to the second model while
-// scoring is in flight — the full online-deployment loop of Figure 3,
-// operated like a production service instead of a library.
+// live threshold adjustment, drift statistics, and a hot reload to the
+// second model — with the new threshold derived from a benign capture
+// and installed in the same atomic transaction — while scoring is in
+// flight: the full online-deployment loop of Figure 3, operated like a
+// production service instead of a library.
 package main
 
 import (
@@ -122,43 +124,38 @@ func main() {
 		fmt.Printf("threshold nudged +10%% via PUT /v1/threshold\n")
 	}
 
-	// 3. Hot reload to the Baseline #1 model while the soak is running.
+	// 3. Drift statistics: the live score distribution against the
+	// frozen calibration reference.
+	fmt.Printf("drift: %s\n", strings.TrimSpace(string(get(base+"/v1/drift"))))
+
+	// 4. Hot reload to the Baseline #1 model while the soak is running. A
+	// threshold is model-specific, so the reload names a benign capture
+	// as its calibration source: the daemon scores it with the INCOMING
+	// model and swaps model + re-derived threshold in one atomic hot-pair
+	// transaction — no window where the new model is judged against the
+	// old model's threshold (before this, the flow was reload, then a
+	// racy PUT /v1/threshold).
+	benignPcap := filepath.Join(dir, "benign.pcap")
+	if err := clap.WritePCAPFile(benignPcap, clap.GenerateBenign(80, 5), false); err != nil {
+		log.Fatal(err)
+	}
 	time.Sleep(200 * time.Millisecond)
 	resp, err := http.Post(base+"/v1/reload", "application/json",
-		strings.NewReader(fmt.Sprintf(`{"path": %q}`, b1Model)))
+		strings.NewReader(fmt.Sprintf(`{"path": %q, "calibration": %q, "fpr": 0.04}`, b1Model, benignPcap)))
 	if err != nil {
 		log.Fatal(err)
 	}
 	var reload struct {
-		Old, New serve.ReloadInfo
+		Old, New     serve.ReloadInfo
+		Recalibrated bool
 	}
 	json.NewDecoder(resp.Body).Decode(&reload)
 	resp.Body.Close()
-	fmt.Printf("hot reload: %s (gen %d) -> %s (gen %d), scoring never paused\n",
-		reload.Old.Tag, reload.Old.Generation, reload.New.Tag, reload.New.Generation)
+	fmt.Printf("atomic reload+recalibration: %s th=%.6f (gen %d) -> %s th=%.6f (gen %d), scoring never paused\n\n",
+		reload.Old.Tag, reload.Old.Threshold, reload.Old.Generation,
+		reload.New.Tag, reload.New.Threshold, reload.New.Generation)
 
-	// A threshold is model-specific: after a cross-family reload the
-	// operator recalibrates it for the new model's score scale and pushes
-	// it through the same live knob.
-	b1, err := clap.LoadBackendFile(b1Model)
-	if err != nil {
-		log.Fatal(err)
-	}
-	var benignScores []float64
-	for _, c := range clap.GenerateBenign(80, 5) {
-		benignScores = append(benignScores, b1.ScoreConn(c))
-	}
-	newTh := clap.ThresholdAtFPR(benignScores, 0.04)
-	req, _ = http.NewRequest(http.MethodPut, base+"/v1/threshold",
-		strings.NewReader(fmt.Sprintf(`{"threshold": %g}`, newTh)))
-	if resp, err := http.DefaultClient.Do(req); err != nil {
-		log.Fatal(err)
-	} else {
-		resp.Body.Close()
-		fmt.Printf("threshold recalibrated for %s: %.6f\n\n", reload.New.Tag, newTh)
-	}
-
-	// 4. Wait for the soak to drain, then read the final state.
+	// 5. Wait for the soak to drain, then read the final state.
 	for srv.Scored() < soakN {
 		time.Sleep(20 * time.Millisecond)
 	}
@@ -177,13 +174,15 @@ func main() {
 		fmt.Printf("  %-44s score=%.5f (%s)\n", f.Key, f.Score, truth)
 	}
 
-	// 5. A slice of the Prometheus exposition.
+	// 6. A slice of the Prometheus exposition, drift gauges included.
 	fmt.Printf("\n/metrics (selected):\n")
 	for _, line := range strings.Split(string(get(base+"/metrics")), "\n") {
 		if strings.HasPrefix(line, "clap_serve_connections_scored_total") ||
 			strings.HasPrefix(line, "clap_serve_packets_total") ||
 			strings.HasPrefix(line, "clap_serve_flagged_total") ||
 			strings.HasPrefix(line, "clap_serve_reloads_total") ||
+			strings.HasPrefix(line, "clap_serve_drift ") ||
+			strings.HasPrefix(line, "clap_serve_operating_fpr") ||
 			strings.HasPrefix(line, "clap_serve_model_info") {
 			fmt.Printf("  %s\n", line)
 		}

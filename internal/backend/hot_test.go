@@ -1,6 +1,7 @@
 package backend
 
 import (
+	"math"
 	"sync"
 	"testing"
 
@@ -87,6 +88,119 @@ func TestHotDelegatesAndSwaps(t *testing.T) {
 			t.Fatal("handle score != swapped model score")
 		}
 	}
+}
+
+// TestHotPairTransactions pins the (model, threshold) pair semantics:
+// Swap preserves an installed threshold, SwapPair replaces both, and
+// SetThreshold never disturbs the model or its generation.
+func TestHotPairTransactions(t *testing.T) {
+	a := trainedBackend(t, TagCLAP)
+	b := trainedBackend(t, TagBaseline1)
+	h, err := NewHot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, ok := h.CurrentPair(); ok {
+		t.Fatal("fresh handle claims an installed threshold")
+	}
+	for _, bad := range []float64{-1, math.NaN(), math.Inf(1)} {
+		if err := h.SetThreshold(bad); err == nil {
+			t.Fatalf("SetThreshold(%v) succeeded", bad)
+		}
+		if _, err := h.SwapPair(b, bad); err == nil {
+			t.Fatalf("SwapPair(%v) succeeded", bad)
+		}
+	}
+	if h.Generation() != 0 {
+		t.Fatalf("rejected updates bumped generation to %d", h.Generation())
+	}
+
+	if err := h.SetThreshold(0.25); err != nil {
+		t.Fatal(err)
+	}
+	if m, th, ok := h.CurrentPair(); !ok || th != 0.25 || m != a || h.Generation() != 0 {
+		t.Fatalf("after SetThreshold: model=%v th=%v ok=%v gen=%d", m, th, ok, h.Generation())
+	}
+
+	// A plain swap carries the threshold over (legacy reload flow).
+	if _, err := h.Swap(b); err != nil {
+		t.Fatal(err)
+	}
+	if m, th, ok := h.CurrentPair(); !ok || th != 0.25 || m != b {
+		t.Fatalf("Swap dropped the pair threshold: th=%v ok=%v", th, ok)
+	}
+
+	// SwapPair replaces both in one transaction.
+	if _, err := h.SwapPair(a, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	if m, th, _ := h.CurrentPair(); m != a || th != 0.5 || h.Generation() != 2 {
+		t.Fatalf("after SwapPair: th=%v gen=%d", th, h.Generation())
+	}
+	if _, err := h.SwapPair(nil, 0.5); err == nil {
+		t.Fatal("SwapPair accepted nil")
+	}
+}
+
+// TestHotPairNeverMixes hammers SwapPair between two (model, threshold)
+// bindings while readers pin pairs: every observed pair must be one of
+// the two installed bindings, never a crossover. Race-clean under -race.
+func TestHotPairNeverMixes(t *testing.T) {
+	a := trainedBackend(t, TagCLAP)
+	b := trainedBackend(t, TagBaseline1)
+	const thA, thB = 0.125, 8.5
+	h, err := NewHot(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.SetThreshold(thA); err != nil {
+		t.Fatal(err)
+	}
+
+	stop := make(chan struct{})
+	swapperDone := make(chan struct{})
+	go func() {
+		defer close(swapperDone)
+		for i := 0; ; i++ {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var err error
+			if i%2 == 0 {
+				_, err = h.SwapPair(b, thB)
+			} else {
+				_, err = h.SwapPair(a, thA)
+			}
+			if err != nil {
+				t.Errorf("swap pair: %v", err)
+				return
+			}
+		}
+	}()
+
+	var readers sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		readers.Add(1)
+		go func() {
+			defer readers.Done()
+			for i := 0; i < 5000; i++ {
+				m, th, ok := h.CurrentPair()
+				if !ok {
+					t.Error("pair threshold vanished")
+					return
+				}
+				if !(m == a && th == thA) && !(m == b && th == thB) {
+					t.Errorf("mixed pair observed: model=%p th=%v", m, th)
+					return
+				}
+			}
+		}()
+	}
+	readers.Wait()
+	close(stop)
+	<-swapperDone
 }
 
 // TestHotConcurrentSwapAndScore runs scoring and swapping concurrently;

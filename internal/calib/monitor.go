@@ -1,0 +1,329 @@
+package calib
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// MonitorConfig tunes a drift Monitor. Zero values select the defaults;
+// the serving layer maps its -drift-* flags straight onto these fields.
+type MonitorConfig struct {
+	// Window is how many scores fill one rolling sketch window before it
+	// rotates into the ring (default 256). Drift statistics are evaluated
+	// at every rotation.
+	Window int
+	// Windows is how many filled windows the ring retains; the live
+	// distribution is their merge plus the filling window (default 4).
+	Windows int
+	// Quantiles are the probed quantiles compared against the reference
+	// (default 0.5, 0.9, 0.99).
+	Quantiles []float64
+	// MaxShift is the relative quantile-shift level that trips the drift
+	// alert (default 0.5 = a 50% shift at any probed quantile). Negative
+	// disables the quantile-shift rule.
+	MaxShift float64
+	// FPRFactor trips the alert when the estimated operating FPR leaves
+	// [target/FPRFactor, target*FPRFactor] (default 3). Negative disables
+	// the FPR rule.
+	FPRFactor float64
+	// Alpha and MaxBuckets configure the underlying sketches (zero:
+	// package defaults).
+	Alpha      float64
+	MaxBuckets int
+}
+
+func (c MonitorConfig) withDefaults() MonitorConfig {
+	if c.Window <= 0 {
+		c.Window = 256
+	}
+	if c.Windows <= 0 {
+		c.Windows = 4
+	}
+	if len(c.Quantiles) == 0 {
+		c.Quantiles = []float64{0.5, 0.9, 0.99}
+	}
+	if c.MaxShift == 0 {
+		c.MaxShift = 0.5
+	}
+	if c.FPRFactor == 0 {
+		c.FPRFactor = 3
+	}
+	return c
+}
+
+// QuantileShift is one probed quantile's reference-vs-live comparison.
+type QuantileShift struct {
+	Q     float64 `json:"q"`
+	Ref   float64 `json:"ref"`
+	Live  float64 `json:"live"`
+	Shift float64 `json:"shift"` // |live-ref| / ref
+}
+
+// Status is one evaluation of the live score distribution against the
+// calibration reference — the payload of /v1/drift and the value handed
+// to drift-alert hooks.
+type Status struct {
+	// Observed counts scores seen since the last calibration reset.
+	Observed uint64 `json:"observed"`
+	// LiveCount is how many recent scores back the live statistics (the
+	// merged rolling windows).
+	LiveCount uint64 `json:"live_count"`
+	// WindowSize and WindowsRetained echo the monitor configuration.
+	WindowSize      int `json:"window_size"`
+	WindowsRetained int `json:"windows_retained"`
+
+	// Threshold is the operating threshold the statistics were evaluated
+	// against; TargetFPR the calibrated target (0: none configured).
+	Threshold float64 `json:"threshold"`
+	TargetFPR float64 `json:"target_fpr"`
+	// OperatingFPR estimates the realized flag rate: the fraction of
+	// recent scores at or above Threshold. On predominantly benign
+	// traffic this is the operating false-positive rate.
+	OperatingFPR float64 `json:"operating_fpr"`
+
+	// Drift is the headline statistic: the largest relative shift across
+	// the probed quantiles (0 with no reference).
+	Drift     float64         `json:"drift"`
+	Quantiles []QuantileShift `json:"quantiles,omitempty"`
+	// Reference reports whether a frozen calibration reference is loaded;
+	// without one only the operating-FPR rule can fire.
+	Reference bool `json:"reference"`
+
+	// Alert is the latched verdict; Reason names the rule that tripped.
+	Alert  bool   `json:"alert"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// Monitor tracks the live score distribution in rolling deterministic
+// sketch windows and compares it against a frozen calibration reference:
+// quantile shift plus estimated operating FPR, the two statistics that
+// reveal a stale threshold. Observe is cheap (one sketch insert) and runs
+// on the serving stream's emit goroutine — off the hot scoring path;
+// Status may be called concurrently from ops handlers.
+type Monitor struct {
+	mu  sync.Mutex
+	cfg MonitorConfig
+
+	ref       *Sketch // frozen calibration distribution (nil: none)
+	targetFPR float64
+
+	cur      *Sketch   // filling window
+	ring     []*Sketch // filled windows, oldest first
+	observed uint64
+	skip     int // observations to drop after a reset (in-flight stale scores)
+
+	alerted bool // edge-triggering latch
+}
+
+// NewMonitor builds a drift monitor. ref (cloned, may be nil) is the
+// frozen benign-score reference and targetFPR the calibrated target; both
+// can be replaced later with Reset when a recalibration installs a new
+// reference.
+func NewMonitor(ref *Sketch, targetFPR float64, cfg MonitorConfig) *Monitor {
+	cfg = cfg.withDefaults()
+	m := &Monitor{cfg: cfg, cur: NewSketch(cfg.Alpha, cfg.MaxBuckets)}
+	m.install(ref, targetFPR)
+	return m
+}
+
+func (m *Monitor) install(ref *Sketch, targetFPR float64) {
+	if ref != nil {
+		ref = ref.Clone()
+	}
+	m.ref, m.targetFPR = ref, targetFPR
+}
+
+// Reset installs a new calibration reference and target, clearing the
+// rolling state and re-arming the alert — called after every
+// recalibration, so post-fix observations are judged against the fix.
+func (m *Monitor) Reset(ref *Sketch, targetFPR float64) {
+	m.ResetSkipping(ref, targetFPR, 0)
+}
+
+// ResetSkipping is Reset plus arming a skip of the next n observations,
+// both inside one critical section so no observation can slip in
+// between. A recalibrating reload passes the scoring stream's in-flight
+// count: connections already pinned to the OLD (model, threshold) pair
+// emit after the reset, and their old-scale scores would otherwise
+// pollute the new reference's first window — enough, across model
+// families with different score scales, to fire a spurious drift alert
+// immediately after the fix.
+func (m *Monitor) ResetSkipping(ref *Sketch, targetFPR float64, n int) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.install(ref, targetFPR)
+	m.cur = NewSketch(m.cfg.Alpha, m.cfg.MaxBuckets)
+	m.ring = nil
+	m.observed = 0
+	m.skip = 0
+	if n > 0 {
+		m.skip = n
+	}
+	m.alerted = false
+}
+
+// TargetFPR reports the current calibration target (0: none).
+func (m *Monitor) TargetFPR() float64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.targetFPR
+}
+
+// Observe records one emitted score against the operating threshold it
+// was judged with. On every window rotation the drift statistics are
+// re-evaluated; when the alert condition newly trips, the latched Status
+// is returned (nil otherwise) so the caller fires its alert hook exactly
+// once per excursion.
+func (m *Monitor) Observe(score, threshold float64) *Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.skip > 0 {
+		m.skip--
+		return nil
+	}
+	m.cur.Add(score)
+	m.observed++
+	if m.cur.Count() < uint64(m.cfg.Window) {
+		return nil
+	}
+	// Rotate the filled window into the ring and evaluate.
+	m.ring = append(m.ring, m.cur)
+	if len(m.ring) > m.cfg.Windows {
+		m.ring = m.ring[1:]
+	}
+	m.cur = NewSketch(m.cfg.Alpha, m.cfg.MaxBuckets)
+	st := m.statusLocked(threshold)
+	if st.Alert && !m.alerted {
+		m.alerted = true
+		return &st
+	}
+	if !st.Alert {
+		m.alerted = false
+	}
+	return nil
+}
+
+// liveLocked merges the rolling state into one sketch.
+func (m *Monitor) liveLocked() *Sketch {
+	live := NewSketch(m.cfg.Alpha, m.cfg.MaxBuckets)
+	for _, w := range m.ring {
+		live.Merge(w)
+	}
+	live.Merge(m.cur)
+	return live
+}
+
+// LiveSketch returns a clone of the merged rolling distribution — the
+// "recent sketch state" a live recalibration derives its threshold from.
+func (m *Monitor) LiveSketch() *Sketch {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.liveLocked()
+}
+
+// Recalibrate derives a fresh operating threshold from the recent live
+// distribution at the given target FPR and returns it with the live
+// sketch that backs it (the caller installs that sketch as the new
+// reference via Reset). It refuses to recalibrate from less than one full
+// window of observations — a threshold derived from a handful of scores
+// would be noise.
+func (m *Monitor) Recalibrate(fpr float64) (threshold float64, ref *Sketch, err error) {
+	if !(fpr > 0 && fpr < 1) {
+		return 0, nil, fmt.Errorf("calib: live recalibration target FPR %v must be in (0, 1)", fpr)
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	live := m.liveLocked()
+	if live.Count() < uint64(m.cfg.Window) {
+		return 0, nil, fmt.Errorf("calib: %d live scores observed, need a full window of %d before live recalibration",
+			live.Count(), m.cfg.Window)
+	}
+	return live.ThresholdAtFPR(fpr), live, nil
+}
+
+// Status evaluates the drift statistics against the given operating
+// threshold right now (ops handlers call this on demand; Observe
+// evaluates at window rotations).
+func (m *Monitor) Status(threshold float64) Status {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.statusLocked(threshold)
+}
+
+func (m *Monitor) statusLocked(threshold float64) Status {
+	live := m.liveLocked()
+	st := Status{
+		Observed:        m.observed,
+		LiveCount:       live.Count(),
+		WindowSize:      m.cfg.Window,
+		WindowsRetained: m.cfg.Windows,
+		Threshold:       threshold,
+		TargetFPR:       m.targetFPR,
+		Reference:       m.ref != nil && m.ref.Count() > 0,
+	}
+	if threshold > 0 && live.Count() > 0 {
+		st.OperatingFPR = live.FractionAtOrAbove(threshold)
+	}
+	if st.Reference && live.Count() > 0 {
+		// The reference's top probed quantile anchors the distribution's
+		// scale, flooring every shift denominator (see relShift).
+		scale := 0.0
+		for _, q := range m.cfg.Quantiles {
+			if v := m.ref.Quantile(q); v > scale {
+				scale = v
+			}
+		}
+		st.Quantiles = make([]QuantileShift, 0, len(m.cfg.Quantiles))
+		for _, q := range m.cfg.Quantiles {
+			refQ, liveQ := m.ref.Quantile(q), live.Quantile(q)
+			shift := relShift(refQ, liveQ, scale)
+			st.Quantiles = append(st.Quantiles, QuantileShift{Q: q, Ref: refQ, Live: liveQ, Shift: shift})
+			if shift > st.Drift {
+				st.Drift = shift
+			}
+		}
+	}
+	// Judge only with at least one full window behind the statistics; a
+	// freshly reset monitor must never alert off a handful of scores.
+	if live.Count() < uint64(m.cfg.Window) {
+		return st
+	}
+	switch {
+	case st.Reference && m.cfg.MaxShift > 0 && st.Drift > m.cfg.MaxShift:
+		st.Alert = true
+		st.Reason = fmt.Sprintf("quantile shift %.3f exceeds %.3f", st.Drift, m.cfg.MaxShift)
+	case m.cfg.FPRFactor > 0 && m.targetFPR > 0 && threshold > 0 &&
+		st.OperatingFPR > m.targetFPR*m.cfg.FPRFactor:
+		st.Alert = true
+		st.Reason = fmt.Sprintf("operating FPR %.4f above %gx target %.4f", st.OperatingFPR, m.cfg.FPRFactor, m.targetFPR)
+	case m.cfg.FPRFactor > 0 && m.targetFPR > 0 && threshold > 0 &&
+		st.OperatingFPR*m.cfg.FPRFactor < m.targetFPR:
+		st.Alert = true
+		st.Reason = fmt.Sprintf("operating FPR %.4f below target %.4f / %g — detector going blind", st.OperatingFPR, m.targetFPR, m.cfg.FPRFactor)
+	}
+	return st
+}
+
+// relShift is the relative quantile shift. The denominator is floored at
+// 5% of the reference distribution's overall scale (its top probed
+// quantile): a quantile sitting on a mass atom at zero flips between 0
+// and the smallest occupied bucket on negligible mix changes, and
+// dividing by the raw (near-)zero reference would peg the drift
+// statistic — and flap the alert — on sub-epsilon movements. Against the
+// scale floor, only a live excursion commensurate with the reference's
+// real score range registers as drift.
+func relShift(ref, live, scale float64) float64 {
+	if math.IsNaN(ref) || math.IsNaN(live) {
+		return 0
+	}
+	base := math.Max(math.Abs(ref), 0.05*math.Abs(scale))
+	if base < minIndexable {
+		// A degenerate all-zero reference: any live mass is a full shift.
+		if math.Abs(live) < minIndexable {
+			return 0
+		}
+		return 1
+	}
+	return math.Abs(live-ref) / base
+}

@@ -1,0 +1,291 @@
+package calib
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+)
+
+// refSketch builds a reference distribution from a deterministic benign
+// score sweep around 0.1.
+func refSketch(n int) *Sketch {
+	s := NewSketch(0, 0)
+	for i := 0; i < n; i++ {
+		s.Add(0.05 + 0.1*float64(i)/float64(n-1))
+	}
+	return s
+}
+
+// benignScore replays the same sweep one score at a time, strided by a
+// coprime so every rolling window samples the full distribution instead
+// of a narrow slice of it.
+func benignScore(i, n int) float64 {
+	j := (i * 617) % n
+	return 0.05 + 0.1*float64(j)/float64(n-1)
+}
+
+func TestMonitorNoFalseAlertOnStableTraffic(t *testing.T) {
+	ref := refSketch(1000)
+	th := ref.ThresholdAtFPR(0.05)
+	m := NewMonitor(ref, 0.05, MonitorConfig{Window: 100, Windows: 3})
+	for i := 0; i < 1000; i++ {
+		if st := m.Observe(benignScore(i, 1000), th); st != nil {
+			t.Fatalf("false drift alert at observation %d: %+v", i, st)
+		}
+	}
+	st := m.Status(th)
+	if st.Alert {
+		t.Fatalf("stable traffic alerted: %s", st.Reason)
+	}
+	if st.Drift > 0.1 {
+		t.Fatalf("stable traffic drift = %v", st.Drift)
+	}
+	if st.OperatingFPR > 0.05*2 {
+		t.Fatalf("stable operating FPR = %v at target 0.05", st.OperatingFPR)
+	}
+	if st.Observed != 1000 {
+		t.Fatalf("observed = %d", st.Observed)
+	}
+}
+
+// TestMonitorCatchesScaleShift: a mid-stream score-scale shift trips the
+// alert exactly once (edge-triggered), within a bounded number of
+// observations, and Recalibrate restores the operating FPR.
+func TestMonitorCatchesScaleShift(t *testing.T) {
+	const window = 100
+	ref := refSketch(1000)
+	th := ref.ThresholdAtFPR(0.05)
+	m := NewMonitor(ref, 0.05, MonitorConfig{Window: window, Windows: 3})
+
+	for i := 0; i < 300; i++ {
+		if st := m.Observe(benignScore(i, 1000), th); st != nil {
+			t.Fatalf("pre-shift alert: %+v", st)
+		}
+	}
+	// The model's score scale triples: every benign score now lands over
+	// the stale threshold.
+	alerts := 0
+	var alertAt int
+	var last *Status
+	for i := 0; i < 5*window; i++ {
+		if st := m.Observe(3*benignScore(i, 1000), th); st != nil {
+			alerts++
+			alertAt, last = i, st
+		}
+	}
+	if alerts != 1 {
+		t.Fatalf("shift fired %d alerts, want exactly 1 (edge-triggered)", alerts)
+	}
+	if alertAt >= 3*window {
+		t.Fatalf("alert only after %d shifted observations", alertAt)
+	}
+	if last.Drift <= 0.5 {
+		t.Fatalf("alert drift = %v, want > 0.5 for a 3x shift", last.Drift)
+	}
+	if !last.Alert || last.Reason == "" {
+		t.Fatalf("alert status malformed: %+v", last)
+	}
+
+	// Live recalibration: derive a fresh threshold from the shifted
+	// distribution; at the new threshold the realized flag rate is back
+	// at (or under) target.
+	newTh, live, err := m.Recalibrate(0.05)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if newTh <= th {
+		t.Fatalf("recalibrated threshold %v not above stale %v after upward shift", newTh, th)
+	}
+	if live.FractionAtOrAbove(newTh) > 0.05 {
+		t.Fatalf("recalibrated FPR estimate %v over target", live.FractionAtOrAbove(newTh))
+	}
+	m.Reset(live, 0.05)
+	for i := 0; i < 3*window; i++ {
+		if st := m.Observe(3*benignScore(i, 1000), newTh); st != nil {
+			t.Fatalf("post-recalibration alert: %+v", st)
+		}
+	}
+	if st := m.Status(newTh); st.Alert || st.OperatingFPR > 0.05*2 {
+		t.Fatalf("post-recalibration status: alert=%v opFPR=%v", st.Alert, st.OperatingFPR)
+	}
+}
+
+// TestMonitorBlindDetector: scores collapsing far below the threshold
+// (nothing flagged anymore) also alert — the low-side FPR rule.
+func TestMonitorBlindDetector(t *testing.T) {
+	ref := refSketch(1000)
+	th := ref.ThresholdAtFPR(0.05)
+	m := NewMonitor(ref, 0.05, MonitorConfig{Window: 100, Windows: 2, MaxShift: -1})
+	fired := false
+	for i := 0; i < 400; i++ {
+		if st := m.Observe(0.01*benignScore(i, 1000), th); st != nil {
+			fired = true
+			if !strings.Contains(st.Reason, "blind") {
+				t.Fatalf("unexpected reason %q", st.Reason)
+			}
+		}
+	}
+	if !fired {
+		t.Fatal("collapsed scores never tripped the low-side FPR alert")
+	}
+}
+
+// TestMonitorResetSkipping: scores still in flight on the pre-reset
+// model are dropped after a reset instead of polluting the new
+// reference's first window — even when their scale would otherwise trip
+// an instant alert.
+func TestMonitorResetSkipping(t *testing.T) {
+	ref := refSketch(1000)
+	th := ref.ThresholdAtFPR(0.05)
+	m := NewMonitor(ref, 0.05, MonitorConfig{Window: 50, Windows: 2})
+	m.ResetSkipping(ref, 0.05, -5) // negative skip: plain reset
+	m.ResetSkipping(ref, 0.05, 60)
+	// 60 wildly-shifted stale scores: all skipped, none recorded.
+	for i := 0; i < 60; i++ {
+		if st := m.Observe(100*benignScore(i, 1000), th); st != nil {
+			t.Fatalf("skipped stale score fired an alert: %+v", st)
+		}
+	}
+	if st := m.Status(th); st.Observed != 0 || st.LiveCount != 0 {
+		t.Fatalf("stale scores recorded: observed=%d live=%d", st.Observed, st.LiveCount)
+	}
+	// Fresh on-scale scores then behave exactly as after a clean reset.
+	for i := 0; i < 120; i++ {
+		if st := m.Observe(benignScore(i, 1000), th); st != nil {
+			t.Fatalf("post-skip benign scores alerted: %+v", st)
+		}
+	}
+	if st := m.Status(th); st.Observed != 120 || st.Alert {
+		t.Fatalf("post-skip status: %+v", st)
+	}
+}
+
+func TestMonitorRecalibrateNeedsData(t *testing.T) {
+	m := NewMonitor(nil, 0, MonitorConfig{Window: 100})
+	if _, _, err := m.Recalibrate(0.05); err == nil {
+		t.Fatal("recalibration with no observations succeeded")
+	}
+	for i := 0; i < 50; i++ {
+		m.Observe(0.1, 0)
+	}
+	if _, _, err := m.Recalibrate(0.05); err == nil {
+		t.Fatal("recalibration below one window succeeded")
+	}
+	if _, _, err := m.Recalibrate(1.5); err == nil {
+		t.Fatal("recalibration with FPR 1.5 succeeded")
+	}
+	for i := 0; i < 50; i++ {
+		m.Observe(0.1, 0)
+	}
+	if _, _, err := m.Recalibrate(0.05); err != nil {
+		t.Fatalf("recalibration with a full window failed: %v", err)
+	}
+}
+
+// TestMonitorZeroAtomNoFlapping: a reference whose median sits on a mass
+// atom at zero (short connections scoring exactly 0) must not peg the
+// drift statistic when the live median flips between 0 and a negligible
+// nonzero value — only shifts commensurate with the distribution's real
+// scale may alert.
+func TestMonitorZeroAtomNoFlapping(t *testing.T) {
+	ref := NewSketch(0, 0)
+	for i := 0; i < 1000; i++ {
+		if i%2 == 0 {
+			ref.Add(0) // 50% exact zeros: q50 sits on the atom
+		} else {
+			ref.Add(0.1 + 0.05*float64(i%100)/100)
+		}
+	}
+	m := NewMonitor(ref, 0, MonitorConfig{Window: 100, Windows: 2, FPRFactor: -1})
+	// Live traffic: 49% zeros, the rest on scale — the median lands in a
+	// tiny nonzero bucket, a numerically negligible change.
+	for i := 0; i < 400; i++ {
+		var score float64
+		switch {
+		case i%100 < 49:
+			score = 0
+		case i%100 == 49:
+			score = 2e-12 // just above the zero bucket
+		default:
+			score = 0.1 + 0.05*float64(i%100)/100
+		}
+		if st := m.Observe(score, 0); st != nil {
+			t.Fatalf("negligible median flip alerted: %+v", st)
+		}
+	}
+	if st := m.Status(0); st.Drift > 0.5 {
+		t.Fatalf("drift pegged at %v on a sub-epsilon median flip", st.Drift)
+	}
+	// A genuine full-scale excursion still registers.
+	m.Reset(ref, 0)
+	for i := 0; i < 200; i++ {
+		m.Observe(0.15, 0) // every score at the reference's top scale
+	}
+	if st := m.Status(0); st.Drift < 0.5 {
+		t.Fatalf("real full-scale shift reported drift %v", st.Drift)
+	}
+}
+
+// TestMonitorWithoutReference: no reference means only the FPR rule can
+// judge, and /v1/drift-style status reports Reference=false.
+func TestMonitorWithoutReference(t *testing.T) {
+	m := NewMonitor(nil, 0, MonitorConfig{Window: 50})
+	for i := 0; i < 120; i++ {
+		if st := m.Observe(0.5, 0.2); st != nil {
+			t.Fatalf("alert with no reference and no target FPR: %+v", st)
+		}
+	}
+	st := m.Status(0.2)
+	if st.Reference || st.Drift != 0 || len(st.Quantiles) != 0 {
+		t.Fatalf("reference-less status: %+v", st)
+	}
+	if st.OperatingFPR != 1 {
+		t.Fatalf("operating FPR = %v, want 1 (every score over threshold)", st.OperatingFPR)
+	}
+}
+
+func TestCalibrationSaveLoadRoundTrip(t *testing.T) {
+	ref := refSketch(500)
+	cal := &Calibration{Tag: "clap", FPR: 0.05, Threshold: ref.ThresholdAtFPR(0.05), Conns: 500, Skipped: 3, Ref: ref}
+	var buf bytes.Buffer
+	if err := cal.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Load(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.Tag != cal.Tag || back.FPR != cal.FPR || back.Threshold != cal.Threshold ||
+		back.Conns != cal.Conns || back.Skipped != cal.Skipped {
+		t.Fatalf("round trip: %+v vs %+v", back, cal)
+	}
+	if math.Float64bits(back.Ref.Quantile(0.9)) != math.Float64bits(ref.Quantile(0.9)) {
+		t.Fatal("reference sketch not preserved")
+	}
+	// Deterministic bytes: saving the restored snapshot is bit-identical.
+	var buf2 bytes.Buffer
+	if err := back.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Fatal("snapshot serialization not deterministic")
+	}
+
+	for _, bad := range []*Calibration{
+		{Tag: "", FPR: 0.05, Threshold: 1, Ref: ref},
+		{Tag: "clap", FPR: 0, Threshold: 1, Ref: ref},
+		{Tag: "clap", FPR: 0.05, Threshold: math.NaN(), Ref: ref},
+		{Tag: "clap", FPR: 0.05, Threshold: 1, Ref: nil},
+	} {
+		if err := bad.Save(&bytes.Buffer{}); err == nil {
+			t.Fatalf("invalid calibration %+v saved", bad)
+		}
+	}
+	if _, err := Load(bytes.NewReader([]byte("not a snapshot at all"))); err == nil {
+		t.Fatal("garbage snapshot loaded")
+	}
+	if _, err := Load(bytes.NewReader(buf.Bytes()[:40])); err == nil {
+		t.Fatal("truncated snapshot loaded")
+	}
+}

@@ -1,0 +1,294 @@
+package calib
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+)
+
+// Deterministic score generators — no RNG anywhere, so every run of every
+// test sees exactly the same inputs in exactly the same order.
+
+func uniformScores(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = 0.01 + 0.99*float64(i)/float64(n-1)
+	}
+	return out
+}
+
+func bimodalScores(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		if i%3 == 0 {
+			out[i] = 0.02 + 0.001*float64(i%50)
+		} else {
+			out[i] = 1.5 + 0.01*float64(i%80)
+		}
+	}
+	return out
+}
+
+func heavyTailScores(n int) []float64 {
+	out := make([]float64, n)
+	for i := range out {
+		// A Pareto-ish tail via a deterministic sweep of the inverse CDF.
+		u := (float64(i) + 0.5) / float64(n)
+		out[i] = 0.05 * math.Pow(1-u, -1.3)
+	}
+	return out
+}
+
+func shiftedScores(n int) []float64 {
+	out := uniformScores(n)
+	for i := range out {
+		out[i] = out[i]*3 + 0.4
+	}
+	return out
+}
+
+// exactQuantile is the ground truth: the same ceil-rank convention the
+// sketch uses, computed on the sorted raw samples.
+func exactQuantile(xs []float64, q float64) float64 {
+	s := append([]float64(nil), xs...)
+	sort.Float64s(s)
+	rank := int(math.Ceil(q * float64(len(s))))
+	if rank < 1 {
+		rank = 1
+	}
+	return s[rank-1]
+}
+
+func fill(t *testing.T, xs []float64) *Sketch {
+	t.Helper()
+	s := NewSketch(0, 0)
+	for _, x := range xs {
+		s.Add(x)
+	}
+	if s.Count() != uint64(len(xs)) {
+		t.Fatalf("sketch count %d, want %d", s.Count(), len(xs))
+	}
+	return s
+}
+
+// TestSketchQuantileAccuracy pins the sketch's relative error against the
+// exact quantiles of fixed deterministic distributions. The design bound
+// is alpha (1%); the pinned tolerance adds slack for the ceil-rank
+// discretization on finite samples.
+func TestSketchQuantileAccuracy(t *testing.T) {
+	cases := []struct {
+		name   string
+		scores []float64
+		tol    float64
+	}{
+		{"uniform", uniformScores(4000), 0.02},
+		{"bimodal", bimodalScores(4000), 0.02},
+		{"heavy-tail", heavyTailScores(4000), 0.02},
+		{"shifted", shiftedScores(4000), 0.02},
+	}
+	quantiles := []float64{0.01, 0.1, 0.25, 0.5, 0.75, 0.9, 0.99}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := fill(t, tc.scores)
+			for _, q := range quantiles {
+				exact := exactQuantile(tc.scores, q)
+				got := s.Quantile(q)
+				rel := math.Abs(got-exact) / exact
+				if rel > tc.tol {
+					t.Errorf("q=%v: sketch %v vs exact %v (rel err %.4f > %.4f)", q, got, exact, rel, tc.tol)
+				}
+			}
+		})
+	}
+}
+
+// TestSketchDeterminism: identical input order produces bit-identical
+// quantiles and bit-identical serialized snapshots — the property the
+// serving tests and the persisted calibration reference rely on.
+func TestSketchDeterminism(t *testing.T) {
+	for _, scores := range [][]float64{uniformScores(3000), bimodalScores(3000), heavyTailScores(3000)} {
+		a, b := fill(t, scores), fill(t, scores)
+		for _, q := range []float64{0, 0.01, 0.5, 0.9, 0.999, 1} {
+			qa, qb := a.Quantile(q), b.Quantile(q)
+			if math.Float64bits(qa) != math.Float64bits(qb) {
+				t.Fatalf("q=%v: %v != %v across identical runs", q, qa, qb)
+			}
+		}
+		ba, err := a.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		bb, err := b.MarshalBinary()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(ba, bb) {
+			t.Fatal("identical input order produced different serialized snapshots")
+		}
+	}
+}
+
+// TestSketchMergeEquivalence: merging per-half sketches equals the sketch
+// of the whole stream, bit for bit, at every probed quantile and in the
+// serialized form (log buckets are order-independent below the cap).
+func TestSketchMergeEquivalence(t *testing.T) {
+	scores := bimodalScores(2000)
+	whole := fill(t, scores)
+	first := fill(t, scores[:700])
+	second := fill(t, scores[700:])
+	if err := first.Merge(second); err != nil {
+		t.Fatal(err)
+	}
+	for _, q := range []float64{0.05, 0.5, 0.95, 0.99} {
+		qa, qb := whole.Quantile(q), first.Quantile(q)
+		if math.Float64bits(qa) != math.Float64bits(qb) {
+			t.Fatalf("q=%v: whole %v != merged %v", q, qa, qb)
+		}
+	}
+	ba, _ := whole.MarshalBinary()
+	bb, _ := first.MarshalBinary()
+	if !bytes.Equal(ba, bb) {
+		t.Fatal("merged snapshot differs from whole-stream snapshot")
+	}
+	mismatched := NewSketch(0.05, 0)
+	if err := whole.Merge(mismatched); err == nil {
+		t.Fatal("merge across different alphas succeeded")
+	}
+}
+
+// TestSketchSerializeRoundTrip: marshal -> unmarshal -> marshal is
+// bit-identical, and the restored sketch answers every query identically.
+func TestSketchSerializeRoundTrip(t *testing.T) {
+	s := fill(t, heavyTailScores(2500))
+	s.Add(0)  // zero bucket
+	s.Add(-1) // dropped
+	raw, err := s.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back Sketch
+	if err := back.UnmarshalBinary(raw); err != nil {
+		t.Fatal(err)
+	}
+	raw2, err := back.MarshalBinary()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(raw, raw2) {
+		t.Fatal("round-trip serialization not bit-identical")
+	}
+	if back.Count() != s.Count() || back.Dropped() != s.Dropped() {
+		t.Fatalf("round-trip counters: %d/%d vs %d/%d", back.Count(), back.Dropped(), s.Count(), s.Dropped())
+	}
+	for _, q := range []float64{0.1, 0.5, 0.9} {
+		if math.Float64bits(back.Quantile(q)) != math.Float64bits(s.Quantile(q)) {
+			t.Fatalf("q=%v differs after round trip", q)
+		}
+	}
+	for _, corrupt := range [][]byte{
+		nil,
+		[]byte("garbage"),
+		raw[:len(raw)-3],
+		append([]byte("XXXXXXXX"), raw[8:]...),
+	} {
+		var c Sketch
+		if err := c.UnmarshalBinary(corrupt); err == nil {
+			t.Fatalf("corrupt snapshot of %d bytes unmarshalled", len(corrupt))
+		}
+	}
+}
+
+// TestSketchThresholdAtFPR: the sketch-derived threshold realizes at most
+// the target flag fraction on the recorded distribution, and stays close
+// to the exact-score threshold.
+func TestSketchThresholdAtFPR(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		scores []float64
+	}{
+		{"uniform", uniformScores(4000)},
+		{"heavy-tail", heavyTailScores(4000)},
+		{"shifted", shiftedScores(4000)},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			s := fill(t, tc.scores)
+			for _, fpr := range []float64{0.01, 0.05, 0.25} {
+				th := s.ThresholdAtFPR(fpr)
+				realized := 0
+				for _, x := range tc.scores {
+					if x >= th {
+						realized++
+					}
+				}
+				got := float64(realized) / float64(len(tc.scores))
+				if got > fpr {
+					t.Errorf("fpr=%v: realized flag fraction %v exceeds target (th=%v)", fpr, got, th)
+				}
+				// The conservative threshold must not be wildly above the
+				// exact quantile either: within one bucket + discretization.
+				exact := exactQuantile(tc.scores, 1-fpr)
+				if th > exact*(1+10*DefaultAlpha) {
+					t.Errorf("fpr=%v: sketch threshold %v far above exact %v", fpr, th, exact)
+				}
+				// The sketch's own estimate agrees.
+				if est := s.FractionAtOrAbove(th); est > fpr {
+					t.Errorf("fpr=%v: FractionAtOrAbove(th) = %v exceeds target", fpr, est)
+				}
+			}
+		})
+	}
+	empty := NewSketch(0, 0)
+	if th := empty.ThresholdAtFPR(0.01); !math.IsInf(th, 1) {
+		t.Fatalf("empty-sketch threshold = %v, want +Inf", th)
+	}
+}
+
+// TestSketchEdgeCases covers the zero bucket, dropped inputs and the
+// bucket-cap collapse path.
+func TestSketchEdgeCases(t *testing.T) {
+	s := NewSketch(0, 0)
+	if !math.IsNaN(s.Quantile(0.5)) {
+		t.Fatal("empty sketch quantile not NaN")
+	}
+	for i := 0; i < 10; i++ {
+		s.Add(0)
+	}
+	if got := s.Quantile(0.5); got != 0 {
+		t.Fatalf("all-zero median = %v", got)
+	}
+	if got := s.FractionAtOrAbove(0.1); got != 0 {
+		t.Fatalf("all-zero FractionAtOrAbove(0.1) = %v", got)
+	}
+	s.Add(math.NaN())
+	s.Add(-3)
+	s.Add(math.Inf(1)) // would otherwise key to the MINIMUM bucket index
+	s.Add(math.Inf(-1))
+	if s.Dropped() != 4 || s.Count() != 10 {
+		t.Fatalf("dropped=%d count=%d, want 4/10", s.Dropped(), s.Count())
+	}
+	if got := s.Quantile(0); got != 0 {
+		t.Fatalf("rejected inputs disturbed the distribution: q0 = %v", got)
+	}
+
+	// A small bucket cap forces collapse. Collapse folds the LOWEST
+	// buckets together, so the count is preserved exactly and the top
+	// quantiles — the ones thresholds are derived from — stay accurate.
+	capped := NewSketch(DefaultAlpha, 64)
+	scores := uniformScores(2000) // spans ~230 buckets at alpha=1%
+	for _, x := range scores {
+		capped.Add(x)
+	}
+	if len(capped.buckets) > 64 {
+		t.Fatalf("bucket cap not enforced: %d buckets", len(capped.buckets))
+	}
+	if capped.Count() != uint64(len(scores)) {
+		t.Fatalf("collapse lost mass: count %d, want %d", capped.Count(), len(scores))
+	}
+	for _, q := range []float64{0.9, 0.99, 1} {
+		exact := exactQuantile(scores, q)
+		if got := capped.Quantile(q); math.Abs(got-exact)/exact > 0.02 {
+			t.Fatalf("collapsed sketch q%v = %v, exact %v", q, got, exact)
+		}
+	}
+}

@@ -16,7 +16,10 @@ import (
 //	GET  /v1/summary   totals, per-source accounting, model + threshold
 //	GET  /v1/threshold current operating threshold
 //	PUT  /v1/threshold adjust it: {"threshold": 0.08}
-//	POST /v1/reload    hot model reload: {"path": "..."} (optional)
+//	GET  /v1/drift     live-vs-reference drift statistics
+//	POST /v1/reload    hot model reload: {"path": "..."} plus optional
+//	                   atomic recalibration: {"calibration": "benign.pcap"
+//	                   | "live", "fpr": 0.01}
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -24,6 +27,7 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/flagged", s.handleFlagged)
 	mux.HandleFunc("/v1/summary", s.handleSummary)
 	mux.HandleFunc("/v1/threshold", s.handleThreshold)
+	mux.HandleFunc("/v1/drift", s.handleDrift)
 	mux.HandleFunc("/v1/reload", s.handleReload)
 	return mux
 }
@@ -64,9 +68,43 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "not started")
 		return
 	}
+	var drift driftSample
+	if ds, ok := s.DriftStatus(); ok {
+		drift = driftSample{
+			enabled:      true,
+			drift:        ds.Drift,
+			operatingFPR: ds.OperatingFPR,
+			targetFPR:    ds.TargetFPR,
+			alert:        ds.Alert,
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeProm(w, len(s.queue), cap(s.queue), st.InFlight(),
-		st.Threshold(), st.BatchFill(), s.hot.Tag(), s.hot.Generation(), s.stats)
+		st.Threshold(), st.BatchFill(), drift, s.hot.Tag(), s.hot.Generation(), s.stats)
+}
+
+func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.streamOrNil() == nil {
+		httpError(w, http.StatusServiceUnavailable, "not started")
+		return
+	}
+	ds, ok := s.DriftStatus()
+	if !ok {
+		httpError(w, http.StatusNotFound, "drift monitoring disabled")
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"drift":        ds,
+		"alerts_total": s.metrics.driftAlerts.Load(),
+		"model": map[string]any{
+			"tag":        s.hot.Tag(),
+			"generation": s.hot.Generation(),
+		},
+	})
 }
 
 func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
@@ -178,13 +216,11 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
 		return
 	}
-	var body struct {
-		Path string `json:"path"`
-	}
+	var body ReloadRequest
 	if r.ContentLength != 0 {
 		dec := json.NewDecoder(r.Body)
 		if err := dec.Decode(&body); err != nil {
-			httpError(w, http.StatusBadRequest, `want {"path": "..."} or an empty body`)
+			httpError(w, http.StatusBadRequest, `want {"path": "...", "calibration": "benign.pcap"|"live", "fpr": 0.01} or an empty body`)
 			return
 		}
 		if dec.More() {
@@ -192,10 +228,19 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 			return
 		}
 	}
-	before, after, err := s.Reload(body.Path)
+	if body.FPR != 0 && !(body.FPR > 0 && body.FPR < 1) {
+		httpError(w, http.StatusBadRequest, "fpr %v must be in (0, 1)", body.FPR)
+		return
+	}
+	res, err := s.ReloadWith(body)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{"old": before, "new": after})
+	writeJSON(w, http.StatusOK, map[string]any{
+		"old":               res.Old,
+		"new":               res.New,
+		"recalibrated":      res.Recalibrated,
+		"calibration_conns": res.CalibrationConns,
+	})
 }

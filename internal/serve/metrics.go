@@ -20,6 +20,7 @@ type metrics struct {
 	packets     atomic.Uint64
 	flagged     atomic.Uint64
 	reloads     atomic.Uint64
+	driftAlerts atomic.Uint64
 
 	// Per-stage latency histograms: queue wait, scoring, ordered-emit wait.
 	stages [3]*histogram
@@ -141,9 +142,20 @@ type srcCounters struct {
 	done      atomic.Bool   // the source's Stream returned
 }
 
+// driftSample is the drift monitor's state at render time (zero values
+// with monitoring disabled).
+type driftSample struct {
+	enabled      bool
+	drift        float64
+	operatingFPR float64
+	targetFPR    float64
+	alert        bool
+}
+
 // writeProm renders the full metrics exposition. queueDepth/queueCap,
-// batchFill and the model info are sampled by the caller at render time.
-func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, threshold, batchFill float64, tag string, generation uint64, sources []*srcCounters) {
+// batchFill, the drift sample and the model info are sampled by the
+// caller at render time.
+func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, threshold, batchFill float64, drift driftSample, tag string, generation uint64, sources []*srcCounters) {
 	c := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -161,6 +173,17 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, thr
 	g("clap_serve_threshold", "Current operating threshold.", threshold)
 	g("clap_serve_batch_fill", "Mean occupancy of batched inference micro-batches (1 = full; 0 = unbatched).", batchFill)
 	g("clap_serve_uptime_seconds", "Seconds since the daemon started.", time.Since(m.start).Seconds())
+	if drift.enabled {
+		c("clap_serve_drift_alerts_total", "Drift alert excursions since start.", m.driftAlerts.Load())
+		g("clap_serve_drift", "Largest relative quantile shift of the live score distribution vs. the calibration reference.", drift.drift)
+		g("clap_serve_operating_fpr", "Estimated fraction of recent scores at or above the operating threshold.", drift.operatingFPR)
+		g("clap_serve_target_fpr", "Calibrated target FPR (0: none configured).", drift.targetFPR)
+		alerting := 0.0
+		if drift.alert {
+			alerting = 1
+		}
+		g("clap_serve_drift_alerting", "1 while the drift alert condition currently holds.", alerting)
+	}
 
 	fmt.Fprintf(w, "# HELP clap_serve_model_info Current model (value is the reload generation).\n")
 	fmt.Fprintf(w, "# TYPE clap_serve_model_info gauge\n")

@@ -26,11 +26,13 @@ import (
 	"math"
 	"net"
 	"net/http"
+	"os"
 	"sync"
 	"time"
 
 	"clap"
 	"clap/internal/backend"
+	"clap/internal/calib"
 )
 
 // Config assembles a Server.
@@ -60,6 +62,45 @@ type Config struct {
 	Threshold   float64
 	FPR         float64
 	Calibration clap.Source
+
+	// CalibrationSnapshot installs a pre-derived calibration (threshold +
+	// benign-score reference) when no Calibration source is given.
+	CalibrationSnapshot *clap.Calibration
+	// CalibrationFile persists the calibration snapshot
+	// (conventionally "<model>.calib"): a Start-time calibration and every
+	// recalibrating reload save it there, and a restart with no
+	// Calibration source loads it back, so the drift monitor keeps its
+	// reference distribution across restarts. A snapshot whose backend
+	// tag does not match the serving model is ignored with a log line.
+	// When Threshold is set explicitly, a loaded snapshot contributes
+	// only its reference distribution — never its threshold, and its FPR
+	// target is dropped with it (the drift monitor's FPR rules would
+	// otherwise alert forever against a target the fixed threshold
+	// opted out of; quantile-shift monitoring remains active).
+	CalibrationFile string
+
+	// Drift monitoring compares rolling windows of live scores against
+	// the frozen calibration reference (quantile shift + estimated
+	// operating FPR) — the clap_serve_drift / clap_serve_operating_fpr
+	// gauges and the /v1/drift endpoint. DriftWindow is the scores per
+	// rolling window (0: 256; negative: disable monitoring), DriftWindows
+	// the retained window count (0: 4), DriftMaxShift the relative
+	// quantile-shift alert level (0: 0.5; negative: rule off) and
+	// DriftFPRFactor the allowed operating-FPR deviation factor (0: 3;
+	// negative: rule off).
+	DriftWindow    int
+	DriftWindows   int
+	DriftMaxShift  float64
+	DriftFPRFactor float64
+	// OnDriftAlert observes drift alerts (fired once per excursion, on
+	// the emit goroutine) — the hook the CLI uses to push drift lines
+	// into the alert log.
+	OnDriftAlert func(DriftStatus)
+
+	// IdleFlush, when positive, is applied to every registered source
+	// that supports a configurable idle-flush window
+	// (clap.IdleFlushable) — the per-source half-open flush timeout.
+	IdleFlush time.Duration
 
 	// TopN windows are localized per flagged connection. 0 keeps the
 	// default of 5; a negative value disables localization (the Go
@@ -96,6 +137,10 @@ type FlaggedConn struct {
 	Time       time.Time `json:"time"`
 }
 
+// DriftStatus is one drift evaluation, as served by /v1/drift and handed
+// to OnDriftAlert.
+type DriftStatus = calib.Status
+
 // Server is the clap-serve daemon: ingest, scoring stream, ops API.
 type Server struct {
 	cfg  Config
@@ -104,6 +149,10 @@ type Server struct {
 	hot    *backend.Hot
 	pipe   *clap.Pipeline
 	stream *clap.PipelineStream
+
+	// monitor tracks the live score distribution against the calibration
+	// reference (nil only when drift monitoring is disabled).
+	monitor *calib.Monitor
 
 	queue   chan queued
 	sources []serveSource
@@ -184,9 +233,15 @@ func New(cfg Config) (*Server, error) {
 	if cfg.Batch > 0 {
 		opts = append(opts, clap.WithBatchSize(cfg.Batch))
 	}
-	if cfg.Calibration != nil {
-		opts = append(opts, clap.WithThresholdFPR(cfg.FPR, cfg.Calibration))
-	} else if cfg.Threshold > 0 {
+	// Calibration (source or snapshot) resolves at Start, where its
+	// outcome seeds the hot (model, threshold) pair and the drift
+	// monitor's reference; only a fixed threshold configures the pipeline
+	// directly. The FPR bound is still validated here so a bad config
+	// fails at construction, not minutes later at Start.
+	if cfg.Calibration != nil && !(cfg.FPR > 0 && cfg.FPR < 1) {
+		return nil, fmt.Errorf("serve: calibration target FPR %v must be in (0, 1)", cfg.FPR)
+	}
+	if cfg.Calibration == nil && cfg.Threshold > 0 {
 		opts = append(opts, clap.WithThreshold(cfg.Threshold))
 	}
 	pipe, err := clap.NewPipeline(opts...)
@@ -194,11 +249,22 @@ func New(cfg Config) (*Server, error) {
 		return nil, err
 	}
 
+	var monitor *calib.Monitor
+	if cfg.DriftWindow >= 0 {
+		monitor = calib.NewMonitor(nil, 0, calib.MonitorConfig{
+			Window:    cfg.DriftWindow,
+			Windows:   cfg.DriftWindows,
+			MaxShift:  cfg.DriftMaxShift,
+			FPRFactor: cfg.DriftFPRFactor,
+		})
+	}
+
 	return &Server{
 		cfg:         cfg,
 		logf:        logf,
 		hot:         hot,
 		pipe:        pipe,
+		monitor:     monitor,
 		queue:       make(chan queued, cfg.QueueDepth),
 		metrics:     newMetrics(),
 		flaggedRing: make([]FlaggedConn, 0, cfg.FlaggedRing),
@@ -206,8 +272,16 @@ func New(cfg Config) (*Server, error) {
 	}, nil
 }
 
-// AddSource registers a live source. Must be called before Start.
+// AddSource registers a live source. Must be called before Start. A
+// configured IdleFlush is applied to sources that support it, so the
+// half-open flush window is a per-source serving knob rather than
+// whatever constant the source was built with.
 func (s *Server) AddSource(src clap.ServeSource) {
+	if s.cfg.IdleFlush > 0 {
+		if f, ok := src.(clap.IdleFlushable); ok {
+			f.SetIdleFlush(s.cfg.IdleFlush)
+		}
+	}
 	st := &srcCounters{name: src.Name()}
 	s.sources = append(s.sources, serveSource{src: src, stats: st})
 	s.stats = append(s.stats, st)
@@ -224,6 +298,9 @@ func (s *Server) Start(ctx context.Context) error {
 		return errors.New("serve: already started")
 	}
 
+	if err := s.resolveCalibration(); err != nil {
+		return err
+	}
 	stream, err := s.pipe.NewStream(s.emit, clap.StreamHooks{Observe: s.observe})
 	if err != nil {
 		return err
@@ -287,6 +364,135 @@ func (s *Server) Start(ctx context.Context) error {
 	return nil
 }
 
+// resolveCalibration runs once at Start: it derives (or restores) the
+// calibration — the operating threshold and the drift monitor's frozen
+// reference distribution — and installs the threshold into the hot
+// (model, threshold) pair before the first connection is scored.
+// Precedence: an explicit Calibration source is scored now; otherwise an
+// explicit CalibrationSnapshot applies; otherwise a persisted
+// CalibrationFile from an earlier run restores the reference (and the
+// threshold too, unless a fixed Threshold overrides it); otherwise only
+// the fixed Threshold (if any) is installed.
+func (s *Server) resolveCalibration() error {
+	switch {
+	case s.cfg.Calibration != nil:
+		cal, err := s.pipe.Calibrate(s.cfg.FPR, s.cfg.Calibration)
+		if err != nil {
+			return fmt.Errorf("serve: calibrating: %w", err)
+		}
+		s.logf("calibrated threshold %.6f at FPR %g over %d connections",
+			cal.Threshold, cal.FPR, cal.Conns)
+		if err := s.hot.SetThreshold(cal.Threshold); err != nil {
+			return fmt.Errorf("serve: installing calibrated threshold: %w", err)
+		}
+		s.resetMonitor(cal)
+		s.persistCalibration(cal)
+		return nil
+
+	case s.cfg.CalibrationSnapshot != nil:
+		cal := s.cfg.CalibrationSnapshot
+		if err := cal.Validate(); err != nil {
+			return fmt.Errorf("serve: %w", err)
+		}
+		if cal.Tag != s.hot.Tag() {
+			return fmt.Errorf("serve: calibration snapshot is for backend %q, serving %q", cal.Tag, s.hot.Tag())
+		}
+		if err := s.hot.SetThreshold(cal.Threshold); err != nil {
+			return fmt.Errorf("serve: installing snapshot threshold: %w", err)
+		}
+		s.resetMonitor(cal)
+		s.persistCalibration(cal)
+		s.logf("installed calibration snapshot: threshold %.6f at FPR %g", cal.Threshold, cal.FPR)
+		return nil
+	}
+
+	// No explicit calibration. A snapshot persisted by an earlier run
+	// restores the drift reference — and the threshold, unless the
+	// config fixes one. Restoration is best-effort: a missing, stale or
+	// unreadable snapshot degrades to reference-less monitoring with a
+	// log line, never a failed start.
+	if s.cfg.CalibrationFile != "" {
+		switch cal, err := clap.LoadCalibrationFile(s.cfg.CalibrationFile); {
+		case err == nil && cal.Tag != s.hot.Tag():
+			s.logf("ignoring calibration snapshot %s: calibrated for backend %q, serving %q",
+				s.cfg.CalibrationFile, cal.Tag, s.hot.Tag())
+		case err == nil:
+			th := cal.Threshold
+			fprTarget := cal.FPR
+			if s.cfg.Threshold > 0 {
+				// A fixed threshold overrides the snapshot's: the snapshot
+				// contributes only its reference distribution, and its FPR
+				// target is dropped too — alerting that the operating FPR
+				// misses a target the operator explicitly opted out of
+				// would ring forever. Quantile-shift monitoring remains.
+				th = s.cfg.Threshold
+				fprTarget = 0
+			}
+			if s.monitor != nil {
+				s.monitor.Reset(cal.Ref, fprTarget)
+			}
+			if err := s.hot.SetThreshold(th); err != nil {
+				return fmt.Errorf("serve: installing restored threshold: %w", err)
+			}
+			s.logf("restored calibration snapshot from %s: threshold %.6f at FPR %g (reference of %d scores)",
+				s.cfg.CalibrationFile, th, cal.FPR, cal.Ref.Count())
+			return nil
+		case !os.IsNotExist(err):
+			s.logf("calibration snapshot %s unreadable: %v", s.cfg.CalibrationFile, err)
+		}
+	}
+	if s.cfg.Threshold > 0 {
+		if err := s.hot.SetThreshold(s.cfg.Threshold); err != nil {
+			return fmt.Errorf("serve: installing threshold: %w", err)
+		}
+	}
+	return nil
+}
+
+// resetMonitor rebases drift monitoring on a new calibration. Used by
+// Start's calibration, which runs under s.mu before the stream exists
+// (streamOrNil would deadlock there, and nothing is in flight anyway);
+// the reload path uses rebaseMonitor instead.
+func (s *Server) resetMonitor(cal *clap.Calibration) {
+	if s.monitor != nil {
+		s.monitor.Reset(cal.Ref, cal.FPR)
+	}
+}
+
+// rebaseMonitor rebases drift monitoring mid-serve: the reset and a skip
+// of the stream's current in-flight count are armed in one monitor
+// critical section, so scores from connections still pinned to the
+// pre-recalibration (model, threshold) pair — which emit after the reset
+// — can never pollute the new reference's first window (across model
+// families their old-scale scores would otherwise fire a spurious alert
+// right after the fix). The in-flight count is read before the reset;
+// connections that emit in between land in the discarded old state, so
+// the error direction is only ever skipping a few fresh scores.
+func (s *Server) rebaseMonitor(cal *clap.Calibration) {
+	if s.monitor == nil {
+		return
+	}
+	inFlight := 0
+	if st := s.streamOrNil(); st != nil {
+		inFlight = st.InFlight()
+	}
+	s.monitor.ResetSkipping(cal.Ref, cal.FPR, inFlight)
+}
+
+// persistCalibration saves the active calibration snapshot alongside the
+// model file (best-effort: serving is never taken down by a snapshot
+// write failure).
+func (s *Server) persistCalibration(cal *clap.Calibration) {
+	if s.cfg.CalibrationFile == "" {
+		return
+	}
+	if err := clap.SaveCalibrationFile(s.cfg.CalibrationFile, cal); err != nil {
+		s.logf("persisting calibration snapshot to %s: %v", s.cfg.CalibrationFile, err)
+		return
+	}
+	s.logf("calibration snapshot saved to %s", s.cfg.CalibrationFile)
+}
+
 // OpsAddr reports the ops API's bound address ("" without a listener) —
 // useful with Addr ":0".
 func (s *Server) OpsAddr() string {
@@ -323,6 +529,14 @@ func (s *Server) deliverFunc(ctx context.Context, st *srcCounters) func(*clap.Co
 // emit consumes ordered results on the stream's emitter goroutine.
 func (s *Server) emit(r clap.Result) {
 	s.lastFlagged = r.Flagged
+	if s.monitor != nil {
+		// Off the hot scoring path: the sketch insert rides the single
+		// emit goroutine, not the pool workers. A window rotation that
+		// newly trips the drift condition fires the alert hook once.
+		if st := s.monitor.Observe(r.Score, s.stream.Threshold()); st != nil {
+			s.driftAlert(*st)
+		}
+	}
 	if r.Flagged {
 		s.flaggedMu.Lock()
 		fc := FlaggedConn{
@@ -344,6 +558,27 @@ func (s *Server) emit(r clap.Result) {
 	if s.cfg.OnResult != nil {
 		s.cfg.OnResult(r)
 	}
+}
+
+// driftAlert reacts to a newly tripped drift condition: count it, log
+// it, and hand it to the configured alert hook (the CLI routes it into
+// the dedup alert log).
+func (s *Server) driftAlert(st DriftStatus) {
+	s.metrics.driftAlerts.Add(1)
+	s.logf("DRIFT ALERT: %s (drift=%.4f, operating FPR %.4f vs target %.4f) — recalibrate via POST /v1/reload {\"calibration\": ...}",
+		st.Reason, st.Drift, st.OperatingFPR, st.TargetFPR)
+	if s.cfg.OnDriftAlert != nil {
+		s.cfg.OnDriftAlert(st)
+	}
+}
+
+// DriftStatus evaluates the drift statistics right now (ok=false when
+// drift monitoring is disabled).
+func (s *Server) DriftStatus() (DriftStatus, bool) {
+	if s.monitor == nil {
+		return DriftStatus{}, false
+	}
+	return s.monitor.Status(s.Threshold()), true
 }
 
 // observe feeds the stream's stage latencies into the metrics. It runs on
@@ -406,40 +641,159 @@ func (s *Server) SetThreshold(th float64) error {
 
 // ReloadInfo describes the models on either side of a reload.
 type ReloadInfo struct {
-	Tag        string `json:"tag"`
-	Describe   string `json:"describe"`
-	Generation uint64 `json:"generation"`
+	Tag        string  `json:"tag"`
+	Describe   string  `json:"describe"`
+	Generation uint64  `json:"generation"`
+	Threshold  float64 `json:"threshold"`
+}
+
+// ReloadRequest describes one reload: which model file to load and,
+// optionally, how to re-derive its operating threshold in the same
+// transaction.
+type ReloadRequest struct {
+	// Path is the model file ("" falls back to the configured ModelPath —
+	// except under Calibration "live" with no path, which keeps the
+	// current model and only re-derives its threshold).
+	Path string `json:"path"`
+	// Calibration selects auto-recalibration: "" keeps the current
+	// threshold (the legacy reload-then-PUT flow), "live" derives the
+	// threshold from the drift monitor's recent score sketch, and any
+	// other value is read as a benign pcap path scored with the incoming
+	// model. Either way the new model and its re-derived threshold are
+	// published in ONE atomic hot-pair transaction — no connection can
+	// ever be judged by a (new model, old threshold) or (old model, new
+	// threshold) crossover.
+	Calibration string `json:"calibration"`
+	// FPR is the recalibration target (0: the monitor's current target,
+	// falling back to the serve config's FPR).
+	FPR float64 `json:"fpr"`
+}
+
+// ReloadResult reports one reload, including the recalibration outcome.
+type ReloadResult struct {
+	Old, New         ReloadInfo
+	Recalibrated     bool
+	CalibrationConns int
 }
 
 // Reload hot-swaps the serving model from a model file written with
 // SaveBackend (any registered backend tag — the tagged header picks the
-// decoder). path "" falls back to the configured ModelPath. The swap is
-// atomic: in-flight connections finish on the model that picked them up,
-// later ones score on the new model, and a failed load leaves the current
-// model serving.
+// decoder), keeping the current threshold. path "" falls back to the
+// configured ModelPath. The swap is atomic: in-flight connections finish
+// on the model that picked them up, later ones score on the new model,
+// and a failed load leaves the current model serving.
 func (s *Server) Reload(path string) (before, after ReloadInfo, err error) {
+	res, err := s.ReloadWith(ReloadRequest{Path: path})
+	if err != nil {
+		return before, after, err
+	}
+	return res.Old, res.New, nil
+}
+
+// ReloadWith is Reload plus optional atomic recalibration (the full
+// /v1/reload contract). With a Calibration source the incoming model's
+// threshold is derived first — from a benign pcap scored with that model,
+// or from the live score sketch — and model and threshold are then
+// published in one hot-pair transaction; the drift monitor rebases on the
+// new reference distribution and the persisted calibration snapshot (if
+// configured) is rewritten.
+func (s *Server) ReloadWith(req ReloadRequest) (res ReloadResult, err error) {
 	s.reloadMu.Lock()
 	defer s.reloadMu.Unlock()
-	if path == "" {
-		path = s.cfg.ModelPath
+
+	prevB, prevTh, _ := s.hot.CurrentPair()
+	res.Old = ReloadInfo{Tag: prevB.Tag(), Describe: prevB.Describe(), Generation: s.hot.Generation(), Threshold: prevTh}
+
+	// Resolve the incoming model. "live" recalibration with no explicit
+	// path keeps the current model: the recent sketch describes THIS
+	// model's score scale, so rebinding it to a freshly loaded file is
+	// only sound when the operator names that file deliberately.
+	keepModel := req.Path == "" && req.Calibration == "live"
+	b := prevB
+	path := req.Path
+	if !keepModel {
+		if path == "" {
+			path = s.cfg.ModelPath
+		}
+		if path == "" {
+			return res, errors.New("serve: no model path configured for reload")
+		}
+		b, err = clap.LoadBackendFile(path)
+		if err != nil {
+			return res, fmt.Errorf("serve: reload: %w", err)
+		}
 	}
-	if path == "" {
-		return before, after, errors.New("serve: no model path configured for reload")
+
+	// Derive the new calibration before anything is published, so a
+	// failed calibration leaves the serving state untouched.
+	var cal *clap.Calibration
+	switch req.Calibration {
+	case "":
+	case "live":
+		if s.monitor == nil {
+			return res, errors.New("serve: live recalibration needs drift monitoring enabled")
+		}
+		fpr := req.FPR
+		if fpr == 0 {
+			if fpr = s.monitor.TargetFPR(); fpr == 0 {
+				fpr = s.cfg.FPR
+			}
+		}
+		th, live, rerr := s.monitor.Recalibrate(fpr)
+		if rerr != nil {
+			return res, fmt.Errorf("serve: reload: %w", rerr)
+		}
+		cal = &clap.Calibration{Tag: b.Tag(), FPR: fpr, Threshold: th, Conns: int(live.Count()), Ref: live}
+	default:
+		fpr := req.FPR
+		if fpr == 0 {
+			fpr = s.cfg.FPR
+		}
+		cal, err = s.pipe.CalibrateBackend(b, fpr, clap.PCAPFile(req.Calibration))
+		if err != nil {
+			return res, fmt.Errorf("serve: reload: %w", err)
+		}
 	}
-	b, err := clap.LoadBackendFile(path)
-	if err != nil {
-		return before, after, fmt.Errorf("serve: reload: %w", err)
+
+	// Publish. One transaction whichever shape the reload takes: model
+	// and threshold move together (SwapPair), or only one of them moves.
+	switch {
+	case cal == nil:
+		if _, err := s.hot.Swap(b); err != nil {
+			return res, fmt.Errorf("serve: reload: %w", err)
+		}
+	case keepModel:
+		if err := s.hot.SetThreshold(cal.Threshold); err != nil {
+			return res, fmt.Errorf("serve: reload: %w", err)
+		}
+	default:
+		if _, err := s.hot.SwapPair(b, cal.Threshold); err != nil {
+			return res, fmt.Errorf("serve: reload: %w", err)
+		}
 	}
-	prev, err := s.hot.Swap(b)
-	if err != nil {
-		return before, after, fmt.Errorf("serve: reload: %w", err)
+	if cal != nil {
+		res.Recalibrated = true
+		res.CalibrationConns = cal.Conns
+		s.rebaseMonitor(cal)
+		s.persistCalibration(cal)
 	}
-	gen := s.hot.Generation()
-	s.metrics.reloads.Add(1)
-	before = ReloadInfo{Tag: prev.Tag(), Describe: prev.Describe(), Generation: gen - 1}
-	after = ReloadInfo{Tag: b.Tag(), Describe: b.Describe(), Generation: gen}
-	s.logf("reloaded model from %s: %s -> %s (generation %d)", path, before.Tag, after.Tag, gen)
-	return before, after, nil
+
+	if !keepModel {
+		s.metrics.reloads.Add(1)
+	}
+	_, newTh, _ := s.hot.CurrentPair()
+	res.New = ReloadInfo{Tag: b.Tag(), Describe: b.Describe(), Generation: s.hot.Generation(), Threshold: newTh}
+	switch {
+	case keepModel:
+		s.logf("recalibrated in place: threshold %.6f -> %.6f (FPR target %g, %d live scores)",
+			res.Old.Threshold, res.New.Threshold, cal.FPR, cal.Conns)
+	case res.Recalibrated:
+		s.logf("reloaded model from %s with calibration %q: %s (th %.6f) -> %s (th %.6f, generation %d)",
+			path, req.Calibration, res.Old.Tag, res.Old.Threshold, res.New.Tag, res.New.Threshold, res.New.Generation)
+	default:
+		s.logf("reloaded model from %s: %s -> %s (generation %d)", path, res.Old.Tag, res.New.Tag, res.New.Generation)
+	}
+	return res, nil
 }
 
 // Shutdown stops ingest, drains the queue and the scoring stream (every

@@ -7,6 +7,7 @@ import (
 	"sync/atomic"
 
 	"clap/internal/backend"
+	"clap/internal/calib"
 	"clap/internal/core"
 	"clap/internal/engine"
 )
@@ -41,6 +42,7 @@ type Pipeline struct {
 	threshold   float64
 	fpr         float64
 	calibration Source
+	cal         *Calibration
 
 	topN       int
 	keepErrors bool
@@ -149,6 +151,25 @@ func WithThresholdFPR(fpr float64, calibration Source) PipelineOption {
 	}
 }
 
+// WithCalibration installs a previously derived calibration snapshot
+// (Pipeline.Calibrate, or LoadCalibrationFile for one persisted alongside
+// the model): the pipeline operates at the snapshot's threshold without
+// re-scoring a calibration corpus. The snapshot's backend tag must match
+// the pipeline's backend — a threshold is meaningless on another family's
+// score scale. Overridden by WithThresholdFPR.
+func WithCalibration(cal *Calibration) PipelineOption {
+	return func(p *Pipeline) {
+		if err := cal.Validate(); err != nil {
+			if p.optErr == nil {
+				p.optErr = err
+			}
+			return
+		}
+		p.cal = cal
+		p.threshold = cal.Threshold
+	}
+}
+
 // WithTopN sets how many highest-error windows each result localizes
 // (default 5). 0 disables localization; negative counts are rejected by
 // NewPipeline.
@@ -184,6 +205,9 @@ func NewPipeline(opts ...PipelineOption) (*Pipeline, error) {
 	}
 	if !p.backend.Trained() {
 		return nil, fmt.Errorf("clap: backend %q is not trained (Train it or load a model first)", p.backend.Tag())
+	}
+	if p.cal != nil && p.cal.Tag != p.backend.Tag() {
+		return nil, fmt.Errorf("clap: calibration snapshot is for backend %q, pipeline runs %q", p.cal.Tag, p.backend.Tag())
 	}
 	p.eng = engine.New(engine.Options{Workers: p.workers, Shards: p.shards, Batch: p.batch})
 	p.batch = p.eng.Batch()
@@ -254,18 +278,68 @@ type RunSummary struct {
 }
 
 // calibrate resolves the operating threshold, scoring the calibration
-// source with the given model if one was configured.
+// source with the given model if one was configured. It shares
+// CalibrateBackend's single implementation, so WithThresholdFPR fails
+// loudly on an empty or unreadable calibration corpus instead of
+// deriving a silent +Inf threshold that would disable flagging forever.
 func (p *Pipeline) calibrate(b Backend) (th float64, calN, calSkipped int, err error) {
 	th = p.threshold
 	if p.calibration == nil {
 		return th, 0, 0, nil
 	}
-	benign, skipped, err := p.calibration.Connections(p.eng)
+	cal, err := p.CalibrateBackend(b, p.fpr, p.calibration)
 	if err != nil {
-		return 0, 0, 0, fmt.Errorf("clap: reading calibration source: %w", err)
+		return 0, 0, 0, err
+	}
+	return cal.Threshold, cal.Conns, cal.Skipped, nil
+}
+
+// Calibrate scores the calibration source with the pipeline's current
+// model and freezes the outcome into a reusable snapshot: the operating
+// threshold at the target FPR plus the benign-score reference
+// distribution (the sketch drift monitors compare live traffic against).
+// Persist it with SaveCalibrationFile and restore via WithCalibration.
+func (p *Pipeline) Calibrate(fpr float64, src Source) (*Calibration, error) {
+	return p.CalibrateBackend(p.snapshot(), fpr, src)
+}
+
+// CalibrateBackend is Calibrate against an explicit model — the serving
+// layer calibrates an incoming model with it before atomically swapping
+// the (model, threshold) pair in.
+func (p *Pipeline) CalibrateBackend(b Backend, fpr float64, src Source) (*Calibration, error) {
+	if !(fpr > 0 && fpr < 1) {
+		return nil, fmt.Errorf("clap: Calibrate(%v): target FPR must be in (0, 1)", fpr)
+	}
+	if src == nil {
+		return nil, errors.New("clap: Calibrate needs a calibration source")
+	}
+	if b == nil || !b.Trained() {
+		return nil, errors.New("clap: Calibrate needs a trained backend")
+	}
+	benign, skipped, err := src.Connections(p.eng)
+	if err != nil {
+		return nil, fmt.Errorf("clap: reading calibration source: %w", err)
+	}
+	if len(benign) == 0 {
+		return nil, errors.New("clap: calibration source produced no connections")
 	}
 	scores := p.eng.ScoresBatched(b, benign)
-	return ThresholdAtFPR(scores, p.fpr), len(benign), skipped, nil
+	ref := calib.NewSketch(0, 0)
+	for _, s := range scores {
+		ref.Add(s)
+	}
+	cal := &Calibration{
+		Tag:       b.Tag(),
+		FPR:       fpr,
+		Threshold: ThresholdAtFPR(scores, fpr),
+		Conns:     len(benign),
+		Skipped:   skipped,
+		Ref:       ref,
+	}
+	if err := cal.Validate(); err != nil {
+		return nil, err
+	}
+	return cal, nil
 }
 
 // resultFor scores one connection from its precomputed window errors under
@@ -341,6 +415,15 @@ type PipelineStream struct {
 	inner     *engine.StreamOf[Result]
 	threshold atomic.Uint64 // math.Float64bits
 
+	// pair is non-nil when the backend is a reload-safe handle publishing
+	// (model, threshold) pairs (backend.Hot). While the handle carries a
+	// threshold, scoring pins model and threshold in ONE atomic load and
+	// SetThreshold/Threshold route through the handle — so an atomic
+	// recalibration (SwapPair) can never judge a connection with a
+	// crossed (model, threshold) pairing. Without an installed pair
+	// threshold the stream's own atomic governs, as before.
+	pair backend.PairHandle
+
 	// Batched-scoring occupancy accounting: windows actually scored vs.
 	// the slots the micro-batches they rode had — the serving layer's
 	// clap_serve_batch_fill gauge.
@@ -366,10 +449,11 @@ func (p *Pipeline) NewStream(emit func(Result), hooks ...StreamHooks) (*Pipeline
 		return nil, err
 	}
 	s := &PipelineStream{}
+	s.pair, _ = p.backend.(backend.PairHandle)
 	s.threshold.Store(math.Float64bits(th))
 	score := func(c *Connection) Result {
-		b := p.snapshot()
-		return p.resultFor(b, c, s.windowErrors(b, c, p.batch), s.Threshold())
+		b, th := s.pin(p)
+		return p.resultFor(b, c, s.windowErrors(b, c, p.batch), th)
 	}
 	var h StreamHooks
 	if len(hooks) > 0 {
@@ -421,8 +505,26 @@ func (s *PipelineStream) BatchFill() float64 {
 	return float64(s.batchWindows.Load()) / float64(slots)
 }
 
-// Threshold reports the stream's current operating threshold.
+// pin resolves the (model, threshold) pair one connection is judged
+// with: one atomic load from a pair handle when it carries a threshold,
+// otherwise the model snapshot plus the stream's own atomic threshold.
+func (s *PipelineStream) pin(p *Pipeline) (Backend, float64) {
+	if s.pair != nil {
+		if b, th, ok := s.pair.CurrentPair(); ok {
+			return b, th
+		}
+	}
+	return p.snapshot(), math.Float64frombits(s.threshold.Load())
+}
+
+// Threshold reports the stream's current operating threshold (the pair
+// handle's, when the backend carries one).
 func (s *PipelineStream) Threshold() float64 {
+	if s.pair != nil {
+		if _, th, ok := s.pair.CurrentPair(); ok {
+			return th
+		}
+	}
 	return math.Float64frombits(s.threshold.Load())
 }
 
@@ -430,10 +532,14 @@ func (s *PipelineStream) Threshold() float64 {
 // knob of the serving layer. Connections already scored keep their
 // verdicts; connections picked up after the store see the new value. th
 // must be finite and >= 0 (0 reverts to score-only); NaN and ±Inf are
-// rejected like everywhere else a threshold enters.
+// rejected like everywhere else a threshold enters. Under a pair handle
+// the update installs through it, keeping (model, threshold) atomic.
 func (s *PipelineStream) SetThreshold(th float64) error {
 	if err := validThreshold("SetThreshold", th); err != nil {
 		return err
+	}
+	if s.pair != nil {
+		return s.pair.SetThreshold(th)
 	}
 	s.threshold.Store(math.Float64bits(th))
 	return nil

@@ -525,6 +525,110 @@ func TestBackendPersistenceThroughFacade(t *testing.T) {
 	}
 }
 
+// TestPipelineCalibrationSnapshot pins the explicit calibration flow:
+// Pipeline.Calibrate derives the same threshold WithThresholdFPR would,
+// the snapshot round-trips through disk byte-compatibly, WithCalibration
+// reproduces the calibrated run's verdicts exactly, and mismatched or
+// invalid snapshots fail loudly.
+func TestPipelineCalibrationSnapshot(t *testing.T) {
+	bk := pipelineBackend(t)
+	base, err := NewPipeline(WithBackend(bk), WithThresholdFPR(0.25, TrafficGen(80, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := base.Run(suspectSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, err := NewPipeline(WithBackend(bk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cal, err := p.Calibrate(0.25, TrafficGen(80, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cal.Threshold != want.Threshold {
+		t.Fatalf("Calibrate threshold %v != WithThresholdFPR threshold %v", cal.Threshold, want.Threshold)
+	}
+	if cal.Tag != bk.Tag() || cal.FPR != 0.25 || cal.Conns != 80 {
+		t.Fatalf("snapshot metadata: %+v", cal)
+	}
+	if cal.Ref == nil || cal.Ref.Count() != 80 {
+		t.Fatalf("reference sketch holds %v scores, want 80", cal.Ref.Count())
+	}
+
+	// Disk round trip, then a pipeline driven purely by the snapshot.
+	path := t.TempDir() + "/clap.model.calib"
+	if err := SaveCalibrationFile(path, cal); err != nil {
+		t.Fatal(err)
+	}
+	back, err := LoadCalibrationFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Writes are temp+rename: a failed save must leave the existing
+	// snapshot untouched, never a truncated file that loads as nothing.
+	if err := SaveCalibrationFile(path, &Calibration{}); err == nil {
+		t.Fatal("saving an invalid snapshot succeeded")
+	}
+	if again, err := LoadCalibrationFile(path); err != nil || again.Threshold != back.Threshold {
+		t.Fatalf("failed save disturbed the existing snapshot: %v", err)
+	}
+	p2, err := NewPipeline(WithBackend(bk), WithCalibration(back))
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := p2.Run(suspectSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Threshold != want.Threshold || got.Flagged != want.Flagged {
+		t.Fatalf("snapshot-driven run: threshold %v flagged %d, want %v/%d",
+			got.Threshold, got.Flagged, want.Threshold, want.Flagged)
+	}
+	for i := range want.Results {
+		if got.Results[i].Score != want.Results[i].Score || got.Results[i].Flagged != want.Results[i].Flagged {
+			t.Fatalf("conn %d: snapshot-driven verdict (%v, %v) != calibrated (%v, %v)", i,
+				got.Results[i].Score, got.Results[i].Flagged,
+				want.Results[i].Score, want.Results[i].Flagged)
+		}
+	}
+
+	// Error paths: bad targets, nil sources, tag mismatches.
+	if _, err := p.Calibrate(0, TrafficGen(5, 1)); err == nil {
+		t.Error("Calibrate(0) succeeded")
+	}
+	// The legacy WithThresholdFPR path shares the same gate: an empty
+	// calibration corpus must fail the run, never derive a silent +Inf
+	// threshold that disables flagging forever.
+	pe, err := NewPipeline(WithBackend(bk), WithThresholdFPR(0.25, Conns()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := pe.Run(suspectSource()); err == nil ||
+		!strings.Contains(err.Error(), "no connections") {
+		t.Errorf("empty calibration corpus: Run returned %v, want loud failure", err)
+	}
+	if _, err := p.Calibrate(0.5, nil); err == nil {
+		t.Error("Calibrate(nil source) succeeded")
+	}
+	if _, err := p.Calibrate(0.5, Conns()); err == nil {
+		t.Error("Calibrate over an empty corpus succeeded")
+	}
+	other := back
+	mismatch := *other
+	mismatch.Tag = "kitsune"
+	if _, err := NewPipeline(WithBackend(bk), WithCalibration(&mismatch)); err == nil ||
+		!strings.Contains(err.Error(), "snapshot is for backend") {
+		t.Errorf("tag-mismatched snapshot accepted: %v", err)
+	}
+	if _, err := NewPipeline(WithBackend(bk), WithCalibration(nil)); err == nil {
+		t.Error("nil snapshot accepted")
+	}
+}
+
 func TestSourcesReportSkipped(t *testing.T) {
 	// A pcap with a trailing truncated record must surface the skip count
 	// through the Source, not hide it.

@@ -57,6 +57,17 @@ func (c LiveConfig) withDefaults() LiveConfig {
 	return c
 }
 
+// IdleFlushable is implemented by live sources whose idle-flush window —
+// how long a half-open connection may sit silent before its assembled
+// packets are emitted for scoring — can be adjusted after construction.
+// The serving layer applies serve.Config.IdleFlush to every compatible
+// source at registration, replacing the one-global-constant behaviour
+// with a per-source knob (the first step toward the ROADMAP's adaptive
+// per-port timeouts). Adjust only before the source starts streaming.
+type IdleFlushable interface {
+	SetIdleFlush(d time.Duration)
+}
+
 // TailPCAP follows a growing pcap file — the capture file a DPI-side
 // tcpdump keeps appending to. The source waits for the file (and its
 // global header) to appear, then streams records as they are written,
@@ -73,6 +84,13 @@ type tailSource struct {
 }
 
 func (s *tailSource) Name() string { return "tail:" + s.path }
+
+// SetIdleFlush implements IdleFlushable.
+func (s *tailSource) SetIdleFlush(d time.Duration) {
+	if d > 0 {
+		s.cfg.IdleFlush = d
+	}
+}
 
 func (s *tailSource) Stream(ctx context.Context, deliver func(*Connection)) (int, error) {
 	// Wait for the file to exist at all.
@@ -138,6 +156,13 @@ type followSource struct {
 }
 
 func (s *followSource) Name() string { return s.name }
+
+// SetIdleFlush implements IdleFlushable.
+func (s *followSource) SetIdleFlush(d time.Duration) {
+	if d > 0 {
+		s.cfg.IdleFlush = d
+	}
+}
 
 func (s *followSource) Stream(ctx context.Context, deliver func(*Connection)) (int, error) {
 	return streamPCAPRecords(ctx, s.r, s.cfg, deliver)

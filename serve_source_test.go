@@ -225,3 +225,59 @@ func TestReplaySource(t *testing.T) {
 		t.Fatalf("replay delivered %d connections (%d skipped), want 9/0", len(conns), skipped)
 	}
 }
+
+// TestSetIdleFlushOverridesConstruction: the IdleFlushable knob replaces
+// the idle window a live source was built with. A connection sitting in a
+// still-open pipe is only ever emitted by the idle flush; with the
+// construction-time window at ten minutes and the override at tens of
+// milliseconds, delivery within seconds proves the override took effect.
+func TestSetIdleFlushOverridesConstruction(t *testing.T) {
+	for _, mk := range []struct {
+		name  string
+		build func(path string, r io.Reader, cfg LiveConfig) ServeSource
+	}{
+		{"follow", func(_ string, r io.Reader, cfg LiveConfig) ServeSource { return FollowPCAP("pipe", r, cfg) }},
+		{"tail", func(path string, _ io.Reader, cfg LiveConfig) ServeSource { return TailPCAP(path, cfg) }},
+	} {
+		t.Run(mk.name, func(t *testing.T) {
+			want := GenerateBenign(1, 7)
+			path := filepath.Join(t.TempDir(), "live.pcap")
+			f, err := os.Create(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := WritePCAP(f, want); err != nil {
+				t.Fatal(err)
+			}
+			f.Close() // the tail source sees a quiet file that never EOFs logically
+			pr, pw := io.Pipe()
+			go func() {
+				data, _ := os.ReadFile(path)
+				pw.Write(data)
+				// The pipe stays open: no EOF, so only idle flush can emit.
+			}()
+			defer pw.Close()
+
+			src := mk.build(path, pr, LiveConfig{Poll: 5 * time.Millisecond, IdleFlush: 10 * time.Minute})
+			fl, ok := src.(IdleFlushable)
+			if !ok {
+				t.Fatalf("%T does not implement IdleFlushable", src)
+			}
+			fl.SetIdleFlush(40 * time.Millisecond)
+			fl.SetIdleFlush(0) // no-op: zero/negative values keep the current window
+
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			got := make(chan *Connection, 4)
+			go src.Stream(ctx, func(c *Connection) { got <- c })
+			select {
+			case c := <-got:
+				if c.Key != want[0].Key {
+					t.Fatalf("idle flush delivered %v, want %v", c.Key, want[0].Key)
+				}
+			case <-time.After(15 * time.Second):
+				t.Fatal("connection never idle-flushed: SetIdleFlush did not take effect")
+			}
+		})
+	}
+}
