@@ -26,6 +26,7 @@ import (
 	"clap/internal/engine"
 	"clap/internal/eval"
 	"clap/internal/flow"
+	"clap/internal/metrics"
 )
 
 var (
@@ -387,10 +388,10 @@ func BenchmarkEngineAssemble(b *testing.B) {
 }
 
 // --- Backend throughput trajectory: pkts/s for every registered backend
-// across worker counts and micro-batch sizes, written to BENCH_pr4.json
+// across worker counts and micro-batch sizes, written to BENCH_pr6.json
 // so CI uploads a machine-readable benchmark artifact per PR (the BENCH
 // trajectory) and cmd/bench-gate can compare it against the committed
-// BENCH_pr3.json snapshot.
+// BENCH_pr4.json snapshot.
 
 // benchTrajectory accumulates BenchmarkBackendThroughput samples; the
 // file is rewritten after every sample so partial bench runs still leave
@@ -423,7 +424,7 @@ func recordBenchSample(backendTag string, workers, batch int, pktsPerSec float64
 		Profile    string        `json:"profile"`
 		GOMAXPROCS int           `json:"gomaxprocs"`
 		Results    []benchSample `json:"results"`
-	}{PR: 4, Profile: string(benchProfile()), GOMAXPROCS: runtime.GOMAXPROCS(0)}
+	}{PR: 6, Profile: string(benchProfile()), GOMAXPROCS: runtime.GOMAXPROCS(0)}
 	for _, k := range keys {
 		out.Results = append(out.Results, benchTrajectory.samples[k])
 	}
@@ -431,12 +432,12 @@ func recordBenchSample(backendTag string, workers, batch int, pktsPerSec float64
 	if err != nil {
 		return
 	}
-	_ = os.WriteFile("BENCH_pr4.json", append(data, '\n'), 0o644)
+	_ = os.WriteFile("BENCH_pr6.json", append(data, '\n'), 0o644)
 }
 
 // BenchmarkBackendThroughput measures scoring throughput (pkts/s) for
 // each registered backend across worker counts and micro-batch sizes,
-// recording the samples into BENCH_pr4.json. batch=1 is the unbatched
+// recording the samples into BENCH_pr6.json. batch=1 is the unbatched
 // path (comparable to the BENCH_pr3 snapshot); larger batches run the
 // micro-batched matrix-matrix kernels on capable backends (scores are
 // bit-identical — see the engine and pipeline determinism tests). Sub-
@@ -474,6 +475,42 @@ func BenchmarkBackendThroughput(b *testing.B) {
 				})
 			}
 		}
+	}
+
+	// Cascade: the tiered-deployment row, measured on a benign-heavy mix
+	// (~95% benign) — the traffic profile the cascade exists for. The
+	// escalation threshold calibrates at the default budget on the benign
+	// split's stage-1 scores, like CascadeFrontier.
+	heavy := append(append([]*flow.Connection{}, s.Data.TestBenign...), advCorpus(s)...)
+	nAttack := len(s.Data.TestBenign) / 19
+	if nAttack == 0 {
+		nAttack = 1
+	}
+	heavy = heavy[:len(s.Data.TestBenign)+nAttack]
+	heavyPkts := 0
+	for _, c := range heavy {
+		heavyPkts += c.Len()
+	}
+	cascade, err := backend.NewCascade(
+		s.Backends[backend.TagBaseline1], s.Backends[backend.TagCLAP], backend.DefaultEscalateFPR)
+	if err != nil {
+		b.Fatal(err)
+	}
+	benignS1 := s.Eng.ScoreBackend(s.Backends[backend.TagBaseline1], s.Data.TestBenign)
+	if err := cascade.SetEscalation(metrics.ThresholdAtFPR(benignS1, backend.DefaultEscalateFPR)); err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 4, 8} {
+		eng := engine.New(engine.Options{Workers: workers, Batch: engine.DefaultBatch})
+		b.Run(fmt.Sprintf("cascade/workers=%d/batch=1", workers), func(b *testing.B) {
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = eng.ScoresBatched(cascade, heavy)
+			}
+			rate := float64(heavyPkts*b.N) / b.Elapsed().Seconds()
+			b.ReportMetric(rate, "pkts/s")
+			recordBenchSample(backend.TagCascade, workers, 1, rate)
+		})
 	}
 }
 

@@ -111,6 +111,31 @@
 // matrix-vector pass each — ≥2× single-core throughput for CLAP with
 // bit-identical scores (DESIGN.md §8). WithBatchSize (or the CLIs'
 // -batch flag) tunes the micro-batch size; 1 disables batching.
+//
+// When CLAP's accuracy is needed at closer to Baseline #1's throughput,
+// tier the two (DESIGN.md §10): a cascade screens every connection with
+// the cheap backend and escalates only the suspicious tail to CLAP, whose
+// scores on escalated connections are bit-identical to running CLAP
+// alone. Calibration composes — one benign corpus sets both the
+// escalation threshold (at the escalate-FPR) and the end-to-end operating
+// threshold. Quickstart:
+//
+//	cheap, _ := clap.NewBackend("baseline1")
+//	expensive, _ := clap.NewBackend("clap")
+//	logf := func(string, ...any) {}
+//	_ = cheap.Train(benign, logf)
+//	_ = expensive.Train(benign, logf)
+//	p, _ := clap.NewPipeline(
+//	        clap.WithCascade(cheap, expensive, 0.05), // ≤5% of benign escalates
+//	        clap.WithThresholdFPR(0.01, clap.PCAPFile("benign.pcap")),
+//	)
+//	summary, _ := p.Run(clap.PCAPFile("suspect.pcap"), clap.NewTextReport(os.Stdout, false))
+//
+// or from the CLIs: clap-train -backend cascade:baseline1+clap, then
+// clap-detect/clap-serve with -escalate-fpr; clap-serve exports
+// clap_serve_cascade_escalated_total and the escalation fraction, and
+// hot-reloads the expensive stage alone when the incoming model matches
+// its tag.
 package clap
 
 import (
@@ -171,6 +196,10 @@ type (
 	CLAPBackend = backend.CLAP
 	// KitsuneBackend adapts Baseline #2 to the Backend contract.
 	KitsuneBackend = backend.Kitsune
+	// CascadeBackend tiers two backends: a cheap screening stage and an
+	// expensive stage that re-scores only the suspicious tail, with
+	// bit-identical expensive-stage verdicts (DESIGN.md §10).
+	CascadeBackend = backend.Cascade
 	// KitsuneConfig tunes the Kitsune backend.
 	KitsuneConfig = kitsune.Config
 	// Calibration is a frozen calibration outcome: the operating threshold
@@ -190,6 +219,7 @@ const (
 	BackendCLAP      = backend.TagCLAP
 	BackendBaseline1 = backend.TagBaseline1
 	BackendKitsune   = backend.TagKitsune
+	BackendCascade   = backend.TagCascade
 )
 
 // NewEngine returns a parallel scoring engine with the given worker count;
@@ -206,6 +236,23 @@ func NewEngineOpts(o EngineOptions) *Engine { return engine.New(o) }
 // NewBackend instantiates an untrained detection backend by registry tag
 // (see BackendTags).
 func NewBackend(tag string) (Backend, error) { return backend.New(tag) }
+
+// NewBackendSpec instantiates a backend from a CLI-style spec: a plain
+// registry tag, or "cascade:stage1+stage2" naming the cascade's stages
+// (e.g. "cascade:baseline1+clap") — what the CLIs' -backend flags accept.
+func NewBackendSpec(spec string) (Backend, error) { return backend.NewFromSpec(spec) }
+
+// NewCascade tiers a cheap screening backend in front of an expensive one:
+// every connection is scored by stage1, and only those whose stage-1 score
+// reaches the calibrated escalation threshold are re-scored by stage2 —
+// bit-identically to running stage2 alone. escalateFPR (in (0,1)) bounds
+// the fraction of benign traffic that escalates once calibrated; until
+// calibration, everything escalates. Calibrate through Pipeline.Calibrate
+// or WithThresholdFPR: one benign corpus sets the escalation threshold and
+// the end-to-end operating threshold together.
+func NewCascade(stage1, stage2 Backend, escalateFPR float64) (*CascadeBackend, error) {
+	return backend.NewCascade(stage1, stage2, escalateFPR)
+}
 
 // BackendTags lists the registered backend tags.
 func BackendTags() []string { return backend.Tags() }

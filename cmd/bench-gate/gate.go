@@ -86,3 +86,33 @@ func gate(oldArt, newArt *artifact, backendTag string, workers int, maxRegress, 
 	}
 	return v, nil
 }
+
+// ratioVerdict is one cross-backend ratio evaluation inside a single
+// artifact.
+type ratioVerdict struct {
+	Num, Den float64  // pkts/s of the numerator and denominator backends
+	Ratio    float64  // Num / Den
+	Failures []string // non-nil when the floor is not met
+}
+
+// ratioGate asserts that backend numTag's throughput is at least minRatio
+// times backend denTag's within one artifact (same worker count, best
+// across batch variants) — e.g. the cascade's required serial speedup
+// over pure clap on the benign-heavy profile.
+func ratioGate(a *artifact, numTag, denTag string, workers int, minRatio float64) (ratioVerdict, error) {
+	num, ok := best(a, numTag, workers)
+	if !ok {
+		return ratioVerdict{}, fmt.Errorf("artifact has no %s workers=%d sample", numTag, workers)
+	}
+	den, ok := best(a, denTag, workers)
+	if !ok {
+		return ratioVerdict{}, fmt.Errorf("artifact has no %s workers=%d sample", denTag, workers)
+	}
+	v := ratioVerdict{Num: num.PktsPerSec, Den: den.PktsPerSec, Ratio: num.PktsPerSec / den.PktsPerSec}
+	if minRatio > 0 && v.Ratio < minRatio {
+		v.Failures = append(v.Failures, fmt.Sprintf(
+			"RATIO FLOOR: %s is %.2fx %s (%.0f vs %.0f pkts/s), below the required %.2fx",
+			numTag, v.Ratio, denTag, v.Num, v.Den, minRatio))
+	}
+	return v, nil
+}

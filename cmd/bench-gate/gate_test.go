@@ -94,3 +94,37 @@ func TestReadArtifactRoundTrip(t *testing.T) {
 		t.Fatal("empty results accepted")
 	}
 }
+
+func TestRatioGate(t *testing.T) {
+	a := art(
+		sample{Backend: "clap", Workers: 1, Batch: 1, PktsPerSec: 20000},
+		sample{Backend: "clap", Workers: 1, Batch: 24, PktsPerSec: 30000},
+		sample{Backend: "cascade", Workers: 1, Batch: 1, PktsPerSec: 180000},
+	)
+	v, err := ratioGate(a, "cascade", "clap", 1, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Failures != nil {
+		t.Fatalf("ratio gate failed: %v", v.Failures)
+	}
+	// The denominator is the best clap cell (the batched 30000 sample).
+	if v.Ratio != 6 {
+		t.Fatalf("ratio %v, want 6 (180000 / best clap 30000)", v.Ratio)
+	}
+
+	v, err = ratioGate(a, "cascade", "clap", 1, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(v.Failures) != 1 || !strings.Contains(v.Failures[0], "RATIO FLOOR") {
+		t.Fatalf("failures = %v, want one RATIO FLOOR", v.Failures)
+	}
+
+	if _, err := ratioGate(a, "cascade", "kitsune", 1, 5); err == nil {
+		t.Fatal("missing denominator cell accepted")
+	}
+	if _, err := ratioGate(a, "nope", "clap", 1, 5); err == nil {
+		t.Fatal("missing numerator cell accepted")
+	}
+}

@@ -27,17 +27,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clap-detect: ")
 	var (
-		in        = flag.String("in", "", "suspect pcap to score")
-		model     = flag.String("model", "clap.model", "trained model path")
-		threshold = flag.Float64("threshold", 0, "adversarial-score threshold (0: report scores only)")
-		calibrate = flag.String("calibrate", "", "benign pcap to derive a threshold from")
-		fpr       = flag.Float64("fpr", 0.01, "target false-positive rate for -calibrate")
-		top       = flag.Int("top", 5, "Top-N windows to localize per flagged connection")
-		all       = flag.Bool("all", false, "print every connection, not only flagged ones")
-		jsonOut   = flag.Bool("json", false, "emit JSON lines instead of the text report")
-		workers   = flag.Int("workers", 0, "scoring workers (0: all cores)")
-		shards    = flag.Int("shards", 0, "assembly shards (0: same as workers)")
-		batch     = flag.Int("batch", 0, "inference micro-batch size (0: default 24; 1: unbatched)")
+		in          = flag.String("in", "", "suspect pcap to score")
+		model       = flag.String("model", "clap.model", "trained model path")
+		threshold   = flag.Float64("threshold", 0, "adversarial-score threshold (0: report scores only)")
+		calibrate   = flag.String("calibrate", "", "benign pcap to derive a threshold from")
+		fpr         = flag.Float64("fpr", 0.01, "target false-positive rate for -calibrate")
+		top         = flag.Int("top", 5, "Top-N windows to localize per flagged connection")
+		all         = flag.Bool("all", false, "print every connection, not only flagged ones")
+		jsonOut     = flag.Bool("json", false, "emit JSON lines instead of the text report")
+		workers     = flag.Int("workers", 0, "scoring workers (0: all cores)")
+		shards      = flag.Int("shards", 0, "assembly shards (0: same as workers)")
+		batch       = flag.Int("batch", 0, "inference micro-batch size (0: default 24; 1: unbatched)")
+		escalateFPR = flag.Float64("escalate-fpr", 0,
+			"cascade models: override the persisted escalate-FPR (takes effect at -calibrate)")
 	)
 	flag.Parse()
 	if *in == "" {
@@ -47,6 +49,15 @@ func main() {
 	b, err := clap.LoadBackendFile(*model)
 	if err != nil {
 		log.Fatalf("loading model: %v", err)
+	}
+	if *escalateFPR > 0 {
+		cb, ok := b.(*clap.CascadeBackend)
+		if !ok {
+			log.Fatalf("-escalate-fpr applies to cascade models; %s is %q", *model, b.Tag())
+		}
+		if err := cb.SetEscalateFPR(*escalateFPR); err != nil {
+			log.Fatal(err)
+		}
 	}
 	log.Printf("loaded %s", b.Describe())
 

@@ -49,17 +49,19 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("clap-serve: ")
 	var (
-		model     = flag.String("model", "", "trained model path (required; also the default -reload source)")
-		addr      = flag.String("addr", "127.0.0.1:8080", "ops API listen address")
-		threshold = flag.Float64("threshold", 0, "fixed operating threshold (0 with no -calibrate: score-only)")
-		calibrate = flag.String("calibrate", "", "benign pcap to calibrate the threshold from")
-		fpr       = flag.Float64("fpr", 0.01, "target false-positive rate for -calibrate")
-		top       = flag.Int("top", 5, "Top-N windows to localize per flagged connection (negative: disable localization)")
-		workers   = flag.Int("workers", 0, "scoring workers (0: all cores)")
-		shards    = flag.Int("shards", 0, "assembly shards (0: same as workers)")
-		batch     = flag.Int("batch", 0, "inference micro-batch size (0: default 24; 1: unbatched)")
-		queue     = flag.Int("queue", 256, "ingest queue depth")
-		shed      = flag.Bool("shed", false, "drop connections at a full queue instead of backpressuring sources")
+		model       = flag.String("model", "", "trained model path (required; also the default -reload source)")
+		addr        = flag.String("addr", "127.0.0.1:8080", "ops API listen address")
+		threshold   = flag.Float64("threshold", 0, "fixed operating threshold (0 with no -calibrate: score-only)")
+		calibrate   = flag.String("calibrate", "", "benign pcap to calibrate the threshold from")
+		fpr         = flag.Float64("fpr", 0.01, "target false-positive rate for -calibrate")
+		escalateFPR = flag.Float64("escalate-fpr", 0,
+			"cascade models: override the persisted escalate-FPR (takes effect at -calibrate)")
+		top     = flag.Int("top", 5, "Top-N windows to localize per flagged connection (negative: disable localization)")
+		workers = flag.Int("workers", 0, "scoring workers (0: all cores)")
+		shards  = flag.Int("shards", 0, "assembly shards (0: same as workers)")
+		batch   = flag.Int("batch", 0, "inference micro-batch size (0: default 24; 1: unbatched)")
+		queue   = flag.Int("queue", 256, "ingest queue depth")
+		shed    = flag.Bool("shed", false, "drop connections at a full queue instead of backpressuring sources")
 
 		tail   = flag.String("tail", "", "follow a growing pcap file")
 		stdin  = flag.Bool("stdin", false, "read pcap records from stdin (a pipe or fifo)")
@@ -93,6 +95,15 @@ func main() {
 	b, err := clap.LoadBackendFile(*model)
 	if err != nil {
 		log.Fatalf("loading model: %v", err)
+	}
+	if *escalateFPR > 0 {
+		cb, ok := b.(*clap.CascadeBackend)
+		if !ok {
+			log.Fatalf("-escalate-fpr applies to cascade models; %s is %q", *model, b.Tag())
+		}
+		if err := cb.SetEscalateFPR(*escalateFPR); err != nil {
+			log.Fatal(err)
+		}
 	}
 	log.Printf("loaded %s", b.Describe())
 

@@ -8,6 +8,8 @@
 //	clap-train -in benign.pcap -model clap.model -rnn-epochs 14 -ae-epochs 30
 //	clap-train -in benign.pcap -model b1.model -backend baseline1
 //	clap-train -in benign.pcap -model kit.model -backend kitsune
+//	clap-train -in benign.pcap -model tier.model \
+//	        -backend cascade:baseline1+clap -escalate-fpr 0.05
 package main
 
 import (
@@ -25,10 +27,12 @@ func main() {
 		in         = flag.String("in", "", "benign training pcap")
 		model      = flag.String("model", "clap.model", "output model path")
 		backendTag = flag.String("backend", clap.BackendCLAP,
-			fmt.Sprintf("detection backend to train %v", clap.BackendTags()))
-		seed      = flag.Int64("seed", 1, "training seed")
-		rnnEpochs = flag.Int("rnn-epochs", 14, "RNN training epochs (clap/baseline1)")
-		aeEpochs  = flag.Int("ae-epochs", 30, "autoencoder training epochs (clap/baseline1)")
+			fmt.Sprintf("detection backend to train %v, or cascade:stage1+stage2", clap.BackendTags()))
+		seed        = flag.Int64("seed", 1, "training seed")
+		rnnEpochs   = flag.Int("rnn-epochs", 14, "RNN training epochs (clap/baseline1)")
+		aeEpochs    = flag.Int("ae-epochs", 30, "autoencoder training epochs (clap/baseline1)")
+		escalateFPR = flag.Float64("escalate-fpr", 0.05,
+			"cascade backends: target fraction of benign traffic escalated to the expensive stage")
 		baseline1 = flag.Bool("baseline1", false, "deprecated: same as -backend baseline1")
 		quiet     = flag.Bool("quiet", false, "suppress progress output")
 	)
@@ -46,18 +50,31 @@ func main() {
 		tag = clap.BackendBaseline1
 	}
 
-	b, err := clap.NewBackend(tag)
+	b, err := clap.NewBackendSpec(tag)
 	if err != nil {
 		log.Fatal(err)
 	}
-	switch bk := b.(type) {
-	case *clap.CLAPBackend:
-		bk.Cfg.Seed = *seed
-		bk.Cfg.RNNEpochs = *rnnEpochs
-		bk.Cfg.AEEpochs = *aeEpochs
-	case *clap.KitsuneBackend:
-		bk.Cfg.Seed = *seed
+	// Apply the training knobs to every CLAP-family model in the backend —
+	// both stages of a cascade included.
+	var configure func(clap.Backend)
+	configure = func(b clap.Backend) {
+		switch bk := b.(type) {
+		case *clap.CLAPBackend:
+			bk.Cfg.Seed = *seed
+			bk.Cfg.RNNEpochs = *rnnEpochs
+			bk.Cfg.AEEpochs = *aeEpochs
+		case *clap.KitsuneBackend:
+			bk.Cfg.Seed = *seed
+		case *clap.CascadeBackend:
+			if err := bk.SetEscalateFPR(*escalateFPR); err != nil {
+				log.Fatal(err)
+			}
+			s1, s2 := bk.Stages()
+			configure(s1)
+			configure(s2)
+		}
 	}
+	configure(b)
 
 	eng := clap.NewEngine(0)
 	conns, skipped, err := clap.PCAPFile(*in).Connections(eng)

@@ -1,0 +1,423 @@
+package backend
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"sync/atomic"
+
+	"clap/internal/flow"
+	"clap/internal/metrics"
+)
+
+// TagCascade is the tiered two-stage backend: a cheap first stage screens
+// every connection and only the suspicious tail is re-scored by the
+// expensive second stage.
+const TagCascade = "cascade"
+
+// DefaultEscalateFPR is the fraction of benign traffic allowed to escalate
+// to the second stage when no explicit escalation FPR is configured: the
+// throughput knob — the cascade's cost is stage1 + escFPR·stage2 on
+// benign-heavy traffic.
+const DefaultEscalateFPR = 0.05
+
+const (
+	cascadeFormatVersion = 1
+	maxStageBlob         = 1 << 28 // sanity cap on one nested stage payload
+)
+
+func init() {
+	Register(TagCascade, Factory{
+		Doc: "Tiered cascade: cheap first stage screens, suspicious tail escalates to the expensive stage (default baseline1+clap)",
+		New: func() Backend {
+			s1, _ := New(TagBaseline1)
+			s2, _ := New(TagCLAP)
+			c, _ := NewCascade(s1, s2, DefaultEscalateFPR)
+			return c
+		},
+		Load: loadCascade,
+	})
+}
+
+// cascadeStats carries the escalation counters. It is shared by pointer
+// across WithStage2 grafts, so a hot reload of the expensive stage alone
+// does not reset the serving layer's Prometheus counters.
+type cascadeStats struct {
+	evaluated atomic.Uint64
+	escalated atomic.Uint64
+}
+
+// Cascade composes two backends into a tiered detector: every connection
+// is scored by the cheap first stage; connections whose first-stage score
+// reaches the escalation threshold are re-scored by the second stage,
+// whose window errors (and therefore scores) are bit-identical to running
+// that backend alone. Below the threshold the first stage's series is the
+// verdict. Calibrate the escalation threshold from a benign corpus
+// (CalibrateStages, or Pipeline.Calibrate which composes it) so at most
+// EscalateFPR of benign traffic pays the expensive stage.
+//
+// Until the escalation threshold is calibrated, everything escalates —
+// accuracy-conservative (pure second-stage verdicts), with the throughput
+// win arriving once calibration installs the threshold.
+type Cascade struct {
+	s1, s2 Backend
+
+	// escFPR is the target fraction of benign connections allowed to
+	// escalate. Set at construction (or SetEscalateFPR) before serving.
+	escFPR float64
+
+	// esc is the escalation threshold on the first stage's score
+	// (Float64bits), escSet whether it is in force. Atomic because a
+	// serving-layer recalibration rewrites them while pool workers score.
+	esc    atomic.Uint64
+	escSet atomic.Bool
+
+	stats *cascadeStats
+}
+
+// NewCascade composes two trained-or-trainable backends into a cascade.
+// Stages must not themselves be cascades (one tier of escalation), and
+// escalateFPR must lie in (0, 1).
+func NewCascade(stage1, stage2 Backend, escalateFPR float64) (*Cascade, error) {
+	if stage1 == nil || stage2 == nil {
+		return nil, errors.New("backend: cascade needs two stages")
+	}
+	if _, bad := stage1.(*Cascade); bad {
+		return nil, errors.New("backend: cascade stages cannot be cascades")
+	}
+	if _, bad := stage2.(*Cascade); bad {
+		return nil, errors.New("backend: cascade stages cannot be cascades")
+	}
+	if !(escalateFPR > 0 && escalateFPR < 1) { // negation also catches NaN
+		return nil, fmt.Errorf("backend: cascade escalate FPR %v must be in (0, 1)", escalateFPR)
+	}
+	return &Cascade{s1: stage1, s2: stage2, escFPR: escalateFPR, stats: &cascadeStats{}}, nil
+}
+
+// NewFromSpec instantiates a backend from a CLI -backend value: a plain
+// registry tag, or "cascade:stage1+stage2" naming the two stage tags
+// (e.g. "cascade:baseline1+clap"). The bare "cascade" tag is the default
+// baseline1+clap pairing.
+func NewFromSpec(spec string) (Backend, error) {
+	rest, ok := strings.CutPrefix(spec, TagCascade+":")
+	if !ok {
+		return New(spec)
+	}
+	t1, t2, ok := strings.Cut(rest, "+")
+	if !ok || t1 == "" || t2 == "" {
+		return nil, fmt.Errorf("backend: cascade spec %q must be %s:stage1+stage2", spec, TagCascade)
+	}
+	s1, err := New(t1)
+	if err != nil {
+		return nil, err
+	}
+	s2, err := New(t2)
+	if err != nil {
+		return nil, err
+	}
+	return NewCascade(s1, s2, DefaultEscalateFPR)
+}
+
+// Stages returns the cascade's first (cheap) and second (expensive) stage.
+func (b *Cascade) Stages() (stage1, stage2 Backend) { return b.s1, b.s2 }
+
+// EscalateFPR reports the target benign escalation fraction.
+func (b *Cascade) EscalateFPR() float64 { return b.escFPR }
+
+// SetEscalateFPR adjusts the target benign escalation fraction; the new
+// value takes effect at the next CalibrateStages. Call before serving.
+func (b *Cascade) SetEscalateFPR(f float64) error {
+	if !(f > 0 && f < 1) {
+		return fmt.Errorf("backend: cascade escalate FPR %v must be in (0, 1)", f)
+	}
+	b.escFPR = f
+	return nil
+}
+
+// Escalation reports the current escalation threshold and whether one is
+// in force (false until CalibrateStages or SetEscalation).
+func (b *Cascade) Escalation() (threshold float64, set bool) {
+	return math.Float64frombits(b.esc.Load()), b.escSet.Load()
+}
+
+// SetEscalation installs an explicit escalation threshold on the first
+// stage's score scale, bypassing calibration.
+func (b *Cascade) SetEscalation(threshold float64) error {
+	if math.IsNaN(threshold) || math.IsInf(threshold, 0) || threshold < 0 {
+		return fmt.Errorf("backend: cascade escalation threshold %v must be finite and >= 0", threshold)
+	}
+	b.esc.Store(math.Float64bits(threshold))
+	b.escSet.Store(true)
+	return nil
+}
+
+// EscalationCounts reports how many connections the cascade has scored and
+// how many of them escalated to the second stage — the serving layer's
+// clap_serve_cascade_* metrics.
+func (b *Cascade) EscalationCounts() (evaluated, escalated uint64) {
+	return b.stats.evaluated.Load(), b.stats.escalated.Load()
+}
+
+// ResetEscalationCounts zeroes the escalation counters — calibration
+// passes score the calibration corpus through the cascade and would
+// otherwise pollute the served-traffic counters.
+func (b *Cascade) ResetEscalationCounts() {
+	b.stats.evaluated.Store(0)
+	b.stats.escalated.Store(0)
+}
+
+// WithStage2 returns a cascade with the expensive stage replaced and
+// everything else — cheap stage, escalation threshold, escalation
+// counters — carried over. The serving layer's hot reload grafts a
+// retrained expensive model in with it, without rescreening state or
+// resetting metrics. The incoming stage must score on the same scale the
+// outgoing one did (same family), or the operating threshold needs
+// recalibration; tag equality is the caller's check.
+func (b *Cascade) WithStage2(stage2 Backend) (*Cascade, error) {
+	if stage2 == nil {
+		return nil, errors.New("backend: cascade needs a second stage")
+	}
+	if _, bad := stage2.(*Cascade); bad {
+		return nil, errors.New("backend: cascade stages cannot be cascades")
+	}
+	nb := &Cascade{s1: b.s1, s2: stage2, escFPR: b.escFPR, stats: b.stats}
+	nb.esc.Store(b.esc.Load())
+	nb.escSet.Store(b.escSet.Load())
+	return nb, nil
+}
+
+// Tag implements Backend.
+func (b *Cascade) Tag() string { return TagCascade }
+
+// Describe implements Backend.
+func (b *Cascade) Describe() string {
+	esc := "escalate: all (uncalibrated)"
+	if th, set := b.Escalation(); set {
+		esc = fmt.Sprintf("escalate >= %.6g (target %.3g benign)", th, b.escFPR)
+	}
+	return fmt.Sprintf("cascade[%s -> %s] %s", b.s1.Tag(), b.s2.Tag(), esc)
+}
+
+// WindowSpan implements Backend: the second stage's span — flagged
+// connections are the forensically interesting ones, and their window
+// indices come from the expensive stage.
+func (b *Cascade) WindowSpan() int { return b.s2.WindowSpan() }
+
+// Trained implements Backend: both stages must hold fitted models.
+func (b *Cascade) Trained() bool { return b.s1.Trained() && b.s2.Trained() }
+
+// Train implements Backend: both stages fit on the same benign corpus.
+func (b *Cascade) Train(benign []*flow.Connection, logf Logf) error {
+	logf("cascade: training stage 1 (%s)", b.s1.Tag())
+	if err := b.s1.Train(benign, logf); err != nil {
+		return fmt.Errorf("cascade stage 1 (%s): %w", b.s1.Tag(), err)
+	}
+	logf("cascade: training stage 2 (%s)", b.s2.Tag())
+	if err := b.s2.Train(benign, logf); err != nil {
+		return fmt.Errorf("cascade stage 2 (%s): %w", b.s2.Tag(), err)
+	}
+	return nil
+}
+
+// cascadeBatch is the micro-batch size the cascade's internal stage
+// scoring uses on batch-capable stages (mirrors engine.DefaultBatch; the
+// engine package cannot be imported here without a cycle). Batch splits
+// never change bits — only throughput.
+const cascadeBatch = 24
+
+// stageSeries computes one stage's window-error series, riding the batched
+// kernels when the stage has them — bit-identical to stage.WindowErrors
+// either way (the BatchScorer contract).
+func stageSeries(s Backend, c *flow.Connection) []float64 {
+	bs, ok := s.(BatchScorer)
+	if !ok {
+		return s.WindowErrors(c)
+	}
+	wins := bs.Windows(c)
+	if len(wins) == 0 {
+		return []float64{}
+	}
+	errs := make([]float64, 0, len(wins))
+	for lo := 0; lo < len(wins); lo += cascadeBatch {
+		hi := lo + cascadeBatch
+		if hi > len(wins) {
+			hi = len(wins)
+		}
+		errs = append(errs, bs.ScoreWindows(wins[lo:hi])...)
+	}
+	if rec, ok := bs.(BatchRecycler); ok {
+		rec.RecycleWindows(wins)
+	}
+	return errs
+}
+
+// WindowErrors implements Backend. The escalation decision lives here and
+// only here: the first stage screens the connection, and iff its verdict
+// reaches the escalation threshold (or no threshold is calibrated yet)
+// the second stage re-scores it — returning a series bit-identical to
+// running the second stage alone. Summarize then reduces whichever series
+// came back, so ScoreConn == Summarize(WindowErrors(c)) holds by
+// construction for any stage pairing.
+//
+// A screened series is reported as its margin below the escalation
+// threshold: every window error is shifted down by the threshold, so the
+// screened verdict reduces to a negative score (stage-1 score minus
+// threshold). Stage error magnitudes are non-negative, which puts every
+// screened connection strictly below every escalated one on the combined
+// scale — the routed score is a single-threshold ranking statistic even
+// though the two stages score on unrelated scales, and the end-to-end
+// operating threshold calibrated over routed scores lands inside the
+// escalated (second-stage) range whenever the detection FPR target is
+// tighter than the escalation budget.
+func (b *Cascade) WindowErrors(c *flow.Connection) []float64 {
+	e1 := stageSeries(b.s1, c)
+	b.stats.evaluated.Add(1)
+	if th, set := b.Escalation(); set {
+		if score, _ := b.s1.Summarize(e1); score < th {
+			for i := range e1 {
+				e1[i] -= th
+			}
+			return e1
+		}
+	}
+	b.stats.escalated.Add(1)
+	return stageSeries(b.s2, c)
+}
+
+// ScoreConn implements Backend.
+func (b *Cascade) ScoreConn(c *flow.Connection) float64 {
+	score, _ := b.Summarize(b.WindowErrors(c))
+	return score
+}
+
+// Summarize implements Backend: the second stage's reduction,
+// unconditionally. Escalated series are the second stage's own, so their
+// scores are bit-identical to the pure second stage; non-escalated series
+// are the first stage's threshold-shifted margins and reduce on the same
+// peak-window-mean that every CLAP-family stage shares — the reduction is
+// shift-equivariant, so the screened score is the stage-1 score minus the
+// escalation threshold (for stage pairs whose reductions differ, it is
+// "stage2's reduction of stage1's shifted series" — still monotone in
+// stage1's anomaly evidence, which is what the operating threshold is
+// calibrated against end to end).
+func (b *Cascade) Summarize(errs []float64) (score float64, peak int) {
+	return b.s2.Summarize(errs)
+}
+
+// CalibrateStages derives the escalation threshold from one benign
+// corpus: the threshold on the first stage's score admitting at most
+// EscalateFPR of benign connections to the second stage. scorer scores a
+// corpus with one stage (the Pipeline passes its batched engine pass).
+// The caller then derives the end-to-end operating threshold by scoring
+// the composed cascade on the same corpus — both quantile cuts, so the
+// cascade's realized end-to-end FPR meets the target regardless of the
+// two stages' score scales.
+func (b *Cascade) CalibrateStages(benign []*flow.Connection, scorer func(Backend, []*flow.Connection) []float64) error {
+	if len(benign) == 0 {
+		return errors.New("backend: cascade stage calibration needs a benign corpus")
+	}
+	if !b.Trained() {
+		return errors.New("backend: cascade stage calibration needs trained stages")
+	}
+	th := metrics.ThresholdAtFPR(scorer(b.s1, benign), b.escFPR)
+	if math.IsInf(th, 1) {
+		return errors.New("backend: cascade stage calibration produced no scores")
+	}
+	if err := b.SetEscalation(th); err != nil {
+		return err
+	}
+	b.ResetEscalationCounts()
+	return nil
+}
+
+// Save implements Backend (payload only; the registry Save frames it).
+// Layout, all big-endian: format version byte, escalate-FPR bits,
+// escalation-set byte, escalation-threshold bits, then the two stages as
+// length-prefixed registry-framed model streams — so each stage rides its
+// own tagged header and loads through its own decoder.
+func (b *Cascade) Save(w io.Writer) error {
+	if !b.Trained() {
+		return errors.New("backend: saving untrained cascade backend")
+	}
+	var buf bytes.Buffer
+	wr := func(v any) { binary.Write(&buf, binary.BigEndian, v) }
+	wr(uint8(cascadeFormatVersion))
+	wr(math.Float64bits(b.escFPR))
+	th, set := b.Escalation()
+	var setByte uint8
+	if set {
+		setByte = 1
+	}
+	wr(setByte)
+	wr(math.Float64bits(th))
+	for _, s := range []Backend{b.s1, b.s2} {
+		var sb bytes.Buffer
+		if err := Save(&sb, s); err != nil {
+			return fmt.Errorf("backend: saving cascade stage %s: %w", s.Tag(), err)
+		}
+		if sb.Len() > maxStageBlob {
+			return fmt.Errorf("backend: cascade stage %s payload too large", s.Tag())
+		}
+		wr(uint32(sb.Len()))
+		buf.Write(sb.Bytes())
+	}
+	_, err := w.Write(buf.Bytes())
+	return err
+}
+
+// loadCascade decodes a cascade payload written by Save.
+func loadCascade(r io.Reader) (Backend, error) {
+	rd := func(v any) error { return binary.Read(r, binary.BigEndian, v) }
+	var ver uint8
+	if err := rd(&ver); err != nil {
+		return nil, fmt.Errorf("backend: cascade payload: %w", err)
+	}
+	if ver != cascadeFormatVersion {
+		return nil, fmt.Errorf("backend: unsupported cascade format version %d", ver)
+	}
+	var escFPRBits uint64
+	var setByte uint8
+	var escBits uint64
+	if err := rd(&escFPRBits); err != nil {
+		return nil, fmt.Errorf("backend: cascade payload: %w", err)
+	}
+	if err := rd(&setByte); err != nil {
+		return nil, fmt.Errorf("backend: cascade payload: %w", err)
+	}
+	if err := rd(&escBits); err != nil {
+		return nil, fmt.Errorf("backend: cascade payload: %w", err)
+	}
+	var stages [2]Backend
+	for i := range stages {
+		var n uint32
+		if err := rd(&n); err != nil {
+			return nil, fmt.Errorf("backend: cascade stage %d length: %w", i+1, err)
+		}
+		if n > maxStageBlob {
+			return nil, fmt.Errorf("backend: cascade stage %d payload too large (%d bytes)", i+1, n)
+		}
+		blob := make([]byte, n)
+		if _, err := io.ReadFull(r, blob); err != nil {
+			return nil, fmt.Errorf("backend: cascade stage %d payload: %w", i+1, err)
+		}
+		s, err := Load(bytes.NewReader(blob))
+		if err != nil {
+			return nil, fmt.Errorf("backend: cascade stage %d: %w", i+1, err)
+		}
+		stages[i] = s
+	}
+	c, err := NewCascade(stages[0], stages[1], math.Float64frombits(escFPRBits))
+	if err != nil {
+		return nil, err
+	}
+	if setByte != 0 {
+		if err := c.SetEscalation(math.Float64frombits(escBits)); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

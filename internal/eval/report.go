@@ -332,5 +332,10 @@ func FullReport(s *Suite, rs []StrategyResult) string {
 	}
 	b.WriteString(Table3(s.MeasureThroughputCLAP(advConns), s.MeasureThroughputKitsune(advConns),
 		s.MeasureThroughputEngine(advConns)))
+	// Table 9: the tiered-deployment frontier over the same trained models.
+	if f, err := s.CascadeFrontier(nil); err == nil {
+		b.WriteString("\n")
+		b.WriteString(TableFrontier(f))
+	}
 	return b.String()
 }

@@ -104,24 +104,40 @@ func EER(benign, adversarial []float64) float64 {
 
 // ThresholdAtFPR returns the smallest threshold whose false positive rate
 // on the benign scores does not exceed the target — the deployer-facing
-// knob discussed in §3.3(d).
+// knob discussed in §3.3(d). With n benign samples it admits exactly
+// k = floor(targetFPR·n) of them at or above the threshold (fewer only
+// when ties at the boundary force a conservative retreat), matching
+// calib.Sketch.ThresholdAtFPR's "allowed = floor(target·n)" semantics.
 func ThresholdAtFPR(benign []float64, targetFPR float64) float64 {
-	if len(benign) == 0 {
+	n := len(benign)
+	if n == 0 {
 		return math.Inf(1)
 	}
 	s := append([]float64(nil), benign...)
 	sort.Float64s(s)
 	// Allow k = floor(targetFPR * n) benign samples at or above the
 	// threshold.
-	k := int(targetFPR * float64(len(s)))
-	if k >= len(s) {
-		return s[0]
+	k := int(targetFPR * float64(n))
+	if k >= n {
+		return s[0] // everything may fire
 	}
-	idx := len(s) - k // first excluded sample from the top
-	if idx >= len(s) {
-		return s[len(s)-1] + 1e-12 // above the maximum benign score
+	if k == 0 {
+		// Exclude every benign sample: the next representable value above
+		// the maximum (not a fixed epsilon, which breaks at large scales).
+		return math.Nextafter(s[n-1], math.Inf(1))
 	}
-	return s[idx] + 1e-12
+	// s[n-k] is the lowest admitted sample. If boundary samples tie with
+	// the excluded s[n-k-1], setting the threshold there would admit more
+	// than k; retreat upward past the tie so the realized FPR stays ≤
+	// target (the conservative direction).
+	idx := n - k
+	for idx < n && s[idx-1] == s[idx] {
+		idx++
+	}
+	if idx == n {
+		return math.Nextafter(s[n-1], math.Inf(1))
+	}
+	return s[idx]
 }
 
 // Mean returns the arithmetic mean (NaN for empty input).

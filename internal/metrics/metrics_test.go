@@ -173,6 +173,95 @@ func TestThresholdAtFPR(t *testing.T) {
 	}
 }
 
+// realizedFP counts benign samples at or above the threshold (the
+// classifier's "positive when score >= threshold" convention).
+func realizedFP(benign []float64, th float64) int {
+	fp := 0
+	for _, b := range benign {
+		if b >= th {
+			fp++
+		}
+	}
+	return fp
+}
+
+// TestThresholdAtFPRExactBudget pins the fixed floor(target·n) semantics:
+// the realized false-positive count equals the budget k exactly on
+// distinct scores (the old code admitted only k−1, undershooting every
+// calibrated pipeline by 1/n), and retreats conservatively — realizing
+// the largest count ≤ k — when ties straddle the boundary.
+func TestThresholdAtFPRExactBudget(t *testing.T) {
+	distinct := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	n := len(distinct)
+	cases := []struct {
+		name   string
+		benign []float64
+		target float64
+		wantFP int // exact realized count
+	}{
+		{"k=0", distinct, 0, 0},
+		{"k=1", distinct, 0.1, 1},
+		{"k=n-1", distinct, 0.9, n - 1},
+		{"k=n", distinct, 1.0, n},
+		{"k-rounds-down", distinct, 0.25, 2}, // floor(0.25·10) = 2
+		// Tie spanning the boundary: budget k=2 but s[7]=s[8]=9 ties with
+		// the would-be cutoff — admitting at 9 would fire 3 times, so the
+		// threshold retreats to 10 and realizes 1 (largest value ≤ 2).
+		{"tie-at-boundary", []float64{1, 2, 3, 4, 5, 6, 7, 9, 9, 10}, 0.2, 1},
+		// Tie entirely inside the admitted set: no retreat needed.
+		{"tie-inside-budget", []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 9}, 0.2, 2},
+		// All scores identical: any positive budget < n must exclude all.
+		{"all-tied-k=1", []float64{5, 5, 5, 5, 5, 5, 5, 5, 5, 5}, 0.1, 0},
+		{"all-tied-k=n", []float64{5, 5, 5, 5, 5, 5, 5, 5, 5, 5}, 1.0, n},
+		{"single-sample-k=0", []float64{3}, 0.5, 0}, // floor(0.5·1) = 0
+		{"single-sample-k=1", []float64{3}, 1.0, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			th := ThresholdAtFPR(tc.benign, tc.target)
+			fp := realizedFP(tc.benign, th)
+			if fp != tc.wantFP {
+				t.Fatalf("threshold %g realizes %d false positives, want %d", th, fp, tc.wantFP)
+			}
+			budget := int(tc.target * float64(len(tc.benign)))
+			if fp > budget {
+				t.Fatalf("threshold %g realizes %d > budget %d", th, fp, budget)
+			}
+		})
+	}
+}
+
+// TestThresholdAtFPRLargestBelowTarget: the realized FPR is the largest
+// achievable value ≤ target — raising the threshold to the next distinct
+// admitted score would only lower it further, and any lower threshold
+// would overshoot the budget.
+func TestThresholdAtFPRLargestBelowTarget(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		n := 1 + rng.Intn(40)
+		benign := make([]float64, n)
+		for i := range benign {
+			benign[i] = math.Round(rng.NormFloat64()*4) / 2 // induce ties
+		}
+		target := rng.Float64()
+		budget := int(target * float64(n))
+		th := ThresholdAtFPR(benign, target)
+		fp := realizedFP(benign, th)
+		if fp > budget {
+			t.Fatalf("n=%d target=%g: realized %d > budget %d", n, target, fp, budget)
+		}
+		// Maximality: every benign score strictly below th would, used as
+		// the threshold itself, overshoot the budget. (Scores ≥ th are
+		// already admitted, so th realizes the largest count ≤ budget.)
+		for _, b := range benign {
+			if b < th && realizedFP(benign, b) <= budget {
+				t.Fatalf("n=%d target=%g: threshold %g not maximal, %g also fits budget %d",
+					n, target, th, b, budget)
+			}
+		}
+	}
+}
+
 func TestTopNHit(t *testing.T) {
 	scores := []float64{0.1, 0.9, 0.2, 0.8, 0.3}
 	if !TopNHit(scores, []int{1}, 1) {

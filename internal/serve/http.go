@@ -6,7 +6,20 @@ import (
 	"net/http"
 	"strconv"
 	"time"
+
+	"clap/internal/backend"
 )
+
+// cascadeStatus samples the serving cascade's escalation accounting, or a
+// zero (absent) sample when a single-stage backend is live.
+func (s *Server) cascadeStatus() cascadeSample {
+	cc, ok := s.hot.Current().(*backend.Cascade)
+	if !ok {
+		return cascadeSample{}
+	}
+	evaluated, escalated := cc.EscalationCounts()
+	return cascadeSample{present: true, evaluated: evaluated, escalated: escalated}
+}
 
 // Handler returns the ops API. Endpoints (see DESIGN.md §7):
 //
@@ -80,7 +93,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeProm(w, len(s.queue), cap(s.queue), st.InFlight(),
-		st.Threshold(), st.BatchFill(), drift, s.hot.Tag(), s.hot.Generation(), s.stats)
+		st.Threshold(), st.BatchFill(), drift, s.cascadeStatus(), s.hot.Tag(), s.hot.Generation(), s.stats)
 }
 
 func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
@@ -157,7 +170,7 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 			Done:      st.done.Load(),
 		})
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	summary := map[string]any{
 		"scored":             s.metrics.connsScored.Load(),
 		"packets":            s.metrics.packets.Load(),
 		"flagged":            s.metrics.flagged.Load(),
@@ -174,7 +187,28 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		},
 		"sources":        srcs,
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
-	})
+	}
+	if cc, ok := s.hot.Current().(*backend.Cascade); ok {
+		s1, s2 := cc.Stages()
+		evaluated, escalated := cc.EscalationCounts()
+		frac := 0.0
+		if evaluated > 0 {
+			frac = float64(escalated) / float64(evaluated)
+		}
+		cas := map[string]any{
+			"stage1":              s1.Tag(),
+			"stage2":              s2.Tag(),
+			"escalate_fpr":        cc.EscalateFPR(),
+			"evaluated":           evaluated,
+			"escalated":           escalated,
+			"escalation_fraction": frac,
+		}
+		if esc, set := cc.Escalation(); set {
+			cas["escalation_threshold"] = esc
+		}
+		summary["cascade"] = cas
+	}
+	writeJSON(w, http.StatusOK, summary)
 }
 
 func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {

@@ -152,10 +152,17 @@ type driftSample struct {
 	alert        bool
 }
 
+// cascadeSample is a cascade backend's escalation accounting at render
+// time (present only while a cascade is serving).
+type cascadeSample struct {
+	present              bool
+	evaluated, escalated uint64
+}
+
 // writeProm renders the full metrics exposition. queueDepth/queueCap,
 // batchFill, the drift sample and the model info are sampled by the
 // caller at render time.
-func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, threshold, batchFill float64, drift driftSample, tag string, generation uint64, sources []*srcCounters) {
+func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, threshold, batchFill float64, drift driftSample, cascade cascadeSample, tag string, generation uint64, sources []*srcCounters) {
 	c := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -183,6 +190,15 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, thr
 			alerting = 1
 		}
 		g("clap_serve_drift_alerting", "1 while the drift alert condition currently holds.", alerting)
+	}
+	if cascade.present {
+		c("clap_serve_cascade_evaluated_total", "Connections routed through the cascade's cheap screen.", cascade.evaluated)
+		c("clap_serve_cascade_escalated_total", "Connections escalated to the cascade's expensive stage.", cascade.escalated)
+		frac := 0.0
+		if cascade.evaluated > 0 {
+			frac = float64(cascade.escalated) / float64(cascade.evaluated)
+		}
+		g("clap_serve_cascade_escalation_fraction", "Fraction of evaluated connections escalated to the expensive stage.", frac)
 	}
 
 	fmt.Fprintf(w, "# HELP clap_serve_model_info Current model (value is the reload generation).\n")

@@ -722,6 +722,23 @@ func (s *Server) ReloadWith(req ReloadRequest) (res ReloadResult, err error) {
 		if err != nil {
 			return res, fmt.Errorf("serve: reload: %w", err)
 		}
+		// Stage-2-only reload: with a cascade serving and the incoming file
+		// holding a bare backend matching its expensive stage, graft the new
+		// model in as stage 2 — the cheap screen, escalation threshold, and
+		// escalation counters carry over, so retraining the expensive model
+		// never forces retraining the screen.
+		if cc, ok := prevB.(*backend.Cascade); ok {
+			if _, isCascade := b.(*backend.Cascade); !isCascade {
+				if _, s2 := cc.Stages(); b.Tag() == s2.Tag() {
+					grafted, gerr := cc.WithStage2(b)
+					if gerr != nil {
+						return res, fmt.Errorf("serve: reload: grafting stage 2: %w", gerr)
+					}
+					s.logf("cascade: grafting %s model from %s as stage 2 (screen and escalation kept)", b.Tag(), path)
+					b = grafted
+				}
+			}
+		}
 	}
 
 	// Derive the new calibration before anything is published, so a

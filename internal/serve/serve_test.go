@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"net/http"
 	"net/http/httptest"
 	"os"
@@ -17,6 +18,7 @@ import (
 	"time"
 
 	"clap"
+	"clap/internal/backend"
 )
 
 // The shared fixture: two tiny trained models of different registry tags,
@@ -599,5 +601,147 @@ func TestServeReloadRejectsBadModel(t *testing.T) {
 	}
 	if _, _, err := srv.Reload("/definitely/not/here.model"); err == nil {
 		t.Fatal("reload of a missing file succeeded")
+	}
+}
+
+// TestServeCascadeMetricsAndStage2Reload covers the tiered-serving ops
+// surface: escalation counters in /metrics and /v1/summary while a
+// cascade serves, a stage-2-only hot reload that grafts a bare expensive
+// model into the live cascade (screen, escalation threshold and counters
+// kept), and a full swap when the incoming tag matches neither shape.
+func TestServeCascadeMetricsAndStage2Reload(t *testing.T) {
+	clapModel, b1Model := fixture(t)
+
+	// Build and calibrate the cascade offline, then persist it so the
+	// server starts from the tagged file like an operator would.
+	cascade, err := clap.NewCascade(loadModel(t, b1Model), loadModel(t, clapModel), 0.3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	calP, err := clap.NewPipeline(clap.WithBackend(cascade))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := calP.Calibrate(0.2, clap.TrafficGen(60, 5)); err != nil {
+		t.Fatal(err)
+	}
+	cascadePath := filepath.Join(t.TempDir(), "cascade.model")
+	if err := clap.SaveBackendFile(cascadePath, cascade); err != nil {
+		t.Fatal(err)
+	}
+
+	const soakN = 30
+	srv, err := New(Config{
+		Backend:    loadModel(t, cascadePath),
+		ModelPath:  cascadePath,
+		QueueDepth: 64,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AddSource(clap.Soak(clap.SoakConfig{Connections: soakN, Seed: 9, AttackFraction: 0.5}))
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+		defer cancel()
+		srv.Shutdown(ctx)
+	}()
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+
+	waitScored(t, srv, soakN)
+	m := getMetrics(t, ts.URL)
+	evaluated := m["clap_serve_cascade_evaluated_total"]
+	escalated := m["clap_serve_cascade_escalated_total"]
+	if evaluated != soakN {
+		t.Fatalf("cascade_evaluated_total = %v, want %d", evaluated, soakN)
+	}
+	if escalated == 0 || escalated > evaluated {
+		t.Fatalf("cascade_escalated_total = %v over %v evaluated; a half-attacked soak must escalate some but not require all", escalated, evaluated)
+	}
+	if frac := m["clap_serve_cascade_escalation_fraction"]; math.Abs(frac-escalated/evaluated) > 1e-9 {
+		t.Fatalf("escalation fraction gauge %v, want %v", frac, escalated/evaluated)
+	}
+
+	var summary struct {
+		Cascade *struct {
+			Stage1              string  `json:"stage1"`
+			Stage2              string  `json:"stage2"`
+			EscalateFPR         float64 `json:"escalate_fpr"`
+			EscalationThreshold float64 `json:"escalation_threshold"`
+			Evaluated           uint64  `json:"evaluated"`
+			Escalated           uint64  `json:"escalated"`
+		} `json:"cascade"`
+	}
+	getJSON(t, ts.URL+"/v1/summary", &summary)
+	if summary.Cascade == nil {
+		t.Fatal("/v1/summary has no cascade block while a cascade serves")
+	}
+	if summary.Cascade.Stage1 != clap.BackendBaseline1 || summary.Cascade.Stage2 != clap.BackendCLAP {
+		t.Fatalf("cascade stages %s+%s", summary.Cascade.Stage1, summary.Cascade.Stage2)
+	}
+	if summary.Cascade.EscalateFPR != 0.3 || summary.Cascade.EscalationThreshold <= 0 {
+		t.Fatalf("cascade calibration in summary: %+v", summary.Cascade)
+	}
+	if summary.Cascade.Evaluated != soakN || summary.Cascade.Escalated != uint64(escalated) {
+		t.Fatalf("summary counters %d/%d disagree with /metrics %v/%v",
+			summary.Cascade.Escalated, summary.Cascade.Evaluated, escalated, evaluated)
+	}
+
+	// Stage-2-only reload: the incoming file holds a bare clap model, the
+	// live cascade's expensive tag. The graft keeps the screen and state.
+	escBefore, set := srv.hot.Current().(*backend.Cascade).Escalation()
+	if !set {
+		t.Fatal("serving cascade lost its escalation threshold")
+	}
+	resp, err := http.Post(ts.URL+"/v1/reload", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"path": %q}`, clapModel)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reload struct {
+		Old ReloadInfo `json:"old"`
+		New ReloadInfo `json:"new"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reload); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("stage-2 reload: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	if reload.Old.Tag != clap.BackendCascade || reload.New.Tag != clap.BackendCascade {
+		t.Fatalf("stage-2 reload swapped the cascade away: %s -> %s", reload.Old.Tag, reload.New.Tag)
+	}
+	grafted, ok := srv.hot.Current().(*backend.Cascade)
+	if !ok {
+		t.Fatalf("after stage-2 reload the live backend is %q, want a cascade", srv.hot.Tag())
+	}
+	if escAfter, set := grafted.Escalation(); !set || escAfter != escBefore {
+		t.Fatalf("graft moved the escalation threshold: %v -> %v (set=%v)", escBefore, escAfter, set)
+	}
+	if ev, _ := grafted.EscalationCounts(); ev != soakN {
+		t.Fatalf("graft reset the escalation counters: evaluated %d, want %d", ev, soakN)
+	}
+	if srv.hot.Generation() != 1 {
+		t.Fatalf("generation after stage-2 reload = %d, want 1", srv.hot.Generation())
+	}
+
+	// A bare model of a non-stage-2 tag is a full swap: the cascade (and
+	// its metrics exposition) goes away.
+	resp, err = http.Post(ts.URL+"/v1/reload", "application/json",
+		strings.NewReader(fmt.Sprintf(`{"path": %q}`, b1Model)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&reload); err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("full-swap reload: %v %v", err, resp.Status)
+	}
+	resp.Body.Close()
+	if reload.New.Tag != clap.BackendBaseline1 {
+		t.Fatalf("full swap landed on %q, want baseline1", reload.New.Tag)
+	}
+	m2 := getMetrics(t, ts.URL)
+	if _, ok := m2["clap_serve_cascade_evaluated_total"]; ok {
+		t.Fatal("cascade counters still exposed after swapping to a single-stage backend")
 	}
 }

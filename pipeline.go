@@ -64,6 +64,25 @@ func (p *Pipeline) fail(format string, args ...any) {
 // trained (or freshly loaded) before Run.
 func WithBackend(b Backend) PipelineOption { return func(p *Pipeline) { p.backend = b } }
 
+// WithCascade selects a tiered cascade backend: cheap screens every
+// connection, expensive re-scores the suspicious tail (bit-identically to
+// running it alone), and at most escalateFPR of benign traffic escalates
+// once calibrated (combine with WithThresholdFPR so one benign corpus
+// calibrates both the escalation and the operating threshold). Both
+// stages must be trained; invalid pairings are rejected by NewPipeline.
+func WithCascade(cheap, expensive Backend, escalateFPR float64) PipelineOption {
+	return func(p *Pipeline) {
+		c, err := backend.NewCascade(cheap, expensive, escalateFPR)
+		if err != nil {
+			if p.optErr == nil {
+				p.optErr = fmt.Errorf("clap: WithCascade: %w", err)
+			}
+			return
+		}
+		p.backend = c
+	}
+}
+
 // WithWorkers sets the scoring worker count. Omit the option to size it to
 // the machine; explicit non-positive counts are rejected by NewPipeline.
 func WithWorkers(n int) PipelineOption {
@@ -261,8 +280,14 @@ type Result struct {
 type RunSummary struct {
 	// Results holds every connection's verdict in capture order.
 	Results []Result
-	// Threshold is the operating threshold used (0 in score-only mode).
+	// Threshold is the operating threshold used (0 in score-only mode,
+	// unless ThresholdSet says otherwise).
 	Threshold float64
+	// ThresholdSet reports that an operating threshold was genuinely in
+	// force — fixed, calibrated, or snapshot-installed — so a calibrated
+	// threshold of exactly 0 is distinguishable from score-only mode
+	// instead of overloading the value.
+	ThresholdSet bool
 	// Flagged counts results over the threshold.
 	Flagged int
 	// Skipped counts records the source could not decode (e.g. truncated
@@ -323,6 +348,17 @@ func (p *Pipeline) CalibrateBackend(b Backend, fpr float64, src Source) (*Calibr
 	if len(benign) == 0 {
 		return nil, errors.New("clap: calibration source produced no connections")
 	}
+	// Composite backends (the cascade) calibrate their internal stage
+	// thresholds from the same corpus first, so the end-to-end scoring
+	// below sees the routing that will serve.
+	if sc, ok := b.(backend.StageCalibrator); ok {
+		err := sc.CalibrateStages(benign, func(stage Backend, conns []*Connection) []float64 {
+			return p.eng.ScoresBatched(stage, conns)
+		})
+		if err != nil {
+			return nil, fmt.Errorf("clap: calibrating stages: %w", err)
+		}
+	}
 	scores := p.eng.ScoresBatched(b, benign)
 	ref := calib.NewSketch(0, 0)
 	for _, s := range scores {
@@ -336,18 +372,36 @@ func (p *Pipeline) CalibrateBackend(b Backend, fpr float64, src Source) (*Calibr
 		Skipped:   skipped,
 		Ref:       ref,
 	}
+	// A cascade's screened connections score as negative margins, so a
+	// detection FPR target looser than the escalation budget would land
+	// the operating threshold below zero — flagging traffic the verdict
+	// stage never examined. Catch the misconfiguration with its cause
+	// rather than letting Validate reject the bare negative number.
+	if ef, ok := b.(interface{ EscalateFPR() float64 }); ok && cal.Threshold < 0 {
+		return nil, fmt.Errorf(
+			"clap: Calibrate(%v): detection FPR target exceeds the cascade's escalation budget %v — the threshold would flag screened connections the verdict stage never scored; raise -escalate-fpr to at least the detection FPR, or lower -fpr",
+			fpr, ef.EscalateFPR())
+	}
 	if err := cal.Validate(); err != nil {
 		return nil, err
+	}
+	// Calibration scored the corpus through the backend; scrub any
+	// escalation counters it inflated so serving metrics reflect served
+	// traffic only.
+	if rc, ok := b.(interface{ ResetEscalationCounts() }); ok {
+		rc.ResetEscalationCounts()
 	}
 	return cal, nil
 }
 
 // resultFor scores one connection from its precomputed window errors under
-// the model that produced them.
-func (p *Pipeline) resultFor(b Backend, c *Connection, errs []float64, th float64) Result {
+// the model that produced them. thSet marks a threshold genuinely in
+// force even when its value is 0 (a calibrated threshold can legitimately
+// be exactly 0); without it, th == 0 means score-only.
+func (p *Pipeline) resultFor(b Backend, c *Connection, errs []float64, th float64, thSet bool) Result {
 	score, peak := b.Summarize(errs)
 	r := Result{Conn: c, Score: score, PeakWindow: peak}
-	if th > 0 && score >= th {
+	if (th > 0 || thSet) && score >= th {
 		r.Flagged = true
 	}
 	if r.Flagged || p.keepErrors {
@@ -376,16 +430,22 @@ func (p *Pipeline) Run(src Source, sinks ...Sink) (*RunSummary, error) {
 		return nil, fmt.Errorf("clap: reading source: %w", err)
 	}
 	errsAll := p.eng.WindowErrorsBatched(b, conns)
+	// A threshold counts as "in force" when calibrated (WithThresholdFPR),
+	// installed from a snapshot (WithCalibration), or fixed positive —
+	// either way a value of exactly 0 still flags, it does not silently
+	// fall back to score-only.
+	thSet := p.calibration != nil || p.cal != nil || th > 0
 	sum := &RunSummary{
 		Results:            make([]Result, len(conns)),
 		Threshold:          th,
+		ThresholdSet:       thSet,
 		Skipped:            skipped,
 		CalibrationConns:   calN,
 		CalibrationSkipped: calSkipped,
 		WindowSpan:         b.WindowSpan(),
 	}
 	for i, c := range conns {
-		r := p.resultFor(b, c, errsAll[i], th)
+		r := p.resultFor(b, c, errsAll[i], th, thSet)
 		errsAll[i] = nil
 		if r.Flagged {
 			sum.Flagged++
@@ -453,7 +513,9 @@ func (p *Pipeline) NewStream(emit func(Result), hooks ...StreamHooks) (*Pipeline
 	s.threshold.Store(math.Float64bits(th))
 	score := func(c *Connection) Result {
 		b, th := s.pin(p)
-		return p.resultFor(b, c, s.windowErrors(b, c, p.batch), th)
+		// Streams keep the historical threshold-0 = score-only contract:
+		// SetThreshold(0) reverts to score-only, so thSet stays false here.
+		return p.resultFor(b, c, s.windowErrors(b, c, p.batch), th, false)
 	}
 	var h StreamHooks
 	if len(hooks) > 0 {

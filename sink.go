@@ -46,7 +46,7 @@ func (t *textReport) Emit(r Result) error {
 // Finish renders the run footer from the summary's complete result list
 // (capture order), so Emit keeps no per-connection state of its own.
 func (t *textReport) Finish(sum *RunSummary) error {
-	if sum.Threshold <= 0 {
+	if !sum.ThresholdSet && sum.Threshold <= 0 {
 		// Score-only mode: rank everything (ties broken by capture order so
 		// output is deterministic).
 		idx := make([]int, len(sum.Results))
@@ -192,6 +192,8 @@ type dedupAlertLog struct {
 	second     time.Time            // start of the current rate bucket
 	inSecond   int                  // lines written in the current bucket
 	suppressed int
+	nextPrune  time.Time // earliest time the next expiry scan may run
+	pruneScans int       // full scans performed (observability for tests)
 
 	now func() time.Time // injectable clock for tests
 	err error
@@ -223,13 +225,18 @@ func (a *dedupAlertLog) Emit(r Result) error {
 	}
 	if a.window > 0 {
 		// Opportunistically expire stale entries so a long-running server
-		// does not accumulate every key it ever flagged.
-		if len(a.seen) > 4096 {
+		// does not accumulate every key it ever flagged. The scan is
+		// amortized to at most once per dedup window: a sustained burst of
+		// distinct keys past the size trigger pays one O(n) sweep per
+		// window instead of one per alert (which went quadratic).
+		if len(a.seen) > 4096 && !now.Before(a.nextPrune) {
 			for k, t := range a.seen {
 				if now.Sub(t) >= a.window {
 					delete(a.seen, k)
 				}
 			}
+			a.pruneScans++
+			a.nextPrune = now.Add(a.window)
 		}
 		a.seen[key] = now
 	}

@@ -108,6 +108,25 @@ func TestTextReportGolden(t *testing.T) {
 			t.Fatalf("score-only report diverged:\n got: %q\nwant: %q", buf.String(), want)
 		}
 	})
+
+	// A calibrated threshold of exactly 0 is a real operating point, not
+	// score-only mode: with the ThresholdSet bit carried on the summary the
+	// flagged report renders (previously it silently fell back to the
+	// top-10 ranking).
+	t.Run("threshold-zero-flagged", func(t *testing.T) {
+		zeroTh := &RunSummary{Results: results, Threshold: 0, ThresholdSet: true, Flagged: 2, WindowSpan: 3}
+		var buf bytes.Buffer
+		if err := runSink(t, NewTextReport(&buf, false), results, zeroTh); err != nil {
+			t.Fatal(err)
+		}
+		want := "" +
+			"2/3 connections flagged at threshold 0.000000\n" +
+			"\n10.0.0.1:1001 > 192.0.2.1:443  score=0.250000 peak-window=2\n" +
+			"\n10.0.0.2:1002 > 192.0.2.1:443  score=0.750000 peak-window=0\n"
+		if buf.String() != want {
+			t.Fatalf("threshold-0 flagged report diverged:\n got: %q\nwant: %q", buf.String(), want)
+		}
+	})
 }
 
 // TestSinksSurfaceWriterErrors: every sink propagates its writer's error
@@ -214,4 +233,50 @@ func TestDedupAlertLog(t *testing.T) {
 			t.Fatalf("unflagged result produced output: %q", buf.String())
 		}
 	})
+}
+
+// TestDedupAlertLogAmortizedPrune: once the seen map exceeds the size
+// trigger with live (unexpired) keys, sustained distinct-key alerting
+// pays at most one full expiry scan per dedup window — not one per Emit,
+// which made the alert path quadratic under attack bursts.
+func TestDedupAlertLogAmortizedPrune(t *testing.T) {
+	clock := time.Unix(100, 0)
+	var buf bytes.Buffer
+	s := NewDedupAlertLog(&buf, time.Hour, 0).(*dedupAlertLog)
+	s.now = func() time.Time { return clock }
+	conn := func(i int) *Connection {
+		return &Connection{Key: flow.Key{
+			Client: flow.Endpoint{IP: [4]byte{10, byte(i >> 16), byte(i >> 8), byte(i)}, Port: 1},
+			Server: flow.Endpoint{IP: [4]byte{192, 0, 2, 1}, Port: 443},
+		}}
+	}
+	// Grow the map well past the 4096 trigger with live keys, one distinct
+	// key per Emit, advancing the clock slightly so no key ever expires.
+	const total = 6000
+	for i := 0; i < total; i++ {
+		clock = clock.Add(time.Millisecond)
+		s.Emit(Result{Conn: conn(i), Flagged: true})
+	}
+	if len(s.seen) != total {
+		t.Fatalf("seen holds %d keys, want %d live", len(s.seen), total)
+	}
+	// ~1900 emits ran past the trigger inside one window: amortization
+	// allows at most one scan (the old code scanned on every one).
+	if s.pruneScans > 1 {
+		t.Fatalf("%d full scans during one window, want <= 1", s.pruneScans)
+	}
+	// After the window elapses the next alert may scan again — and, with
+	// every key now stale, must actually shrink the map.
+	clock = clock.Add(2 * time.Hour)
+	scansBefore := s.pruneScans
+	s.Emit(Result{Conn: conn(total), Flagged: true})
+	if s.pruneScans != scansBefore+1 {
+		t.Fatalf("scan did not run after window elapsed (scans=%d)", s.pruneScans)
+	}
+	if len(s.seen) != 1 {
+		t.Fatalf("stale keys survived the post-window scan: %d left, want 1", len(s.seen))
+	}
+	if got := strings.Count(buf.String(), "ALERT"); got != total+1 {
+		t.Fatalf("wrote %d alerts, want %d (all keys distinct)", got, total+1)
+	}
 }
