@@ -64,6 +64,20 @@
 // PipelineStream's threshold is live-adjustable via SetThreshold, and
 // NewDedupAlertLog hardens the alert log for continuous operation.
 //
+// One daemon can serve a fleet: repeatable -tenant flags add named
+// tenants, each owning its model, threshold, calibration and fair-share
+// quota while sharing the batched scoring engine, and the ops API scopes
+// by ?tenant= — see DESIGN.md §11. Multi-tenant quickstart:
+//
+//	clap-serve -model clap.model -tail core.pcap \
+//	        -tenant edge=edge.model:0.08 \
+//	        -tenant-source edge=tail:/var/run/edge.pcap \
+//	        -tenant-quota edge=64:200:50
+//	curl localhost:8080/v1/tenants
+//	curl "localhost:8080/v1/summary?tenant=edge"
+//	curl -X POST -d '{"path":"edge2.model"}' \
+//	        "localhost:8080/v1/reload?tenant=edge"
+//
 // Long-running deployments drift: the benign score distribution shifts
 // and the calibrated threshold silently stops meaning its target FPR.
 // The calibration subsystem (DESIGN.md §9) detects and fixes that.

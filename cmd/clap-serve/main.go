@@ -13,6 +13,15 @@
 //	clap-serve -model clap.model -soak 0 -soak-rate 50 -soak-attack 0.2
 //	clap-serve -model clap.model -replay suspect.pcap -calibrate benign.pcap
 //
+// Multi-tenant serving (DESIGN.md §11): repeatable -tenant flags add
+// named tenants, each with its own model, threshold, calibration and
+// fair-share quota, all sharing one batched scoring engine. -model stays
+// the default tenant, byte-for-byte compatible with single-tenant runs:
+//
+//	clap-serve -model clap.model -tail a.pcap \
+//	        -tenant edge=edge.model:0.08 -tenant-source edge=tail:edge.pcap \
+//	        -tenant-quota edge=64:200:50
+//
 // A -calibrate start persists its calibration snapshot (threshold plus
 // the benign-score reference distribution) to <model>.calib, and a later
 // start without -calibrate resumes from it, so drift monitoring keeps
@@ -22,8 +31,10 @@
 //
 //	curl localhost:8080/healthz
 //	curl localhost:8080/metrics
+//	curl localhost:8080/v1/tenants
 //	curl localhost:8080/v1/flagged?n=10
 //	curl localhost:8080/v1/drift
+//	curl "localhost:8080/v1/summary?tenant=edge"
 //	curl -X PUT -d '{"threshold":0.08}' localhost:8080/v1/threshold
 //	curl -X POST -d '{"path":"new.model"}' localhost:8080/v1/reload
 //	curl -X POST -d '{"path":"new.model","calibration":"benign.pcap","fpr":0.01}' \
@@ -35,15 +46,131 @@ import (
 	"context"
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
 	"os/signal"
+	"strconv"
+	"strings"
 	"syscall"
 	"time"
 
 	"clap"
 	"clap/internal/serve"
+	"clap/internal/tenant"
 )
+
+// tenantFlag is one -tenant declaration: name=model.bin[:threshold].
+type tenantFlag struct {
+	name      string
+	model     string
+	threshold float64
+}
+
+// tenantSourceFlag is one -tenant-source declaration: name=kind:arg.
+type tenantSourceFlag struct {
+	name string
+	spec string
+}
+
+// parseTenantFlag splits name=model.bin[:threshold]. The threshold suffix
+// is recognized only when it parses as a number, so model paths containing
+// colons stay usable.
+func parseTenantFlag(v string) (tenantFlag, error) {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return tenantFlag{}, fmt.Errorf("-tenant %q: want name=model.bin[:threshold]", v)
+	}
+	tf := tenantFlag{name: name, model: rest}
+	if i := strings.LastIndex(rest, ":"); i > 0 {
+		if th, err := strconv.ParseFloat(rest[i+1:], 64); err == nil {
+			tf.model, tf.threshold = rest[:i], th
+		}
+	}
+	return tf, nil
+}
+
+// parseQuotaFlag splits name=maxinflight[:rate[:burst]].
+func parseQuotaFlag(v string) (string, tenant.Quota, error) {
+	name, rest, ok := strings.Cut(v, "=")
+	if !ok || name == "" || rest == "" {
+		return "", tenant.Quota{}, fmt.Errorf("-tenant-quota %q: want name=maxinflight[:rate[:burst]]", v)
+	}
+	parts := strings.Split(rest, ":")
+	if len(parts) > 3 {
+		return "", tenant.Quota{}, fmt.Errorf("-tenant-quota %q: want name=maxinflight[:rate[:burst]]", v)
+	}
+	var q tenant.Quota
+	var err error
+	if q.MaxInFlight, err = strconv.Atoi(parts[0]); err != nil {
+		return "", tenant.Quota{}, fmt.Errorf("-tenant-quota %q: bad max-in-flight %q", v, parts[0])
+	}
+	if len(parts) > 1 {
+		if q.Rate, err = strconv.ParseFloat(parts[1], 64); err != nil {
+			return "", tenant.Quota{}, fmt.Errorf("-tenant-quota %q: bad rate %q", v, parts[1])
+		}
+	}
+	if len(parts) > 2 {
+		if q.Burst, err = strconv.Atoi(parts[2]); err != nil {
+			return "", tenant.Quota{}, fmt.Errorf("-tenant-quota %q: bad burst %q", v, parts[2])
+		}
+	}
+	return name, q, q.Validate()
+}
+
+// tenantSourceFor builds the ingest source a -tenant-source spec names.
+func tenantSourceFor(spec string, live clap.LiveConfig, soakSeed int64) (clap.ServeSource, error) {
+	kind, arg, _ := strings.Cut(spec, ":")
+	switch kind {
+	case "tail":
+		if arg == "" {
+			return nil, fmt.Errorf("tail source needs a path (tail:PATH)")
+		}
+		return clap.TailPCAP(arg, live), nil
+	case "replay":
+		if arg == "" {
+			return nil, fmt.Errorf("replay source needs a path (replay:PATH)")
+		}
+		return clap.Replay("replay:"+arg, clap.PCAPFile(arg)), nil
+	case "soak":
+		sc := clap.SoakConfig{Seed: soakSeed}
+		parts := strings.Split(arg, ":")
+		if len(parts) > 3 || parts[0] == "" {
+			return nil, fmt.Errorf("soak source: want soak:N[:rate[:attack]]")
+		}
+		var err error
+		if sc.Connections, err = strconv.Atoi(parts[0]); err != nil {
+			return nil, fmt.Errorf("soak source: bad connection count %q", parts[0])
+		}
+		if len(parts) > 1 {
+			if sc.Rate, err = strconv.ParseFloat(parts[1], 64); err != nil {
+				return nil, fmt.Errorf("soak source: bad rate %q", parts[1])
+			}
+		}
+		if len(parts) > 2 {
+			if sc.AttackFraction, err = strconv.ParseFloat(parts[2], 64); err != nil {
+				return nil, fmt.Errorf("soak source: bad attack fraction %q", parts[2])
+			}
+		}
+		return clap.Soak(sc), nil
+	}
+	return nil, fmt.Errorf("unknown source kind %q (want tail:PATH, replay:PATH or soak:N[:rate[:attack]])", kind)
+}
+
+// prefixWriter prepends a tenant tag to each alert line. writeAlert and
+// the drift formatter emit one line per Write, so prefixing per call is
+// line-accurate.
+type prefixWriter struct {
+	w      io.Writer
+	prefix string
+}
+
+func (p prefixWriter) Write(b []byte) (int, error) {
+	if _, err := io.WriteString(p.w, p.prefix); err != nil {
+		return 0, err
+	}
+	return p.w.Write(b)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -87,6 +214,33 @@ func main() {
 
 		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain on shutdown")
 	)
+	var tenantFlags []tenantFlag
+	flag.Func("tenant", "serve an extra tenant over the shared engine: name=model.bin[:threshold] (repeatable; -model stays the default tenant)", func(v string) error {
+		tf, err := parseTenantFlag(v)
+		if err != nil {
+			return err
+		}
+		tenantFlags = append(tenantFlags, tf)
+		return nil
+	})
+	var tenantSources []tenantSourceFlag
+	flag.Func("tenant-source", "ingest source for a tenant: name=tail:PATH | name=replay:PATH | name=soak:N[:rate[:attack]] (repeatable)", func(v string) error {
+		name, spec, ok := strings.Cut(v, "=")
+		if !ok || name == "" || spec == "" {
+			return fmt.Errorf("-tenant-source %q: want name=kind:arg", v)
+		}
+		tenantSources = append(tenantSources, tenantSourceFlag{name: name, spec: spec})
+		return nil
+	})
+	tenantQuotas := map[string]tenant.Quota{}
+	flag.Func("tenant-quota", "fair-share quota for a tenant: name=maxinflight[:rate[:burst]] (repeatable; name may be \"default\")", func(v string) error {
+		name, q, err := parseQuotaFlag(v)
+		if err != nil {
+			return err
+		}
+		tenantQuotas[name] = q
+		return nil
+	})
 	flag.Parse()
 	if *model == "" {
 		log.Fatal("need -model")
@@ -144,6 +298,32 @@ func main() {
 	default:
 		cfg.CalibrationFile = *calibFile
 	}
+	if q, ok := tenantQuotas[serve.DefaultTenant]; ok {
+		cfg.Quota = q
+	}
+
+	// Named tenants: each owns its model, threshold, calibration snapshot
+	// and quota, while sharing the batched engine and ingest queue with
+	// the default tenant. Named tenants persist calibration alongside
+	// their own model file (-calib-file off disables that for all).
+	for _, tf := range tenantFlags {
+		tb, err := clap.LoadBackendFile(tf.model)
+		if err != nil {
+			log.Fatalf("tenant %s: loading model: %v", tf.name, err)
+		}
+		log.Printf("tenant %s: loaded %s", tf.name, tb.Describe())
+		tc := serve.TenantConfig{
+			Name:      tf.name,
+			Backend:   tb,
+			ModelPath: tf.model,
+			Threshold: tf.threshold,
+			Quota:     tenantQuotas[tf.name],
+		}
+		if *calibFile != "off" {
+			tc.CalibrationFile = tf.model + ".calib"
+		}
+		cfg.Tenants = append(cfg.Tenants, tc)
+	}
 
 	// Alert sink: flagged results flow through the dedup+rate-limited log.
 	if *alerts != "" {
@@ -156,18 +336,50 @@ func main() {
 			defer f.Close()
 			out = f
 		}
-		sink := clap.NewDedupAlertLog(out, *alertWindow, *alertRate)
-		cfg.OnResult = func(r clap.Result) {
-			if err := sink.Emit(r); err != nil {
-				log.Printf("alert sink: %v", err)
+		if len(tenantFlags) == 0 {
+			sink := clap.NewDedupAlertLog(out, *alertWindow, *alertRate)
+			cfg.OnResult = func(r clap.Result) {
+				if err := sink.Emit(r); err != nil {
+					log.Printf("alert sink: %v", err)
+				}
 			}
-		}
-		// Drift alerts land in the same log. Both hooks fire on the
-		// stream's single emit goroutine, so the writes interleave
-		// line-atomically with the dedup sink's.
-		cfg.OnDriftAlert = func(st serve.DriftStatus) {
-			fmt.Fprintf(out, "DRIFT ALERT %s (drift=%.4f operating-fpr=%.4f target-fpr=%.4f over %d scores)\n",
-				st.Reason, st.Drift, st.OperatingFPR, st.TargetFPR, st.LiveCount)
+			// Drift alerts land in the same log. Both hooks fire on the
+			// stream's single emit goroutine, so the writes interleave
+			// line-atomically with the dedup sink's.
+			cfg.OnDriftAlert = func(st serve.DriftStatus) {
+				fmt.Fprintf(out, "DRIFT ALERT %s (drift=%.4f operating-fpr=%.4f target-fpr=%.4f over %d scores)\n",
+					st.Reason, st.Drift, st.OperatingFPR, st.TargetFPR, st.LiveCount)
+			}
+		} else {
+			// Multi-tenant: one dedup sink per tenant, so one tenant's
+			// duplicate suppression (keyed by 5-tuple) never masks
+			// another tenant's alerts; named tenants' lines carry a
+			// tenant= tag. All emits run on the stream's single emit
+			// goroutine, so the per-tenant sinks need no locking.
+			sinks := map[string]clap.Sink{
+				serve.DefaultTenant: clap.NewDedupAlertLog(out, *alertWindow, *alertRate),
+			}
+			for _, tf := range tenantFlags {
+				w := prefixWriter{w: out, prefix: "tenant=" + tf.name + " "}
+				sinks[tf.name] = clap.NewDedupAlertLog(w, *alertWindow, *alertRate)
+			}
+			cfg.OnTenantResult = func(name string, r clap.Result) {
+				sink := sinks[name]
+				if sink == nil {
+					return
+				}
+				if err := sink.Emit(r); err != nil {
+					log.Printf("alert sink: %v", err)
+				}
+			}
+			cfg.OnTenantDriftAlert = func(name string, st serve.DriftStatus) {
+				tag := ""
+				if name != serve.DefaultTenant {
+					tag = "tenant=" + name + " "
+				}
+				fmt.Fprintf(out, "%sDRIFT ALERT %s (drift=%.4f operating-fpr=%.4f target-fpr=%.4f over %d scores)\n",
+					tag, st.Reason, st.Drift, st.OperatingFPR, st.TargetFPR, st.LiveCount)
+			}
 		}
 	}
 
@@ -202,8 +414,18 @@ func main() {
 		}))
 		nSources++
 	}
+	for _, ts := range tenantSources {
+		src, err := tenantSourceFor(ts.spec, live, *soakSeed)
+		if err != nil {
+			log.Fatalf("-tenant-source %s: %v", ts.name, err)
+		}
+		if err := srv.AddTenantSource(ts.name, src); err != nil {
+			log.Fatal(err)
+		}
+		nSources++
+	}
 	if nSources == 0 {
-		log.Fatal("no ingest source: need -tail, -stdin, -replay or -soak")
+		log.Fatal("no ingest source: need -tail, -stdin, -replay, -soak or -tenant-source")
 	}
 
 	if err := srv.Start(context.Background()); err != nil {

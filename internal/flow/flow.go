@@ -70,6 +70,12 @@ type Connection struct {
 	AdvIdx []int
 	// AttackName names the strategy applied, "" for benign connections.
 	AttackName string
+
+	// Tenant names the serving tenant this connection was ingested for
+	// ("" outside multi-tenant serving). It rides the connection through
+	// the shared scoring stream so per-connection pair resolution can pin
+	// the owning tenant's (model, threshold).
+	Tenant string
 }
 
 // Len returns the number of packets.
@@ -89,6 +95,7 @@ func (c *Connection) Clone() *Connection {
 		Dirs:       append([]Direction(nil), c.Dirs...),
 		AdvIdx:     append([]int(nil), c.AdvIdx...),
 		AttackName: c.AttackName,
+		Tenant:     c.Tenant,
 	}
 	for i, p := range c.Packets {
 		out.Packets[i] = p.Clone()

@@ -144,10 +144,12 @@ func TestCloneIndependence(t *testing.T) {
 	conns := Assemble(handshake(1234, 0))
 	c := conns[0]
 	c.AttackName = "orig"
+	c.Tenant = "edge"
 	d := c.Clone()
 	d.Packets[0].TCP.Seq = 42
 	d.MarkAdversarial(0)
 	d.AttackName = "copy"
+	d.Tenant = "other"
 	if c.Packets[0].TCP.Seq == 42 {
 		t.Error("Clone shares packets")
 	}
@@ -156,6 +158,12 @@ func TestCloneIndependence(t *testing.T) {
 	}
 	if c.AttackName != "orig" {
 		t.Error("Clone shares AttackName")
+	}
+	if c.Tenant != "edge" {
+		t.Error("Clone shares Tenant")
+	}
+	if e := c.Clone(); e.Tenant != "edge" {
+		t.Errorf("Clone dropped Tenant: got %q", e.Tenant)
 	}
 }
 

@@ -10,10 +10,11 @@ import (
 	"clap/internal/backend"
 )
 
-// cascadeStatus samples the serving cascade's escalation accounting, or a
-// zero (absent) sample when a single-stage backend is live.
-func (s *Server) cascadeStatus() cascadeSample {
-	cc, ok := s.hot.Current().(*backend.Cascade)
+// cascadeStatusOf samples a tenant's serving cascade's escalation
+// accounting, or a zero (absent) sample when a single-stage backend is
+// live.
+func cascadeStatusOf(hot *backend.Hot) cascadeSample {
+	cc, ok := hot.Current().(*backend.Cascade)
 	if !ok {
 		return cascadeSample{}
 	}
@@ -21,10 +22,11 @@ func (s *Server) cascadeStatus() cascadeSample {
 	return cascadeSample{present: true, evaluated: evaluated, escalated: escalated}
 }
 
-// Handler returns the ops API. Endpoints (see DESIGN.md §7):
+// Handler returns the ops API. Endpoints (see DESIGN.md §7 and §11):
 //
 //	GET  /healthz      liveness + uptime + model tag
 //	GET  /metrics      Prometheus text exposition
+//	GET  /v1/tenants   configured tenants with their serving state
 //	GET  /v1/flagged   recent flagged connections (?n= caps the count)
 //	GET  /v1/summary   totals, per-source accounting, model + threshold
 //	GET  /v1/threshold current operating threshold
@@ -33,10 +35,17 @@ func (s *Server) cascadeStatus() cascadeSample {
 //	POST /v1/reload    hot model reload: {"path": "..."} plus optional
 //	                   atomic recalibration: {"calibration": "benign.pcap"
 //	                   | "live", "fpr": 0.01}
+//
+// /v1/flagged, /v1/summary, /v1/threshold, /v1/drift and /v1/reload
+// accept ?tenant=NAME to scope to one tenant; unscoped requests resolve
+// to the default tenant (except /v1/flagged, whose unscoped view merges
+// every tenant's ring in timestamp order), so single-tenant clients are
+// untouched.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
 	mux.HandleFunc("/metrics", s.handleMetrics)
+	mux.HandleFunc("/v1/tenants", s.handleTenants)
 	mux.HandleFunc("/v1/flagged", s.handleFlagged)
 	mux.HandleFunc("/v1/summary", s.handleSummary)
 	mux.HandleFunc("/v1/threshold", s.handleThreshold)
@@ -57,18 +66,34 @@ func httpError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
 }
 
+// tenantParam resolves the request's ?tenant= scope (absent: the default
+// tenant). On an unknown name it writes a 404 and returns ok=false.
+func (s *Server) tenantParam(w http.ResponseWriter, r *http.Request) (*tenantState, bool) {
+	name := r.URL.Query().Get("tenant")
+	t, ok := s.tenantByName(name)
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown tenant %q", name)
+		return nil, false
+	}
+	return t, true
+}
+
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	body := map[string]any{
 		"status":         "ok",
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
 		"model":          s.hot.Tag(),
 		"generation":     s.hot.Generation(),
 		"scored":         s.metrics.connsScored.Load(),
-	})
+	}
+	if s.multiTenant() {
+		body["tenants"] = len(s.tenants)
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
@@ -91,9 +116,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 			alert:        ds.Alert,
 		}
 	}
+	// Per-tenant series only in multi-tenant mode: the single-tenant
+	// exposition stays byte-identical to the pre-tenant daemon.
+	var tenants []tenantSample
+	if s.multiTenant() {
+		tenants = make([]tenantSample, 0, len(s.tenants))
+		for _, t := range s.tenants {
+			ts := tenantSample{
+				name:       t.Name,
+				tag:        t.Hot.Tag(),
+				generation: t.Hot.Generation(),
+				threshold:  t.Threshold(),
+				inFlight:   t.InFlight(),
+				scored:     t.Scored.Load(),
+				packets:    t.Packets.Load(),
+				flagged:    t.Flagged.Load(),
+				delivered:  t.Delivered.Load(),
+				shed:       t.Shed.Load(),
+				reloads:    t.Reloads.Load(),
+				alerts:     t.DriftAlerts.Load(),
+			}
+			if t.Monitor != nil {
+				ds := t.Monitor.Status(t.Threshold())
+				ts.drift = driftSample{
+					enabled:      true,
+					drift:        ds.Drift,
+					operatingFPR: ds.OperatingFPR,
+					targetFPR:    ds.TargetFPR,
+					alert:        ds.Alert,
+				}
+			}
+			tenants = append(tenants, ts)
+		}
+	}
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	s.metrics.writeProm(w, len(s.queue), cap(s.queue), st.InFlight(),
-		st.Threshold(), st.BatchFill(), drift, s.cascadeStatus(), s.hot.Tag(), s.hot.Generation(), s.stats)
+		st.Threshold(), st.BatchFill(), drift, cascadeStatusOf(s.hot), s.hot.Tag(), s.hot.Generation(), s.stats, tenants)
 }
 
 func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
@@ -105,19 +163,27 @@ func (s *Server) handleDrift(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "not started")
 		return
 	}
-	ds, ok := s.DriftStatus()
+	t, ok := s.tenantParam(w, r)
 	if !ok {
+		return
+	}
+	if t.Monitor == nil {
 		httpError(w, http.StatusNotFound, "drift monitoring disabled")
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	ds := t.Monitor.Status(t.Threshold())
+	body := map[string]any{
 		"drift":        ds,
-		"alerts_total": s.metrics.driftAlerts.Load(),
+		"alerts_total": t.DriftAlerts.Load(),
 		"model": map[string]any{
-			"tag":        s.hot.Tag(),
-			"generation": s.hot.Generation(),
+			"tag":        t.Hot.Tag(),
+			"generation": t.Hot.Generation(),
 		},
-	})
+	}
+	if s.multiTenant() {
+		body["tenant"] = t.Name
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
@@ -134,9 +200,24 @@ func (s *Server) handleFlagged(w http.ResponseWriter, r *http.Request) {
 		}
 		n = v
 	}
-	flagged := s.Flagged(n)
+	// Unscoped: the merged, timestamp-ordered view across every
+	// tenant's bounded ring. Scoped: one tenant's ring and counter.
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		t, ok := s.tenantByName(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown tenant %q", name)
+			return
+		}
+		flagged, _ := s.FlaggedTenant(name, n)
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant":        t.Name,
+			"flagged":       flagged,
+			"total_flagged": t.Flagged.Load(),
+		})
+		return
+	}
 	writeJSON(w, http.StatusOK, map[string]any{
-		"flagged":       flagged,
+		"flagged":       s.Flagged(n),
 		"total_flagged": s.metrics.flagged.Load(),
 	})
 }
@@ -150,6 +231,20 @@ type sourceSummary struct {
 	Done      bool   `json:"done"`
 }
 
+func sourceSummaries(stats []*srcCounters) []sourceSummary {
+	srcs := make([]sourceSummary, 0, len(stats))
+	for _, st := range stats {
+		srcs = append(srcs, sourceSummary{
+			Name:      st.name,
+			Delivered: st.delivered.Load(),
+			Dropped:   st.dropped.Load(),
+			Skipped:   st.skipped.Load(),
+			Done:      st.done.Load(),
+		})
+	}
+	return srcs
+}
+
 func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodGet {
 		httpError(w, http.StatusMethodNotAllowed, "GET only")
@@ -160,35 +255,45 @@ func (s *Server) handleSummary(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "not started")
 		return
 	}
-	srcs := make([]sourceSummary, 0, len(s.stats))
-	for _, st := range s.stats {
-		srcs = append(srcs, sourceSummary{
-			Name:      st.name,
-			Delivered: st.delivered.Load(),
-			Dropped:   st.dropped.Load(),
-			Skipped:   st.skipped.Load(),
-			Done:      st.done.Load(),
-		})
+	t, ok := s.tenantParam(w, r)
+	if !ok {
+		return
+	}
+	// The default tenant's view keeps the daemon-wide counters (equal to
+	// its own in single-tenant mode, and the natural "whole daemon" view
+	// otherwise); a named tenant's view is scoped to its own accounting.
+	scored, packets, flagged, reloads := s.metrics.connsScored.Load(), s.metrics.packets.Load(), s.metrics.flagged.Load(), s.metrics.reloads.Load()
+	threshold := st.Threshold()
+	srcs := sourceSummaries(s.stats)
+	if t.Name != DefaultTenant {
+		scored, packets, flagged, reloads = t.Scored.Load(), t.Packets.Load(), t.Flagged.Load(), t.Reloads.Load()
+		threshold = t.Threshold()
+		srcs = sourceSummaries(t.srcs)
 	}
 	summary := map[string]any{
-		"scored":             s.metrics.connsScored.Load(),
-		"packets":            s.metrics.packets.Load(),
-		"flagged":            s.metrics.flagged.Load(),
-		"reloads":            s.metrics.reloads.Load(),
-		"threshold":          st.Threshold(),
+		"scored":             scored,
+		"packets":            packets,
+		"flagged":            flagged,
+		"reloads":            reloads,
+		"threshold":          threshold,
 		"batch_fill":         st.BatchFill(),
 		"packets_per_second": s.metrics.windowRate(),
 		"queue_depth":        len(s.queue),
 		"queue_capacity":     cap(s.queue),
 		"model": map[string]any{
-			"tag":        s.hot.Tag(),
-			"describe":   s.hot.Describe(),
-			"generation": s.hot.Generation(),
+			"tag":        t.Hot.Tag(),
+			"describe":   t.Hot.Describe(),
+			"generation": t.Hot.Generation(),
 		},
 		"sources":        srcs,
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
 	}
-	if cc, ok := s.hot.Current().(*backend.Cascade); ok {
+	if s.multiTenant() {
+		summary["tenant"] = t.Name
+		summary["shed"] = t.Shed.Load()
+		summary["in_flight"] = t.InFlight()
+	}
+	if cc, ok := t.Hot.Current().(*backend.Cascade); ok {
 		s1, s2 := cc.Stages()
 		evaluated, escalated := cc.EscalationCounts()
 		frac := 0.0
@@ -217,9 +322,19 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusServiceUnavailable, "not started")
 		return
 	}
+	t, ok := s.tenantParam(w, r)
+	if !ok {
+		return
+	}
+	current := func() float64 {
+		if t.Name == DefaultTenant {
+			return st.Threshold()
+		}
+		return t.Threshold()
+	}
 	switch r.Method {
 	case http.MethodGet:
-		writeJSON(w, http.StatusOK, map[string]float64{"threshold": st.Threshold()})
+		writeJSON(w, http.StatusOK, map[string]float64{"threshold": current()})
 	case http.MethodPut:
 		var body struct {
 			Threshold *float64 `json:"threshold"`
@@ -235,11 +350,11 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 			httpError(w, http.StatusBadRequest, "request body must be a single JSON object")
 			return
 		}
-		if err := s.SetThreshold(*body.Threshold); err != nil {
+		if err := s.SetTenantThreshold(r.URL.Query().Get("tenant"), *body.Threshold); err != nil {
 			httpError(w, http.StatusBadRequest, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, map[string]float64{"threshold": st.Threshold()})
+		writeJSON(w, http.StatusOK, map[string]float64{"threshold": current()})
 	default:
 		httpError(w, http.StatusMethodNotAllowed, "GET or PUT")
 	}
@@ -248,6 +363,10 @@ func (s *Server) handleThreshold(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	if r.Method != http.MethodPost {
 		httpError(w, http.StatusMethodNotAllowed, "POST only")
+		return
+	}
+	t, ok := s.tenantParam(w, r)
+	if !ok {
 		return
 	}
 	var body ReloadRequest
@@ -266,15 +385,83 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "fpr %v must be in (0, 1)", body.FPR)
 		return
 	}
-	res, err := s.ReloadWith(body)
+	res, err := s.reloadTenant(t, body)
 	if err != nil {
 		httpError(w, http.StatusUnprocessableEntity, "%v", err)
 		return
 	}
-	writeJSON(w, http.StatusOK, map[string]any{
+	out := map[string]any{
 		"old":               res.Old,
 		"new":               res.New,
 		"recalibrated":      res.Recalibrated,
 		"calibration_conns": res.CalibrationConns,
-	})
+	}
+	if s.multiTenant() {
+		out["tenant"] = t.Name
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// tenantInfo is one tenant's entry in /v1/tenants.
+type tenantInfo struct {
+	Name      string          `json:"name"`
+	Default   bool            `json:"default,omitempty"`
+	Model     ReloadInfo      `json:"model"`
+	Quota     tenantQuotaInfo `json:"quota"`
+	Scored    uint64          `json:"scored"`
+	Flagged   uint64          `json:"flagged"`
+	Delivered uint64          `json:"delivered"`
+	Shed      uint64          `json:"shed"`
+	Reloads   uint64          `json:"reloads"`
+	InFlight  int             `json:"in_flight"`
+	Sources   []string        `json:"sources,omitempty"`
+	Drift     *DriftStatus    `json:"drift,omitempty"`
+}
+
+type tenantQuotaInfo struct {
+	MaxInFlight int     `json:"max_in_flight"`
+	Rate        float64 `json:"rate"`
+	Burst       int     `json:"burst"`
+	Unlimited   bool    `json:"unlimited"`
+}
+
+func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	out := make([]tenantInfo, 0, len(s.tenants))
+	for _, t := range s.tenants {
+		info := tenantInfo{
+			Name:    t.Name,
+			Default: t.Name == DefaultTenant,
+			Model: ReloadInfo{
+				Tag:        t.Hot.Tag(),
+				Describe:   t.Hot.Describe(),
+				Generation: t.Hot.Generation(),
+				Threshold:  t.Threshold(),
+			},
+			Quota: tenantQuotaInfo{
+				MaxInFlight: t.Quota.MaxInFlight,
+				Rate:        t.Quota.Rate,
+				Burst:       t.Quota.Burst,
+				Unlimited:   t.Quota.Unlimited(),
+			},
+			Scored:    t.Scored.Load(),
+			Flagged:   t.Flagged.Load(),
+			Delivered: t.Delivered.Load(),
+			Shed:      t.Shed.Load(),
+			Reloads:   t.Reloads.Load(),
+			InFlight:  t.InFlight(),
+		}
+		for _, src := range t.srcs {
+			info.Sources = append(info.Sources, src.name)
+		}
+		if t.Monitor != nil {
+			ds := t.Monitor.Status(t.Threshold())
+			info.Drift = &ds
+		}
+		out = append(out, info)
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"tenants": out})
 }

@@ -4,10 +4,38 @@ import (
 	"fmt"
 	"io"
 	"sort"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
 )
+
+// promLabel escapes one label VALUE for the Prometheus text exposition:
+// backslash, double-quote and newline are the three characters the
+// format reserves inside quoted label values. Source and tenant names
+// are operator-controlled (-tenant flags, source names derived from file
+// paths), so a stray " or \n must not corrupt the whole /metrics page.
+// Ordinary names pass through byte-identical.
+func promLabel(v string) string {
+	if !strings.ContainsAny(v, "\\\"\n") {
+		return v
+	}
+	var b strings.Builder
+	b.Grow(len(v) + 2)
+	for _, r := range v {
+		switch r {
+		case '\\':
+			b.WriteString(`\\`)
+		case '"':
+			b.WriteString(`\"`)
+		case '\n':
+			b.WriteString(`\n`)
+		default:
+			b.WriteRune(r)
+		}
+	}
+	return b.String()
+}
 
 // metrics is the daemon's operational state, exported in Prometheus text
 // format at /metrics. Counters are atomics (updated from the emit and
@@ -159,10 +187,30 @@ type cascadeSample struct {
 	evaluated, escalated uint64
 }
 
+// tenantSample is one tenant's state at render time. Per-tenant series
+// are emitted only in multi-tenant mode (the caller passes nil
+// otherwise), keeping the single-tenant exposition byte-identical to the
+// pre-tenant daemon.
+type tenantSample struct {
+	name       string
+	tag        string
+	generation uint64
+	threshold  float64
+	inFlight   int
+	scored     uint64
+	packets    uint64
+	flagged    uint64
+	delivered  uint64
+	shed       uint64
+	reloads    uint64
+	drift      driftSample
+	alerts     uint64
+}
+
 // writeProm renders the full metrics exposition. queueDepth/queueCap,
-// batchFill, the drift sample and the model info are sampled by the
-// caller at render time.
-func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, threshold, batchFill float64, drift driftSample, cascade cascadeSample, tag string, generation uint64, sources []*srcCounters) {
+// batchFill, the drift sample, the model info and the tenant samples are
+// sampled by the caller at render time.
+func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, threshold, batchFill float64, drift driftSample, cascade cascadeSample, tag string, generation uint64, sources []*srcCounters, tenants []tenantSample) {
 	c := func(name, help string, v uint64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
 	}
@@ -203,7 +251,11 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, thr
 
 	fmt.Fprintf(w, "# HELP clap_serve_model_info Current model (value is the reload generation).\n")
 	fmt.Fprintf(w, "# TYPE clap_serve_model_info gauge\n")
-	fmt.Fprintf(w, "clap_serve_model_info{tag=%q} %d\n", tag, generation)
+	fmt.Fprintf(w, "clap_serve_model_info{tag=\"%s\"} %d\n", promLabel(tag), generation)
+
+	if len(tenants) > 0 {
+		m.writeTenants(w, tenants)
+	}
 
 	// Per-source accounting, sorted for a stable exposition.
 	sorted := append([]*srcCounters(nil), sources...)
@@ -219,7 +271,7 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, thr
 		name := "clap_serve_source_" + metric.suffix
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, metric.help, name)
 		for _, s := range sorted {
-			fmt.Fprintf(w, "%s{source=%q} %d\n", name, s.name, metric.get(s))
+			fmt.Fprintf(w, "%s{source=\"%s\"} %d\n", name, promLabel(s.name), metric.get(s))
 		}
 	}
 
@@ -237,6 +289,58 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, thr
 		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, stage, total)
 		fmt.Fprintf(w, "%s_sum{stage=%q} %g\n", name, stage, time.Duration(h.sumNano.Load()).Seconds())
 		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, stage, total)
+	}
+}
+
+// writeTenants renders the per-tenant series (multi-tenant mode only).
+// Label values pass through promLabel — tenant names are operator input.
+func (m *metrics) writeTenants(w io.Writer, tenants []tenantSample) {
+	counter := func(name, help string, get func(tenantSample) uint64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, help, name)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "%s{tenant=\"%s\"} %d\n", name, promLabel(t.name), get(t))
+		}
+	}
+	gauge := func(name, help string, get func(tenantSample) float64) {
+		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n", name, help, name)
+		for _, t := range tenants {
+			fmt.Fprintf(w, "%s{tenant=\"%s\"} %g\n", name, promLabel(t.name), get(t))
+		}
+	}
+	counter("clap_serve_tenant_scored_total", "Connections scored for the tenant.", func(t tenantSample) uint64 { return t.scored })
+	counter("clap_serve_tenant_packets_total", "Packets in the tenant's scored connections.", func(t tenantSample) uint64 { return t.packets })
+	counter("clap_serve_tenant_flagged_total", "Tenant connections flagged over its operating threshold.", func(t tenantSample) uint64 { return t.flagged })
+	counter("clap_serve_tenant_delivered_total", "Tenant connections admitted to the shared ingest queue.", func(t tenantSample) uint64 { return t.delivered })
+	counter("clap_serve_tenant_shed_total", "Tenant connections shed by its own quota or at a full queue.", func(t tenantSample) uint64 { return t.shed })
+	counter("clap_serve_tenant_reloads_total", "Successful hot model reloads for the tenant.", func(t tenantSample) uint64 { return t.reloads })
+	gauge("clap_serve_tenant_in_flight", "Tenant connections admitted but not yet emitted.", func(t tenantSample) float64 { return float64(t.inFlight) })
+	gauge("clap_serve_tenant_threshold", "Tenant operating threshold.", func(t tenantSample) float64 { return t.threshold })
+
+	fmt.Fprintf(w, "# HELP clap_serve_tenant_model_info Tenant's current model (value is the reload generation).\n")
+	fmt.Fprintf(w, "# TYPE clap_serve_tenant_model_info gauge\n")
+	for _, t := range tenants {
+		fmt.Fprintf(w, "clap_serve_tenant_model_info{tenant=\"%s\",tag=\"%s\"} %d\n", promLabel(t.name), promLabel(t.tag), t.generation)
+	}
+
+	// Drift, per tenant (each tenant monitors against its own reference).
+	if anyDrift := func() bool {
+		for _, t := range tenants {
+			if t.drift.enabled {
+				return true
+			}
+		}
+		return false
+	}(); anyDrift {
+		counter("clap_serve_tenant_drift_alerts_total", "Tenant drift alert excursions.", func(t tenantSample) uint64 { return t.alerts })
+		gauge("clap_serve_tenant_drift", "Tenant's largest relative quantile shift vs. its calibration reference.", func(t tenantSample) float64 { return t.drift.drift })
+		gauge("clap_serve_tenant_operating_fpr", "Tenant's estimated fraction of recent scores at or above its threshold.", func(t tenantSample) float64 { return t.drift.operatingFPR })
+		gauge("clap_serve_tenant_target_fpr", "Tenant's calibrated target FPR (0: none configured).", func(t tenantSample) float64 { return t.drift.targetFPR })
+		gauge("clap_serve_tenant_drift_alerting", "1 while the tenant's drift alert condition currently holds.", func(t tenantSample) float64 {
+			if t.drift.alert {
+				return 1
+			}
+			return 0
+		})
 	}
 }
 

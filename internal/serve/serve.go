@@ -16,7 +16,19 @@
 //     hot model reload (POST /v1/reload or SIGHUP in the CLI) through an
 //     atomic backend swap that never mixes models within one connection.
 //
-// See DESIGN.md §7 for the architecture diagram and endpoint table.
+// One Server can serve many TENANTS — named source groups, each with its
+// own model handle, threshold, calibration + drift monitor, flagged
+// ring, and admission quota — over the single shared scoring stream:
+// connections carry their tenant through the stream, each verdict pins
+// the owning tenant's atomically-published (model, threshold) pair, and
+// cross-tenant micro-batching keeps the batched engine full even when
+// each tenant alone is lightly loaded. Config's top-level fields define
+// the implicit "default" tenant (single-tenant deployments behave
+// exactly as before); Config.Tenants adds the rest. The ops API scopes
+// by ?tenant= and lists tenants at /v1/tenants.
+//
+// See DESIGN.md §7 for the architecture diagram and endpoint table, and
+// §11 for multi-tenant serving.
 package serve
 
 import (
@@ -27,13 +39,19 @@ import (
 	"net"
 	"net/http"
 	"os"
+	"sort"
 	"sync"
 	"time"
 
 	"clap"
 	"clap/internal/backend"
 	"clap/internal/calib"
+	"clap/internal/tenant"
 )
+
+// DefaultTenant names the implicit tenant configured by Config's
+// top-level fields; unscoped API requests resolve to it.
+const DefaultTenant = "default"
 
 // Config assembles a Server.
 type Config struct {
@@ -79,6 +97,17 @@ type Config struct {
 	// opted out of; quantile-shift monitoring remains active).
 	CalibrationFile string
 
+	// Quota bounds the default tenant's admission (zero: unlimited); see
+	// TenantConfig.Quota.
+	Quota tenant.Quota
+
+	// Tenants configures additional named tenants served alongside the
+	// default one. Every tenant shares the Server's scoring stream,
+	// queue, and engine sizing; each owns its model handle, threshold,
+	// calibration, drift monitor, flagged ring, and quota. Names must be
+	// unique and must not be "default" (that one is implicit).
+	Tenants []TenantConfig
+
 	// Drift monitoring compares rolling windows of live scores against
 	// the frozen calibration reference (quantile shift + estimated
 	// operating FPR) — the clap_serve_drift / clap_serve_operating_fpr
@@ -87,15 +116,20 @@ type Config struct {
 	// the retained window count (0: 4), DriftMaxShift the relative
 	// quantile-shift alert level (0: 0.5; negative: rule off) and
 	// DriftFPRFactor the allowed operating-FPR deviation factor (0: 3;
-	// negative: rule off).
+	// negative: rule off). Every tenant gets its own monitor with these
+	// settings.
 	DriftWindow    int
 	DriftWindows   int
 	DriftMaxShift  float64
 	DriftFPRFactor float64
-	// OnDriftAlert observes drift alerts (fired once per excursion, on
-	// the emit goroutine) — the hook the CLI uses to push drift lines
-	// into the alert log.
+	// OnDriftAlert observes the DEFAULT tenant's drift alerts (fired once
+	// per excursion, on the emit goroutine) — the hook the single-tenant
+	// CLI uses to push drift lines into the alert log. Named tenants'
+	// alerts go to OnTenantDriftAlert.
 	OnDriftAlert func(DriftStatus)
+	// OnTenantDriftAlert observes every tenant's drift alerts with the
+	// tenant name (fired on the emit goroutine).
+	OnTenantDriftAlert func(tenantName string, st DriftStatus)
 
 	// IdleFlush, when positive, is applied to every registered source
 	// that supports a configurable idle-flush window
@@ -107,7 +141,9 @@ type Config struct {
 	// zero value cannot mean "disable" and "default" at once).
 	TopN int
 
-	// QueueDepth bounds the ingest queue (default 256).
+	// QueueDepth bounds the ingest queue (default 256). The queue is
+	// shared by every tenant; per-tenant quotas shed BEFORE it, so one
+	// tenant's overload never evicts another's deliveries.
 	QueueDepth int
 	// DropWhenFull selects load-shedding: a full queue drops (and counts)
 	// new connections instead of blocking the source. Default false =
@@ -115,16 +151,47 @@ type Config struct {
 	DropWhenFull bool
 
 	// FlaggedRing caps how many recent flagged results /v1/flagged serves
-	// (default 256).
+	// PER TENANT (default 256) — a chatty tenant can only evict its own
+	// alerts.
 	FlaggedRing int
 
 	// OnResult, if set, observes every scored result on the emit
 	// goroutine — the hook the CLI uses for alert sinks and tests use for
 	// score capture.
 	OnResult func(clap.Result)
+	// OnTenantResult is OnResult with the owning tenant's name — the
+	// multi-tenant CLI routes each tenant's alerts to its own dedup log
+	// through it.
+	OnTenantResult func(tenantName string, r clap.Result)
 
 	// Logf receives operational log lines (nil: silent).
 	Logf func(format string, args ...any)
+}
+
+// TenantConfig configures one named tenant. The fields mirror Config's
+// calibration surface; each resolves independently at Start with the
+// same precedence (Calibration source > CalibrationSnapshot >
+// CalibrationFile restore > fixed Threshold).
+type TenantConfig struct {
+	// Name identifies the tenant in the API, metrics labels, and CLI
+	// flags (required; "default" is reserved).
+	Name string
+	// Backend is the tenant's trained model (required).
+	Backend clap.Backend
+	// ModelPath is the tenant's default reload source (optional).
+	ModelPath string
+	// Threshold / FPR / Calibration / CalibrationSnapshot /
+	// CalibrationFile behave exactly as Config's, scoped to this tenant.
+	Threshold           float64
+	FPR                 float64
+	Calibration         clap.Source
+	CalibrationSnapshot *clap.Calibration
+	CalibrationFile     string
+	// Quota bounds the tenant's admission: max in-flight connections
+	// plus a deliveries/sec token bucket. The zero value is unlimited.
+	// Refusals are counted as the tenant's shed and the source's drops;
+	// they never touch the shared queue.
+	Quota tenant.Quota
 }
 
 // FlaggedConn is one flagged connection as served by /v1/flagged.
@@ -135,6 +202,9 @@ type FlaggedConn struct {
 	TopWindows []int     `json:"top_windows,omitempty"`
 	Attack     string    `json:"attack,omitempty"`
 	Time       time.Time `json:"time"`
+	// Tenant names the owning tenant in multi-tenant mode (omitted in
+	// single-tenant deployments, keeping the JSON shape unchanged).
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // DriftStatus is one drift evaluation, as served by /v1/drift and handed
@@ -146,13 +216,19 @@ type Server struct {
 	cfg  Config
 	logf func(string, ...any)
 
-	hot    *backend.Hot
+	// hot and monitor alias the default tenant's handle and drift
+	// monitor (kept as fields because the single-tenant surface — and
+	// its tests — address them directly).
+	hot     *backend.Hot
+	monitor *calib.Monitor
+
 	pipe   *clap.Pipeline
 	stream *clap.PipelineStream
 
-	// monitor tracks the live score distribution against the calibration
-	// reference (nil only when drift monitoring is disabled).
-	monitor *calib.Monitor
+	// tenants holds every tenant's serving state, default first;
+	// byName indexes them ("" is resolved to the default separately).
+	tenants []*tenantState
+	byName  map[string]*tenantState
 
 	queue   chan queued
 	sources []serveSource
@@ -160,16 +236,10 @@ type Server struct {
 
 	metrics *metrics
 
-	flaggedMu   sync.Mutex
-	flaggedRing []FlaggedConn
-	flaggedNext int
-
 	// lastFlagged carries one result's verdict from emit to the observe
 	// hook that follows it; both run on the stream's single emitter
 	// goroutine, so no synchronization is needed.
 	lastFlagged bool
-
-	reloadMu sync.Mutex // serializes reloads (swap itself is atomic)
 
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -181,9 +251,20 @@ type Server struct {
 	mu      sync.Mutex
 }
 
+// tenantState composes a tenant's core state with its serving-layer
+// attachments: the calibration spec resolved at Start, the flagged
+// ring, and the tenant's source accounting.
+type tenantState struct {
+	*tenant.Tenant
+	spec    TenantConfig
+	flagged *tenant.Ring[FlaggedConn]
+	srcs    []*srcCounters
+}
+
 type serveSource struct {
 	src   clap.ServeSource
 	stats *srcCounters
+	owner *tenantState
 }
 
 type queued struct {
@@ -195,16 +276,6 @@ type queued struct {
 func New(cfg Config) (*Server, error) {
 	if cfg.Backend == nil {
 		return nil, errors.New("serve: config needs a trained Backend")
-	}
-	// Reject non-finite thresholds here rather than relying on the
-	// pipeline's WithThreshold guard: NaN would not survive the > 0 gate
-	// below and would silently fall back to score-only mode.
-	if cfg.Threshold < 0 || math.IsNaN(cfg.Threshold) || math.IsInf(cfg.Threshold, 0) {
-		return nil, fmt.Errorf("serve: threshold %v must be finite and >= 0", cfg.Threshold)
-	}
-	hot, err := backend.NewHot(cfg.Backend)
-	if err != nil {
-		return nil, fmt.Errorf("serve: %w", err)
 	}
 	if cfg.QueueDepth <= 0 {
 		cfg.QueueDepth = 256
@@ -223,7 +294,43 @@ func New(cfg Config) (*Server, error) {
 		logf = func(string, ...any) {}
 	}
 
-	opts := []clap.PipelineOption{clap.WithBackend(hot), clap.WithTopN(cfg.TopN)}
+	s := &Server{
+		cfg:     cfg,
+		logf:    logf,
+		queue:   make(chan queued, cfg.QueueDepth),
+		metrics: newMetrics(),
+		byName:  make(map[string]*tenantState),
+		stopped: make(chan struct{}),
+	}
+
+	// The default tenant is Config's top-level surface, normalized into
+	// the same TenantConfig shape every named tenant uses.
+	def, err := s.addTenant(TenantConfig{
+		Name:                DefaultTenant,
+		Backend:             cfg.Backend,
+		ModelPath:           cfg.ModelPath,
+		Threshold:           cfg.Threshold,
+		FPR:                 cfg.FPR,
+		Calibration:         cfg.Calibration,
+		CalibrationSnapshot: cfg.CalibrationSnapshot,
+		CalibrationFile:     cfg.CalibrationFile,
+		Quota:               cfg.Quota,
+	})
+	if err != nil {
+		return nil, err
+	}
+	s.hot = def.Hot
+	s.monitor = def.Monitor
+	for _, tc := range cfg.Tenants {
+		if tc.Name == "" || tc.Name == DefaultTenant {
+			return nil, fmt.Errorf("serve: tenant name %q is reserved (the default tenant is configured by the top-level fields)", tc.Name)
+		}
+		if _, err := s.addTenant(tc); err != nil {
+			return nil, err
+		}
+	}
+
+	opts := []clap.PipelineOption{clap.WithBackend(def.Hot), clap.WithTopN(cfg.TopN)}
 	if cfg.Workers > 0 {
 		opts = append(opts, clap.WithWorkers(cfg.Workers))
 	}
@@ -234,57 +341,136 @@ func New(cfg Config) (*Server, error) {
 		opts = append(opts, clap.WithBatchSize(cfg.Batch))
 	}
 	// Calibration (source or snapshot) resolves at Start, where its
-	// outcome seeds the hot (model, threshold) pair and the drift
-	// monitor's reference; only a fixed threshold configures the pipeline
-	// directly. The FPR bound is still validated here so a bad config
-	// fails at construction, not minutes later at Start.
-	if cfg.Calibration != nil && !(cfg.FPR > 0 && cfg.FPR < 1) {
-		return nil, fmt.Errorf("serve: calibration target FPR %v must be in (0, 1)", cfg.FPR)
-	}
+	// outcome seeds each tenant's hot (model, threshold) pair and drift
+	// monitor reference; only the default tenant's fixed threshold
+	// configures the pipeline directly.
 	if cfg.Calibration == nil && cfg.Threshold > 0 {
 		opts = append(opts, clap.WithThreshold(cfg.Threshold))
 	}
-	pipe, err := clap.NewPipeline(opts...)
+	s.pipe, err = clap.NewPipeline(opts...)
 	if err != nil {
 		return nil, err
 	}
-
-	var monitor *calib.Monitor
-	if cfg.DriftWindow >= 0 {
-		monitor = calib.NewMonitor(nil, 0, calib.MonitorConfig{
-			Window:    cfg.DriftWindow,
-			Windows:   cfg.DriftWindows,
-			MaxShift:  cfg.DriftMaxShift,
-			FPRFactor: cfg.DriftFPRFactor,
-		})
-	}
-
-	return &Server{
-		cfg:         cfg,
-		logf:        logf,
-		hot:         hot,
-		pipe:        pipe,
-		monitor:     monitor,
-		queue:       make(chan queued, cfg.QueueDepth),
-		metrics:     newMetrics(),
-		flaggedRing: make([]FlaggedConn, 0, cfg.FlaggedRing),
-		stopped:     make(chan struct{}),
-	}, nil
+	return s, nil
 }
 
-// AddSource registers a live source. Must be called before Start. A
-// configured IdleFlush is applied to sources that support it, so the
-// half-open flush window is a per-source serving knob rather than
-// whatever constant the source was built with.
+// addTenant validates one tenant's spec and installs its serving state.
+func (s *Server) addTenant(tc TenantConfig) (*tenantState, error) {
+	who := "config"
+	if tc.Name != DefaultTenant {
+		who = fmt.Sprintf("tenant %q", tc.Name)
+	}
+	if _, dup := s.byName[tc.Name]; dup {
+		return nil, fmt.Errorf("serve: duplicate tenant %q", tc.Name)
+	}
+	if tc.Backend == nil {
+		return nil, fmt.Errorf("serve: %s needs a trained Backend", who)
+	}
+	// Reject non-finite thresholds here rather than relying on the
+	// pipeline's WithThreshold guard: NaN would not survive the > 0 gate
+	// and would silently fall back to score-only mode.
+	if tc.Threshold < 0 || math.IsNaN(tc.Threshold) || math.IsInf(tc.Threshold, 0) {
+		return nil, fmt.Errorf("serve: %s threshold %v must be finite and >= 0", who, tc.Threshold)
+	}
+	// The FPR bound is validated here so a bad config fails at
+	// construction, not minutes later at Start.
+	if tc.Calibration != nil && !(tc.FPR > 0 && tc.FPR < 1) {
+		return nil, fmt.Errorf("serve: %s calibration target FPR %v must be in (0, 1)", who, tc.FPR)
+	}
+	hot, err := backend.NewHot(tc.Backend)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %s: %w", who, err)
+	}
+	var monitor *calib.Monitor
+	if s.cfg.DriftWindow >= 0 {
+		monitor = calib.NewMonitor(nil, 0, calib.MonitorConfig{
+			Window:    s.cfg.DriftWindow,
+			Windows:   s.cfg.DriftWindows,
+			MaxShift:  s.cfg.DriftMaxShift,
+			FPRFactor: s.cfg.DriftFPRFactor,
+		})
+	}
+	core, err := tenant.New(tc.Name, hot, monitor, tc.Quota)
+	if err != nil {
+		return nil, fmt.Errorf("serve: %w", err)
+	}
+	core.ModelPath = tc.ModelPath
+	core.CalibrationFile = tc.CalibrationFile
+	core.FPR = tc.FPR
+	t := &tenantState{
+		Tenant:  core,
+		spec:    tc,
+		flagged: tenant.NewRing[FlaggedConn](s.cfg.FlaggedRing),
+	}
+	s.tenants = append(s.tenants, t)
+	s.byName[tc.Name] = t
+	return t, nil
+}
+
+// multiTenant reports whether any named tenants are configured — the
+// gate that keeps single-tenant output (metrics, JSON shapes, log
+// lines) byte-identical to the pre-tenant daemon.
+func (s *Server) multiTenant() bool { return len(s.tenants) > 1 }
+
+// tenantOf resolves a connection's tenant tag ("": the default tenant).
+func (s *Server) tenantOf(name string) *tenantState {
+	if name == "" {
+		return s.tenants[0]
+	}
+	if t, ok := s.byName[name]; ok {
+		return t
+	}
+	return s.tenants[0]
+}
+
+// tenantByName resolves an API-facing tenant name ("": default), with
+// ok=false for unknown names.
+func (s *Server) tenantByName(name string) (*tenantState, bool) {
+	if name == "" {
+		return s.tenants[0], true
+	}
+	t, ok := s.byName[name]
+	return t, ok
+}
+
+// Tenants lists the configured tenant names, default first.
+func (s *Server) Tenants() []string {
+	out := make([]string, len(s.tenants))
+	for i, t := range s.tenants {
+		out[i] = t.Name
+	}
+	return out
+}
+
+// AddSource registers a live source for the default tenant. Must be
+// called before Start. A configured IdleFlush is applied to sources that
+// support it, so the half-open flush window is a per-source serving knob
+// rather than whatever constant the source was built with.
 func (s *Server) AddSource(src clap.ServeSource) {
+	s.addSource(s.tenants[0], src)
+}
+
+// AddTenantSource registers a live source delivering into the named
+// tenant ("" is the default tenant). Must be called before Start.
+func (s *Server) AddTenantSource(name string, src clap.ServeSource) error {
+	t, ok := s.tenantByName(name)
+	if !ok {
+		return fmt.Errorf("serve: unknown tenant %q", name)
+	}
+	s.addSource(t, src)
+	return nil
+}
+
+func (s *Server) addSource(t *tenantState, src clap.ServeSource) {
 	if s.cfg.IdleFlush > 0 {
 		if f, ok := src.(clap.IdleFlushable); ok {
 			f.SetIdleFlush(s.cfg.IdleFlush)
 		}
 	}
 	st := &srcCounters{name: src.Name()}
-	s.sources = append(s.sources, serveSource{src: src, stats: st})
+	s.sources = append(s.sources, serveSource{src: src, stats: st, owner: t})
 	s.stats = append(s.stats, st)
+	t.srcs = append(t.srcs, st)
 }
 
 // Start opens the scoring stream (running threshold calibration if
@@ -298,16 +484,25 @@ func (s *Server) Start(ctx context.Context) error {
 		return errors.New("serve: already started")
 	}
 
-	if err := s.resolveCalibration(); err != nil {
-		return err
+	for _, t := range s.tenants {
+		if err := s.resolveCalibration(t); err != nil {
+			return err
+		}
 	}
-	stream, err := s.pipe.NewStream(s.emit, clap.StreamHooks{Observe: s.observe})
+	// One shared stream scores every tenant: the resolver pins each
+	// connection to its OWN tenant's (model, threshold) pair, so tenants
+	// reload and recalibrate independently while their windows share
+	// micro-batches.
+	stream, err := s.pipe.NewStreamResolved(s.resolveHot, s.emit, clap.StreamHooks{Observe: s.observe})
 	if err != nil {
 		return err
 	}
 	s.stream = stream
 	s.logf("serving %s (threshold %.6f, %d workers, batch %d)",
 		s.hot.Describe(), stream.Threshold(), s.pipe.Engine().Workers(), s.pipe.BatchSize())
+	for _, t := range s.tenants[1:] {
+		s.logf("tenant %s: serving %s (threshold %.6f)", t.Name, t.Hot.Describe(), t.Threshold())
+	}
 
 	ctx, s.cancel = context.WithCancel(ctx)
 
@@ -317,7 +512,7 @@ func (s *Server) Start(ctx context.Context) error {
 		s.ingest.Add(1)
 		go func() {
 			defer s.ingest.Done()
-			skipped, err := src.src.Stream(ctx, s.deliverFunc(ctx, src.stats))
+			skipped, err := src.src.Stream(ctx, s.deliverFunc(ctx, src.stats, src.owner))
 			src.stats.skipped.Add(uint64(skipped))
 			src.stats.done.Store(true)
 			if err != nil {
@@ -364,45 +559,53 @@ func (s *Server) Start(ctx context.Context) error {
 	return nil
 }
 
-// resolveCalibration runs once at Start: it derives (or restores) the
-// calibration — the operating threshold and the drift monitor's frozen
-// reference distribution — and installs the threshold into the hot
-// (model, threshold) pair before the first connection is scored.
-// Precedence: an explicit Calibration source is scored now; otherwise an
-// explicit CalibrationSnapshot applies; otherwise a persisted
-// CalibrationFile from an earlier run restores the reference (and the
-// threshold too, unless a fixed Threshold overrides it); otherwise only
-// the fixed Threshold (if any) is installed.
-func (s *Server) resolveCalibration() error {
+// resolveHot is the stream's per-connection pair resolver: the owning
+// tenant's reload-safe handle. Runs on pool workers; the tenant map is
+// immutable after New.
+func (s *Server) resolveHot(c *clap.Connection) *clap.HotBackend {
+	return s.tenantOf(c.Tenant).Hot
+}
+
+// resolveCalibration runs once per tenant at Start: it derives (or
+// restores) the tenant's calibration — the operating threshold and the
+// drift monitor's frozen reference distribution — and installs the
+// threshold into the tenant's hot (model, threshold) pair before the
+// first connection is scored. Precedence: an explicit Calibration source
+// is scored now; otherwise an explicit CalibrationSnapshot applies;
+// otherwise a persisted CalibrationFile from an earlier run restores the
+// reference (and the threshold too, unless a fixed Threshold overrides
+// it); otherwise only the fixed Threshold (if any) is installed.
+func (s *Server) resolveCalibration(t *tenantState) error {
+	tc := t.spec
 	switch {
-	case s.cfg.Calibration != nil:
-		cal, err := s.pipe.Calibrate(s.cfg.FPR, s.cfg.Calibration)
+	case tc.Calibration != nil:
+		cal, err := s.pipe.CalibrateBackend(t.Hot.Current(), tc.FPR, tc.Calibration)
 		if err != nil {
-			return fmt.Errorf("serve: calibrating: %w", err)
+			return fmt.Errorf("serve: %scalibrating: %w", t.logPrefix(), err)
 		}
-		s.logf("calibrated threshold %.6f at FPR %g over %d connections",
-			cal.Threshold, cal.FPR, cal.Conns)
-		if err := s.hot.SetThreshold(cal.Threshold); err != nil {
-			return fmt.Errorf("serve: installing calibrated threshold: %w", err)
+		s.logf("%scalibrated threshold %.6f at FPR %g over %d connections",
+			t.logPrefix(), cal.Threshold, cal.FPR, cal.Conns)
+		if err := t.Hot.SetThreshold(cal.Threshold); err != nil {
+			return fmt.Errorf("serve: %sinstalling calibrated threshold: %w", t.logPrefix(), err)
 		}
-		s.resetMonitor(cal)
-		s.persistCalibration(cal)
+		s.resetMonitor(t, cal)
+		s.persistCalibration(t, cal)
 		return nil
 
-	case s.cfg.CalibrationSnapshot != nil:
-		cal := s.cfg.CalibrationSnapshot
+	case tc.CalibrationSnapshot != nil:
+		cal := tc.CalibrationSnapshot
 		if err := cal.Validate(); err != nil {
-			return fmt.Errorf("serve: %w", err)
+			return fmt.Errorf("serve: %s%w", t.logPrefix(), err)
 		}
-		if cal.Tag != s.hot.Tag() {
-			return fmt.Errorf("serve: calibration snapshot is for backend %q, serving %q", cal.Tag, s.hot.Tag())
+		if cal.Tag != t.Hot.Tag() {
+			return fmt.Errorf("serve: %scalibration snapshot is for backend %q, serving %q", t.logPrefix(), cal.Tag, t.Hot.Tag())
 		}
-		if err := s.hot.SetThreshold(cal.Threshold); err != nil {
-			return fmt.Errorf("serve: installing snapshot threshold: %w", err)
+		if err := t.Hot.SetThreshold(cal.Threshold); err != nil {
+			return fmt.Errorf("serve: %sinstalling snapshot threshold: %w", t.logPrefix(), err)
 		}
-		s.resetMonitor(cal)
-		s.persistCalibration(cal)
-		s.logf("installed calibration snapshot: threshold %.6f at FPR %g", cal.Threshold, cal.FPR)
+		s.resetMonitor(t, cal)
+		s.persistCalibration(t, cal)
+		s.logf("%sinstalled calibration snapshot: threshold %.6f at FPR %g", t.logPrefix(), cal.Threshold, cal.FPR)
 		return nil
 	}
 
@@ -411,86 +614,92 @@ func (s *Server) resolveCalibration() error {
 	// config fixes one. Restoration is best-effort: a missing, stale or
 	// unreadable snapshot degrades to reference-less monitoring with a
 	// log line, never a failed start.
-	if s.cfg.CalibrationFile != "" {
-		switch cal, err := clap.LoadCalibrationFile(s.cfg.CalibrationFile); {
-		case err == nil && cal.Tag != s.hot.Tag():
-			s.logf("ignoring calibration snapshot %s: calibrated for backend %q, serving %q",
-				s.cfg.CalibrationFile, cal.Tag, s.hot.Tag())
+	if t.CalibrationFile != "" {
+		switch cal, err := clap.LoadCalibrationFile(t.CalibrationFile); {
+		case err == nil && cal.Tag != t.Hot.Tag():
+			s.logf("%signoring calibration snapshot %s: calibrated for backend %q, serving %q",
+				t.logPrefix(), t.CalibrationFile, cal.Tag, t.Hot.Tag())
 		case err == nil:
 			th := cal.Threshold
 			fprTarget := cal.FPR
-			if s.cfg.Threshold > 0 {
+			if tc.Threshold > 0 {
 				// A fixed threshold overrides the snapshot's: the snapshot
 				// contributes only its reference distribution, and its FPR
 				// target is dropped too — alerting that the operating FPR
 				// misses a target the operator explicitly opted out of
 				// would ring forever. Quantile-shift monitoring remains.
-				th = s.cfg.Threshold
+				th = tc.Threshold
 				fprTarget = 0
 			}
-			if s.monitor != nil {
-				s.monitor.Reset(cal.Ref, fprTarget)
+			if t.Monitor != nil {
+				t.Monitor.Reset(cal.Ref, fprTarget)
 			}
-			if err := s.hot.SetThreshold(th); err != nil {
-				return fmt.Errorf("serve: installing restored threshold: %w", err)
+			if err := t.Hot.SetThreshold(th); err != nil {
+				return fmt.Errorf("serve: %sinstalling restored threshold: %w", t.logPrefix(), err)
 			}
-			s.logf("restored calibration snapshot from %s: threshold %.6f at FPR %g (reference of %d scores)",
-				s.cfg.CalibrationFile, th, cal.FPR, cal.Ref.Count())
+			s.logf("%srestored calibration snapshot from %s: threshold %.6f at FPR %g (reference of %d scores)",
+				t.logPrefix(), t.CalibrationFile, th, cal.FPR, cal.Ref.Count())
 			return nil
 		case !os.IsNotExist(err):
-			s.logf("calibration snapshot %s unreadable: %v", s.cfg.CalibrationFile, err)
+			s.logf("%scalibration snapshot %s unreadable: %v", t.logPrefix(), t.CalibrationFile, err)
 		}
 	}
-	if s.cfg.Threshold > 0 {
-		if err := s.hot.SetThreshold(s.cfg.Threshold); err != nil {
-			return fmt.Errorf("serve: installing threshold: %w", err)
+	if tc.Threshold > 0 {
+		if err := t.Hot.SetThreshold(tc.Threshold); err != nil {
+			return fmt.Errorf("serve: %sinstalling threshold: %w", t.logPrefix(), err)
 		}
 	}
 	return nil
 }
 
-// resetMonitor rebases drift monitoring on a new calibration. Used by
-// Start's calibration, which runs under s.mu before the stream exists
-// (streamOrNil would deadlock there, and nothing is in flight anyway);
-// the reload path uses rebaseMonitor instead.
-func (s *Server) resetMonitor(cal *clap.Calibration) {
-	if s.monitor != nil {
-		s.monitor.Reset(cal.Ref, cal.FPR)
+// logPrefix tags a tenant's log lines and errors ("" for the default
+// tenant, keeping single-tenant output identical to the pre-tenant
+// daemon).
+func (t *tenantState) logPrefix() string {
+	if t.Name == DefaultTenant {
+		return ""
+	}
+	return fmt.Sprintf("tenant %s: ", t.Name)
+}
+
+// resetMonitor rebases a tenant's drift monitoring on a new calibration.
+// Used by Start's calibration, which runs under s.mu before the stream
+// exists (nothing is in flight); the reload path uses rebaseMonitor.
+func (s *Server) resetMonitor(t *tenantState, cal *clap.Calibration) {
+	if t.Monitor != nil {
+		t.Monitor.Reset(cal.Ref, cal.FPR)
 	}
 }
 
-// rebaseMonitor rebases drift monitoring mid-serve: the reset and a skip
-// of the stream's current in-flight count are armed in one monitor
-// critical section, so scores from connections still pinned to the
-// pre-recalibration (model, threshold) pair — which emit after the reset
-// — can never pollute the new reference's first window (across model
-// families their old-scale scores would otherwise fire a spurious alert
-// right after the fix). The in-flight count is read before the reset;
-// connections that emit in between land in the discarded old state, so
-// the error direction is only ever skipping a few fresh scores.
-func (s *Server) rebaseMonitor(cal *clap.Calibration) {
-	if s.monitor == nil {
+// rebaseMonitor rebases a tenant's drift monitoring mid-serve: the reset
+// and a skip of the tenant's current in-flight count are armed in one
+// monitor critical section, so scores from connections still pinned to
+// the pre-recalibration (model, threshold) pair — which emit after the
+// reset — can never pollute the new reference's first window (across
+// model families their old-scale scores would otherwise fire a spurious
+// alert right after the fix). The in-flight count is read before the
+// reset; connections that emit in between land in the discarded old
+// state, so the error direction is only ever skipping a few fresh
+// scores.
+func (s *Server) rebaseMonitor(t *tenantState, cal *clap.Calibration) {
+	if t.Monitor == nil {
 		return
 	}
-	inFlight := 0
-	if st := s.streamOrNil(); st != nil {
-		inFlight = st.InFlight()
-	}
-	s.monitor.ResetSkipping(cal.Ref, cal.FPR, inFlight)
+	t.Monitor.ResetSkipping(cal.Ref, cal.FPR, t.InFlight())
 }
 
-// persistCalibration saves the active calibration snapshot alongside the
-// model file (best-effort: serving is never taken down by a snapshot
-// write failure).
-func (s *Server) persistCalibration(cal *clap.Calibration) {
-	if s.cfg.CalibrationFile == "" {
+// persistCalibration saves a tenant's active calibration snapshot
+// alongside its model file (best-effort: serving is never taken down by
+// a snapshot write failure).
+func (s *Server) persistCalibration(t *tenantState, cal *clap.Calibration) {
+	if t.CalibrationFile == "" {
 		return
 	}
-	if err := clap.SaveCalibrationFile(s.cfg.CalibrationFile, cal); err != nil {
-		s.logf("persisting calibration snapshot to %s: %v", s.cfg.CalibrationFile, err)
+	if err := clap.SaveCalibrationFile(t.CalibrationFile, cal); err != nil {
+		s.logf("%spersisting calibration snapshot to %s: %v", t.logPrefix(), t.CalibrationFile, err)
 		return
 	}
-	s.logf("calibration snapshot saved to %s", s.cfg.CalibrationFile)
+	s.logf("%scalibration snapshot saved to %s", t.logPrefix(), t.CalibrationFile)
 }
 
 // OpsAddr reports the ops API's bound address ("" without a listener) —
@@ -502,26 +711,42 @@ func (s *Server) OpsAddr() string {
 	return s.httpLn.Addr().String()
 }
 
-// deliverFunc builds one source's delivery callback: bounded enqueue with
-// either backpressure (block until the pump catches up or shutdown) or
-// load-shedding (count the drop and move on).
-func (s *Server) deliverFunc(ctx context.Context, st *srcCounters) func(*clap.Connection) {
+// deliverFunc builds one source's delivery callback: the owning tenant's
+// quota gate, then bounded enqueue with either backpressure (block until
+// the pump catches up or shutdown) or load-shedding (count the drop and
+// move on). Quota refusals shed BEFORE the shared queue — a tenant over
+// its bound spends no shared capacity, so its overload can never starve
+// a neighbour's deliveries.
+func (s *Server) deliverFunc(ctx context.Context, st *srcCounters, t *tenantState) func(*clap.Connection) {
 	return func(c *clap.Connection) {
+		if !t.Admit(time.Now()) {
+			st.dropped.Add(1)
+			return
+		}
+		if t.Name != DefaultTenant {
+			c.Tenant = t.Name
+		}
 		q := queued{conn: c, stats: st}
 		if s.cfg.DropWhenFull {
 			select {
 			case s.queue <- q:
 				st.delivered.Add(1)
+				t.Delivered.Add(1)
 			default:
 				st.dropped.Add(1)
+				t.Shed.Add(1)
+				t.Release()
 			}
 			return
 		}
 		select {
 		case s.queue <- q:
 			st.delivered.Add(1)
+			t.Delivered.Add(1)
 		case <-ctx.Done():
 			st.dropped.Add(1)
+			t.Shed.Add(1)
+			t.Release()
 		}
 	}
 }
@@ -529,16 +754,20 @@ func (s *Server) deliverFunc(ctx context.Context, st *srcCounters) func(*clap.Co
 // emit consumes ordered results on the stream's emitter goroutine.
 func (s *Server) emit(r clap.Result) {
 	s.lastFlagged = r.Flagged
-	if s.monitor != nil {
+	t := s.tenantOf(r.Conn.Tenant)
+	t.Release()
+	t.Scored.Add(1)
+	t.Packets.Add(uint64(r.Conn.Len()))
+	if t.Monitor != nil {
 		// Off the hot scoring path: the sketch insert rides the single
 		// emit goroutine, not the pool workers. A window rotation that
 		// newly trips the drift condition fires the alert hook once.
-		if st := s.monitor.Observe(r.Score, s.stream.Threshold()); st != nil {
-			s.driftAlert(*st)
+		if st := t.Monitor.Observe(r.Score, t.Threshold()); st != nil {
+			s.driftAlert(t, *st)
 		}
 	}
 	if r.Flagged {
-		s.flaggedMu.Lock()
+		t.Flagged.Add(1)
 		fc := FlaggedConn{
 			Key:        r.Conn.Key.String(),
 			Score:      r.Score,
@@ -547,33 +776,37 @@ func (s *Server) emit(r clap.Result) {
 			Attack:     r.Conn.AttackName,
 			Time:       time.Now(),
 		}
-		if len(s.flaggedRing) < cap(s.flaggedRing) {
-			s.flaggedRing = append(s.flaggedRing, fc)
-		} else {
-			s.flaggedRing[s.flaggedNext] = fc
-			s.flaggedNext = (s.flaggedNext + 1) % cap(s.flaggedRing)
+		if s.multiTenant() {
+			fc.Tenant = t.Name
 		}
-		s.flaggedMu.Unlock()
+		t.flagged.Add(fc)
 	}
 	if s.cfg.OnResult != nil {
 		s.cfg.OnResult(r)
 	}
-}
-
-// driftAlert reacts to a newly tripped drift condition: count it, log
-// it, and hand it to the configured alert hook (the CLI routes it into
-// the dedup alert log).
-func (s *Server) driftAlert(st DriftStatus) {
-	s.metrics.driftAlerts.Add(1)
-	s.logf("DRIFT ALERT: %s (drift=%.4f, operating FPR %.4f vs target %.4f) — recalibrate via POST /v1/reload {\"calibration\": ...}",
-		st.Reason, st.Drift, st.OperatingFPR, st.TargetFPR)
-	if s.cfg.OnDriftAlert != nil {
-		s.cfg.OnDriftAlert(st)
+	if s.cfg.OnTenantResult != nil {
+		s.cfg.OnTenantResult(t.Name, r)
 	}
 }
 
-// DriftStatus evaluates the drift statistics right now (ok=false when
-// drift monitoring is disabled).
+// driftAlert reacts to a tenant's newly tripped drift condition: count
+// it, log it, and hand it to the configured alert hooks (the CLI routes
+// them into the dedup alert log).
+func (s *Server) driftAlert(t *tenantState, st DriftStatus) {
+	s.metrics.driftAlerts.Add(1)
+	t.DriftAlerts.Add(1)
+	s.logf("%sDRIFT ALERT: %s (drift=%.4f, operating FPR %.4f vs target %.4f) — recalibrate via POST /v1/reload {\"calibration\": ...}",
+		t.logPrefix(), st.Reason, st.Drift, st.OperatingFPR, st.TargetFPR)
+	if s.cfg.OnDriftAlert != nil && t.Name == DefaultTenant {
+		s.cfg.OnDriftAlert(st)
+	}
+	if s.cfg.OnTenantDriftAlert != nil {
+		s.cfg.OnTenantDriftAlert(t.Name, st)
+	}
+}
+
+// DriftStatus evaluates the default tenant's drift statistics right now
+// (ok=false when drift monitoring is disabled).
 func (s *Server) DriftStatus() (DriftStatus, bool) {
 	if s.monitor == nil {
 		return DriftStatus{}, false
@@ -589,23 +822,36 @@ func (s *Server) observe(c *clap.Connection, st clap.StreamStats) {
 	s.lastFlagged = false
 }
 
-// Flagged returns the most recent flagged connections, newest last,
-// capped at n (n <= 0: all retained).
+// Flagged returns the most recent flagged connections across every
+// tenant, merged oldest-first by flag time and capped at n (n <= 0: all
+// retained). Each tenant's ring is bounded independently, so one chatty
+// tenant can no longer evict every other tenant's alerts.
 func (s *Server) Flagged(n int) []FlaggedConn {
-	s.flaggedMu.Lock()
-	defer s.flaggedMu.Unlock()
-	out := make([]FlaggedConn, 0, len(s.flaggedRing))
-	// Ring order: oldest first.
-	if len(s.flaggedRing) == cap(s.flaggedRing) {
-		out = append(out, s.flaggedRing[s.flaggedNext:]...)
-		out = append(out, s.flaggedRing[:s.flaggedNext]...)
-	} else {
-		out = append(out, s.flaggedRing...)
+	out := make([]FlaggedConn, 0, len(s.tenants)*4)
+	for _, t := range s.tenants {
+		out = append(out, t.flagged.Snapshot()...)
 	}
+	// Stable: equal timestamps keep ring (insertion) order, so the
+	// single-tenant view is exactly the ring's.
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Time.Before(out[j].Time) })
 	if n > 0 && len(out) > n {
 		out = out[len(out)-n:]
 	}
 	return out
+}
+
+// FlaggedTenant returns one tenant's recent flagged connections, oldest
+// first, capped at n (n <= 0: all retained).
+func (s *Server) FlaggedTenant(name string, n int) ([]FlaggedConn, error) {
+	t, ok := s.tenantByName(name)
+	if !ok {
+		return nil, fmt.Errorf("serve: unknown tenant %q", name)
+	}
+	out := t.flagged.Snapshot()
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	return out, nil
 }
 
 // streamOrNil returns the scoring stream, or nil before Start — the ops
@@ -617,7 +863,8 @@ func (s *Server) streamOrNil() *clap.PipelineStream {
 	return s.stream
 }
 
-// Threshold reports the live operating threshold (0 before Start).
+// Threshold reports the default tenant's live operating threshold (0
+// before Start).
 func (s *Server) Threshold() float64 {
 	st := s.streamOrNil()
 	if st == nil {
@@ -626,7 +873,7 @@ func (s *Server) Threshold() float64 {
 	return st.Threshold()
 }
 
-// SetThreshold adjusts the live operating threshold.
+// SetThreshold adjusts the default tenant's live operating threshold.
 func (s *Server) SetThreshold(th float64) error {
 	st := s.streamOrNil()
 	if st == nil {
@@ -636,6 +883,23 @@ func (s *Server) SetThreshold(th float64) error {
 		return err
 	}
 	s.logf("threshold set to %.6f", th)
+	return nil
+}
+
+// SetTenantThreshold adjusts one tenant's live operating threshold ("":
+// the default tenant).
+func (s *Server) SetTenantThreshold(name string, th float64) error {
+	t, ok := s.tenantByName(name)
+	if !ok {
+		return fmt.Errorf("serve: unknown tenant %q", name)
+	}
+	if t.Name == DefaultTenant {
+		return s.SetThreshold(th)
+	}
+	if err := t.Hot.SetThreshold(th); err != nil {
+		return err
+	}
+	s.logf("%sthreshold set to %.6f", t.logPrefix(), th)
 	return nil
 }
 
@@ -651,9 +915,9 @@ type ReloadInfo struct {
 // optionally, how to re-derive its operating threshold in the same
 // transaction.
 type ReloadRequest struct {
-	// Path is the model file ("" falls back to the configured ModelPath —
-	// except under Calibration "live" with no path, which keeps the
-	// current model and only re-derives its threshold).
+	// Path is the model file ("" falls back to the tenant's configured
+	// ModelPath — except under Calibration "live" with no path, which
+	// keeps the current model and only re-derives its threshold).
 	Path string `json:"path"`
 	// Calibration selects auto-recalibration: "" keeps the current
 	// threshold (the legacy reload-then-PUT flow), "live" derives the
@@ -676,12 +940,12 @@ type ReloadResult struct {
 	CalibrationConns int
 }
 
-// Reload hot-swaps the serving model from a model file written with
-// SaveBackend (any registered backend tag — the tagged header picks the
-// decoder), keeping the current threshold. path "" falls back to the
-// configured ModelPath. The swap is atomic: in-flight connections finish
-// on the model that picked them up, later ones score on the new model,
-// and a failed load leaves the current model serving.
+// Reload hot-swaps the default tenant's serving model from a model file
+// written with SaveBackend (any registered backend tag — the tagged
+// header picks the decoder), keeping the current threshold. path ""
+// falls back to the configured ModelPath. The swap is atomic: in-flight
+// connections finish on the model that picked them up, later ones score
+// on the new model, and a failed load leaves the current model serving.
 func (s *Server) Reload(path string) (before, after ReloadInfo, err error) {
 	res, err := s.ReloadWith(ReloadRequest{Path: path})
 	if err != nil {
@@ -691,18 +955,34 @@ func (s *Server) Reload(path string) (before, after ReloadInfo, err error) {
 }
 
 // ReloadWith is Reload plus optional atomic recalibration (the full
-// /v1/reload contract). With a Calibration source the incoming model's
-// threshold is derived first — from a benign pcap scored with that model,
-// or from the live score sketch — and model and threshold are then
-// published in one hot-pair transaction; the drift monitor rebases on the
-// new reference distribution and the persisted calibration snapshot (if
-// configured) is rewritten.
-func (s *Server) ReloadWith(req ReloadRequest) (res ReloadResult, err error) {
-	s.reloadMu.Lock()
-	defer s.reloadMu.Unlock()
+// /v1/reload contract), against the default tenant. With a Calibration
+// source the incoming model's threshold is derived first — from a benign
+// pcap scored with that model, or from the live score sketch — and model
+// and threshold are then published in one hot-pair transaction; the
+// drift monitor rebases on the new reference distribution and the
+// persisted calibration snapshot (if configured) is rewritten.
+func (s *Server) ReloadWith(req ReloadRequest) (ReloadResult, error) {
+	return s.reloadTenant(s.tenants[0], req)
+}
 
-	prevB, prevTh, _ := s.hot.CurrentPair()
-	res.Old = ReloadInfo{Tag: prevB.Tag(), Describe: prevB.Describe(), Generation: s.hot.Generation(), Threshold: prevTh}
+// ReloadTenant is ReloadWith scoped to one tenant ("": the default).
+// Tenants reload independently: only the named tenant's pair handle,
+// monitor, and calibration snapshot move; every other tenant's verdicts
+// are untouched.
+func (s *Server) ReloadTenant(name string, req ReloadRequest) (ReloadResult, error) {
+	t, ok := s.tenantByName(name)
+	if !ok {
+		return ReloadResult{}, fmt.Errorf("serve: unknown tenant %q", name)
+	}
+	return s.reloadTenant(t, req)
+}
+
+func (s *Server) reloadTenant(t *tenantState, req ReloadRequest) (res ReloadResult, err error) {
+	t.ReloadMu.Lock()
+	defer t.ReloadMu.Unlock()
+
+	prevB, prevTh, _ := t.Hot.CurrentPair()
+	res.Old = ReloadInfo{Tag: prevB.Tag(), Describe: prevB.Describe(), Generation: t.Hot.Generation(), Threshold: prevTh}
 
 	// Resolve the incoming model. "live" recalibration with no explicit
 	// path keeps the current model: the recent sketch describes THIS
@@ -713,10 +993,10 @@ func (s *Server) ReloadWith(req ReloadRequest) (res ReloadResult, err error) {
 	path := req.Path
 	if !keepModel {
 		if path == "" {
-			path = s.cfg.ModelPath
+			path = t.ModelPath
 		}
 		if path == "" {
-			return res, errors.New("serve: no model path configured for reload")
+			return res, fmt.Errorf("serve: %sno model path configured for reload", t.logPrefix())
 		}
 		b, err = clap.LoadBackendFile(path)
 		if err != nil {
@@ -734,7 +1014,7 @@ func (s *Server) ReloadWith(req ReloadRequest) (res ReloadResult, err error) {
 					if gerr != nil {
 						return res, fmt.Errorf("serve: reload: grafting stage 2: %w", gerr)
 					}
-					s.logf("cascade: grafting %s model from %s as stage 2 (screen and escalation kept)", b.Tag(), path)
+					s.logf("%scascade: grafting %s model from %s as stage 2 (screen and escalation kept)", t.logPrefix(), b.Tag(), path)
 					b = grafted
 				}
 			}
@@ -747,16 +1027,16 @@ func (s *Server) ReloadWith(req ReloadRequest) (res ReloadResult, err error) {
 	switch req.Calibration {
 	case "":
 	case "live":
-		if s.monitor == nil {
+		if t.Monitor == nil {
 			return res, errors.New("serve: live recalibration needs drift monitoring enabled")
 		}
 		fpr := req.FPR
 		if fpr == 0 {
-			if fpr = s.monitor.TargetFPR(); fpr == 0 {
-				fpr = s.cfg.FPR
+			if fpr = t.Monitor.TargetFPR(); fpr == 0 {
+				fpr = t.FPR
 			}
 		}
-		th, live, rerr := s.monitor.Recalibrate(fpr)
+		th, live, rerr := t.Monitor.Recalibrate(fpr)
 		if rerr != nil {
 			return res, fmt.Errorf("serve: reload: %w", rerr)
 		}
@@ -764,7 +1044,7 @@ func (s *Server) ReloadWith(req ReloadRequest) (res ReloadResult, err error) {
 	default:
 		fpr := req.FPR
 		if fpr == 0 {
-			fpr = s.cfg.FPR
+			fpr = t.FPR
 		}
 		cal, err = s.pipe.CalibrateBackend(b, fpr, clap.PCAPFile(req.Calibration))
 		if err != nil {
@@ -776,39 +1056,40 @@ func (s *Server) ReloadWith(req ReloadRequest) (res ReloadResult, err error) {
 	// and threshold move together (SwapPair), or only one of them moves.
 	switch {
 	case cal == nil:
-		if _, err := s.hot.Swap(b); err != nil {
+		if _, err := t.Hot.Swap(b); err != nil {
 			return res, fmt.Errorf("serve: reload: %w", err)
 		}
 	case keepModel:
-		if err := s.hot.SetThreshold(cal.Threshold); err != nil {
+		if err := t.Hot.SetThreshold(cal.Threshold); err != nil {
 			return res, fmt.Errorf("serve: reload: %w", err)
 		}
 	default:
-		if _, err := s.hot.SwapPair(b, cal.Threshold); err != nil {
+		if _, err := t.Hot.SwapPair(b, cal.Threshold); err != nil {
 			return res, fmt.Errorf("serve: reload: %w", err)
 		}
 	}
 	if cal != nil {
 		res.Recalibrated = true
 		res.CalibrationConns = cal.Conns
-		s.rebaseMonitor(cal)
-		s.persistCalibration(cal)
+		s.rebaseMonitor(t, cal)
+		s.persistCalibration(t, cal)
 	}
 
 	if !keepModel {
 		s.metrics.reloads.Add(1)
+		t.Reloads.Add(1)
 	}
-	_, newTh, _ := s.hot.CurrentPair()
-	res.New = ReloadInfo{Tag: b.Tag(), Describe: b.Describe(), Generation: s.hot.Generation(), Threshold: newTh}
+	_, newTh, _ := t.Hot.CurrentPair()
+	res.New = ReloadInfo{Tag: b.Tag(), Describe: b.Describe(), Generation: t.Hot.Generation(), Threshold: newTh}
 	switch {
 	case keepModel:
-		s.logf("recalibrated in place: threshold %.6f -> %.6f (FPR target %g, %d live scores)",
-			res.Old.Threshold, res.New.Threshold, cal.FPR, cal.Conns)
+		s.logf("%srecalibrated in place: threshold %.6f -> %.6f (FPR target %g, %d live scores)",
+			t.logPrefix(), res.Old.Threshold, res.New.Threshold, cal.FPR, cal.Conns)
 	case res.Recalibrated:
-		s.logf("reloaded model from %s with calibration %q: %s (th %.6f) -> %s (th %.6f, generation %d)",
-			path, req.Calibration, res.Old.Tag, res.Old.Threshold, res.New.Tag, res.New.Threshold, res.New.Generation)
+		s.logf("%sreloaded model from %s with calibration %q: %s (th %.6f) -> %s (th %.6f, generation %d)",
+			t.logPrefix(), path, req.Calibration, res.Old.Tag, res.Old.Threshold, res.New.Tag, res.New.Threshold, res.New.Generation)
 	default:
-		s.logf("reloaded model from %s: %s -> %s (generation %d)", path, res.Old.Tag, res.New.Tag, res.New.Generation)
+		s.logf("%sreloaded model from %s: %s -> %s (generation %d)", t.logPrefix(), path, res.Old.Tag, res.New.Tag, res.New.Generation)
 	}
 	return res, nil
 }

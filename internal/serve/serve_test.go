@@ -485,7 +485,7 @@ func TestServeQueueShedding(t *testing.T) {
 		t.Fatal(err)
 	}
 	st := &srcCounters{name: "test"}
-	deliver := srv.deliverFunc(context.Background(), st)
+	deliver := srv.deliverFunc(context.Background(), st, srv.tenants[0])
 	conns := clap.GenerateBenign(4, 1)
 	// No pump is running: the first two fill the queue, the rest shed.
 	for _, c := range conns {
@@ -509,7 +509,7 @@ func TestServeBackpressure(t *testing.T) {
 	}
 	ctx, cancel := context.WithCancel(context.Background())
 	st := &srcCounters{name: "test"}
-	deliver := srv.deliverFunc(ctx, st)
+	deliver := srv.deliverFunc(ctx, st, srv.tenants[0])
 	conns := clap.GenerateBenign(2, 1)
 	deliver(conns[0]) // fills the queue
 

@@ -1,0 +1,55 @@
+package tenant
+
+import "sync"
+
+// Ring is a bounded, mutex-guarded ring buffer: each tenant's flagged
+// feed is one Ring, so a chatty tenant can only ever evict its own
+// entries, never a neighbour's.
+type Ring[T any] struct {
+	mu   sync.Mutex
+	buf  []T
+	next int
+	cap  int
+}
+
+// NewRing builds a ring retaining the last capacity entries (capacity
+// must be positive).
+func NewRing[T any](capacity int) *Ring[T] {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Ring[T]{buf: make([]T, 0, capacity), cap: capacity}
+}
+
+// Add appends one entry, evicting the oldest at capacity.
+func (r *Ring[T]) Add(v T) {
+	r.mu.Lock()
+	if len(r.buf) < r.cap {
+		r.buf = append(r.buf, v)
+	} else {
+		r.buf[r.next] = v
+		r.next = (r.next + 1) % r.cap
+	}
+	r.mu.Unlock()
+}
+
+// Snapshot returns the retained entries oldest-first.
+func (r *Ring[T]) Snapshot() []T {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]T, 0, len(r.buf))
+	if len(r.buf) == r.cap {
+		out = append(out, r.buf[r.next:]...)
+		out = append(out, r.buf[:r.next]...)
+	} else {
+		out = append(out, r.buf...)
+	}
+	return out
+}
+
+// Len reports the retained entry count.
+func (r *Ring[T]) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.buf)
+}

@@ -1,0 +1,185 @@
+package tenant
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+// newQuotaTenant builds a tenant for quota tests without a trained
+// model: only the admission state matters here.
+func newQuotaTenant(t *testing.T, q Quota) *Tenant {
+	t.Helper()
+	if err := q.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	tn := &Tenant{Name: "t", Quota: q}
+	if q.Rate > 0 {
+		tn.tokens = tn.burst()
+	}
+	return tn
+}
+
+func TestQuotaValidate(t *testing.T) {
+	for _, q := range []Quota{
+		{MaxInFlight: -1},
+		{Rate: -0.5},
+		{Burst: -2},
+	} {
+		if err := q.Validate(); err == nil {
+			t.Errorf("Validate(%+v) accepted an invalid quota", q)
+		}
+	}
+	if err := (Quota{MaxInFlight: 4, Rate: 10, Burst: 2}).Validate(); err != nil {
+		t.Errorf("valid quota rejected: %v", err)
+	}
+	if !(Quota{}).Unlimited() {
+		t.Error("zero quota should be unlimited")
+	}
+	if (Quota{Rate: 1}).Unlimited() {
+		t.Error("rated quota should not be unlimited")
+	}
+}
+
+func TestAdmitUnlimited(t *testing.T) {
+	tn := newQuotaTenant(t, Quota{})
+	now := time.Unix(0, 0)
+	for i := 0; i < 1000; i++ {
+		if !tn.Admit(now) {
+			t.Fatalf("unlimited quota refused admission at %d", i)
+		}
+	}
+	if got := tn.InFlight(); got != 1000 {
+		t.Fatalf("InFlight = %d, want 1000", got)
+	}
+	if got := tn.Shed.Load(); got != 0 {
+		t.Fatalf("Shed = %d, want 0", got)
+	}
+}
+
+func TestAdmitMaxInFlight(t *testing.T) {
+	tn := newQuotaTenant(t, Quota{MaxInFlight: 3})
+	now := time.Unix(0, 0)
+	for i := 0; i < 3; i++ {
+		if !tn.Admit(now) {
+			t.Fatalf("admission %d refused under the cap", i)
+		}
+	}
+	if tn.Admit(now) {
+		t.Fatal("admission over the in-flight cap")
+	}
+	if got := tn.Shed.Load(); got != 1 {
+		t.Fatalf("Shed = %d, want 1", got)
+	}
+	tn.Release()
+	if !tn.Admit(now) {
+		t.Fatal("admission refused after Release freed a slot")
+	}
+	if got := tn.InFlight(); got != 3 {
+		t.Fatalf("InFlight = %d, want 3", got)
+	}
+}
+
+func TestAdmitTokenBucket(t *testing.T) {
+	tn := newQuotaTenant(t, Quota{Rate: 10, Burst: 2})
+	now := time.Unix(100, 0)
+	// Burst drains first...
+	for i := 0; i < 2; i++ {
+		if !tn.Admit(now) {
+			t.Fatalf("burst admission %d refused", i)
+		}
+	}
+	if tn.Admit(now) {
+		t.Fatal("admission with an empty bucket")
+	}
+	// ...then the refill governs: 100ms at 10/s buys exactly one token.
+	now = now.Add(100 * time.Millisecond)
+	if !tn.Admit(now) {
+		t.Fatal("admission refused after a one-token refill")
+	}
+	if tn.Admit(now) {
+		t.Fatal("double admission from a one-token refill")
+	}
+	// The bucket never overfills past the burst depth.
+	now = now.Add(time.Hour)
+	admitted := 0
+	for i := 0; i < 10; i++ {
+		if tn.Admit(now) {
+			admitted++
+		}
+	}
+	if admitted != 2 {
+		t.Fatalf("admitted %d after a long idle, want burst depth 2", admitted)
+	}
+	// Refusals released their in-flight slot: only successes count.
+	if got := tn.InFlight(); got != 5 {
+		t.Fatalf("InFlight = %d, want 5 admitted", got)
+	}
+}
+
+func TestAdmitDefaultBurst(t *testing.T) {
+	// Burst 0 with a rate defaults to one second of quota (min 1).
+	tn := newQuotaTenant(t, Quota{Rate: 5})
+	now := time.Unix(0, 0)
+	admitted := 0
+	for i := 0; i < 20; i++ {
+		if tn.Admit(now) {
+			admitted++
+		}
+	}
+	if admitted != 5 {
+		t.Fatalf("admitted %d with default burst at rate 5, want 5", admitted)
+	}
+
+	slow := newQuotaTenant(t, Quota{Rate: 0.5})
+	if !slow.Admit(now) {
+		t.Fatal("sub-1/s rate should still default to a 1-token burst")
+	}
+	if slow.Admit(now) {
+		t.Fatal("sub-1/s rate admitted twice from the default burst")
+	}
+}
+
+func TestAdmitConcurrent(t *testing.T) {
+	tn := newQuotaTenant(t, Quota{MaxInFlight: 8, Rate: 1000, Burst: 50})
+	now := time.Unix(0, 0)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 100; i++ {
+				if tn.Admit(now) {
+					tn.Release()
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tn.InFlight(); got != 0 {
+		t.Fatalf("InFlight = %d after balanced admit/release, want 0", got)
+	}
+}
+
+func TestRingBoundsAndOrder(t *testing.T) {
+	r := NewRing[int](3)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("fresh ring snapshot = %v, want empty", got)
+	}
+	for i := 1; i <= 2; i++ {
+		r.Add(i)
+	}
+	if got := r.Snapshot(); len(got) != 2 || got[0] != 1 || got[1] != 2 {
+		t.Fatalf("partial ring snapshot = %v, want [1 2]", got)
+	}
+	for i := 3; i <= 5; i++ {
+		r.Add(i)
+	}
+	got := r.Snapshot()
+	if len(got) != 3 || got[0] != 3 || got[1] != 4 || got[2] != 5 {
+		t.Fatalf("wrapped ring snapshot = %v, want [3 4 5]", got)
+	}
+	if r.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", r.Len())
+	}
+}

@@ -484,6 +484,14 @@ type PipelineStream struct {
 	// threshold the stream's own atomic governs, as before.
 	pair backend.PairHandle
 
+	// resolve, when set (NewStreamResolved), picks the pair handle for
+	// EACH connection — multi-tenant serving resolves the owning
+	// tenant's handle here, so one shared stream scores every tenant's
+	// traffic while each verdict pins its own tenant's (model,
+	// threshold) with the same single atomic load the global pair path
+	// uses. A nil return falls back to the stream's own pair/threshold.
+	resolve func(*Connection) backend.PairHandle
+
 	// Batched-scoring occupancy accounting: windows actually scored vs.
 	// the slots the micro-batches they rode had — the serving layer's
 	// clap_serve_batch_fill gauge.
@@ -504,15 +512,40 @@ type StreamStats = engine.StreamStats
 // goroutine. Optional hooks observe per-stage latencies. Close the stream
 // to drain it.
 func (p *Pipeline) NewStream(emit func(Result), hooks ...StreamHooks) (*PipelineStream, error) {
+	return p.newStream(nil, emit, hooks)
+}
+
+// NewStreamResolved is NewStream with per-connection pair resolution:
+// resolve picks the reload-safe handle each connection's verdict pins
+// its (model, threshold) from — the multi-tenant serving substrate,
+// where connections from many tenants ride ONE stream (keeping the
+// batched engine's micro-batches full across tenants) while each is
+// judged by its own tenant's atomically-published pair. resolve runs on
+// pool workers and must be safe for concurrent use; returning nil falls
+// back to the pipeline backend's own handle, and Threshold/SetThreshold
+// keep addressing that fallback handle (the default tenant).
+func (p *Pipeline) NewStreamResolved(resolve func(*Connection) *HotBackend, emit func(Result), hooks ...StreamHooks) (*PipelineStream, error) {
+	if resolve == nil {
+		return nil, errors.New("clap: NewStreamResolved needs a resolver (use NewStream)")
+	}
+	return p.newStream(func(c *Connection) backend.PairHandle {
+		if h := resolve(c); h != nil {
+			return h
+		}
+		return nil
+	}, emit, hooks)
+}
+
+func (p *Pipeline) newStream(resolve func(*Connection) backend.PairHandle, emit func(Result), hooks []StreamHooks) (*PipelineStream, error) {
 	th, _, _, err := p.calibrate(p.snapshot())
 	if err != nil {
 		return nil, err
 	}
-	s := &PipelineStream{}
+	s := &PipelineStream{resolve: resolve}
 	s.pair, _ = p.backend.(backend.PairHandle)
 	s.threshold.Store(math.Float64bits(th))
 	score := func(c *Connection) Result {
-		b, th := s.pin(p)
+		b, th := s.pin(p, c)
 		// Streams keep the historical threshold-0 = score-only contract:
 		// SetThreshold(0) reverts to score-only, so thSet stays false here.
 		return p.resultFor(b, c, s.windowErrors(b, c, p.batch), th, false)
@@ -568,9 +601,21 @@ func (s *PipelineStream) BatchFill() float64 {
 }
 
 // pin resolves the (model, threshold) pair one connection is judged
-// with: one atomic load from a pair handle when it carries a threshold,
-// otherwise the model snapshot plus the stream's own atomic threshold.
-func (s *PipelineStream) pin(p *Pipeline) (Backend, float64) {
+// with: one atomic load from the connection's resolved pair handle (the
+// owning tenant's, under NewStreamResolved), else from the stream's own
+// pair handle when it carries a threshold, otherwise the model snapshot
+// plus the stream's own atomic threshold. A resolved handle without an
+// installed threshold scores threshold-free (score-only) rather than
+// borrowing another handle's threshold.
+func (s *PipelineStream) pin(p *Pipeline, c *Connection) (Backend, float64) {
+	if s.resolve != nil {
+		if h := s.resolve(c); h != nil {
+			if b, th, ok := h.CurrentPair(); ok {
+				return b, th
+			}
+			return h.Current(), 0
+		}
+	}
 	if s.pair != nil {
 		if b, th, ok := s.pair.CurrentPair(); ok {
 			return b, th
