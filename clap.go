@@ -64,6 +64,20 @@
 // PipelineStream's threshold is live-adjustable via SetThreshold, and
 // NewDedupAlertLog hardens the alert log for continuous operation.
 //
+// Every verdict can explain itself: -trace-sample arms the provenance
+// layer (DESIGN.md §12), attaching to each verdict the (model tag,
+// generation, threshold) it was judged under, its cascade stage and
+// micro-batch placement, and per-stage latencies — and retaining the
+// full per-window error series for every flagged connection plus a
+// deterministic sample of the rest. -debug-addr adds a private pprof
+// listener. Tracing quickstart:
+//
+//	clap-serve -model clap.model -tail capture.pcap \
+//	        -trace-sample 100 -debug-addr 127.0.0.1:6060
+//	curl localhost:8080/v1/trace?n=10         # recent decision records
+//	curl "localhost:8080/v1/explain?key=1.2.3.4:555%20%3E%205.6.7.8:80"
+//	go tool pprof http://127.0.0.1:6060/debug/pprof/profile
+//
 // One daemon can serve a fleet: repeatable -tenant flags add named
 // tenants, each owning its model, threshold, calibration and fair-share
 // quota while sharing the batched scoring engine, and the ops API scopes
@@ -166,9 +180,16 @@ import (
 	"clap/internal/flow"
 	"clap/internal/kitsune"
 	"clap/internal/metrics"
+	"clap/internal/obs"
 	"clap/internal/pcapio"
 	"clap/internal/trafficgen"
 )
+
+// Version identifies this build of the library and its CLIs — surfaced
+// in clap-serve's /healthz JSON and the clap_build_info metric, so a
+// fleet operator can tell which build produced a verdict or an
+// exposition.
+const Version = "0.8.0"
 
 // Re-exported core types. Aliases keep the internal packages private while
 // giving users one coherent import.
@@ -225,6 +246,16 @@ type (
 	// calibration references and drift monitoring: identical input order
 	// yields bit-identical quantiles and serialized snapshots.
 	Sketch = calib.Sketch
+	// Decision is one verdict's provenance record: the (model tag,
+	// generation, threshold) binding it was judged under, its cascade
+	// stage and batch placement, ingest attribution, and stream stage
+	// latencies. Attached to streamed Results under WithProvenance and
+	// served by clap-serve's /v1/trace.
+	Decision = obs.Decision
+	// Trace is a Decision plus the full per-window error series and
+	// localization — clap-serve's /v1/explain payload, reconstructing
+	// "which windows misbehaved" without re-scoring.
+	Trace = obs.Trace
 )
 
 // Registry tags of the built-in backends, accepted by NewBackend and the

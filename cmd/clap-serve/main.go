@@ -40,6 +40,16 @@
 //	curl -X POST -d '{"path":"new.model","calibration":"benign.pcap","fpr":0.01}' \
 //	        localhost:8080/v1/reload
 //	curl -X POST -d '{"calibration":"live"}' localhost:8080/v1/reload
+//
+// With -trace-sample N, every verdict carries a provenance record and
+// flagged connections (plus every Nth delivery per tenant) retain their
+// full per-window error series (DESIGN.md §12):
+//
+//	curl "localhost:8080/v1/trace?n=10&tenant=edge"
+//	curl "localhost:8080/v1/explain?key=<connection key>"
+//
+// -debug-addr serves net/http/pprof on its own listener, separate from
+// the ops API, so profiling stays off the scraped port.
 package main
 
 import (
@@ -48,6 +58,8 @@ import (
 	"fmt"
 	"io"
 	"log"
+	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"strconv"
@@ -208,6 +220,12 @@ func main() {
 		driftMaxShift  = flag.Float64("drift-max-shift", 0.5, "relative quantile shift that trips the drift alert (negative: rule off)")
 		driftFPRFactor = flag.Float64("drift-fpr-factor", 3, "operating-FPR deviation factor that trips the drift alert (negative: rule off)")
 
+		traceSample = flag.Int("trace-sample", 0,
+			"arm verdict provenance and deep-trace retention: keep every Nth connection's full error series per tenant (flagged connections always; 0: tracing off)")
+		traceRing = flag.Int("trace-ring", 256, "decision records and deep traces retained per tenant")
+		debugAddr = flag.String("debug-addr", "",
+			"serve net/http/pprof on this address (own listener, kept off the ops API; empty: disabled)")
+
 		alerts      = flag.String("alerts", "", "write an alert log to this path (\"-\": stdout)")
 		alertWindow = flag.Duration("alert-window", 30*time.Second, "suppress duplicate alerts per connection key within this window")
 		alertRate   = flag.Int("alert-rate", 20, "cap alert lines per second (0: uncapped)")
@@ -276,6 +294,8 @@ func main() {
 		DriftWindows:   *driftRing,
 		DriftMaxShift:  *driftMaxShift,
 		DriftFPRFactor: *driftFPRFactor,
+		TraceSample:    *traceSample,
+		TraceRing:      *traceRing,
 		Logf:           log.Printf,
 	}
 	cfg.FPR = *fpr
@@ -430,6 +450,26 @@ func main() {
 
 	if err := srv.Start(context.Background()); err != nil {
 		log.Fatal(err)
+	}
+
+	// The pprof surface gets its own mux and listener, never the ops API's:
+	// profiling endpoints stay bindable to a loopback/debug interface while
+	// the ops port is scraped by monitoring, and an unset -debug-addr
+	// exposes no profiling at all (importing net/http/pprof registers on
+	// DefaultServeMux, which neither listener serves).
+	if *debugAddr != "" {
+		dmux := http.NewServeMux()
+		dmux.HandleFunc("/debug/pprof/", pprof.Index)
+		dmux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		dmux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		dmux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		dmux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+		go func() {
+			log.Printf("pprof listening on http://%s/debug/pprof/", *debugAddr)
+			if err := http.ListenAndServe(*debugAddr, dmux); err != nil {
+				log.Printf("pprof listener: %v", err)
+			}
+		}()
 	}
 
 	// SIGHUP reloads the model in place; SIGINT/SIGTERM drain and exit.

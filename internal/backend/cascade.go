@@ -274,19 +274,46 @@ func stageSeries(s Backend, c *flow.Connection) []float64 {
 // escalated (second-stage) range whenever the detection FPR target is
 // tighter than the escalation budget.
 func (b *Cascade) WindowErrors(c *flow.Connection) []float64 {
+	errs, _, _ := b.WindowErrorsRouted(c)
+	return errs
+}
+
+// WindowErrorsRouted is WindowErrors plus the routing attribution a
+// provenance record captures: whether the verdict escalated to the
+// expensive stage, and the stage-1 margin — the stage-1 score minus the
+// escalation threshold (negative for screened verdicts; the raw stage-1
+// score while the cascade is uncalibrated and everything escalates).
+// The returned series is the same one WindowErrors would produce, bit
+// for bit.
+func (b *Cascade) WindowErrorsRouted(c *flow.Connection) (errs []float64, escalated bool, stage1Margin float64) {
 	e1 := stageSeries(b.s1, c)
 	b.stats.evaluated.Add(1)
 	if th, set := b.Escalation(); set {
-		if score, _ := b.s1.Summarize(e1); score < th {
+		score, _ := b.s1.Summarize(e1)
+		if score < th {
 			for i := range e1 {
 				e1[i] -= th
 			}
-			return e1
+			return e1, false, score - th
 		}
+		b.stats.escalated.Add(1)
+		return stageSeries(b.s2, c), true, score - th
 	}
+	score, _ := b.s1.Summarize(e1)
 	b.stats.escalated.Add(1)
-	return stageSeries(b.s2, c)
+	return stageSeries(b.s2, c), true, score
 }
+
+// Router is implemented by composite backends that can attribute a
+// verdict to the internal stage that settled it. The streaming scorer
+// routes through it when provenance capture is on, so a decision record
+// says not just the score but WHICH stage produced it and by what
+// margin.
+type Router interface {
+	WindowErrorsRouted(c *flow.Connection) (errs []float64, escalated bool, stage1Margin float64)
+}
+
+var _ Router = (*Cascade)(nil)
 
 // ScoreConn implements Backend.
 func (b *Cascade) ScoreConn(c *flow.Connection) float64 {

@@ -130,6 +130,18 @@ func (h *Hot) CurrentPair() (b Backend, th float64, ok bool) {
 	return cur.b, cur.th, cur.hasTh
 }
 
+// CurrentPairGen is CurrentPair plus the model's reload generation, all
+// from the SAME single atomic load — the provenance read. A verdict
+// record binding (model tag, generation, threshold) through it can never
+// attribute a score to a generation that did not produce it, even with a
+// reload racing the read; Generation() alone would be a second load that
+// could land on the other side of a swap. b and gen are valid even when
+// ok is false (no threshold installed).
+func (h *Hot) CurrentPairGen() (b Backend, th float64, gen uint64, ok bool) {
+	cur := h.cur.Load()
+	return cur.b, cur.th, cur.gen, cur.hasTh
+}
+
 func swappable(b Backend) error {
 	if b == nil {
 		return errors.New("backend: hot swap needs a backend")
@@ -185,3 +197,17 @@ type PairHandle interface {
 	// SetThreshold atomically installs a threshold for the current model.
 	SetThreshold(th float64) error
 }
+
+// GenPairHandle extends PairHandle for handles that also publish the
+// model's reload generation in the same atomic value — what provenance
+// capture pins (model, threshold, generation) through. Hot implements
+// it.
+type GenPairHandle interface {
+	PairHandle
+	// CurrentPairGen returns the live (model, threshold, generation)
+	// triple in one consistent view; b and gen are valid even when ok
+	// (threshold installed) is false.
+	CurrentPairGen() (b Backend, th float64, gen uint64, ok bool)
+}
+
+var _ GenPairHandle = (*Hot)(nil)

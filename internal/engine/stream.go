@@ -21,11 +21,16 @@ type StreamOf[T any] struct {
 	done    chan struct{}
 	wg      sync.WaitGroup
 	hooks   StreamHooks
+
+	// seq counts submissions. Submit is single-goroutine by contract and
+	// the emitter reads each job's stamped copy, so a plain field works.
+	seq uint64
 }
 
 type streamJob[T any] struct {
 	c   *flow.Connection
 	out chan T
+	seq uint64
 	// Stage timestamps, populated only when the stream has an Observe
 	// hook so the unobserved hot path never touches the clock.
 	submitted time.Time
@@ -42,6 +47,10 @@ type Stream = StreamOf[core.Score]
 // ordered emit — the per-stage numbers a serving layer turns into latency
 // histograms.
 type StreamStats struct {
+	// Seq is the connection's submission sequence number (1-based) — the
+	// global scoring order a provenance record carries, and the merge key
+	// for cross-tenant trace views.
+	Seq uint64
 	// QueueWait is Submit → worker pickup.
 	QueueWait time.Duration
 	// Score is the scoring function's runtime.
@@ -105,6 +114,7 @@ func NewStreamOfHooked[T any](e *Engine, score func(*flow.Connection) T, emit fu
 			emit(j.c, r)
 			if observed {
 				hooks.Observe(j.c, StreamStats{
+					Seq:       j.seq,
 					QueueWait: j.started.Sub(j.submitted),
 					Score:     j.scored.Sub(j.started),
 					EmitWait:  emitAt.Sub(j.scored),
@@ -126,7 +136,8 @@ func (e *Engine) NewStream(score func(*flow.Connection) core.Score, emit func(*f
 // calls from multiple goroutines; the submission order defines the emit
 // order.
 func (s *StreamOf[T]) Submit(c *flow.Connection) {
-	j := &streamJob[T]{c: c, out: make(chan T, 1)}
+	s.seq++
+	j := &streamJob[T]{c: c, out: make(chan T, 1), seq: s.seq}
 	if s.hooks.Observe != nil {
 		j.submitted = time.Now()
 	}

@@ -76,6 +76,15 @@ type Connection struct {
 	// the shared scoring stream so per-connection pair resolution can pin
 	// the owning tenant's (model, threshold).
 	Tenant string
+
+	// Source names the ingest source that delivered the connection ("
+	// outside serving, or with tracing off). Provenance records carry it
+	// so an operator can attribute a verdict to its capture point.
+	Source string
+	// TraceSampled marks a deterministic head-sampling hit decided at
+	// delivery: the serving layer retains this connection's full
+	// per-window error series even if it is not flagged.
+	TraceSampled bool
 }
 
 // Len returns the number of packets.
@@ -90,12 +99,14 @@ func (c *Connection) Append(p *packet.Packet, d Direction) {
 // Clone deep-copies the connection so attack strategies can mutate freely.
 func (c *Connection) Clone() *Connection {
 	out := &Connection{
-		Key:        c.Key,
-		Packets:    make([]*packet.Packet, len(c.Packets)),
-		Dirs:       append([]Direction(nil), c.Dirs...),
-		AdvIdx:     append([]int(nil), c.AdvIdx...),
-		AttackName: c.AttackName,
-		Tenant:     c.Tenant,
+		Key:          c.Key,
+		Packets:      make([]*packet.Packet, len(c.Packets)),
+		Dirs:         append([]Direction(nil), c.Dirs...),
+		AdvIdx:       append([]int(nil), c.AdvIdx...),
+		AttackName:   c.AttackName,
+		Tenant:       c.Tenant,
+		Source:       c.Source,
+		TraceSampled: c.TraceSampled,
 	}
 	for i, p := range c.Packets {
 		out.Packets[i] = p.Clone()

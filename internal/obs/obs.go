@@ -1,0 +1,281 @@
+// Package obs is the serving stack's observability substrate: verdict
+// provenance records, sampled deep traces, and the value-based histogram
+// primitive behind the daemon's latency and occupancy distributions.
+//
+// The paper's value proposition is EXPLAINABLE flagging — which windows
+// of a connection's context violated the learned profile — but a serving
+// daemon reduces every verdict to a bare score unless the decision's
+// context is captured at the moment it is made. This package holds that
+// context:
+//
+//   - Decision: one verdict's compact provenance — which tenant and
+//     source the connection came from, which model tag and Hot
+//     generation judged it under which threshold, which cascade stage
+//     produced the verdict (with the stage-1 margin), which micro-batch
+//     carried the inference at what occupancy, and the per-stage stream
+//     latencies. Pinned fields are captured on the scoring worker in the
+//     same instant the (model, threshold) pair is pinned, so a
+//     concurrent hot reload can never mis-attribute a verdict to a
+//     generation that did not produce it.
+//   - Trace: a Decision plus the full per-window error series and
+//     localization, retained for flagged connections and a deterministic
+//     head-sample of the rest, so "which windows misbehaved" can be
+//     reconstructed without re-scoring.
+//   - Tracer: the per-tenant bounded stores behind GET /v1/trace (a
+//     decision ring) and GET /v1/explain (a keyed deep-trace store with
+//     FIFO eviction).
+//   - Histogram: fixed-bucket atomic histograms over arbitrary float64
+//     values, the Prometheus-compatible primitive the serving metrics
+//     render (stage latencies, ingest queue wait, batch fill).
+//
+// Everything here is cheap by construction: capture is a handful of
+// value copies on the scoring worker, completion and publication ride
+// the stream's single emit goroutine, and the stores are small
+// mutex-guarded rings sized by the operator.
+package obs
+
+import (
+	"math"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Cascade stage attributions for Decision.Stage. Single-stage backends
+// leave the field empty.
+const (
+	// StageScreened marks a verdict the cascade's cheap first stage
+	// settled (stage-1 score below the escalation threshold).
+	StageScreened = "screened"
+	// StageEscalated marks a verdict re-scored by the cascade's
+	// expensive second stage.
+	StageEscalated = "escalated"
+)
+
+// Decision is one verdict's provenance record, as served by /v1/trace
+// and attached to flagged connections. Identity and binding fields are
+// captured on the scoring worker at pin time; Seq, the latencies, and
+// Time are completed on the stream's single emit goroutine before the
+// record is published to any ring.
+type Decision struct {
+	// Seq is the stream submission sequence number — the global scoring
+	// order, and the merge key for the cross-tenant /v1/trace view.
+	Seq uint64 `json:"seq"`
+	// Key is the connection 4-tuple ("a.b.c.d:p > a.b.c.d:p").
+	Key string `json:"key"`
+	// Tenant and Source attribute the connection's ingest path (both
+	// omitted for the default tenant / unnamed sources).
+	Tenant string `json:"tenant,omitempty"`
+	Source string `json:"source,omitempty"`
+	// Attack is the simulator's ground-truth label, when present.
+	Attack string `json:"attack,omitempty"`
+
+	// Model, Generation and Threshold are the (tag, Hot generation,
+	// operating threshold) binding the verdict was judged under — read
+	// in ONE atomic load, so they can never mix across a concurrent
+	// reload.
+	Model      string  `json:"model"`
+	Generation uint64  `json:"generation"`
+	Threshold  float64 `json:"threshold"`
+
+	// Score and Flagged are the verdict itself.
+	Score   float64 `json:"score"`
+	Flagged bool    `json:"flagged"`
+
+	// Stage attributes a cascade verdict to the stage that settled it
+	// (StageScreened / StageEscalated; empty for single-stage backends),
+	// and Stage1Margin is the stage-1 score minus the escalation
+	// threshold — negative for screened verdicts, the raw stage-1 score
+	// while the cascade is uncalibrated (everything escalates).
+	Stage        string  `json:"stage,omitempty"`
+	Stage1Margin float64 `json:"stage1_margin,omitempty"`
+
+	// BatchID and BatchFill locate the verdict's batched inference:
+	// which micro-batch sequence scored it and at what slot occupancy
+	// (both zero when the backend scored unbatched).
+	BatchID   uint64  `json:"batch_id,omitempty"`
+	BatchFill float64 `json:"batch_fill,omitempty"`
+
+	// WindowSpan is the scoring model's packets-per-window, for
+	// expanding window indices to packet ranges in /v1/explain.
+	WindowSpan int `json:"window_span,omitempty"`
+
+	// Stream stage latencies: queue wait (Submit to worker pickup),
+	// scoring runtime, and head-of-line wait before the ordered emit.
+	QueueWaitNS int64 `json:"queue_wait_ns"`
+	ScoreNS     int64 `json:"score_ns"`
+	EmitWaitNS  int64 `json:"emit_wait_ns"`
+
+	// Sampled marks a deterministic head-sampling hit: the connection's
+	// deep trace was retained even if it was not flagged.
+	Sampled bool `json:"sampled"`
+	// Time is the emit timestamp.
+	Time time.Time `json:"time"`
+}
+
+// Trace is one connection's deep trace: the decision plus the full
+// per-window error series and localization — everything /v1/explain
+// needs to reconstruct the paper's "which windows misbehaved" view
+// without re-scoring.
+type Trace struct {
+	Decision Decision `json:"decision"`
+	// Errors is the per-window anomaly series the verdict reduced.
+	Errors []float64 `json:"errors"`
+	// TopWindows ranks the highest-error windows, best first.
+	TopWindows []int `json:"top_windows,omitempty"`
+	// PeakWindow is the index of the highest-error window (-1: none).
+	PeakWindow int `json:"peak_window"`
+}
+
+// Tracer is one tenant's bounded trace retention: a ring of the most
+// recent decisions (the /v1/trace feed) and a keyed store of deep traces
+// (the /v1/explain source), both capped at the same capacity with
+// oldest-first eviction. Writes ride the stream's single emit goroutine;
+// reads come from HTTP handlers — one mutex covers both stores.
+type Tracer struct {
+	mu   sync.Mutex
+	ring []Decision
+	next int
+	cap  int
+
+	traces map[string]Trace
+	order  []string // insertion order for FIFO eviction
+}
+
+// NewTracer builds a tracer retaining the last capacity decisions and
+// deep traces (capacity must be positive; non-positive is coerced to 1).
+func NewTracer(capacity int) *Tracer {
+	if capacity <= 0 {
+		capacity = 1
+	}
+	return &Tracer{
+		ring:   make([]Decision, 0, capacity),
+		cap:    capacity,
+		traces: make(map[string]Trace),
+	}
+}
+
+// Record appends one completed decision to the ring, evicting the oldest
+// at capacity.
+func (t *Tracer) Record(d Decision) {
+	t.mu.Lock()
+	if len(t.ring) < t.cap {
+		t.ring = append(t.ring, d)
+	} else {
+		t.ring[t.next] = d
+		t.next = (t.next + 1) % t.cap
+	}
+	t.mu.Unlock()
+}
+
+// RecordTrace retains one connection's deep trace, keyed by its
+// connection key. A key seen again (the same 4-tuple flagged twice)
+// replaces its trace in place; new keys evict the oldest at capacity —
+// so a flagged connection's localization survives the flagged ring
+// wrapping, recoverable via /v1/explain until the trace store itself
+// rotates it out.
+func (t *Tracer) RecordTrace(tr Trace) {
+	key := tr.Decision.Key
+	t.mu.Lock()
+	if _, seen := t.traces[key]; !seen {
+		if len(t.order) >= t.cap {
+			delete(t.traces, t.order[0])
+			t.order = t.order[1:]
+		}
+		t.order = append(t.order, key)
+	}
+	t.traces[key] = tr
+	t.mu.Unlock()
+}
+
+// Decisions snapshots the retained decision ring, oldest first.
+func (t *Tracer) Decisions() []Decision {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	out := make([]Decision, 0, len(t.ring))
+	if len(t.ring) == t.cap {
+		out = append(out, t.ring[t.next:]...)
+		out = append(out, t.ring[:t.next]...)
+	} else {
+		out = append(out, t.ring...)
+	}
+	return out
+}
+
+// Explain looks up one connection's retained deep trace by key.
+func (t *Tracer) Explain(key string) (Trace, bool) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	tr, ok := t.traces[key]
+	return tr, ok
+}
+
+// TraceCount reports how many deep traces are currently retained.
+func (t *Tracer) TraceCount() int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return len(t.traces)
+}
+
+// LatencyBounds are the latency histogram bucket upper bounds in
+// seconds, spanning sub-100µs scoring to multi-second stalls — shared by
+// every stage-latency and queue-wait histogram the daemon exports.
+var LatencyBounds = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
+	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
+}
+
+// RatioBounds are the bucket upper bounds for quantities on (0, 1] —
+// the batch-fill occupancy distribution.
+var RatioBounds = []float64{0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
+
+// Histogram is a fixed-bucket histogram over float64 values with atomic
+// counters — the minimal Prometheus-compatible implementation
+// (cumulative buckets are computed at render time). The sum is kept as
+// Float64bits behind a CAS loop; observations come from the single emit
+// goroutine, so the loop is uncontended in practice.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64
+	sum    atomic.Uint64 // math.Float64bits
+	total  atomic.Uint64
+}
+
+// NewHistogram builds a histogram over the given ascending bucket upper
+// bounds (the +Inf bucket is implicit).
+func NewHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds))}
+}
+
+// Observe records one value (negative values are clamped to 0).
+func (h *Histogram) Observe(v float64) {
+	if v < 0 || math.IsNaN(v) {
+		v = 0
+	}
+	for i, b := range h.bounds {
+		if v <= b {
+			h.counts[i].Add(1)
+			break
+		}
+	}
+	h.total.Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Bounds returns the bucket upper bounds (not a copy; do not mutate).
+func (h *Histogram) Bounds() []float64 { return h.bounds }
+
+// Snapshot reads the per-bucket counts (non-cumulative, aligned with
+// Bounds), the value sum, and the total observation count.
+func (h *Histogram) Snapshot() (counts []uint64, sum float64, total uint64) {
+	counts = make([]uint64, len(h.counts))
+	for i := range h.counts {
+		counts[i] = h.counts[i].Load()
+	}
+	return counts, math.Float64frombits(h.sum.Load()), h.total.Load()
+}

@@ -1,0 +1,151 @@
+package obs
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestTracerRingWrap: the decision ring holds the last cap decisions and
+// Decisions() returns them oldest-first across the wrap point.
+func TestTracerRingWrap(t *testing.T) {
+	tr := NewTracer(4)
+	if got := tr.Decisions(); len(got) != 0 {
+		t.Fatalf("fresh tracer has %d decisions, want 0", len(got))
+	}
+	for i := 1; i <= 10; i++ {
+		tr.Record(Decision{Seq: uint64(i)})
+	}
+	got := tr.Decisions()
+	if len(got) != 4 {
+		t.Fatalf("ring retained %d decisions, want 4", len(got))
+	}
+	for i, d := range got {
+		if want := uint64(7 + i); d.Seq != want {
+			t.Fatalf("decision %d has seq %d, want %d (oldest-first)", i, d.Seq, want)
+		}
+	}
+}
+
+// TestTracerRingPartial: before the first wrap the ring returns exactly
+// what was recorded, in order.
+func TestTracerRingPartial(t *testing.T) {
+	tr := NewTracer(8)
+	for i := 1; i <= 3; i++ {
+		tr.Record(Decision{Seq: uint64(i)})
+	}
+	got := tr.Decisions()
+	if len(got) != 3 {
+		t.Fatalf("ring retained %d decisions, want 3", len(got))
+	}
+	for i, d := range got {
+		if d.Seq != uint64(i+1) {
+			t.Fatalf("decision %d has seq %d, want %d", i, d.Seq, i+1)
+		}
+	}
+}
+
+// TestTracerDeepTraceEviction: the keyed trace store evicts FIFO at
+// capacity, but a key seen again replaces in place without consuming a
+// new slot — the repeat-flagged connection keeps its newest localization.
+func TestTracerDeepTraceEviction(t *testing.T) {
+	tr := NewTracer(3)
+	key := func(i int) string { return fmt.Sprintf("k%d", i) }
+	for i := 1; i <= 3; i++ {
+		tr.RecordTrace(Trace{Decision: Decision{Key: key(i), Seq: uint64(i)}, PeakWindow: i})
+	}
+	if got := tr.TraceCount(); got != 3 {
+		t.Fatalf("trace count %d, want 3", got)
+	}
+	// Re-record k1: replace in place, no eviction.
+	tr.RecordTrace(Trace{Decision: Decision{Key: key(1), Seq: 10}, PeakWindow: 10})
+	if got := tr.TraceCount(); got != 3 {
+		t.Fatalf("replace-in-place changed trace count to %d", got)
+	}
+	if got, ok := tr.Explain(key(1)); !ok || got.Decision.Seq != 10 || got.PeakWindow != 10 {
+		t.Fatalf("k1 after replace = %+v ok=%v, want seq 10", got, ok)
+	}
+	// A genuinely new key evicts the oldest insertion (k1 — replace did
+	// not refresh its age).
+	tr.RecordTrace(Trace{Decision: Decision{Key: key(4), Seq: 4}})
+	if got := tr.TraceCount(); got != 3 {
+		t.Fatalf("trace count %d after eviction, want 3", got)
+	}
+	if _, ok := tr.Explain(key(1)); ok {
+		t.Fatal("k1 should have rotated out as the oldest insertion")
+	}
+	for _, k := range []string{key(2), key(3), key(4)} {
+		if _, ok := tr.Explain(k); !ok {
+			t.Fatalf("trace %s missing after eviction", k)
+		}
+	}
+}
+
+// TestTracerCapacityCoerced: non-positive capacities collapse to 1
+// rather than panicking or retaining nothing.
+func TestTracerCapacityCoerced(t *testing.T) {
+	tr := NewTracer(0)
+	tr.Record(Decision{Seq: 1})
+	tr.Record(Decision{Seq: 2})
+	got := tr.Decisions()
+	if len(got) != 1 || got[0].Seq != 2 {
+		t.Fatalf("cap-1 ring = %+v, want just seq 2", got)
+	}
+}
+
+// TestHistogramBuckets: observations land in the first bucket whose
+// upper bound contains them, overflow lands only in +Inf (total), and
+// the sum tracks the clamped values.
+func TestHistogramBuckets(t *testing.T) {
+	h := NewHistogram([]float64{1, 2, 4})
+	for _, v := range []float64{0.5, 1, 1.5, 3, 100} {
+		h.Observe(v)
+	}
+	counts, sum, total := h.Snapshot()
+	if want := []uint64{2, 1, 1}; counts[0] != want[0] || counts[1] != want[1] || counts[2] != want[2] {
+		t.Fatalf("bucket counts %v, want %v", counts, want)
+	}
+	if total != 5 {
+		t.Fatalf("total %d, want 5", total)
+	}
+	if sum != 106 {
+		t.Fatalf("sum %v, want 106", sum)
+	}
+	// Negative values clamp to 0 and still count.
+	h.Observe(-3)
+	counts, sum, total = h.Snapshot()
+	if counts[0] != 3 || total != 6 || sum != 106 {
+		t.Fatalf("after clamped observe: counts=%v sum=%v total=%d", counts, sum, total)
+	}
+}
+
+// TestHistogramConcurrent: parallel observers never lose counts.
+func TestHistogramConcurrent(t *testing.T) {
+	h := NewHistogram(LatencyBounds)
+	const workers, perWorker = 8, 500
+	done := make(chan struct{})
+	for w := 0; w < workers; w++ {
+		go func() {
+			for i := 0; i < perWorker; i++ {
+				h.Observe(0.001)
+			}
+			done <- struct{}{}
+		}()
+	}
+	for w := 0; w < workers; w++ {
+		<-done
+	}
+	counts, sum, total := h.Snapshot()
+	if total != workers*perWorker {
+		t.Fatalf("total %d, want %d", total, workers*perWorker)
+	}
+	var inBuckets uint64
+	for _, c := range counts {
+		inBuckets += c
+	}
+	if inBuckets != workers*perWorker {
+		t.Fatalf("bucketed %d, want %d", inBuckets, workers*perWorker)
+	}
+	if want := 0.001 * workers * perWorker; sum < want*0.999 || sum > want*1.001 {
+		t.Fatalf("sum %v, want ~%v", sum, want)
+	}
+}

@@ -4,10 +4,13 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"sort"
 	"strconv"
 	"time"
 
+	"clap"
 	"clap/internal/backend"
+	"clap/internal/obs"
 )
 
 // cascadeStatusOf samples a tenant's serving cascade's escalation
@@ -35,12 +38,16 @@ func cascadeStatusOf(hot *backend.Hot) cascadeSample {
 //	POST /v1/reload    hot model reload: {"path": "..."} plus optional
 //	                   atomic recalibration: {"calibration": "benign.pcap"
 //	                   | "live", "fpr": 0.01}
+//	GET  /v1/trace     recent verdict provenance records (?n= caps the
+//	                   count; 404 unless tracing is armed)
+//	GET  /v1/explain   one connection's retained deep trace: ?key= the
+//	                   connection 4-tuple (404 unless tracing is armed)
 //
-// /v1/flagged, /v1/summary, /v1/threshold, /v1/drift and /v1/reload
-// accept ?tenant=NAME to scope to one tenant; unscoped requests resolve
-// to the default tenant (except /v1/flagged, whose unscoped view merges
-// every tenant's ring in timestamp order), so single-tenant clients are
-// untouched.
+// /v1/flagged, /v1/summary, /v1/threshold, /v1/drift, /v1/reload,
+// /v1/trace and /v1/explain accept ?tenant=NAME to scope to one tenant;
+// unscoped requests resolve to the default tenant (except /v1/flagged and
+// /v1/trace, whose unscoped views merge every tenant's ring), so
+// single-tenant clients are untouched.
 func (s *Server) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/healthz", s.handleHealthz)
@@ -51,6 +58,8 @@ func (s *Server) Handler() http.Handler {
 	mux.HandleFunc("/v1/threshold", s.handleThreshold)
 	mux.HandleFunc("/v1/drift", s.handleDrift)
 	mux.HandleFunc("/v1/reload", s.handleReload)
+	mux.HandleFunc("/v1/trace", s.handleTrace)
+	mux.HandleFunc("/v1/explain", s.handleExplain)
 	return mux
 }
 
@@ -85,6 +94,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	}
 	body := map[string]any{
 		"status":         "ok",
+		"version":        clap.Version,
 		"uptime_seconds": time.Since(s.metrics.start).Seconds(),
 		"model":          s.hot.Tag(),
 		"generation":     s.hot.Generation(),
@@ -135,6 +145,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 				shed:       t.Shed.Load(),
 				reloads:    t.Reloads.Load(),
 				alerts:     t.DriftAlerts.Load(),
+				stages:     t.stageHist,
 			}
 			if t.Monitor != nil {
 				ds := t.Monitor.Status(t.Threshold())
@@ -423,6 +434,101 @@ type tenantQuotaInfo struct {
 	Rate        float64 `json:"rate"`
 	Burst       int     `json:"burst"`
 	Unlimited   bool    `json:"unlimited"`
+}
+
+// handleTrace serves the retained decision rings: one tenant's when
+// scoped with ?tenant=, or every tenant's merged by stream sequence
+// (global scoring order) when unscoped. ?n= caps the count to the most
+// recent records. 404 while tracing is disarmed, so clients can probe.
+func (s *Server) handleTrace(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.TraceSample <= 0 {
+		httpError(w, http.StatusNotFound, "tracing disabled (start with -trace-sample > 0)")
+		return
+	}
+	n := 0
+	if q := r.URL.Query().Get("n"); q != "" {
+		v, err := strconv.Atoi(q)
+		if err != nil || v < 0 {
+			httpError(w, http.StatusBadRequest, "bad n=%q", q)
+			return
+		}
+		n = v
+	}
+	if name := r.URL.Query().Get("tenant"); name != "" {
+		t, ok := s.tenantByName(name)
+		if !ok {
+			httpError(w, http.StatusNotFound, "unknown tenant %q", name)
+			return
+		}
+		out := t.tracer.Decisions()
+		if n > 0 && len(out) > n {
+			out = out[len(out)-n:]
+		}
+		writeJSON(w, http.StatusOK, map[string]any{
+			"tenant":      t.Name,
+			"decisions":   out,
+			"deep_traces": t.tracer.TraceCount(),
+		})
+		return
+	}
+	var out []obs.Decision
+	deep := 0
+	for _, t := range s.tenants {
+		out = append(out, t.tracer.Decisions()...)
+		deep += t.tracer.TraceCount()
+	}
+	// Seq is the shared stream's submission counter, so the merged view
+	// reads in true global scoring order.
+	sort.Slice(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	if n > 0 && len(out) > n {
+		out = out[len(out)-n:]
+	}
+	if out == nil {
+		out = []obs.Decision{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{
+		"decisions":   out,
+		"deep_traces": deep,
+	})
+}
+
+// handleExplain reconstructs one connection's "which windows misbehaved"
+// view from its retained deep trace — the full per-window error series
+// plus localization, with the provenance that produced it — without
+// re-scoring anything. Traces are tenant-scoped: an unscoped request
+// searches the default tenant, ?tenant= selects another.
+func (s *Server) handleExplain(w http.ResponseWriter, r *http.Request) {
+	if r.Method != http.MethodGet {
+		httpError(w, http.StatusMethodNotAllowed, "GET only")
+		return
+	}
+	if s.cfg.TraceSample <= 0 {
+		httpError(w, http.StatusNotFound, "tracing disabled (start with -trace-sample > 0)")
+		return
+	}
+	key := r.URL.Query().Get("key")
+	if key == "" {
+		httpError(w, http.StatusBadRequest, "want ?key=<connection key>")
+		return
+	}
+	t, ok := s.tenantParam(w, r)
+	if !ok {
+		return
+	}
+	tr, ok := t.tracer.Explain(key)
+	if !ok {
+		httpError(w, http.StatusNotFound, "no retained trace for key %q (rotated out, never sampled, or another tenant's)", key)
+		return
+	}
+	body := map[string]any{"trace": tr}
+	if s.multiTenant() {
+		body["tenant"] = t.Name
+	}
+	writeJSON(w, http.StatusOK, body)
 }
 
 func (s *Server) handleTenants(w http.ResponseWriter, r *http.Request) {

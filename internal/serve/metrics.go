@@ -3,11 +3,15 @@ package serve
 import (
 	"fmt"
 	"io"
+	"runtime"
 	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
+
+	"clap"
+	"clap/internal/obs"
 )
 
 // promLabel escapes one label VALUE for the Prometheus text exposition:
@@ -51,7 +55,14 @@ type metrics struct {
 	driftAlerts atomic.Uint64
 
 	// Per-stage latency histograms: queue wait, scoring, ordered-emit wait.
-	stages [3]*histogram
+	stages [3]*obs.Histogram
+
+	// ingestWait distributes how long deliveries sat in the shared ingest
+	// queue before the pump submitted them, and batchFill distributes each
+	// verdict's micro-batch occupancy. Both are non-nil only with tracing
+	// armed, so the untraced exposition carries no new series.
+	ingestWait *obs.Histogram
+	batchFill  *obs.Histogram
 
 	// rate is a sliding window of (timestamp, packets) samples maintained
 	// by the single emit goroutine; windowRate reads it under the mutex.
@@ -78,7 +89,7 @@ const rateWindow = 5 * time.Second
 func newMetrics() *metrics {
 	m := &metrics{start: time.Now()}
 	for i := range m.stages {
-		m.stages[i] = newHistogram()
+		m.stages[i] = obs.NewHistogram(obs.LatencyBounds)
 	}
 	return m
 }
@@ -91,9 +102,9 @@ func (m *metrics) observeConn(pkts int, flagged bool, queue, score, emit time.Du
 	if flagged {
 		m.flagged.Add(1)
 	}
-	m.stages[stageQueue].observe(queue)
-	m.stages[stageScore].observe(score)
-	m.stages[stageEmit].observe(emit)
+	m.stages[stageQueue].Observe(queue.Seconds())
+	m.stages[stageScore].Observe(score.Seconds())
+	m.stages[stageEmit].Observe(emit.Seconds())
 
 	now := time.Now()
 	m.rateMu.Lock()
@@ -124,41 +135,6 @@ func (m *metrics) windowRate() float64 {
 		total += s.pkts
 	}
 	return float64(total) / rateWindow.Seconds()
-}
-
-// histogram is a fixed-bucket latency histogram with atomic counters, the
-// minimal Prometheus-compatible implementation (cumulative buckets are
-// computed at render time).
-type histogram struct {
-	counts  []atomic.Uint64
-	sumNano atomic.Uint64
-	total   atomic.Uint64
-}
-
-// histBounds are the bucket upper bounds in seconds, spanning sub-100µs
-// scoring to multi-second stalls.
-var histBounds = []float64{
-	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005,
-	0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5,
-}
-
-func newHistogram() *histogram {
-	return &histogram{counts: make([]atomic.Uint64, len(histBounds))}
-}
-
-func (h *histogram) observe(d time.Duration) {
-	if d < 0 {
-		d = 0
-	}
-	sec := d.Seconds()
-	for i, b := range histBounds {
-		if sec <= b {
-			h.counts[i].Add(1)
-			break
-		}
-	}
-	h.total.Add(1)
-	h.sumNano.Add(uint64(d))
 }
 
 // srcCounters is one ingest source's accounting.
@@ -205,6 +181,9 @@ type tenantSample struct {
 	reloads    uint64
 	drift      driftSample
 	alerts     uint64
+	// stages are the tenant's queue/score/emit latency histograms
+	// (rendered in multi-tenant mode only, like every tenant series).
+	stages [3]*obs.Histogram
 }
 
 // writeProm renders the full metrics exposition. queueDepth/queueCap,
@@ -217,6 +196,10 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, thr
 	g := func(name, help string, v float64) {
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s gauge\n%s %g\n", name, help, name, name, v)
 	}
+	fmt.Fprintf(w, "# HELP clap_build_info Build and runtime identity of the serving binary (value is always 1).\n")
+	fmt.Fprintf(w, "# TYPE clap_build_info gauge\n")
+	fmt.Fprintf(w, "clap_build_info{version=\"%s\",go_version=\"%s\",backend_tags=\"%s\"} 1\n",
+		promLabel(clap.Version), promLabel(runtime.Version()), promLabel(strings.Join(clap.BackendTags(), ",")))
 	c("clap_serve_connections_scored_total", "Connections scored since start.", m.connsScored.Load())
 	c("clap_serve_packets_total", "Packets in scored connections since start.", m.packets.Load())
 	c("clap_serve_flagged_total", "Connections flagged over the operating threshold.", m.flagged.Load())
@@ -279,17 +262,42 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, thr
 	name := "clap_serve_stage_latency_seconds"
 	fmt.Fprintf(w, "# HELP %s Per-stage latency through the scoring stream.\n# TYPE %s histogram\n", name, name)
 	for si, h := range m.stages {
-		stage := stageNames[si]
-		cum := uint64(0)
-		for i, b := range histBounds {
-			cum += h.counts[i].Load()
-			fmt.Fprintf(w, "%s_bucket{stage=%q,le=%q} %d\n", name, stage, trimFloat(b), cum)
-		}
-		total := h.total.Load()
-		fmt.Fprintf(w, "%s_bucket{stage=%q,le=\"+Inf\"} %d\n", name, stage, total)
-		fmt.Fprintf(w, "%s_sum{stage=%q} %g\n", name, stage, time.Duration(h.sumNano.Load()).Seconds())
-		fmt.Fprintf(w, "%s_count{stage=%q} %d\n", name, stage, total)
+		writeHistSeries(w, name, fmt.Sprintf("stage=%q,", stageNames[si]), h)
 	}
+
+	// Tracing-only distributions (the histograms exist only with tracing
+	// armed, so the untraced exposition is unchanged).
+	if m.ingestWait != nil {
+		n := "clap_serve_ingest_wait_seconds"
+		fmt.Fprintf(w, "# HELP %s Time deliveries waited in the shared ingest queue before submission.\n# TYPE %s histogram\n", n, n)
+		writeHistSeries(w, n, "", m.ingestWait)
+	}
+	if m.batchFill != nil {
+		n := "clap_serve_batch_fill_ratio"
+		fmt.Fprintf(w, "# HELP %s Per-verdict micro-batch slot occupancy (1 = full batches).\n# TYPE %s histogram\n", n, n)
+		writeHistSeries(w, n, "", m.batchFill)
+	}
+}
+
+// writeHistSeries renders one histogram's bucket/sum/count series. labels
+// is everything inside the braces before le — e.g. `stage="queue",` —
+// or "" for an unlabeled histogram.
+func writeHistSeries(w io.Writer, name, labels string, h *obs.Histogram) {
+	counts, sum, total := h.Snapshot()
+	cum := uint64(0)
+	for i, b := range h.Bounds() {
+		cum += counts[i]
+		fmt.Fprintf(w, "%s_bucket{%sle=%q} %d\n", name, labels, trimFloat(b), cum)
+	}
+	fmt.Fprintf(w, "%s_bucket{%sle=\"+Inf\"} %d\n", name, labels, total)
+	if labels == "" {
+		fmt.Fprintf(w, "%s_sum %g\n", name, sum)
+		fmt.Fprintf(w, "%s_count %d\n", name, total)
+		return
+	}
+	bare := strings.TrimSuffix(labels, ",")
+	fmt.Fprintf(w, "%s_sum{%s} %g\n", name, bare, sum)
+	fmt.Fprintf(w, "%s_count{%s} %d\n", name, bare, total)
 }
 
 // writeTenants renders the per-tenant series (multi-tenant mode only).
@@ -320,6 +328,20 @@ func (m *metrics) writeTenants(w io.Writer, tenants []tenantSample) {
 	fmt.Fprintf(w, "# TYPE clap_serve_tenant_model_info gauge\n")
 	for _, t := range tenants {
 		fmt.Fprintf(w, "clap_serve_tenant_model_info{tenant=\"%s\",tag=\"%s\"} %d\n", promLabel(t.name), promLabel(t.tag), t.generation)
+	}
+
+	// Per-tenant stage latency histograms (PR 7 exported only aggregate
+	// stage latencies; one tenant's stalls were invisible next to a fast
+	// neighbour's volume).
+	histName := "clap_serve_tenant_stage_latency_seconds"
+	fmt.Fprintf(w, "# HELP %s Per-stage latency through the scoring stream, by tenant.\n# TYPE %s histogram\n", histName, histName)
+	for _, t := range tenants {
+		for si, h := range t.stages {
+			if h == nil {
+				continue
+			}
+			writeHistSeries(w, histName, fmt.Sprintf("tenant=\"%s\",stage=%q,", promLabel(t.name), stageNames[si]), h)
+		}
 	}
 
 	// Drift, per tenant (each tenant monitors against its own reference).

@@ -46,6 +46,7 @@ import (
 	"clap"
 	"clap/internal/backend"
 	"clap/internal/calib"
+	"clap/internal/obs"
 	"clap/internal/tenant"
 )
 
@@ -155,6 +156,19 @@ type Config struct {
 	// alerts.
 	FlaggedRing int
 
+	// TraceSample arms the provenance and tracing layer: every verdict
+	// carries a provenance record (served at /v1/trace and attached to
+	// flagged connections), and every TraceSample'th delivery per tenant —
+	// plus every flagged connection — retains a deep trace (the full
+	// per-window error series and localization, served at /v1/explain).
+	// 0 (the default) disables tracing entirely: no provenance is
+	// captured, and /metrics, /v1/flagged and the scoring path stay
+	// byte-identical to the untraced daemon. 1 deep-traces everything.
+	TraceSample int
+	// TraceRing caps each tenant's retained decisions and deep traces
+	// (default 256). Ignored while TraceSample is 0.
+	TraceRing int
+
 	// OnResult, if set, observes every scored result on the emit
 	// goroutine — the hook the CLI uses for alert sinks and tests use for
 	// score capture.
@@ -205,6 +219,12 @@ type FlaggedConn struct {
 	// Tenant names the owning tenant in multi-tenant mode (omitted in
 	// single-tenant deployments, keeping the JSON shape unchanged).
 	Tenant string `json:"tenant,omitempty"`
+	// Provenance is the verdict's full decision record, attached when
+	// tracing is armed (Config.TraceSample > 0; omitted otherwise, keeping
+	// the untraced JSON shape unchanged). It pins the localization and the
+	// (model, generation, threshold) binding even after the flagged ring
+	// wraps — the deep trace behind it stays recoverable at /v1/explain.
+	Provenance *obs.Decision `json:"provenance,omitempty"`
 }
 
 // DriftStatus is one drift evaluation, as served by /v1/drift and handed
@@ -236,10 +256,10 @@ type Server struct {
 
 	metrics *metrics
 
-	// lastFlagged carries one result's verdict from emit to the observe
-	// hook that follows it; both run on the stream's single emitter
-	// goroutine, so no synchronization is needed.
-	lastFlagged bool
+	// lastResult carries one result from emit to the observe hook that
+	// follows it; both run on the stream's single emitter goroutine, so no
+	// synchronization is needed. observe consumes and clears it.
+	lastResult clap.Result
 
 	httpLn  net.Listener
 	httpSrv *http.Server
@@ -259,6 +279,12 @@ type tenantState struct {
 	spec    TenantConfig
 	flagged *tenant.Ring[FlaggedConn]
 	srcs    []*srcCounters
+	// tracer holds the tenant's decision ring and deep-trace store
+	// (nil while tracing is disabled).
+	tracer *obs.Tracer
+	// stageHist are the tenant's queue/score/emit latency histograms,
+	// observed and rendered only in multi-tenant mode.
+	stageHist [3]*obs.Histogram
 }
 
 type serveSource struct {
@@ -270,6 +296,9 @@ type serveSource struct {
 type queued struct {
 	conn  *clap.Connection
 	stats *srcCounters
+	// at stamps the enqueue time, only when tracing is armed — the pump
+	// turns it into the shared-queue ingest-wait histogram.
+	at time.Time
 }
 
 // New builds a Server (not yet started) around a trained backend.
@@ -282,6 +311,12 @@ func New(cfg Config) (*Server, error) {
 	}
 	if cfg.FlaggedRing <= 0 {
 		cfg.FlaggedRing = 256
+	}
+	if cfg.TraceSample < 0 {
+		cfg.TraceSample = 0
+	}
+	if cfg.TraceRing <= 0 {
+		cfg.TraceRing = 256
 	}
 	switch {
 	case cfg.TopN == 0:
@@ -331,6 +366,11 @@ func New(cfg Config) (*Server, error) {
 	}
 
 	opts := []clap.PipelineOption{clap.WithBackend(def.Hot), clap.WithTopN(cfg.TopN)}
+	if cfg.TraceSample > 0 {
+		opts = append(opts, clap.WithProvenance(true))
+		s.metrics.ingestWait = obs.NewHistogram(obs.LatencyBounds)
+		s.metrics.batchFill = obs.NewHistogram(obs.RatioBounds)
+	}
 	if cfg.Workers > 0 {
 		opts = append(opts, clap.WithWorkers(cfg.Workers))
 	}
@@ -401,6 +441,12 @@ func (s *Server) addTenant(tc TenantConfig) (*tenantState, error) {
 		Tenant:  core,
 		spec:    tc,
 		flagged: tenant.NewRing[FlaggedConn](s.cfg.FlaggedRing),
+	}
+	if s.cfg.TraceSample > 0 {
+		t.tracer = obs.NewTracer(s.cfg.TraceRing)
+	}
+	for i := range t.stageHist {
+		t.stageHist[i] = obs.NewHistogram(obs.LatencyBounds)
 	}
 	s.tenants = append(s.tenants, t)
 	s.byName[tc.Name] = t
@@ -534,6 +580,9 @@ func (s *Server) Start(ctx context.Context) error {
 	// Pump: the single Submit goroutine the stream contract requires.
 	go func() {
 		for q := range s.queue {
+			if !q.at.IsZero() {
+				s.metrics.ingestWait.Observe(time.Since(q.at).Seconds())
+			}
 			s.stream.Submit(q.conn)
 		}
 		s.stream.Close()
@@ -727,6 +776,14 @@ func (s *Server) deliverFunc(ctx context.Context, st *srcCounters, t *tenantStat
 			c.Tenant = t.Name
 		}
 		q := queued{conn: c, stats: st}
+		if s.cfg.TraceSample > 0 {
+			// Attribution and the head-sampling verdict ride the
+			// connection into the shared stream; the enqueue stamp feeds
+			// the ingest-wait histogram at the pump.
+			c.Source = st.name
+			c.TraceSampled = t.SampleTrace(s.cfg.TraceSample)
+			q.at = time.Now()
+		}
 		if s.cfg.DropWhenFull {
 			select {
 			case s.queue <- q:
@@ -753,7 +810,7 @@ func (s *Server) deliverFunc(ctx context.Context, st *srcCounters, t *tenantStat
 
 // emit consumes ordered results on the stream's emitter goroutine.
 func (s *Server) emit(r clap.Result) {
-	s.lastFlagged = r.Flagged
+	s.lastResult = r
 	t := s.tenantOf(r.Conn.Tenant)
 	t.Release()
 	t.Scored.Add(1)
@@ -768,18 +825,24 @@ func (s *Server) emit(r clap.Result) {
 	}
 	if r.Flagged {
 		t.Flagged.Add(1)
-		fc := FlaggedConn{
-			Key:        r.Conn.Key.String(),
-			Score:      r.Score,
-			PeakWindow: r.PeakWindow,
-			TopWindows: r.TopWindows,
-			Attack:     r.Conn.AttackName,
-			Time:       time.Now(),
+		// With tracing armed the flagged-ring insert moves to observe,
+		// which runs next on this same goroutine — the entry then carries
+		// the COMPLETED provenance record (Seq, latencies, timestamp)
+		// instead of a half-filled one.
+		if r.Prov == nil {
+			fc := FlaggedConn{
+				Key:        r.Conn.Key.String(),
+				Score:      r.Score,
+				PeakWindow: r.PeakWindow,
+				TopWindows: r.TopWindows,
+				Attack:     r.Conn.AttackName,
+				Time:       time.Now(),
+			}
+			if s.multiTenant() {
+				fc.Tenant = t.Name
+			}
+			t.flagged.Add(fc)
 		}
-		if s.multiTenant() {
-			fc.Tenant = t.Name
-		}
-		t.flagged.Add(fc)
 	}
 	if s.cfg.OnResult != nil {
 		s.cfg.OnResult(r)
@@ -814,12 +877,58 @@ func (s *Server) DriftStatus() (DriftStatus, bool) {
 	return s.monitor.Status(s.Threshold()), true
 }
 
-// observe feeds the stream's stage latencies into the metrics. It runs on
-// the emitter goroutine right after this connection's emit, so the
-// verdict recorded there and the latencies land together.
+// observe feeds the stream's stage latencies into the metrics and, with
+// tracing armed, completes and publishes the connection's provenance
+// record. It runs on the emitter goroutine right after this connection's
+// emit, so the verdict recorded there and the latencies land together —
+// and a record only becomes visible to /v1/trace, /v1/explain and
+// /v1/flagged once it is complete.
 func (s *Server) observe(c *clap.Connection, st clap.StreamStats) {
-	s.metrics.observeConn(c.Len(), s.lastFlagged, st.QueueWait, st.Score, st.EmitWait)
-	s.lastFlagged = false
+	r := s.lastResult
+	s.lastResult = clap.Result{}
+	s.metrics.observeConn(c.Len(), r.Flagged, st.QueueWait, st.Score, st.EmitWait)
+	t := s.tenantOf(c.Tenant)
+	if s.multiTenant() {
+		t.stageHist[stageQueue].Observe(st.QueueWait.Seconds())
+		t.stageHist[stageScore].Observe(st.Score.Seconds())
+		t.stageHist[stageEmit].Observe(st.EmitWait.Seconds())
+	}
+	d := r.Prov
+	if d == nil {
+		return
+	}
+	d.Seq = st.Seq
+	d.QueueWaitNS = st.QueueWait.Nanoseconds()
+	d.ScoreNS = st.Score.Nanoseconds()
+	d.EmitWaitNS = st.EmitWait.Nanoseconds()
+	d.Time = time.Now()
+	if d.BatchFill > 0 {
+		s.metrics.batchFill.Observe(d.BatchFill)
+	}
+	t.tracer.Record(*d)
+	if r.Flagged || d.Sampled {
+		t.tracer.RecordTrace(obs.Trace{
+			Decision:   *d,
+			Errors:     r.Errors,
+			TopWindows: r.TopWindows,
+			PeakWindow: r.PeakWindow,
+		})
+	}
+	if r.Flagged {
+		fc := FlaggedConn{
+			Key:        d.Key,
+			Score:      r.Score,
+			PeakWindow: r.PeakWindow,
+			TopWindows: r.TopWindows,
+			Attack:     c.AttackName,
+			Time:       d.Time,
+			Provenance: d,
+		}
+		if s.multiTenant() {
+			fc.Tenant = t.Name
+		}
+		t.flagged.Add(fc)
+	}
 }
 
 // Flagged returns the most recent flagged connections across every

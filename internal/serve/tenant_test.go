@@ -2,6 +2,7 @@ package serve
 
 import (
 	"context"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net/http"
@@ -163,6 +164,7 @@ func TestServeTenantReloadAtomicity(t *testing.T) {
 	type verdict struct {
 		score   float64
 		flagged bool
+		prov    *clap.Decision
 	}
 	var mu sync.Mutex
 	scored := map[string]map[*clap.Connection]verdict{
@@ -173,12 +175,13 @@ func TestServeTenantReloadAtomicity(t *testing.T) {
 		Backend:     loadModel(t, clapModel),
 		QueueDepth:  16,
 		DriftWindow: -1,
+		TraceSample: 1, // every verdict carries provenance under the soak
 		OnTenantResult: func(name string, r clap.Result) {
 			if name == DefaultTenant {
 				return
 			}
 			mu.Lock()
-			scored[name][r.Conn] = verdict{score: r.Score, flagged: r.Flagged}
+			scored[name][r.Conn] = verdict{score: r.Score, flagged: r.Flagged, prov: r.Prov}
 			mu.Unlock()
 		},
 		Tenants: []TenantConfig{
@@ -201,9 +204,23 @@ func TestServeTenantReloadAtomicity(t *testing.T) {
 	if err := srv.Start(context.Background()); err != nil {
 		t.Fatal(err)
 	}
+	// Every (model tag, generation, threshold) triple a tenant's Hot pair
+	// ever legally published: the startup pair, then each reload's "new"
+	// side. A verdict's provenance must land exactly on one of these —
+	// anything else is a torn read across the atomic swap.
+	type binding struct {
+		tag string
+		gen uint64
+		th  float64
+	}
+	legal := map[string]map[binding]bool{}
 	for name := range fprs {
-		if got := srv.byName[name].Threshold(); got != th[name][0] {
+		st := srv.byName[name]
+		if got := st.Threshold(); got != th[name][0] {
 			t.Fatalf("tenant %s startup threshold %v, offline derivation %v", name, got, th[name][0])
+		}
+		legal[name] = map[binding]bool{
+			{tag: st.Hot.Tag(), gen: st.Hot.Generation(), th: st.Threshold()}: true,
 		}
 	}
 	ts := httptest.NewServer(srv.Handler())
@@ -227,12 +244,19 @@ func TestServeTenantReloadAtomicity(t *testing.T) {
 					t.Error(err)
 					return
 				}
+				var res struct {
+					New ReloadInfo `json:"new"`
+				}
+				decErr := json.NewDecoder(resp.Body).Decode(&res)
 				io.Copy(io.Discard, resp.Body)
 				resp.Body.Close()
-				if resp.StatusCode != http.StatusOK {
-					t.Errorf("tenant %s reload %d: %s", name, reloads, resp.Status)
+				if resp.StatusCode != http.StatusOK || decErr != nil {
+					t.Errorf("tenant %s reload %d: %s (%v)", name, reloads, resp.Status, decErr)
 					return
 				}
+				mu.Lock()
+				legal[name][binding{tag: res.New.Tag, gen: res.New.Generation, th: res.New.Threshold}] = true
+				mu.Unlock()
 				reloads++
 			}
 			if reloads < 2 {
@@ -274,6 +298,30 @@ func TestServeTenantReloadAtomicity(t *testing.T) {
 			default:
 				t.Fatalf("tenant %s: crossed (model, threshold) pairing: score=%v flagged=%v (A: score %v th %v, B: score %v th %v)",
 					name, v.score, v.flagged, sa, thA, sb, thB)
+			}
+
+			// Provenance: the verdict's recorded (model tag, generation,
+			// threshold, tenant) binding must be one its tenant's Hot pair
+			// actually published, read in one consistent view.
+			d := v.prov
+			if d == nil {
+				t.Fatalf("tenant %s: verdict carries no provenance under TraceSample 1", name)
+			}
+			if d.Tenant != name {
+				t.Fatalf("tenant %s: provenance attributed to tenant %q", name, d.Tenant)
+			}
+			if d.Score != v.score || d.Flagged != v.flagged {
+				t.Fatalf("tenant %s: provenance verdict (%v, %v) disagrees with the emitted (%v, %v)",
+					name, d.Score, d.Flagged, v.score, v.flagged)
+			}
+			got := binding{tag: d.Model, gen: d.Generation, th: d.Threshold}
+			if !legal[name][got] {
+				t.Fatalf("tenant %s: provenance binding %+v matches no published Hot pair %v",
+					name, got, legal[name])
+			}
+			if v.flagged != (v.score >= d.Threshold) {
+				t.Fatalf("tenant %s: flagged=%v inconsistent with recorded threshold %v and score %v",
+					name, v.flagged, d.Threshold, v.score)
 			}
 		}
 		if seenA == 0 || seenB == 0 {

@@ -110,6 +110,9 @@ type Tenant struct {
 	DriftAlerts atomic.Uint64
 
 	inFlight atomic.Int64
+	// traceSeq counts delivered connections for deterministic head
+	// sampling; see SampleTrace.
+	traceSeq atomic.Uint64
 
 	// Token bucket state; guarded because several ingest goroutines may
 	// deliver for one tenant.
@@ -204,6 +207,19 @@ func (t *Tenant) Release() { t.inFlight.Add(-1) }
 // InFlight reports connections admitted but not yet released — the
 // tenant's share of the queue plus the scoring stream.
 func (t *Tenant) InFlight() int { return int(t.inFlight.Load()) }
+
+// SampleTrace decides deterministic head sampling for one delivered
+// connection: the 1st, (period+1)th, (2·period+1)th, ... delivery per
+// tenant is sampled, so a tenant delivering any traffic at all always
+// retains at least one deep trace and the retention rate is exactly
+// 1/period regardless of load. period <= 1 samples everything.
+func (t *Tenant) SampleTrace(period int) bool {
+	n := t.traceSeq.Add(1) - 1
+	if period <= 1 {
+		return true
+	}
+	return n%uint64(period) == 0
+}
 
 // Threshold reports the tenant's operating threshold (0 while none is
 // installed: score-only).

@@ -183,3 +183,41 @@ func TestRingBoundsAndOrder(t *testing.T) {
 		t.Fatalf("Len = %d, want 3", r.Len())
 	}
 }
+
+// TestSampleTrace: head sampling is deterministic per tenant — the
+// first delivery and every period-th after it sample, independent of
+// timing; period <= 1 samples everything.
+func TestSampleTrace(t *testing.T) {
+	tn := newQuotaTenant(t, Quota{})
+	var got []int
+	for i := 0; i < 10; i++ {
+		if tn.SampleTrace(4) {
+			got = append(got, i)
+		}
+	}
+	if len(got) != 3 || got[0] != 0 || got[1] != 4 || got[2] != 8 {
+		t.Fatalf("period-4 sampled deliveries %v, want [0 4 8]", got)
+	}
+	all := newQuotaTenant(t, Quota{})
+	for i := 0; i < 5; i++ {
+		if !all.SampleTrace(1) {
+			t.Fatalf("period 1 skipped delivery %d", i)
+		}
+	}
+	none := newQuotaTenant(t, Quota{})
+	for i := 0; i < 5; i++ {
+		if !none.SampleTrace(0) {
+			t.Fatalf("period 0 (coerced to sample-all) skipped delivery %d", i)
+		}
+	}
+	// Two tenants sample independently: a second tenant's counter does
+	// not advance the first's.
+	a, b := newQuotaTenant(t, Quota{}), newQuotaTenant(t, Quota{})
+	a.SampleTrace(2)
+	for i := 0; i < 3; i++ {
+		b.SampleTrace(2)
+	}
+	if a.SampleTrace(2) {
+		t.Fatal("tenant a's second delivery sampled under period 2 — counters are shared")
+	}
+}

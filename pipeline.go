@@ -10,6 +10,7 @@ import (
 	"clap/internal/calib"
 	"clap/internal/core"
 	"clap/internal/engine"
+	"clap/internal/obs"
 )
 
 // Pipeline is the backend-agnostic deployment unit: a Source feeds
@@ -46,6 +47,7 @@ type Pipeline struct {
 
 	topN       int
 	keepErrors bool
+	prov       bool
 
 	optErr error // first invalid option, surfaced by NewPipeline
 }
@@ -207,6 +209,15 @@ func WithTopN(n int) PipelineOption {
 // captures do not pin every connection's series for the whole run.
 func WithWindowErrors(keep bool) PipelineOption { return func(p *Pipeline) { p.keepErrors = keep } }
 
+// WithProvenance arms per-verdict provenance capture on pipeline streams:
+// every streamed Result carries an obs.Decision binding the verdict to the
+// (model tag, Hot generation, threshold) that judged it — read in the SAME
+// atomic load that pins the scoring pair — plus the cascade stage, batch
+// placement, and the connection's ingest attribution. Head-sampled
+// connections (Connection.TraceSampled) additionally retain their full
+// error series even when unflagged. Off by default; batch Runs ignore it.
+func WithProvenance(on bool) PipelineOption { return func(p *Pipeline) { p.prov = on } }
+
 // NewPipeline builds a pipeline over a backend. It fails without one,
 // fails on an untrained one — scoring through an untrained backend would
 // otherwise panic on a pool goroutine — and fails on any invalid option
@@ -272,8 +283,15 @@ type Result struct {
 	// not pay for ranking they never read.
 	TopWindows []int
 	// Errors is the per-window anomaly series. Retained for flagged
-	// results, and for every result under WithWindowErrors(true).
+	// results, and for every result under WithWindowErrors(true) — and,
+	// on provenance-armed streams, for head-sampled connections.
 	Errors []float64
+	// Prov is the verdict's provenance record, populated only on pipeline
+	// streams built under WithProvenance(true); nil otherwise. The stream
+	// fills the scoring-side fields on the pool worker; the consumer
+	// completes Seq, the stage latencies and the timestamp on the emit
+	// goroutine before publishing the record anywhere.
+	Prov *obs.Decision
 }
 
 // RunSummary reports one Run.
@@ -494,9 +512,11 @@ type PipelineStream struct {
 
 	// Batched-scoring occupancy accounting: windows actually scored vs.
 	// the slots the micro-batches they rode had — the serving layer's
-	// clap_serve_batch_fill gauge.
+	// clap_serve_batch_fill gauge. batchSeq numbers the batched inference
+	// runs so provenance records can cite which one carried a verdict.
 	batchWindows atomic.Uint64
 	batchSlots   atomic.Uint64
+	batchSeq     atomic.Uint64
 }
 
 // StreamHooks instruments a pipeline stream with per-stage latencies; see
@@ -545,10 +565,54 @@ func (p *Pipeline) newStream(resolve func(*Connection) backend.PairHandle, emit 
 	s.pair, _ = p.backend.(backend.PairHandle)
 	s.threshold.Store(math.Float64bits(th))
 	score := func(c *Connection) Result {
-		b, th := s.pin(p, c)
+		b, th, gen := s.pin(p, c)
 		// Streams keep the historical threshold-0 = score-only contract:
 		// SetThreshold(0) reverts to score-only, so thSet stays false here.
-		return p.resultFor(b, c, s.windowErrors(b, c, p.batch), th, false)
+		if !p.prov {
+			return p.resultFor(b, c, s.windowErrors(b, c, p.batch, nil), th, false)
+		}
+		// Provenance-armed path: bind the verdict to the pinned pair right
+		// here, on the worker that pinned it — the same (model, threshold,
+		// generation) view no concurrent reload can split.
+		d := &obs.Decision{
+			Key:        c.Key.String(),
+			Tenant:     c.Tenant,
+			Source:     c.Source,
+			Attack:     c.AttackName,
+			Model:      b.Tag(),
+			Generation: gen,
+			Threshold:  th,
+			Sampled:    c.TraceSampled,
+			WindowSpan: b.WindowSpan(),
+		}
+		var errs []float64
+		if rb, ok := b.(backend.Router); ok {
+			// Cascades route internally; capture which stage settled the
+			// verdict and by what stage-1 margin. The series is bit-identical
+			// to WindowErrors — routed scoring IS the plain scoring path.
+			var escalated bool
+			errs, escalated, d.Stage1Margin = rb.WindowErrorsRouted(c)
+			if escalated {
+				d.Stage = obs.StageEscalated
+			} else {
+				d.Stage = obs.StageScreened
+			}
+		} else {
+			errs = s.windowErrors(b, c, p.batch, d)
+		}
+		r := p.resultFor(b, c, errs, th, false)
+		d.Score, d.Flagged = r.Score, r.Flagged
+		if c.TraceSampled && r.Errors == nil {
+			// Head-sampled deep trace: retain the series (and localization)
+			// even for unflagged verdicts, so /v1/explain can reconstruct
+			// them without re-scoring.
+			if p.topN > 0 {
+				r.TopWindows = core.TopWindows(errs, p.topN)
+			}
+			r.Errors = errs
+		}
+		r.Prov = d
+		return r
 	}
 	var h StreamHooks
 	if len(hooks) > 0 {
@@ -562,7 +626,9 @@ func (p *Pipeline) newStream(resolve func(*Connection) backend.PairHandle, emit 
 // the batched kernels (chunked at the pipeline's batch size) when the
 // model supports them — bit-identical to the unbatched path either way.
 // Scoring runs on pool workers concurrently; the accounting is atomic.
-func (s *PipelineStream) windowErrors(b Backend, c *Connection, batch int) []float64 {
+// When d is non-nil (provenance-armed streams), the verdict's batch
+// placement — run id and slot occupancy — is recorded on it.
+func (s *PipelineStream) windowErrors(b Backend, c *Connection, batch int, d *obs.Decision) []float64 {
 	bs, ok := b.(backend.BatchScorer)
 	if !ok || batch <= 1 {
 		return b.WindowErrors(c)
@@ -585,6 +651,10 @@ func (s *PipelineStream) windowErrors(b Backend, c *Connection, batch int) []flo
 	nb := (len(wins) + batch - 1) / batch
 	s.batchWindows.Add(uint64(len(wins)))
 	s.batchSlots.Add(uint64(nb * batch))
+	if d != nil {
+		d.BatchID = s.batchSeq.Add(1)
+		d.BatchFill = float64(len(wins)) / float64(nb*batch)
+	}
 	return errs
 }
 
@@ -600,28 +670,42 @@ func (s *PipelineStream) BatchFill() float64 {
 	return float64(s.batchWindows.Load()) / float64(slots)
 }
 
-// pin resolves the (model, threshold) pair one connection is judged
+// pin resolves the (model, threshold, generation) a connection is judged
 // with: one atomic load from the connection's resolved pair handle (the
 // owning tenant's, under NewStreamResolved), else from the stream's own
 // pair handle when it carries a threshold, otherwise the model snapshot
 // plus the stream's own atomic threshold. A resolved handle without an
 // installed threshold scores threshold-free (score-only) rather than
-// borrowing another handle's threshold.
-func (s *PipelineStream) pin(p *Pipeline, c *Connection) (Backend, float64) {
+// borrowing another handle's threshold. The generation rides the same
+// single load as the pair, so provenance can bind all three without a
+// second read a racing reload could land between; handles that don't
+// publish a generation report 0.
+func (s *PipelineStream) pin(p *Pipeline, c *Connection) (Backend, float64, uint64) {
 	if s.resolve != nil {
 		if h := s.resolve(c); h != nil {
-			if b, th, ok := h.CurrentPair(); ok {
-				return b, th
+			if g, ok := h.(backend.GenPairHandle); ok {
+				b, th, gen, hasTh := g.CurrentPairGen()
+				if !hasTh {
+					th = 0
+				}
+				return b, th, gen
 			}
-			return h.Current(), 0
+			if b, th, ok := h.CurrentPair(); ok {
+				return b, th, 0
+			}
+			return h.Current(), 0, 0
 		}
 	}
 	if s.pair != nil {
-		if b, th, ok := s.pair.CurrentPair(); ok {
-			return b, th
+		if g, ok := s.pair.(backend.GenPairHandle); ok {
+			if b, th, gen, hasTh := g.CurrentPairGen(); hasTh {
+				return b, th, gen
+			}
+		} else if b, th, ok := s.pair.CurrentPair(); ok {
+			return b, th, 0
 		}
 	}
-	return p.snapshot(), math.Float64frombits(s.threshold.Load())
+	return p.snapshot(), math.Float64frombits(s.threshold.Load()), 0
 }
 
 // Threshold reports the stream's current operating threshold (the pair
