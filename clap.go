@@ -140,6 +140,20 @@
 // bit-identical scores (DESIGN.md §8). WithBatchSize (or the CLIs'
 // -batch flag) tunes the micro-batch size; 1 disables batching.
 //
+// WithLockstep(k) (or the CLIs' -lockstep flag; 0 disables, -1 on the
+// CLIs selects the bench-tuned DefaultLockstep) additionally steps the
+// GRU recurrence across k connections at once: k hidden states advance
+// as the rows of one matrix-matrix pass per gate, with a ragged-batch
+// scheduler retiring finished connections and refilling rows mid-flight
+// (DESIGN.md §13). Scores stay bit-identical to the serial path — the
+// fleet only reorders which connection steps when, never the arithmetic
+// inside any one connection — and with lockstep off every code path and
+// served byte is identical to builds before the feature:
+//
+//	p, _ := clap.NewPipeline(
+//	        clap.WithBackend(b),
+//	        clap.WithLockstep(clap.DefaultLockstep))
+//
 // When CLAP's accuracy is needed at closer to Baseline #1's throughput,
 // tier the two (DESIGN.md §10): a cascade screens every connection with
 // the cheap backend and escalates only the suspicious tail to CLAP, whose
@@ -189,7 +203,7 @@ import (
 // in clap-serve's /healthz JSON and the clap_build_info metric, so a
 // fleet operator can tell which build produced a verdict or an
 // exposition.
-const Version = "0.8.0"
+const Version = "0.9.0"
 
 // Re-exported core types. Aliases keep the internal packages private while
 // giving users one coherent import.
@@ -266,6 +280,11 @@ const (
 	BackendKitsune   = backend.TagKitsune
 	BackendCascade   = backend.TagCascade
 )
+
+// DefaultLockstep is the bench-tuned cross-connection lockstep width —
+// what the CLIs select for `-lockstep -1`, for callers passing
+// WithLockstep that just want the feature on.
+const DefaultLockstep = engine.DefaultLockstep
 
 // NewEngine returns a parallel scoring engine with the given worker count;
 // 0 sizes it to the machine. Scores produced through an Engine are

@@ -1,0 +1,103 @@
+package core
+
+import (
+	"testing"
+
+	"clap/internal/flow"
+)
+
+// driveLockstep scores a queue of connections through one session with
+// the ragged retire/refill/compact loop the engine uses, returning each
+// connection's windows (nil for window-less connections).
+func driveLockstep(s *LockstepSession, k int, conns []*flow.Connection) [][][]float64 {
+	wins := make([][][]float64, len(conns))
+	rowConn := make([]int, k)
+	rowLeft := make([]int, k)
+	next := 0
+	load := func(row int) bool {
+		for next < len(conns) {
+			ci := next
+			next++
+			if t := s.Load(row, conns[ci]); t > 0 {
+				rowConn[row], rowLeft[row] = ci, t
+				return true
+			}
+		}
+		return false
+	}
+	active := 0
+	for active < k && load(active) {
+		active++
+	}
+	for active > 0 {
+		s.Step(active)
+		for b := 0; b < active; b++ {
+			rowLeft[b]--
+		}
+		for b := 0; b < active; {
+			if rowLeft[b] > 0 {
+				b++
+				continue
+			}
+			wins[rowConn[b]] = s.Windows(b)
+			if load(b) {
+				b++
+				continue
+			}
+			active--
+			if b < active {
+				s.Move(b, active)
+				rowConn[b], rowLeft[b] = rowConn[active], rowLeft[active]
+			}
+		}
+	}
+	return wins
+}
+
+// TestLockstepSessionMatchesStackedProfiles pins the session's output to
+// StackedProfilesBatched bit for bit, windows recycled like the engine
+// would, across fleet widths.
+func TestLockstepSessionMatchesStackedProfiles(t *testing.T) {
+	d := testDetector(t)
+	if !d.LockstepSupported() {
+		t.Fatal("CLAP-config detector should support lockstep")
+	}
+	conns := benignSet(17, 3)
+	want := make([][][]float64, len(conns))
+	for i, c := range conns {
+		want[i] = d.StackedProfiles(c) // serial reference, independently allocated
+	}
+	for _, k := range []int{1, 3, 8} {
+		sess := d.NewLockstepSession(k)
+		got := driveLockstep(sess, k, conns)
+		for ci := range conns {
+			if len(got[ci]) != len(want[ci]) {
+				t.Fatalf("k=%d conn %d: %d windows, want %d", k, ci, len(got[ci]), len(want[ci]))
+			}
+			for wi := range want[ci] {
+				for j := range want[ci][wi] {
+					if got[ci][wi][j] != want[ci][wi][j] {
+						t.Fatalf("k=%d conn %d window %d elem %d: %v, serial %v",
+							k, ci, wi, j, got[ci][wi][j], want[ci][wi][j])
+					}
+				}
+			}
+			d.RecycleStacked(got[ci])
+		}
+	}
+}
+
+// TestLockstepSessionGateFreeConfigs pins the fallback contract:
+// configurations without gate features (Baseline #1) have no recurrence
+// to batch and must decline a session.
+func TestLockstepSessionGateFreeConfigs(t *testing.T) {
+	d := testDetector(t)
+	ablated := &Detector{Cfg: d.Cfg, Profile: d.Profile, RNN: d.RNN, AE: d.AE}
+	ablated.Cfg.UseUpdateGates, ablated.Cfg.UseResetGates = false, false
+	if ablated.LockstepSupported() {
+		t.Fatal("gate-free config claims lockstep support")
+	}
+	if s := ablated.NewLockstepSession(4); s != nil {
+		t.Fatal("gate-free config opened a lockstep session")
+	}
+}

@@ -20,9 +20,21 @@
 // of one matrix-vector pass per window — same bits, a fraction of the
 // wall clock.
 //
+// For backends that additionally expose backend.LockstepScorer the engine
+// batches the other axis too: window *production* runs a recurrence, and
+// with Options.Lockstep > 0 a ragged fleet scheduler steps up to Lockstep
+// connections' recurrences together — one matrix-matrix pass per gate per
+// step instead of one matrix-vector pass per connection per step. Rows
+// retire as their sequences end, vacant rows refill from the queued group,
+// and the active prefix compacts without ever reordering a row's own step
+// sequence, so every row's windows stay bit-identical to the serial path.
+// Composite backends (backend.GroupScorer) route whole groups through
+// their internal stages with the same kernels.
+//
 // The zero-config entry point is Default(); New lets callers pin worker,
-// shard and micro-batch counts. An Engine is stateless and safe for
-// concurrent use.
+// shard, micro-batch and lockstep counts. An Engine holds no per-call
+// state — only monotonic occupancy counters (LockstepFill) — and is safe
+// for concurrent use.
 package engine
 
 import (
@@ -66,13 +78,36 @@ type Options struct {
 	// backend.BatchScorer: how many windows ride one batched inference
 	// pass. <= 0 selects DefaultBatch; 1 disables batching.
 	Batch int
+	// Lockstep is the cross-connection GRU batching width for backends
+	// implementing backend.LockstepScorer: how many connections' gate
+	// recurrences step together through one matrix-matrix pass per gate.
+	// 0 (the default) disables lockstep — the per-connection window
+	// production path runs exactly as before, byte for byte. Widths that
+	// are multiples of the MulMat kernel's 6-lane block (e.g.
+	// DefaultLockstep) keep every fleet row off the slower tail lanes.
+	Lockstep int
 }
+
+// DefaultLockstep is the lockstep width the CLIs default to when the
+// feature is switched on without an explicit width: equal to
+// DefaultBatch, so a full fleet feeds full micro-batches, and a multiple
+// of the 6-lane MulMat block (see BENCH_pr9.json's sweep — throughput is
+// flat from ~6 rows up once the recurrent projections batch, so the knob
+// mostly trades fleet memory against fill).
+const DefaultLockstep = 24
 
 // Engine schedules per-connection work across a worker pool.
 type Engine struct {
-	workers int
-	shards  int
-	batch   int
+	workers  int
+	shards   int
+	batch    int
+	lockstep int
+
+	// Lockstep occupancy counters (LockstepFill): rows actually stepped
+	// vs. fleet slots available over the same steps. The engine is
+	// otherwise stateless; these are monotonic stats, safe concurrently.
+	lsRows  atomic.Uint64
+	lsSlots atomic.Uint64
 }
 
 // New builds an engine from options.
@@ -89,7 +124,11 @@ func New(o Options) *Engine {
 	if b <= 0 {
 		b = DefaultBatch
 	}
-	return &Engine{workers: w, shards: s, batch: b}
+	ls := o.Lockstep
+	if ls < 0 {
+		ls = 0
+	}
+	return &Engine{workers: w, shards: s, batch: b, lockstep: ls}
 }
 
 // Default returns an engine sized to the machine.
@@ -103,6 +142,25 @@ func (e *Engine) Shards() int { return e.shards }
 
 // Batch reports the configured micro-batch size (1: batching disabled).
 func (e *Engine) Batch() int { return e.batch }
+
+// Lockstep reports the configured cross-connection lockstep width
+// (0: disabled).
+func (e *Engine) Lockstep() int { return e.lockstep }
+
+// LockstepFill reports fleet occupancy since the engine was built: of the
+// fleet slots available across every lockstep step taken, the fraction
+// that held a live connection row. The ragged scheduler compacts the
+// active prefix so idle slots cost no arithmetic — fill below 1.0 means
+// groups drained toward their stragglers (smaller -lockstep or larger
+// groups raise it), not that compute was wasted on padding. Returns 0
+// before any lockstep work has run.
+func (e *Engine) LockstepFill() float64 {
+	slots := e.lsSlots.Load()
+	if slots == 0 {
+		return 0
+	}
+	return float64(e.lsRows.Load()) / float64(slots)
+}
 
 // ParallelFor runs fn(i) for every i in [0, n) across the worker pool. Work
 // is handed out through an atomic cursor, so callers writing fn results
@@ -227,10 +285,17 @@ func (e *Engine) batchGroup() int {
 // capture never holds every window resident at once.
 //
 // Results are slot-indexed and bit-identical to the unbatched serial path
-// at any worker, shard or batch size: batch boundaries only split the
-// window list, and the BatchScorer contract pins every split to the same
-// bits. Backends without the capability fall back to WindowErrorsBackend.
+// at any worker, shard, batch or lockstep size: batch boundaries only
+// split the window list, lockstep only reorders *which connection* steps
+// when (never a connection's own step order), and the BatchScorer /
+// LockstepScorer contracts pin every split to the same bits. Backends
+// without the capabilities fall back to WindowErrorsBackend; composite
+// backends implementing backend.GroupScorer route whole groups through
+// their internal stages when lockstep is enabled.
 func (e *Engine) WindowErrorsBatched(b backend.Backend, conns []*flow.Connection) [][]float64 {
+	if gs, ok := b.(backend.GroupScorer); ok && e.lockstep > 0 && e.batch > 1 {
+		return e.windowErrorsGrouped(gs, conns)
+	}
 	bs, ok := b.(backend.BatchScorer)
 	if !ok || e.batch <= 1 {
 		return e.WindowErrorsBackend(b, conns)
@@ -251,8 +316,16 @@ func (e *Engine) WindowErrorsBatched(b backend.Backend, conns []*flow.Connection
 // micro-batched path.
 func (e *Engine) windowErrorsGroup(bs backend.BatchScorer, conns []*flow.Connection, out [][]float64) {
 	wins := make([][][]float64, len(conns))
-	e.ParallelFor(len(conns), func(i int) { wins[i] = bs.Windows(conns[i]) })
+	e.produceWindows(bs, conns, wins)
+	e.scoreWindowSets(bs, wins, out, true)
+}
 
+// scoreWindowSets flattens produced window sets, runs the pooled
+// micro-batch inference pass (fanned out across the pool when fanOut is
+// set, serially on the calling goroutine otherwise), carves each
+// connection's series from one flat error buffer, and hands pooled window
+// buffers back to the backend.
+func (e *Engine) scoreWindowSets(bs backend.BatchScorer, wins [][][]float64, out [][]float64, fanOut bool) {
 	total := 0
 	for _, w := range wins {
 		total += len(w)
@@ -263,14 +336,21 @@ func (e *Engine) windowErrorsGroup(bs backend.BatchScorer, conns []*flow.Connect
 	}
 	errsFlat := make([]float64, total)
 	nb := (total + e.batch - 1) / e.batch
-	e.parallelForWide(nb, func(k int) {
+	score := func(k int) {
 		blo := k * e.batch
 		bhi := blo + e.batch
 		if bhi > total {
 			bhi = total
 		}
 		copy(errsFlat[blo:bhi], bs.ScoreWindows(flat[blo:bhi]))
-	})
+	}
+	if fanOut {
+		e.parallelForWide(nb, score)
+	} else {
+		for k := 0; k < nb; k++ {
+			score(k)
+		}
+	}
 
 	at := 0
 	for i, w := range wins {
@@ -290,7 +370,9 @@ func (e *Engine) windowErrorsGroup(bs backend.BatchScorer, conns []*flow.Connect
 // contract pins Summarize(WindowErrors(c)) == ScoreConn(c) bit for bit,
 // so scores are identical to the serial path at any batch size.
 func (e *Engine) ScoresBatched(b backend.Backend, conns []*flow.Connection) []float64 {
-	if _, ok := b.(backend.BatchScorer); !ok || e.batch <= 1 {
+	_, isBatch := b.(backend.BatchScorer)
+	_, isGroup := b.(backend.GroupScorer)
+	if (!isBatch && !(isGroup && e.lockstep > 0)) || e.batch <= 1 {
 		return e.ScoreBackend(b, conns)
 	}
 	errsAll := e.WindowErrorsBatched(b, conns)

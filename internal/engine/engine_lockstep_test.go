@@ -1,0 +1,265 @@
+package engine
+
+// Determinism tests for the cross-connection lockstep path: with any
+// lockstep width, window production through the ragged fleet scheduler
+// must be bit-identical to the per-connection serial path at every
+// worker × batch × lockstep combination — including degenerate corpora
+// (zero-window and one-window connections, one-connection groups) whose
+// retire/refill/compact churn is maximal.
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"clap/internal/backend"
+	"clap/internal/core"
+	"clap/internal/flow"
+)
+
+// raggedCorpus builds a corpus whose window-sequence lengths are
+// deliberately heterogeneous: the mixed benign/attack set plus
+// single-packet truncations — one-step rows that retire on the fleet's
+// very first step — shuffled deterministically so the short rows land
+// between long ones. (Zero-window connections cannot exist at this layer:
+// feature extraction requires at least one packet; the nn-level ragged
+// test covers length-0 sequences.)
+func raggedCorpus(t *testing.T, n int, seed int64) []*flow.Connection {
+	t.Helper()
+	conns := mixedCorpus(t, n, seed)
+	for i := 0; i < 4 && i < n; i++ {
+		src := conns[i]
+		conns = append(conns, &flow.Connection{
+			Key:     src.Key,
+			Packets: src.Packets[:1],
+			Dirs:    src.Dirs[:1],
+		})
+	}
+	rng := rand.New(rand.NewSource(seed + 7))
+	rng.Shuffle(len(conns), func(i, j int) { conns[i], conns[j] = conns[j], conns[i] })
+	return conns
+}
+
+func assertSeriesEqual(t *testing.T, label string, got, want [][]float64) {
+	t.Helper()
+	for i := range want {
+		if len(got[i]) != len(want[i]) {
+			t.Fatalf("%s: conn %d has %d errors, serial %d", label, i, len(got[i]), len(want[i]))
+		}
+		for w := range want[i] {
+			if got[i][w] != want[i][w] {
+				t.Fatalf("%s: conn %d window %d error %v != serial %v",
+					label, i, w, got[i][w], want[i][w])
+			}
+		}
+	}
+}
+
+func TestLockstepBatchedBitIdentity(t *testing.T) {
+	det := tinyDetector(t)
+	b := backend.FromDetector(det)
+	conns := raggedCorpus(t, 50, 13)
+
+	want := make([][]float64, len(conns))
+	wantScore := make([]float64, len(conns))
+	for i, c := range conns {
+		want[i] = b.WindowErrors(c)
+		wantScore[i] = b.ScoreConn(c)
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, lockstep := range []int{1, 4, 24} {
+			for _, batch := range []int{3, 24} {
+				eng := New(Options{Workers: workers, Batch: batch, Lockstep: lockstep})
+				got := eng.WindowErrorsBatched(b, conns)
+				label := "workers=" + itoa(workers) + " lockstep=" + itoa(lockstep) + " batch=" + itoa(batch)
+				assertSeriesEqual(t, label, got, want)
+				gotScore := eng.ScoresBatched(b, conns)
+				for i := range conns {
+					if gotScore[i] != wantScore[i] {
+						t.Fatalf("%s: conn %d score %v != serial %v", label, i, gotScore[i], wantScore[i])
+					}
+				}
+				if fill := eng.LockstepFill(); fill <= 0 || fill > 1 {
+					t.Fatalf("%s: lockstep fill %v outside (0, 1]", label, fill)
+				}
+			}
+		}
+	}
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [8]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// TestLockstepOneConnectionGroup: a fleet wider than the queue shrinks to
+// the queue; results match the serial path even when most slots never load.
+func TestLockstepOneConnectionGroup(t *testing.T) {
+	det := tinyDetector(t)
+	b := backend.FromDetector(det)
+	conns := mixedCorpus(t, 5, 3)[:1]
+	want := b.WindowErrors(conns[0])
+	eng := New(Options{Workers: 4, Batch: 8, Lockstep: 24})
+	got := eng.WindowErrorsBatched(b, conns)
+	assertSeriesEqual(t, "single-conn group", got, [][]float64{want})
+}
+
+// TestLockstepGateFreeFallsBack: a gate-free model (Baseline #1's config)
+// exposes LockstepScorer but declines every session; the engine must fall
+// back to per-connection window production and still match the serial
+// path bit for bit.
+func TestLockstepGateFreeFallsBack(t *testing.T) {
+	b := gateFreeBackend(t)
+	if s := b.OpenLockstep(4); s != nil {
+		t.Fatal("gate-free backend opened a lockstep session")
+	}
+	conns := mixedCorpus(t, 12, 5)
+	want := make([][]float64, len(conns))
+	for i, c := range conns {
+		want[i] = b.WindowErrors(c)
+	}
+	eng := New(Options{Workers: 2, Batch: 8, Lockstep: 6})
+	got := eng.WindowErrorsBatched(b, conns)
+	assertSeriesEqual(t, "gate-free fallback", got, want)
+	if fill := eng.LockstepFill(); fill != 0 {
+		t.Fatalf("gate-free fallback recorded lockstep fill %v", fill)
+	}
+}
+
+// TestLockstepHiddenCapabilityFallsBack: a backend without LockstepScorer
+// (capability shadowed) keeps the plain micro-batched path even with a
+// lockstep width configured.
+func TestLockstepHiddenCapabilityFallsBack(t *testing.T) {
+	det := tinyDetector(t)
+	b := noLockstep{backend.FromDetector(det)}
+	conns := mixedCorpus(t, 12, 5)
+	want := make([][]float64, len(conns))
+	for i, c := range conns {
+		want[i] = b.WindowErrors(c)
+	}
+	eng := New(Options{Workers: 2, Batch: 8, Lockstep: 6})
+	got := eng.WindowErrorsBatched(b, conns)
+	assertSeriesEqual(t, "hidden-capability fallback", got, want)
+	if fill := eng.LockstepFill(); fill != 0 {
+		t.Fatalf("hidden-capability fallback recorded lockstep fill %v", fill)
+	}
+}
+
+// noLockstep embeds the CLAP backend but shadows OpenLockstep with an
+// incompatible method, hiding the LockstepScorer capability while keeping
+// BatchScorer.
+type noLockstep struct{ *backend.CLAP }
+
+func (noLockstep) OpenLockstep() {}
+
+var (
+	gateFreeB1  *backend.CLAP
+	gateFreeErr error
+)
+
+// gateFreeBackend trains one shared tiny gate-free (Baseline #1 style)
+// backend: no gate features, no stacking — no recurrence on the scoring
+// path, so OpenLockstep declines.
+func gateFreeBackend(t *testing.T) *backend.CLAP {
+	t.Helper()
+	if gateFreeB1 == nil && gateFreeErr == nil {
+		nb, err := backend.New(backend.TagBaseline1)
+		if err == nil {
+			b1 := nb.(*backend.CLAP)
+			cfg := core.TinyConfig()
+			cfg.UseUpdateGates, cfg.UseResetGates = false, false
+			cfg.StackLength = 1
+			b1.Cfg = cfg
+			err = b1.Train(genConns(30, 1), nil)
+			gateFreeB1 = b1
+		}
+		gateFreeErr = err
+	}
+	if gateFreeErr != nil {
+		t.Fatalf("training gate-free backend: %v", gateFreeErr)
+	}
+	return gateFreeB1
+}
+
+// TestLockstepCascadeGroupPath pins the composite route: with lockstep
+// enabled the cascade scores whole groups through WindowErrorsGroup —
+// stage 1 screening, stage 2 re-scoring only the escalated tail — and
+// both the per-connection series and the escalation counters must match
+// the per-connection routed path exactly.
+func TestLockstepCascadeGroupPath(t *testing.T) {
+	s2 := backend.FromDetector(tinyDetector(t))
+	s1 := gateFreeBackend(t)
+	casc, err := backend.NewCascade(s1, s2, 0.1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns := raggedCorpus(t, 40, 17)
+
+	// Escalate roughly half the corpus: pin the escalation threshold to
+	// the median stage-1 score so both branches of the routing run.
+	s1Scores := make([]float64, 0, len(conns))
+	for _, c := range conns {
+		s1Scores = append(s1Scores, s1.ScoreConn(c))
+	}
+	sorted := append([]float64(nil), s1Scores...)
+	sort.Float64s(sorted)
+	if err := casc.SetEscalation(sorted[len(sorted)/2]); err != nil {
+		t.Fatal(err)
+	}
+
+	want := make([][]float64, len(conns))
+	for i, c := range conns {
+		want[i] = casc.WindowErrors(c)
+	}
+	wantEval, wantEsc := casc.EscalationCounts()
+	if wantEsc == 0 || wantEsc == wantEval {
+		t.Fatalf("degenerate routing: %d/%d escalated", wantEsc, wantEval)
+	}
+
+	for _, workers := range []int{1, 4} {
+		casc.ResetEscalationCounts()
+		eng := New(Options{Workers: workers, Batch: 8, Lockstep: 6})
+		got := eng.WindowErrorsBatched(casc, conns)
+		assertSeriesEqual(t, "cascade group workers="+itoa(workers), got, want)
+		gotEval, gotEsc := casc.EscalationCounts()
+		if gotEval != wantEval || gotEsc != wantEsc {
+			t.Fatalf("workers=%d: group path counted %d/%d, routed path %d/%d",
+				workers, gotEsc, gotEval, wantEsc, wantEval)
+		}
+	}
+
+	// Scores through the grouped path match the per-connection scores.
+	eng := New(Options{Workers: 2, Batch: 8, Lockstep: 6})
+	gotScores := eng.ScoresBatched(casc, conns)
+	for i, c := range conns {
+		if w := casc.ScoreConn(c); gotScores[i] != w {
+			t.Fatalf("conn %d: grouped cascade score %v != serial %v", i, gotScores[i], w)
+		}
+	}
+}
+
+func TestEngineLockstepDefaults(t *testing.T) {
+	if got := New(Options{}).Lockstep(); got != 0 {
+		t.Fatalf("default lockstep %d, want 0 (off)", got)
+	}
+	if got := New(Options{Lockstep: -3}).Lockstep(); got != 0 {
+		t.Fatalf("negative lockstep became %d, want 0", got)
+	}
+	if got := New(Options{Lockstep: 6}).Lockstep(); got != 6 {
+		t.Fatalf("explicit lockstep 6 became %d", got)
+	}
+	if DefaultLockstep != DefaultBatch {
+		t.Fatalf("DefaultLockstep %d should match DefaultBatch %d so a full fleet feeds full batches",
+			DefaultLockstep, DefaultBatch)
+	}
+}

@@ -1,0 +1,188 @@
+package engine
+
+import (
+	"clap/internal/backend"
+	"clap/internal/flow"
+)
+
+// This file is the ragged cross-connection scheduler: it drives a
+// backend.LockstepSession over a queue of connections whose sequences have
+// heterogeneous lengths. The fleet's active rows are kept compacted in the
+// prefix [0, active); each round steps every active row once, then rows
+// whose sequences just ended are harvested and either refilled from the
+// queue or compacted away by moving the last active row down. A
+// connection's own steps always run in order — only *which connections*
+// share a step changes — which is exactly the freedom the LockstepSession
+// bit-identity contract grants.
+
+// runLockstep scores one contiguous queue of connections through a fresh
+// lockstep session on the calling goroutine, storing each connection's
+// produced windows in wins (left nil for connections that produce none).
+// Returns false — with no work done — when the backend declines a session
+// (no recurrence to batch); decline depends only on the trained model, so
+// it is uniform across chunks of one run.
+func (e *Engine) runLockstep(lk backend.LockstepScorer, conns []*flow.Connection, wins [][][]float64) bool {
+	k := e.lockstep
+	if k > len(conns) {
+		k = len(conns)
+	}
+	if k < 1 {
+		return false
+	}
+	sess := lk.OpenLockstep(k)
+	if sess == nil {
+		return false
+	}
+	rowConn := make([]int, k) // queue index bound to each fleet row
+	rowLeft := make([]int, k) // steps remaining before the row's harvest
+	next := 0
+	load := func(row int) bool {
+		for next < len(conns) {
+			ci := next
+			next++
+			if t := sess.Load(row, conns[ci]); t > 0 {
+				rowConn[row], rowLeft[row] = ci, t
+				return true
+			}
+			// Zero-step connection: no windows, row still free.
+		}
+		return false
+	}
+	active := 0
+	for active < k && load(active) {
+		active++
+	}
+	var rows, slots uint64
+	for active > 0 {
+		sess.Step(active)
+		rows += uint64(active)
+		slots += uint64(k)
+		for b := 0; b < active; b++ {
+			rowLeft[b]--
+		}
+		for b := 0; b < active; {
+			if rowLeft[b] > 0 {
+				b++
+				continue
+			}
+			wins[rowConn[b]] = sess.Windows(b)
+			if load(b) {
+				b++
+				continue
+			}
+			active--
+			if b < active {
+				// Compact: the swapped-in row may itself be finished, so
+				// do not advance past slot b before rechecking it.
+				sess.Move(b, active)
+				rowConn[b], rowLeft[b] = rowConn[active], rowLeft[active]
+			}
+		}
+	}
+	e.lsRows.Add(rows)
+	e.lsSlots.Add(slots)
+	return true
+}
+
+// produceWindows fills wins[i] with bs.Windows(conns[i]) for every i —
+// through the cross-connection lockstep path when the backend supports it
+// and the engine has a lockstep width, per connection across the pool
+// otherwise. Either way the bits in wins are identical.
+func (e *Engine) produceWindows(bs backend.BatchScorer, conns []*flow.Connection, wins [][][]float64) {
+	if lk, ok := bs.(backend.LockstepScorer); ok && e.lockstep > 0 && len(conns) > 0 {
+		if probe := lk.OpenLockstep(1); probe != nil {
+			// Contiguous chunks, one fleet per worker; a chunk needs at
+			// least a full fleet's worth of connections to be worth its
+			// own session.
+			nw := len(conns) / e.lockstep
+			if nw > e.workers {
+				nw = e.workers
+			}
+			if nw < 1 {
+				nw = 1
+			}
+			e.parallelForWide(nw, func(j int) {
+				lo := j * len(conns) / nw
+				hi := (j + 1) * len(conns) / nw
+				e.runLockstep(lk, conns[lo:hi], wins[lo:hi])
+			})
+			return
+		}
+	}
+	e.ParallelFor(len(conns), func(i int) { wins[i] = bs.Windows(conns[i]) })
+}
+
+// stageSeriesGroup scores one uniform group of connections with one
+// backend entirely on the calling goroutine: lockstep window production
+// when the stage supports it, then serial micro-batches of the engine's
+// batch size. It is the backend.StageSeriesFunc the engine hands to
+// composite backends (GroupScorer), and the single-goroutine core of
+// GroupSeries — callers provide the concurrency (one group per worker),
+// so nesting another fan-out here would only oversubscribe the pool.
+// Series are bit-identical to b.WindowErrors per connection.
+func (e *Engine) stageSeriesGroup(b backend.Backend, conns []*flow.Connection) [][]float64 {
+	out := make([][]float64, len(conns))
+	bs, ok := b.(backend.BatchScorer)
+	if !ok || e.batch <= 1 {
+		for i, c := range conns {
+			out[i] = b.WindowErrors(c)
+		}
+		return out
+	}
+	wins := make([][][]float64, len(conns))
+	produced := false
+	if lk, ok := bs.(backend.LockstepScorer); ok && e.lockstep > 0 {
+		produced = e.runLockstep(lk, conns, wins)
+	}
+	if !produced {
+		for i, c := range conns {
+			wins[i] = bs.Windows(c)
+		}
+	}
+	e.scoreWindowSets(bs, wins, out, false)
+	return out
+}
+
+// windowErrorsGrouped is WindowErrorsBatched for composite backends: the
+// queue is cut into bounded groups (like the micro-batched path), whole
+// groups fan out across the pool, and each group is routed through the
+// composite's own stages via WindowErrorsGroup with stageSeriesGroup as
+// the kernel. At most Workers groups are in flight, bounding resident
+// windows the same way the serial group loop does.
+func (e *Engine) windowErrorsGrouped(gs backend.GroupScorer, conns []*flow.Connection) [][]float64 {
+	out := make([][]float64, len(conns))
+	group := e.batchGroup()
+	ng := (len(conns) + group - 1) / group
+	e.parallelForWide(ng, func(g int) {
+		lo := g * group
+		hi := lo + group
+		if hi > len(conns) {
+			hi = len(conns)
+		}
+		copy(out[lo:hi], gs.WindowErrorsGroup(conns[lo:hi], e.stageSeriesGroup))
+	})
+	return out
+}
+
+// GroupSeries scores one group of connections through the
+// cross-connection batched path on the calling goroutine, returning each
+// connection's window-error series in input order — the entry point for
+// callers that assemble their own groups and own their own concurrency,
+// like the streaming pipeline's grouped workers. Returns ok=false with no
+// work done when grouping cannot help: lockstep or micro-batching is
+// disabled, the group is empty, or the backend exposes neither
+// backend.GroupScorer nor backend.BatchScorer. When ok, series are
+// bit-identical to b.WindowErrors per connection, with identical side
+// effects on composite backends' routing counters.
+func (e *Engine) GroupSeries(b backend.Backend, conns []*flow.Connection) ([][]float64, bool) {
+	if e.lockstep <= 0 || e.batch <= 1 || len(conns) == 0 {
+		return nil, false
+	}
+	if gs, ok := b.(backend.GroupScorer); ok {
+		return gs.WindowErrorsGroup(conns, e.stageSeriesGroup), true
+	}
+	if _, ok := b.(backend.BatchScorer); !ok {
+		return nil, false
+	}
+	return e.stageSeriesGroup(b, conns), true
+}

@@ -1,0 +1,158 @@
+package nn
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// lockstepRagged drives a GRULockstep the way the engine's scheduler does
+// — fill the fleet, step the active prefix, retire finished rows,
+// refill-or-compact — over sequences of heterogeneous lengths, returning
+// each sequence's harvested Z/R trains in input order.
+func lockstepRagged(m *GRUClassifier, ls *GRULockstep, seqs [][][]float64) (Z, R [][][]float64) {
+	Z = make([][][]float64, len(seqs))
+	R = make([][][]float64, len(seqs))
+	k := ls.Width()
+	rowSeq := make([]int, k) // fleet row -> sequence index
+	rowPos := make([]int, k) // fleet row -> next step
+	next := 0
+	load := func(row int) bool {
+		for next < len(seqs) {
+			si := next
+			next++
+			if len(seqs[si]) == 0 {
+				continue // zero-length sequences never enter the fleet
+			}
+			ls.Reset(row)
+			rowSeq[row], rowPos[row] = si, 0
+			return true
+		}
+		return false
+	}
+	active := 0
+	for active < k && load(active) {
+		active++
+	}
+	for active > 0 {
+		for b := 0; b < active; b++ {
+			ls.StageInput(b, seqs[rowSeq[b]][rowPos[b]])
+		}
+		ls.Step(active)
+		for b := 0; b < active; b++ {
+			si := rowSeq[b]
+			Z[si] = append(Z[si], append([]float64(nil), ls.Z(b)...))
+			R[si] = append(R[si], append([]float64(nil), ls.R(b)...))
+			rowPos[b]++
+		}
+		for b := 0; b < active; {
+			if rowPos[b] < len(seqs[rowSeq[b]]) {
+				b++
+				continue
+			}
+			if load(b) {
+				b++
+				continue
+			}
+			active--
+			if b < active {
+				// Compact: the swapped-in row may itself be finished, so b
+				// is re-checked without advancing.
+				ls.Move(b, active)
+				rowSeq[b], rowPos[b] = rowSeq[active], rowPos[active]
+			}
+		}
+	}
+	return Z, R
+}
+
+// TestLockstepBitIdentity pins the tentpole contract at the nn layer:
+// ragged lockstep stepping reproduces ForwardGates bit for bit per
+// sequence, across fleet widths, length mixes (including empty and
+// single-step sequences), and single-sequence fleets.
+func TestLockstepBitIdentity(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	m := NewGRUClassifier(8, 6, 3, rng)
+	lengthSets := [][]int{
+		{5, 3, 9, 1, 0, 4, 7, 2, 11, 1, 0, 6},
+		{1},
+		{0, 0, 3},
+		{16, 16, 16, 16},
+		{2, 31, 1, 1, 1, 1, 1, 12},
+	}
+	for _, lengths := range lengthSets {
+		seqs := make([][][]float64, len(lengths))
+		for i, T := range lengths {
+			seqs[i] = randVecs(T, 8, rng)
+		}
+		wantZ := make([][][]float64, len(seqs))
+		wantR := make([][][]float64, len(seqs))
+		for i, seq := range seqs {
+			wantZ[i], wantR[i] = m.ForwardGates(seq)
+		}
+		for _, k := range []int{1, 2, 4, 6, 24} {
+			gotZ, gotR := lockstepRagged(m, m.NewLockstep(k), seqs)
+			for si := range seqs {
+				if len(gotZ[si]) != len(wantZ[si]) {
+					t.Fatalf("lengths=%v k=%d: seq %d harvested %d steps, want %d",
+						lengths, k, si, len(gotZ[si]), len(wantZ[si]))
+				}
+				for ts := range wantZ[si] {
+					for i := range wantZ[si][ts] {
+						if gotZ[si][ts][i] != wantZ[si][ts][i] {
+							t.Fatalf("lengths=%v k=%d: Z[%d][%d][%d] = %v, serial %v",
+								lengths, k, si, ts, i, gotZ[si][ts][i], wantZ[si][ts][i])
+						}
+						if gotR[si][ts][i] != wantR[si][ts][i] {
+							t.Fatalf("lengths=%v k=%d: R[%d][%d][%d] = %v, serial %v",
+								lengths, k, si, ts, i, gotR[si][ts][i], wantR[si][ts][i])
+						}
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLockstepFleetReuse steps two batches of sequences through ONE
+// session back to back — Reset must fully isolate a row from whatever
+// sequence used it before.
+func TestLockstepFleetReuse(t *testing.T) {
+	rng := rand.New(rand.NewSource(29))
+	m := NewGRUClassifier(8, 6, 3, rng)
+	ls := m.NewLockstep(4)
+	for round := 0; round < 3; round++ {
+		seqs := [][][]float64{randVecs(7, 8, rng), randVecs(2, 8, rng), randVecs(5, 8, rng), randVecs(9, 8, rng), randVecs(3, 8, rng)}
+		gotZ, gotR := lockstepRagged(m, ls, seqs)
+		for si, seq := range seqs {
+			wantZ, wantR := m.ForwardGates(seq)
+			for ts := range wantZ {
+				for i := range wantZ[ts] {
+					if gotZ[si][ts][i] != wantZ[ts][i] || gotR[si][ts][i] != wantR[ts][i] {
+						t.Fatalf("round %d seq %d: reused fleet diverged at step %d unit %d", round, si, ts, i)
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestLockstepPanics pins the guard rails: zero width, over-wide Step,
+// mis-sized inputs.
+func TestLockstepPanics(t *testing.T) {
+	m := NewGRUClassifier(4, 3, 2, rand.New(rand.NewSource(1)))
+	for name, bad := range map[string]func(){
+		"zero width":  func() { m.NewLockstep(0) },
+		"step over k": func() { m.NewLockstep(2).Step(3) },
+		"step zero":   func() { m.NewLockstep(2).Step(0) },
+		"mis-sized x": func() { m.NewLockstep(2).StageInput(0, make([]float64, 3)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("%s: no panic", name)
+				}
+			}()
+			bad()
+		}()
+	}
+}

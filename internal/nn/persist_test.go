@@ -1,0 +1,153 @@
+package nn
+
+import (
+	"bytes"
+	"encoding/gob"
+	"math/rand"
+	"strings"
+	"testing"
+)
+
+// Round-trip sanity plus pinned error paths for the snapshot loaders: a
+// truncated stream, a dimension-corrupted tensor, a weight payload that
+// disagrees with its declared shape, and an empty/degenerate Sizes chain
+// must all fail at load with a diagnostic — never load silently and panic
+// at first inference.
+
+func TestGRUSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	m := NewGRUClassifier(8, 6, 3, rng)
+	var buf bytes.Buffer
+	if err := SaveGRU(&buf, m); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadGRU(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq := randVecs(5, 8, rng)
+	wantZ, _ := m.ForwardGates(seq)
+	gotZ, _ := got.ForwardGates(seq)
+	for ts := range wantZ {
+		for i := range wantZ[ts] {
+			if gotZ[ts][i] != wantZ[ts][i] {
+				t.Fatalf("reloaded GRU diverged at step %d unit %d", ts, i)
+			}
+		}
+	}
+}
+
+func TestLoadGRUTruncated(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	if err := SaveGRU(&buf, NewGRUClassifier(8, 6, 3, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadGRU(bytes.NewReader(buf.Bytes()[:buf.Len()/2])); err == nil {
+		t.Fatal("LoadGRU accepted a truncated stream")
+	}
+}
+
+// corruptGRU round-trips a model through its snapshot struct, letting the
+// test mutate the snapshot before re-encoding — a dim-corrupted model
+// file without reaching into the gob wire format.
+func corruptGRU(t *testing.T, mutate func(*gruSnap)) error {
+	t.Helper()
+	rng := rand.New(rand.NewSource(5))
+	var buf bytes.Buffer
+	if err := SaveGRU(&buf, NewGRUClassifier(8, 6, 3, rng)); err != nil {
+		t.Fatal(err)
+	}
+	var s gruSnap
+	if err := gob.NewDecoder(&buf).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&s)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadGRU(&out)
+	return err
+}
+
+func TestLoadGRUDimMismatch(t *testing.T) {
+	cases := map[string]func(*gruSnap){
+		"Uz not square":    func(s *gruSnap) { s.Tensors[1].C = 5 },
+		"hidden mismatch":  func(s *gruSnap) { s.Hidden = 7 },
+		"short weights":    func(s *gruSnap) { s.Tensors[0].W = s.Tensors[0].W[:10] },
+		"missing tensor":   func(s *gruSnap) { s.Tensors = s.Tensors[:10] },
+		"non-positive dim": func(s *gruSnap) { s.In = 0 },
+	}
+	for name, mutate := range cases {
+		if err := corruptGRU(t, mutate); err == nil {
+			t.Fatalf("%s: LoadGRU accepted the corrupted snapshot", name)
+		} else if !strings.Contains(err.Error(), "nn:") {
+			t.Fatalf("%s: undiagnostic error %v", name, err)
+		}
+	}
+}
+
+func TestAutoencoderSaveLoadRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	ae := NewAutoencoder([]int{12, 6, 12}, rng)
+	var buf bytes.Buffer
+	if err := SaveAutoencoder(&buf, ae); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadAutoencoder(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := randVecs(1, 12, rng)[0]
+	if got.Error(x) != ae.Error(x) {
+		t.Fatal("reloaded autoencoder diverged")
+	}
+}
+
+func corruptAE(t *testing.T, mutate func(*aeSnap)) error {
+	t.Helper()
+	rng := rand.New(rand.NewSource(9))
+	var buf bytes.Buffer
+	if err := SaveAutoencoder(&buf, NewAutoencoder([]int{12, 6, 12}, rng)); err != nil {
+		t.Fatal(err)
+	}
+	var s aeSnap
+	if err := gob.NewDecoder(&buf).Decode(&s); err != nil {
+		t.Fatal(err)
+	}
+	mutate(&s)
+	var out bytes.Buffer
+	if err := gob.NewEncoder(&out).Encode(s); err != nil {
+		t.Fatal(err)
+	}
+	_, err := LoadAutoencoder(&out)
+	return err
+}
+
+func TestLoadAutoencoderErrorPaths(t *testing.T) {
+	cases := map[string]func(*aeSnap){
+		"empty sizes":       func(s *aeSnap) { s.Sizes = nil },
+		"single size":       func(s *aeSnap) { s.Sizes = s.Sizes[:1] },
+		"zero-width layer":  func(s *aeSnap) { s.Sizes[1] = 0 },
+		"layer dim corrupt": func(s *aeSnap) { s.Tensors[0].R = 99 },
+		"bias dim corrupt":  func(s *aeSnap) { s.Tensors[1].C = 2 },
+		"short weights":     func(s *aeSnap) { s.Tensors[2].W = s.Tensors[2].W[:3] },
+		"missing tensors":   func(s *aeSnap) { s.Tensors = s.Tensors[:3] },
+	}
+	for name, mutate := range cases {
+		if err := corruptAE(t, mutate); err == nil {
+			t.Fatalf("%s: LoadAutoencoder accepted the corrupted snapshot", name)
+		}
+	}
+
+	// Truncated stream.
+	rng := rand.New(rand.NewSource(9))
+	var buf bytes.Buffer
+	if err := SaveAutoencoder(&buf, NewAutoencoder([]int{12, 6, 12}, rng)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadAutoencoder(bytes.NewReader(buf.Bytes()[:buf.Len()/3])); err == nil {
+		t.Fatal("LoadAutoencoder accepted a truncated stream")
+	}
+}

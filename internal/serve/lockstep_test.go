@@ -1,0 +1,90 @@
+package serve
+
+// Serving-layer coverage for cross-connection lockstep: a daemon with
+// Config.Lockstep scores identically to one without it, surfaces the
+// fleet-fill gauge and summary field, and a lockstep-free daemon's
+// exposition stays free of lockstep series (byte-compat with builds
+// before the feature).
+
+import (
+	"context"
+	"net/http/httptest"
+	"sort"
+	"sync"
+	"testing"
+
+	"clap"
+)
+
+func runSoak(t *testing.T, cfg Config, n int) (map[string]float64, map[string]any, []clap.Result) {
+	t.Helper()
+	var mu sync.Mutex
+	var results []clap.Result
+	cfg.OnResult = func(r clap.Result) {
+		mu.Lock()
+		results = append(results, r)
+		mu.Unlock()
+	}
+	srv, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv.AddSource(clap.Soak(clap.SoakConfig{Connections: n, Seed: 11, AttackFraction: 0.5}))
+	if err := srv.Start(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(srv.Handler())
+	defer ts.Close()
+	waitScored(t, srv, uint64(n))
+	metrics := getMetrics(t, ts.URL)
+	var summary map[string]any
+	getJSON(t, ts.URL+"/v1/summary", &summary)
+	if err := srv.Shutdown(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	return metrics, summary, results
+}
+
+func TestServeLockstep(t *testing.T) {
+	clapModel, _ := fixture(t)
+	const soakN = 30
+
+	base := Config{
+		Backend:    loadModel(t, clapModel),
+		Threshold:  0.5,
+		QueueDepth: 64,
+	}
+	lockstepCfg := base
+	lockstepCfg.Backend = loadModel(t, clapModel)
+	lockstepCfg.Lockstep = 6
+
+	mOff, sumOff, resOff := runSoak(t, base, soakN)
+	mOn, sumOn, resOn := runSoak(t, lockstepCfg, soakN)
+
+	// Identical verdicts, bit for bit, in identical order.
+	if len(resOn) != len(resOff) {
+		t.Fatalf("lockstep daemon emitted %d results, plain %d", len(resOn), len(resOff))
+	}
+	sort.Slice(resOff, func(i, j int) bool { return resOff[i].Conn.Key.String() < resOff[j].Conn.Key.String() })
+	sort.Slice(resOn, func(i, j int) bool { return resOn[i].Conn.Key.String() < resOn[j].Conn.Key.String() })
+	for i := range resOn {
+		if resOn[i].Score != resOff[i].Score || resOn[i].Flagged != resOff[i].Flagged {
+			t.Fatalf("result %d: lockstep verdict (%v, %v) != plain (%v, %v)",
+				i, resOn[i].Score, resOn[i].Flagged, resOff[i].Score, resOff[i].Flagged)
+		}
+	}
+
+	// The fleet-fill gauge and summary field exist only with lockstep on.
+	if fill, ok := mOn["clap_serve_lockstep_fill"]; !ok || !(fill > 0 && fill <= 1) {
+		t.Fatalf("clap_serve_lockstep_fill = %v (present=%v), want in (0, 1]", fill, ok)
+	}
+	if _, ok := mOff["clap_serve_lockstep_fill"]; ok {
+		t.Fatal("lockstep-free daemon exposes clap_serve_lockstep_fill")
+	}
+	if fill, ok := sumOn["lockstep_fill"].(float64); !ok || !(fill > 0 && fill <= 1) {
+		t.Fatalf("summary lockstep_fill = %v (present=%v), want in (0, 1]", sumOn["lockstep_fill"], ok)
+	}
+	if _, ok := sumOff["lockstep_fill"]; ok {
+		t.Fatal("lockstep-free daemon's summary carries lockstep_fill")
+	}
+}

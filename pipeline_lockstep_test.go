@@ -1,0 +1,218 @@
+package clap
+
+// End-to-end determinism for the cross-connection lockstep path through
+// the public facade: batch Runs and streams with any lockstep width must
+// be bit-identical to the lockstep-free pipeline at every worker × batch
+// combination, with fleet occupancy surfaced and the option validated.
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestPipelineLockstepBitIdentity(t *testing.T) {
+	bk := pipelineBackend(t)
+	det := bk.(*CLAPBackend).Detector()
+
+	conns, _, err := suspectSource().Connections(NewEngine(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantScores := make([]float64, len(conns))
+	for i, c := range conns {
+		wantScores[i] = det.Score(c).Adversarial
+	}
+
+	for _, workers := range []int{1, 4} {
+		for _, lockstep := range []int{1, 6, 24} {
+			for _, batch := range []int{3, 24} {
+				p, err := NewPipeline(WithBackend(bk), WithWorkers(workers),
+					WithBatchSize(batch), WithLockstep(lockstep), WithWindowErrors(true))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if p.Lockstep() != lockstep {
+					t.Fatalf("Lockstep() = %d, want %d", p.Lockstep(), lockstep)
+				}
+				sum, err := p.Run(suspectSource())
+				if err != nil {
+					t.Fatal(err)
+				}
+				for i, r := range sum.Results {
+					if r.Score != wantScores[i] {
+						t.Fatalf("workers=%d lockstep=%d batch=%d: conn %d score %v != serial %v",
+							workers, lockstep, batch, i, r.Score, wantScores[i])
+					}
+				}
+				if fill := p.Engine().LockstepFill(); fill <= 0 || fill > 1 {
+					t.Fatalf("workers=%d lockstep=%d batch=%d: fleet fill %v outside (0, 1]",
+						workers, lockstep, batch, fill)
+				}
+			}
+		}
+	}
+}
+
+// TestPipelineStreamLockstepMatchesRun: the grouped stream — workers
+// draining opportunistic groups into the lockstep fleet — produces the
+// same results in the same submission order as the batch Run, and
+// surfaces fleet occupancy.
+func TestPipelineStreamLockstepMatchesRun(t *testing.T) {
+	bk := pipelineBackend(t)
+	ref, err := NewPipeline(WithBackend(bk), WithThresholdFPR(0.25, TrafficGen(80, 1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := ref.Run(suspectSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 4} {
+		p, err := NewPipeline(WithBackend(bk), WithWorkers(workers),
+			WithLockstep(6), WithThresholdFPR(0.25, TrafficGen(80, 1)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		conns, _, _ := suspectSource().Connections(p.Engine())
+		var streamed []Result
+		s, err := p.NewStream(func(r Result) { streamed = append(streamed, r) })
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, c := range conns {
+			s.Submit(c)
+		}
+		s.Close()
+		if len(streamed) != len(sum.Results) {
+			t.Fatalf("workers=%d: streamed %d results, run produced %d", workers, len(streamed), len(sum.Results))
+		}
+		for i := range streamed {
+			if streamed[i].Conn != conns[i] {
+				t.Fatalf("workers=%d: result %d out of submission order", workers, i)
+			}
+			if streamed[i].Score != sum.Results[i].Score || streamed[i].Flagged != sum.Results[i].Flagged {
+				t.Fatalf("workers=%d: stream result %d diverged from batch run", workers, i)
+			}
+		}
+		if fill := s.LockstepFill(); fill <= 0 || fill > 1 {
+			t.Fatalf("workers=%d: stream fleet fill %v outside (0, 1]", workers, fill)
+		}
+	}
+}
+
+// TestPipelineStreamLockstepProvenance: provenance capture rides the
+// grouped stream — every verdict still binds its (model, generation,
+// threshold) and carries its batched-pass placement.
+func TestPipelineStreamLockstepProvenance(t *testing.T) {
+	bk := pipelineBackend(t)
+	p, err := NewPipeline(WithBackend(bk), WithLockstep(6), WithProvenance(true))
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewPipeline(WithBackend(bk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	refSum, err := serial.Run(suspectSource())
+	if err != nil {
+		t.Fatal(err)
+	}
+	conns, _, _ := suspectSource().Connections(p.Engine())
+	var streamed []Result
+	s, err := p.NewStream(func(r Result) { streamed = append(streamed, r) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, c := range conns {
+		s.Submit(c)
+	}
+	s.Close()
+	for i, r := range streamed {
+		if r.Score != refSum.Results[i].Score {
+			t.Fatalf("conn %d: provenance-armed lockstep score %v != serial %v", i, r.Score, refSum.Results[i].Score)
+		}
+		if r.Prov == nil {
+			t.Fatalf("conn %d: no provenance record on a provenance-armed stream", i)
+		}
+		if r.Prov.Model != bk.Tag() {
+			t.Fatalf("conn %d: provenance model %q, want %q", i, r.Prov.Model, bk.Tag())
+		}
+		if r.Prov.BatchID == 0 {
+			t.Fatalf("conn %d: no batched-pass placement on lockstep stream", i)
+		}
+		if r.Prov.Score != r.Score {
+			t.Fatalf("conn %d: provenance score %v != result %v", i, r.Prov.Score, r.Score)
+		}
+	}
+}
+
+// TestPipelineStreamLockstepHotSwap: grouped scoring partitions by pinned
+// model, so a mid-stream hot swap still scores every connection wholly by
+// one model — even when both models land in one drained group.
+func TestPipelineStreamLockstepHotSwap(t *testing.T) {
+	bk := pipelineBackend(t)
+	hot, err := NewHotBackend(bk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(WithBackend(hot), WithLockstep(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := NewBackend(BackendBaseline1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cb := b2.(*CLAPBackend)
+	cb.Cfg.RNNEpochs, cb.Cfg.AEEpochs = 2, 3
+	if err := b2.Train(GenerateBenign(30, 2), func(string, ...any) {}); err != nil {
+		t.Fatal(err)
+	}
+	conns := GenerateBenign(12, 55)
+	var scores []float64
+	s, err := p.NewStream(func(r Result) { scores = append(scores, r.Score) })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range conns {
+		if i == len(conns)/2 {
+			if _, err := hot.Swap(b2); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s.Submit(c)
+	}
+	s.Close()
+	if len(scores) != len(conns) {
+		t.Fatalf("emitted %d results, want %d", len(scores), len(conns))
+	}
+	for i, c := range conns {
+		s1, s2 := bk.ScoreConn(c), b2.ScoreConn(c)
+		if scores[i] != s1 && scores[i] != s2 {
+			t.Fatalf("conn %d score %v matches neither model (%v / %v)", i, scores[i], s1, s2)
+		}
+	}
+}
+
+func TestPipelineLockstepOptionValidation(t *testing.T) {
+	bk := pipelineBackend(t)
+	if _, err := NewPipeline(WithBackend(bk), WithLockstep(-1)); err == nil ||
+		!strings.Contains(err.Error(), "lockstep width must be >= 0") {
+		t.Fatalf("WithLockstep(-1): err = %v, want a width rejection", err)
+	}
+	p, err := NewPipeline(WithBackend(bk))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lockstep() != 0 {
+		t.Fatalf("default lockstep %d, want 0 (off)", p.Lockstep())
+	}
+	p, err = NewPipeline(WithBackend(bk), WithLockstep(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Lockstep() != 0 {
+		t.Fatalf("WithLockstep(0) gave %d, want 0", p.Lockstep())
+	}
+}
