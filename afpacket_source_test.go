@@ -1,0 +1,188 @@
+package clap
+
+import (
+	"bytes"
+	"context"
+	"testing"
+	"time"
+
+	"clap/internal/afpacket"
+	"clap/internal/flow"
+	"clap/internal/packet"
+)
+
+// framePackets wraps capture-ordered packets in the same synthetic
+// Ethernet framing the pcap writer uses and packs them into TPACKETv3
+// blocks, perFrame frames per block. Timestamps are truncated to
+// microseconds because that is all a classic pcap file can carry — the
+// two paths must see identical inputs for the bits to match.
+func framePackets(t *testing.T, pkts []*packet.Packet, perFrame int) [][]byte {
+	t.Helper()
+	var (
+		blocks [][]byte
+		bb     = afpacket.NewBlockBuilder()
+		n      = 0
+	)
+	for _, p := range pkts {
+		raw, err := p.Encode(packet.SerializeOptions{})
+		if err != nil {
+			t.Fatalf("encoding packet: %v", err)
+		}
+		frame := make([]byte, 0, 14+len(raw))
+		frame = append(frame, 0x02, 0, 0, 0, 0, 0x02) // dst, as pcapio writes
+		frame = append(frame, 0x02, 0, 0, 0, 0, 0x01) // src
+		frame = append(frame, 0x08, 0x00)             // IPv4
+		frame = append(frame, raw...)
+		bb.Append(p.Timestamp.Truncate(time.Microsecond), frame, len(frame))
+		if n++; n == perFrame {
+			blocks = append(blocks, bb.Bytes())
+			bb, n = afpacket.NewBlockBuilder(), 0
+		}
+	}
+	if n > 0 {
+		blocks = append(blocks, bb.Bytes())
+	}
+	return blocks
+}
+
+// syntheticAFPacket builds the production afpacket source with its ring
+// opener swapped for an in-memory synthetic ring, so the full Stream
+// path (block walk, frame decode, assembly) runs unprivileged.
+func syntheticAFPacket(blocks [][]byte, cfg LiveConfig) ServeSource {
+	return &afpacketSource{
+		name: "afpacket:synthetic",
+		cfg:  cfg.withDefaults(),
+		open: func() (afpacket.Ring, error) {
+			return afpacket.NewSyntheticRing(blocks...), nil
+		},
+	}
+}
+
+// memSource feeds already-assembled connections into a Pipeline.
+type memSource []*Connection
+
+func (s memSource) Name() string { return "mem" }
+func (s memSource) Connections(*Engine) ([]*Connection, int, error) {
+	return s, 0, nil
+}
+
+// TestAFPacketSyntheticBitIdentity is the tentpole equivalence pin: the
+// same packets delivered through the pcap streaming path and through the
+// AF_PACKET source (decoding synthetic in-memory TPACKETv3 blocks) must
+// produce identical connections — and identical scores at every
+// workers × lockstep combination. Capture transport must never change
+// the bits.
+func TestAFPacketSyntheticBitIdentity(t *testing.T) {
+	want := GenerateBenign(40, 77)
+	pkts := flow.Flatten(want)
+
+	// Path A: classic pcap bytes through the streaming follow source.
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	pcapConns, pcapSkipped := collectServe(t, FollowPCAP("pcap", bytes.NewReader(buf.Bytes()), fastLive), context.Background())
+
+	// Path B: the same packets as Ethernet frames in TPACKETv3 blocks.
+	// An awkward per-block frame count exercises block boundaries that
+	// do not line up with connection boundaries.
+	blocks := framePackets(t, pkts, 7)
+	afConns, afSkipped := collectServe(t, syntheticAFPacket(blocks, fastLive), context.Background())
+
+	if pcapSkipped != afSkipped {
+		t.Fatalf("skipped diverged: pcap %d, afpacket %d", pcapSkipped, afSkipped)
+	}
+	if len(afConns) != len(pcapConns) || len(pcapConns) != len(want) {
+		t.Fatalf("connection counts diverged: pcap %d, afpacket %d, input %d", len(pcapConns), len(afConns), len(want))
+	}
+	for i := range pcapConns {
+		pc, ac := pcapConns[i], afConns[i]
+		if pc.Key != ac.Key {
+			t.Fatalf("conn %d: key %v != %v", i, ac.Key, pc.Key)
+		}
+		if pc.Len() != ac.Len() {
+			t.Fatalf("conn %d (%v): %d packets via afpacket, %d via pcap", i, pc.Key, ac.Len(), pc.Len())
+		}
+		for j := range pc.Packets {
+			if pc.Dirs[j] != ac.Dirs[j] {
+				t.Fatalf("conn %d packet %d: direction %v != %v", i, j, ac.Dirs[j], pc.Dirs[j])
+			}
+			if !pc.Packets[j].Timestamp.Equal(ac.Packets[j].Timestamp) {
+				t.Fatalf("conn %d packet %d: timestamp %v != %v", i, j, ac.Packets[j].Timestamp, pc.Packets[j].Timestamp)
+			}
+			pb, err := pc.Packets[j].Encode(packet.SerializeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			ab, err := ac.Packets[j].Encode(packet.SerializeOptions{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(pb, ab) {
+				t.Fatalf("conn %d packet %d: wire bytes diverged between paths", i, j)
+			}
+		}
+	}
+
+	// Scores: serial detector reference on the pcap-path connections,
+	// pinned against pipeline runs over the afpacket-path connections at
+	// every workers × lockstep combination.
+	bk := pipelineBackend(t)
+	det := bk.(*CLAPBackend).Detector()
+	wantScores := make([]float64, len(pcapConns))
+	for i, c := range pcapConns {
+		wantScores[i] = det.Score(c).Adversarial
+	}
+	for _, workers := range []int{1, 4} {
+		for _, lockstep := range []int{0, 6} {
+			p, err := NewPipeline(WithBackend(bk), WithWorkers(workers), WithShards(workers), WithLockstep(lockstep))
+			if err != nil {
+				t.Fatal(err)
+			}
+			sum, err := p.Run(memSource(afConns))
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(sum.Results) != len(wantScores) {
+				t.Fatalf("workers=%d lockstep=%d: %d results, want %d", workers, lockstep, len(sum.Results), len(wantScores))
+			}
+			for i, r := range sum.Results {
+				if r.Score != wantScores[i] {
+					t.Fatalf("workers=%d lockstep=%d: conn %d score %v != serial pcap-path %v", workers, lockstep, i, r.Score, wantScores[i])
+				}
+			}
+		}
+	}
+}
+
+// TestAFPacketSourceSkipsNonIP pins the skip accounting: non-IPv4 frames
+// (an ARP) and undecodable IPv4 bytes count as skipped, exactly like the
+// pcap path's junk records, without disturbing assembly.
+func TestAFPacketSourceSkipsNonIP(t *testing.T) {
+	want := GenerateBenign(2, 99)
+	pkts := flow.Flatten(want)
+	bb := afpacket.NewBlockBuilder()
+	arp := make([]byte, 42)
+	arp[12], arp[13] = 0x08, 0x06
+	bb.Append(time.Unix(50, 0), arp, len(arp))
+	junk := make([]byte, 30)
+	junk[12], junk[13] = 0x08, 0x00 // IPv4 ethertype, garbage payload
+	bb.Append(time.Unix(51, 0), junk, len(junk))
+	for _, p := range pkts {
+		raw, err := p.Encode(packet.SerializeOptions{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		frame := append(make([]byte, 0, 14+len(raw)),
+			0x02, 0, 0, 0, 0, 0x02, 0x02, 0, 0, 0, 0, 0x01, 0x08, 0x00)
+		frame = append(frame, raw...)
+		bb.Append(p.Timestamp, frame, len(frame))
+	}
+	conns, skipped := collectServe(t, syntheticAFPacket([][]byte{bb.Bytes()}, fastLive), context.Background())
+	if skipped != 2 {
+		t.Fatalf("skipped = %d, want 2 (ARP + undecodable IPv4)", skipped)
+	}
+	if len(conns) != len(want) {
+		t.Fatalf("%d connections, want %d", len(conns), len(want))
+	}
+}

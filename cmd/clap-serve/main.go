@@ -130,10 +130,25 @@ func parseQuotaFlag(v string) (string, tenant.Quota, error) {
 	return name, q, q.Validate()
 }
 
-// tenantSourceFor builds the ingest source a -tenant-source spec names.
-func tenantSourceFor(spec string, live clap.LiveConfig, soakSeed int64) (clap.ServeSource, error) {
+// sourceFor builds the ingest source a -source or -tenant-source spec
+// names.
+func sourceFor(spec string, live clap.LiveConfig, soakSeed int64) (clap.ServeSource, error) {
 	kind, arg, _ := strings.Cut(spec, ":")
 	switch kind {
+	case "afpacket":
+		iface, rest, _ := strings.Cut(arg, ":")
+		if iface == "" {
+			return nil, fmt.Errorf("afpacket source needs an interface (afpacket:IFACE[:fanout-id])")
+		}
+		fanoutID := -1
+		if rest != "" {
+			id, err := strconv.Atoi(rest)
+			if err != nil || id < 0 || id > 0xffff {
+				return nil, fmt.Errorf("afpacket source: bad fanout id %q (want 0..65535)", rest)
+			}
+			fanoutID = id
+		}
+		return clap.AFPacket(iface, fanoutID, live), nil
 	case "tail":
 		if arg == "" {
 			return nil, fmt.Errorf("tail source needs a path (tail:PATH)")
@@ -166,7 +181,7 @@ func tenantSourceFor(spec string, live clap.LiveConfig, soakSeed int64) (clap.Se
 		}
 		return clap.Soak(sc), nil
 	}
-	return nil, fmt.Errorf("unknown source kind %q (want tail:PATH, replay:PATH or soak:N[:rate[:attack]])", kind)
+	return nil, fmt.Errorf("unknown source kind %q (want afpacket:IFACE[:fanout-id], tail:PATH, replay:PATH or soak:N[:rate[:attack]])", kind)
 }
 
 // prefixWriter prepends a tenant tag to each alert line. writeAlert and
@@ -208,7 +223,7 @@ func main() {
 		replay = flag.String("replay", "", "replay a recorded pcap once")
 		poll   = flag.Duration("poll", 250*time.Millisecond, "tail poll interval")
 		idle   = flag.Duration("idle-flush", 5*time.Second, "emit live connections idle this long")
-		budget = flag.Int("max-packets", 512, "cut live connections at this packet budget (0: unbounded)")
+		budget = flag.Int("max-packets", 512, "cut live connections at this packet budget (-1: unbounded)")
 
 		soak       = flag.Int("soak", -1, "soak mode: generate this many synthetic connections (0: unbounded)")
 		soakRate   = flag.Float64("soak-rate", 0, "soak connections per second (0: as fast as accepted)")
@@ -242,8 +257,16 @@ func main() {
 		tenantFlags = append(tenantFlags, tf)
 		return nil
 	})
+	var sourceSpecs []string
+	flag.Func("source", "extra ingest source for the default tenant: afpacket:IFACE[:fanout-id] | tail:PATH | replay:PATH | soak:N[:rate[:attack]] (repeatable)", func(v string) error {
+		if v == "" {
+			return fmt.Errorf("-source: empty spec")
+		}
+		sourceSpecs = append(sourceSpecs, v)
+		return nil
+	})
 	var tenantSources []tenantSourceFlag
-	flag.Func("tenant-source", "ingest source for a tenant: name=tail:PATH | name=replay:PATH | name=soak:N[:rate[:attack]] (repeatable)", func(v string) error {
+	flag.Func("tenant-source", "ingest source for a tenant: name=afpacket:IFACE[:fanout-id] | name=tail:PATH | name=replay:PATH | name=soak:N[:rate[:attack]] (repeatable)", func(v string) error {
 		name, spec, ok := strings.Cut(v, "=")
 		if !ok || name == "" || spec == "" {
 			return fmt.Errorf("-tenant-source %q: want name=kind:arg", v)
@@ -440,8 +463,16 @@ func main() {
 		}))
 		nSources++
 	}
+	for _, spec := range sourceSpecs {
+		src, err := sourceFor(spec, live, *soakSeed)
+		if err != nil {
+			log.Fatalf("-source %s: %v", spec, err)
+		}
+		srv.AddSource(src)
+		nSources++
+	}
 	for _, ts := range tenantSources {
-		src, err := tenantSourceFor(ts.spec, live, *soakSeed)
+		src, err := sourceFor(ts.spec, live, *soakSeed)
 		if err != nil {
 			log.Fatalf("-tenant-source %s: %v", ts.name, err)
 		}
@@ -451,7 +482,7 @@ func main() {
 		nSources++
 	}
 	if nSources == 0 {
-		log.Fatal("no ingest source: need -tail, -stdin, -replay, -soak or -tenant-source")
+		log.Fatal("no ingest source: need -source, -tail, -stdin, -replay, -soak or -tenant-source")
 	}
 
 	if err := srv.Start(context.Background()); err != nil {

@@ -1,0 +1,48 @@
+package main
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"clap"
+)
+
+// TestSourceFor pins the -source/-tenant-source spec grammar, including
+// the afpacket form. Building an afpacket source performs no privileged
+// work — the socket opens at Stream time — so the parse is testable
+// anywhere.
+func TestSourceFor(t *testing.T) {
+	live := clap.LiveConfig{Poll: 10 * time.Millisecond}
+	for _, tc := range []struct {
+		spec    string
+		name    string // expected Name() of the built source; "" expects an error
+		errPart string
+	}{
+		{spec: "afpacket:eth0", name: "afpacket:eth0"},
+		{spec: "afpacket:eth0:42", name: "afpacket:eth0"},
+		{spec: "afpacket:", errPart: "needs an interface"},
+		{spec: "afpacket:eth0:notanum", errPart: "bad fanout id"},
+		{spec: "afpacket:eth0:70000", errPart: "bad fanout id"},
+		{spec: "afpacket:eth0:-1", errPart: "bad fanout id"},
+		{spec: "tail:/tmp/x.pcap", name: "tail:/tmp/x.pcap"},
+		{spec: "replay:/tmp/x.pcap", name: "replay:/tmp/x.pcap"},
+		{spec: "soak:5", name: "soak"},
+		{spec: "nonsense:x", errPart: "unknown source kind"},
+	} {
+		src, err := sourceFor(tc.spec, live, 1)
+		if tc.name == "" {
+			if err == nil || !strings.Contains(err.Error(), tc.errPart) {
+				t.Errorf("sourceFor(%q) error = %v, want containing %q", tc.spec, err, tc.errPart)
+			}
+			continue
+		}
+		if err != nil {
+			t.Errorf("sourceFor(%q): %v", tc.spec, err)
+			continue
+		}
+		if !strings.HasPrefix(src.Name(), tc.name) {
+			t.Errorf("sourceFor(%q).Name() = %q, want prefix %q", tc.spec, src.Name(), tc.name)
+		}
+	}
+}

@@ -1,0 +1,247 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fakeWorker serves a minimal clap-serve ops surface with controllable
+// counters.
+func fakeWorker(scored int, drift float64, alert bool) *httptest.Server {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{"status": "ok", "model": "clap", "scored": scored})
+	})
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintf(w, "# HELP clap_serve_connections_scored_total Connections scored since start.\n")
+		fmt.Fprintf(w, "# TYPE clap_serve_connections_scored_total counter\n")
+		fmt.Fprintf(w, "clap_serve_connections_scored_total %d\n", scored)
+		fmt.Fprintf(w, "# HELP clap_serve_source_connections_total Connections delivered by the source.\n")
+		fmt.Fprintf(w, "# TYPE clap_serve_source_connections_total counter\n")
+		fmt.Fprintf(w, "clap_serve_source_connections_total{source=\"afpacket:eth0\"} %d\n", scored)
+		fmt.Fprintf(w, "# HELP clap_serve_stage_latency_seconds Per-stage latency through the scoring stream.\n")
+		fmt.Fprintf(w, "# TYPE clap_serve_stage_latency_seconds histogram\n")
+		fmt.Fprintf(w, "clap_serve_stage_latency_seconds_bucket{stage=\"score\",le=\"+Inf\"} %d\n", scored)
+		fmt.Fprintf(w, "clap_serve_stage_latency_seconds_sum{stage=\"score\"} 0.5\n")
+		fmt.Fprintf(w, "clap_serve_stage_latency_seconds_count{stage=\"score\"} %d\n", scored)
+	})
+	mux.HandleFunc("/v1/summary", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"scored":             scored,
+			"packets":            scored * 10,
+			"flagged":            1,
+			"packets_per_second": 100.0,
+			"queue_depth":        2,
+			"queue_capacity":     256,
+			"model":              map[string]any{"tag": "clap"},
+		})
+	})
+	mux.HandleFunc("/v1/drift", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, map[string]any{
+			"drift":        map[string]any{"drift": drift, "alert": alert},
+			"alerts_total": 3,
+		})
+	})
+	return httptest.NewServer(mux)
+}
+
+func newTestAggregator(t *testing.T, urls ...string) *httptest.Server {
+	t.Helper()
+	a := newAggregator(urls, &http.Client{Timeout: 2 * time.Second})
+	ts := httptest.NewServer(a.Handler())
+	t.Cleanup(ts.Close)
+	return ts
+}
+
+func get(t *testing.T, url string) (int, string) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatalf("GET %s: %v", url, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp.StatusCode, string(body)
+}
+
+func TestShardsHealthz(t *testing.T) {
+	w0 := fakeWorker(10, 0.1, false)
+	defer w0.Close()
+	w1 := fakeWorker(20, 0.2, false)
+	defer w1.Close()
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close() // already closed: connection refused
+
+	t.Run("all up", func(t *testing.T) {
+		ts := newTestAggregator(t, w0.URL, w1.URL)
+		code, body := get(t, ts.URL+"/healthz")
+		if code != http.StatusOK || !strings.Contains(body, `"status": "ok"`) {
+			t.Fatalf("healthz: %d %s", code, body)
+		}
+	})
+	t.Run("one down is degraded, not fatal", func(t *testing.T) {
+		ts := newTestAggregator(t, w0.URL, down.URL)
+		code, body := get(t, ts.URL+"/healthz")
+		if code != http.StatusOK || !strings.Contains(body, `"status": "degraded"`) {
+			t.Fatalf("healthz: %d %s", code, body)
+		}
+		if !strings.Contains(body, `"status": "down"`) || !strings.Contains(body, `"error"`) {
+			t.Fatalf("down shard not reported: %s", body)
+		}
+	})
+	t.Run("all down is 503", func(t *testing.T) {
+		ts := newTestAggregator(t, down.URL)
+		if code, _ := get(t, ts.URL+"/healthz"); code != http.StatusServiceUnavailable {
+			t.Fatalf("healthz with no workers up: %d", code)
+		}
+	})
+}
+
+// TestShardsMetricsMerge pins the exposition contract: one HELP/TYPE per
+// family, every sample tagged with its shard, histogram families kept
+// intact, and a down worker reflected in clap_shards_worker_up instead
+// of breaking the scrape.
+func TestShardsMetricsMerge(t *testing.T) {
+	w0 := fakeWorker(10, 0, false)
+	defer w0.Close()
+	w1 := fakeWorker(20, 0, false)
+	defer w1.Close()
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close()
+
+	ts := newTestAggregator(t, w0.URL, w1.URL, down.URL)
+	code, body := get(t, ts.URL+"/metrics")
+	if code != http.StatusOK {
+		t.Fatalf("metrics: %d", code)
+	}
+
+	for _, want := range []string{
+		`clap_shards_workers 3`,
+		`clap_shards_worker_up{shard="0"} 1`,
+		`clap_shards_worker_up{shard="1"} 1`,
+		`clap_shards_worker_up{shard="2"} 0`,
+		`clap_serve_connections_scored_total{shard="0"} 10`,
+		`clap_serve_connections_scored_total{shard="1"} 20`,
+		`clap_serve_source_connections_total{shard="0",source="afpacket:eth0"} 10`,
+		`clap_serve_stage_latency_seconds_bucket{shard="1",stage="score",le="+Inf"} 20`,
+		`clap_serve_stage_latency_seconds_count{shard="0",stage="score"} 10`,
+	} {
+		if !strings.Contains(body, want+"\n") {
+			t.Errorf("merged exposition missing %q\n%s", want, body)
+		}
+	}
+	// HELP/TYPE exactly once per family, and metadata precedes every
+	// sample of its family (validity of the merged exposition).
+	for _, fam := range []string{
+		"clap_serve_connections_scored_total",
+		"clap_serve_source_connections_total",
+		"clap_serve_stage_latency_seconds",
+	} {
+		if n := strings.Count(body, "# TYPE "+fam+" "); n != 1 {
+			t.Errorf("family %s declared %d times, want 1", fam, n)
+		}
+		typeAt := strings.Index(body, "# TYPE "+fam+" ")
+		firstSample := strings.Index(body, fam+"{")
+		if firstSample >= 0 && firstSample < typeAt {
+			t.Errorf("family %s: sample precedes TYPE", fam)
+		}
+	}
+	// Every non-comment line parses as `name{labels} value`.
+	for _, line := range strings.Split(strings.TrimRight(body, "\n"), "\n") {
+		if strings.HasPrefix(line, "#") {
+			continue
+		}
+		i := strings.LastIndexByte(line, ' ')
+		if i < 0 {
+			t.Fatalf("unparseable merged line %q", line)
+		}
+		if _, err := strconv.ParseFloat(line[i+1:], 64); err != nil {
+			t.Fatalf("unparseable value in %q", line)
+		}
+	}
+}
+
+func TestShardsSummaryFleetSums(t *testing.T) {
+	w0 := fakeWorker(10, 0, false)
+	defer w0.Close()
+	w1 := fakeWorker(20, 0, false)
+	defer w1.Close()
+	down := httptest.NewServer(http.NotFoundHandler())
+	down.Close()
+
+	ts := newTestAggregator(t, w0.URL, w1.URL, down.URL)
+	code, body := get(t, ts.URL+"/v1/summary")
+	if code != http.StatusOK {
+		t.Fatalf("summary: %d", code)
+	}
+	var out struct {
+		Fleet  map[string]float64 `json:"fleet"`
+		Shards []map[string]any   `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("summary not JSON: %v\n%s", err, body)
+	}
+	if out.Fleet["scored"] != 30 || out.Fleet["packets"] != 300 || out.Fleet["flagged"] != 2 {
+		t.Fatalf("fleet sums = %v", out.Fleet)
+	}
+	if out.Fleet["packets_per_second"] != 200 || out.Fleet["queue_capacity"] != 512 {
+		t.Fatalf("fleet sums = %v", out.Fleet)
+	}
+	if len(out.Shards) != 3 {
+		t.Fatalf("%d shards reported, want 3", len(out.Shards))
+	}
+	if _, ok := out.Shards[2]["error"]; !ok {
+		t.Fatalf("down shard carries no error: %v", out.Shards[2])
+	}
+}
+
+func TestShardsDriftFleetView(t *testing.T) {
+	w0 := fakeWorker(10, 0.12, false)
+	defer w0.Close()
+	w1 := fakeWorker(20, 0.55, true)
+	defer w1.Close()
+
+	ts := newTestAggregator(t, w0.URL, w1.URL)
+	code, body := get(t, ts.URL+"/v1/drift")
+	if code != http.StatusOK {
+		t.Fatalf("drift: %d", code)
+	}
+	var out struct {
+		Fleet struct {
+			MaxDrift    float64 `json:"max_drift"`
+			Alerting    bool    `json:"alerting"`
+			AlertsTotal float64 `json:"alerts_total"`
+		} `json:"fleet"`
+		Shards []map[string]any `json:"shards"`
+	}
+	if err := json.Unmarshal([]byte(body), &out); err != nil {
+		t.Fatalf("drift not JSON: %v\n%s", err, body)
+	}
+	if out.Fleet.MaxDrift != 0.55 || !out.Fleet.Alerting || out.Fleet.AlertsTotal != 6 {
+		t.Fatalf("fleet drift = %+v", out.Fleet)
+	}
+}
+
+func TestInjectShardLabel(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{`m 1`, `m{shard="3"} 1`},
+		{`m{a="b"} 1`, `m{shard="3",a="b"} 1`},
+		{`m{} 1`, `m{shard="3"} 1`},
+		{`m{a="has sp{ace"} 1`, `m{shard="3",a="has sp{ace"} 1`},
+		{`m_bucket{le="+Inf"} 4`, `m_bucket{shard="3",le="+Inf"} 4`},
+	} {
+		if got := injectShardLabel(tc.in, 3); got != tc.want {
+			t.Errorf("injectShardLabel(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}

@@ -1,0 +1,325 @@
+//go:build linux
+
+package afpacket
+
+import (
+	"context"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+	"unsafe"
+)
+
+// Socket options not exposed by the frozen syscall package. These are
+// stable kernel ABI numbers (include/uapi/linux/if_packet.h).
+const (
+	packetVersion = 10 // PACKET_VERSION
+	packetFanout  = 18 // PACKET_FANOUT
+)
+
+// Config describes a kernel capture ring.
+type Config struct {
+	// Interface is the device to capture on ("eth0", "lo", ...).
+	Interface string
+
+	// FanoutID joins this socket to a PACKET_FANOUT group (0..65535).
+	// Every socket opened with the same ID on the same interface gets a
+	// disjoint, flow-consistent shard of the traffic. Negative disables
+	// fanout.
+	FanoutID int
+
+	// FanoutType selects the sharding discipline; the zero value is
+	// FanoutHash (symmetric 4-tuple flow hash), the only mode that
+	// keeps a connection's packets on one socket.
+	FanoutType int
+
+	// BlockSize is the size of one ring block in bytes; must be a
+	// multiple of the page size. Default 1 MiB.
+	BlockSize int
+
+	// BlockCount is the number of blocks in the ring. Default 32.
+	BlockCount int
+
+	// FrameSize bounds a single captured frame. Default 2048.
+	FrameSize int
+
+	// PollTimeout bounds each wait for the next ready block, and is
+	// also installed as the kernel's block-retire timeout so a quiet
+	// link still hands over partially filled blocks. Default 100ms.
+	PollTimeout time.Duration
+
+	// Promiscuous puts the interface into promiscuous mode for the
+	// lifetime of the socket.
+	Promiscuous bool
+
+	// DropUID/DropGID, when both positive, drop the process to that
+	// uid/gid immediately after the socket and ring are set up, so the
+	// privileged window covers only socket creation.
+	DropUID int
+	DropGID int
+}
+
+func (c Config) withDefaults() Config {
+	if c.BlockSize == 0 {
+		c.BlockSize = 1 << 20
+	}
+	if c.BlockCount == 0 {
+		c.BlockCount = 32
+	}
+	if c.FrameSize == 0 {
+		c.FrameSize = 2048
+	}
+	if c.PollTimeout <= 0 {
+		c.PollTimeout = 100 * time.Millisecond
+	}
+	return c
+}
+
+// tpacketReq3 is struct tpacket_req3.
+type tpacketReq3 struct {
+	blockSize      uint32
+	blockNr        uint32
+	frameSize      uint32
+	frameNr        uint32
+	retireBlkTov   uint32
+	sizeofPriv     uint32
+	featureReqWord uint32
+}
+
+// tpacketStatsV3 is struct tpacket_stats_v3, the PACKET_STATISTICS
+// payload for a TPACKET_V3 socket.
+type tpacketStatsV3 struct {
+	packets uint32
+	drops   uint32
+	freezeQ uint32
+}
+
+// Handle is a live TPACKETv3 capture ring. It implements Ring.
+type Handle struct {
+	fd          int
+	ring        []byte
+	blockSize   int
+	blockCount  int
+	next        int
+	pollTimeout time.Duration
+	closed      bool
+
+	// PACKET_STATISTICS resets on every read; these accumulate under
+	// statMu (metrics scrapes call Stats concurrently with the harvest
+	// goroutine's handle).
+	statMu      sync.Mutex
+	statPackets uint64
+	statDrops   uint64
+}
+
+// Open binds an AF_PACKET/SOCK_RAW socket to cfg.Interface, installs a
+// TPACKET_V3 mmap'd block ring, optionally joins a PACKET_FANOUT_HASH
+// group, and optionally drops privileges — in that order, so root (or
+// CAP_NET_RAW) is needed only across this call.
+func Open(cfg Config) (*Handle, error) {
+	cfg = cfg.withDefaults()
+	if cfg.BlockSize%syscall.Getpagesize() != 0 {
+		return nil, fmt.Errorf("afpacket: block size %d is not a multiple of the %d-byte page", cfg.BlockSize, syscall.Getpagesize())
+	}
+	ifi, err := net.InterfaceByName(cfg.Interface)
+	if err != nil {
+		return nil, fmt.Errorf("afpacket: interface %q: %w", cfg.Interface, err)
+	}
+
+	fd, err := syscall.Socket(syscall.AF_PACKET, syscall.SOCK_RAW, 0)
+	if err != nil {
+		return nil, fmt.Errorf("afpacket: socket: %w", err)
+	}
+	fail := func(stage string, err error) (*Handle, error) {
+		syscall.Close(fd)
+		return nil, fmt.Errorf("afpacket: %s: %w", stage, err)
+	}
+
+	if err := syscall.SetsockoptInt(fd, syscall.SOL_PACKET, packetVersion, tpacketV3); err != nil {
+		return fail("PACKET_VERSION TPACKET_V3", err)
+	}
+	req := tpacketReq3{
+		blockSize:    uint32(cfg.BlockSize),
+		blockNr:      uint32(cfg.BlockCount),
+		frameSize:    uint32(cfg.FrameSize),
+		frameNr:      uint32(cfg.BlockSize / cfg.FrameSize * cfg.BlockCount),
+		retireBlkTov: uint32(cfg.PollTimeout / time.Millisecond),
+	}
+	if req.retireBlkTov == 0 {
+		req.retireBlkTov = 1
+	}
+	if _, _, errno := syscall.Syscall6(syscall.SYS_SETSOCKOPT, uintptr(fd), syscall.SOL_PACKET, syscall.PACKET_RX_RING,
+		uintptr(unsafe.Pointer(&req)), unsafe.Sizeof(req), 0); errno != 0 {
+		return fail("PACKET_RX_RING", errno)
+	}
+	ring, err := syscall.Mmap(fd, 0, cfg.BlockSize*cfg.BlockCount,
+		syscall.PROT_READ|syscall.PROT_WRITE, syscall.MAP_SHARED)
+	if err != nil {
+		return fail("mmap ring", err)
+	}
+	failRing := func(stage string, err error) (*Handle, error) {
+		syscall.Munmap(ring)
+		return fail(stage, err)
+	}
+
+	sll := &syscall.SockaddrLinklayer{
+		Protocol: htons(syscall.ETH_P_ALL),
+		Ifindex:  ifi.Index,
+	}
+	if err := syscall.Bind(fd, sll); err != nil {
+		return failRing(fmt.Sprintf("bind %q", cfg.Interface), err)
+	}
+
+	if cfg.Promiscuous {
+		mreq := struct {
+			ifindex int32
+			typ     uint16
+			alen    uint16
+			address [8]byte
+		}{ifindex: int32(ifi.Index), typ: syscall.PACKET_MR_PROMISC}
+		if _, _, errno := syscall.Syscall6(syscall.SYS_SETSOCKOPT, uintptr(fd), syscall.SOL_PACKET, syscall.PACKET_ADD_MEMBERSHIP,
+			uintptr(unsafe.Pointer(&mreq)), unsafe.Sizeof(mreq), 0); errno != 0 {
+			return failRing("PACKET_MR_PROMISC", errno)
+		}
+	}
+
+	if cfg.FanoutID >= 0 {
+		if cfg.FanoutID > 0xffff {
+			return failRing("PACKET_FANOUT", fmt.Errorf("fanout id %d out of range 0..65535", cfg.FanoutID))
+		}
+		arg := cfg.FanoutID | cfg.FanoutType<<16
+		if err := syscall.SetsockoptInt(fd, syscall.SOL_PACKET, packetFanout, arg); err != nil {
+			return failRing("PACKET_FANOUT", err)
+		}
+	}
+
+	if cfg.DropUID > 0 && cfg.DropGID > 0 {
+		if err := DropPrivileges(cfg.DropUID, cfg.DropGID); err != nil {
+			return failRing("privilege drop", err)
+		}
+	}
+
+	return &Handle{
+		fd:          fd,
+		ring:        ring,
+		blockSize:   cfg.BlockSize,
+		blockCount:  cfg.BlockCount,
+		pollTimeout: cfg.PollTimeout,
+	}, nil
+}
+
+// htons converts a u16 to network byte order for SockaddrLinklayer.
+func htons(v uint16) uint16 { return v<<8 | v>>8 }
+
+// statusWord returns the block_status field of block i as an atomic
+// cell. The kernel flips it KERNEL→USER when the block retires; we flip
+// it back on release. Atomics give the required acquire/release
+// ordering on the shared mapping.
+func (h *Handle) statusWord(i int) *uint32 {
+	return (*uint32)(unsafe.Pointer(&h.ring[i*h.blockSize+offBlockStatus]))
+}
+
+// NextBlock waits for the next ready block, polling the socket between
+// checks so the goroutine parks in the kernel rather than spinning. It
+// returns io.EOF once ctx is done.
+func (h *Handle) NextBlock(ctx context.Context) ([]byte, func(), error) {
+	for {
+		if ctx.Err() != nil {
+			return nil, nil, io.EOF
+		}
+		idx := h.next
+		if atomic.LoadUint32(h.statusWord(idx))&statusUser != 0 {
+			h.next = (h.next + 1) % h.blockCount
+			released := false
+			release := func() {
+				if !released {
+					released = true
+					atomic.StoreUint32(h.statusWord(idx), statusKernel)
+				}
+			}
+			return h.ring[idx*h.blockSize : (idx+1)*h.blockSize], release, nil
+		}
+		if err := h.poll(); err != nil {
+			return nil, nil, fmt.Errorf("afpacket: poll: %w", err)
+		}
+	}
+}
+
+// poll waits up to pollTimeout for the socket to become readable.
+func (h *Handle) poll() error {
+	pfd := struct {
+		fd      int32
+		events  int16
+		revents int16
+	}{fd: int32(h.fd), events: pollIn | pollErr}
+	ts := syscall.NsecToTimespec(h.pollTimeout.Nanoseconds())
+	_, _, errno := syscall.Syscall6(syscall.SYS_PPOLL,
+		uintptr(unsafe.Pointer(&pfd)), 1, uintptr(unsafe.Pointer(&ts)), 0, 0, 0)
+	if errno != 0 && errno != syscall.EINTR {
+		return errno
+	}
+	return nil
+}
+
+const (
+	pollIn  = 0x1
+	pollErr = 0x8
+)
+
+// Stats returns cumulative kernel-side counters: packets that matched
+// the socket and packets the kernel dropped because the ring was full.
+// (The raw PACKET_STATISTICS counters reset on read; Stats accumulates
+// across reads.)
+func (h *Handle) Stats() (packets, drops uint64, err error) {
+	h.statMu.Lock()
+	defer h.statMu.Unlock()
+	var st tpacketStatsV3
+	l := uint32(unsafe.Sizeof(st))
+	if _, _, errno := syscall.Syscall6(syscall.SYS_GETSOCKOPT, uintptr(h.fd), syscall.SOL_PACKET, syscall.PACKET_STATISTICS,
+		uintptr(unsafe.Pointer(&st)), uintptr(unsafe.Pointer(&l)), 0); errno != 0 {
+		return 0, 0, fmt.Errorf("afpacket: PACKET_STATISTICS: %w", errno)
+	}
+	h.statPackets += uint64(st.packets)
+	h.statDrops += uint64(st.drops)
+	return h.statPackets, h.statDrops, nil
+}
+
+// Close unmaps the ring and closes the socket.
+func (h *Handle) Close() error {
+	if h.closed {
+		return nil
+	}
+	h.closed = true
+	err := syscall.Munmap(h.ring)
+	if cerr := syscall.Close(h.fd); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+// DropPrivileges irreversibly switches the process to the given
+// non-root uid/gid (groups first, then gid, then uid, so the uid change
+// cannot strand us with root groups). Call it after Open so only socket
+// setup runs privileged.
+func DropPrivileges(uid, gid int) error {
+	if uid <= 0 || gid <= 0 {
+		return fmt.Errorf("afpacket: refusing to drop privileges to uid %d gid %d (must both be positive non-root ids)", uid, gid)
+	}
+	if err := syscall.Setgroups([]int{gid}); err != nil {
+		return fmt.Errorf("afpacket: setgroups: %w", err)
+	}
+	if err := syscall.Setgid(gid); err != nil {
+		return fmt.Errorf("afpacket: setgid(%d): %w", gid, err)
+	}
+	if err := syscall.Setuid(uid); err != nil {
+		return fmt.Errorf("afpacket: setuid(%d): %w", uid, err)
+	}
+	if syscall.Getuid() != uid || syscall.Getgid() != gid {
+		return fmt.Errorf("afpacket: privilege drop did not stick (uid %d gid %d)", syscall.Getuid(), syscall.Getgid())
+	}
+	return nil
+}

@@ -1,0 +1,42 @@
+//go:build !linux
+
+package afpacket
+
+import (
+	"context"
+	"errors"
+	"time"
+)
+
+// ErrUnsupported reports that kernel AF_PACKET capture only exists on
+// linux. The synthetic-ring half of the package works everywhere.
+var ErrUnsupported = errors.New("afpacket: AF_PACKET capture requires linux")
+
+// Config mirrors the linux Config so callers compile everywhere.
+type Config struct {
+	Interface   string
+	FanoutID    int
+	FanoutType  int
+	BlockSize   int
+	BlockCount  int
+	FrameSize   int
+	PollTimeout time.Duration
+	Promiscuous bool
+	DropUID     int
+	DropGID     int
+}
+
+// Handle is the non-linux placeholder for a kernel capture ring.
+type Handle struct{}
+
+// Open always fails off linux.
+func Open(Config) (*Handle, error) { return nil, ErrUnsupported }
+
+func (*Handle) NextBlock(context.Context) ([]byte, func(), error) { return nil, nil, ErrUnsupported }
+
+func (*Handle) Stats() (uint64, uint64, error) { return 0, 0, ErrUnsupported }
+
+func (*Handle) Close() error { return nil }
+
+// DropPrivileges always fails off linux.
+func DropPrivileges(uid, gid int) error { return ErrUnsupported }

@@ -142,10 +142,14 @@ func (a *Assembler) FlushIdle(idle time.Duration) int {
 // Flush emits every remaining connection in first-packet order — the end
 // of the stream. After Flush the assembler is empty and reusable.
 func (a *Assembler) Flush() {
-	for _, s := range a.order {
+	for i, s := range a.order {
 		if !s.emitted {
 			a.emitSlot(s)
 		}
+		// Clear the backing array: truncating alone would pin the last
+		// stream's slots (and their *Connections) for the assembler's
+		// lifetime.
+		a.order[i] = nil
 	}
 	a.order = a.order[:0]
 }

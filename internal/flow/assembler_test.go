@@ -187,3 +187,70 @@ func TestAssemblerPortReuse(t *testing.T) {
 		t.Fatalf("assembler split reused tuple into %d connections", len(got))
 	}
 }
+
+// TestAssemblerFlushReleasesSlots pins that Flush clears the order list's
+// backing array. Truncating with [:0] alone keeps every emitted slot (and
+// its *Connection, and every *packet.Packet in it) reachable through the
+// retained backing array for the assembler's whole lifetime.
+func TestAssemblerFlushReleasesSlots(t *testing.T) {
+	a := NewAssembler(func(*Connection) {})
+	for _, p := range testCapture() {
+		a.Feed(p)
+	}
+	a.Flush()
+	tail := a.order[:cap(a.order)]
+	for i, s := range tail {
+		if s != nil {
+			t.Fatalf("order backing array slot %d still pins an emitted connection after Flush", i)
+		}
+	}
+}
+
+// TestAssemblerReverseSYNOnClosedSlot pins the port-reuse asymmetry
+// against the batch path: a pure SYN arriving server→client on a closed
+// slot must NOT split the connection (only a client→server SYN signals
+// reuse); it is appended to the old connection exactly as Assemble does.
+func TestAssemblerReverseSYNOnClosedSlot(t *testing.T) {
+	const sp = 2101
+	pkts := connPackets(sp, 2, "rst", 0)
+	// A stray SYN from the server side of the same 4-tuple after close
+	// (seen in traces with simultaneous-open weirdness and scanners).
+	pkts = append(pkts, mkPkt(sIP, cIP, 80, sp, packet.SYN, 9000, time.Second))
+	// Then genuine client-side port reuse, which must split.
+	pkts = append(pkts, handshake(sp, time.Second+time.Millisecond)...)
+
+	want := Assemble(pkts)
+	var got []*Connection
+	a := NewAssembler(func(c *Connection) { got = append(got, c) })
+	for _, p := range pkts {
+		a.Feed(p)
+	}
+	a.Flush()
+
+	if len(want) != 2 {
+		t.Fatalf("Assemble produced %d connections, fixture expects 2", len(want))
+	}
+	if len(got) != len(want) {
+		t.Fatalf("assembler emitted %d connections, Assemble produced %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Key != want[i].Key {
+			t.Fatalf("conn %d: key %v != %v", i, got[i].Key, want[i].Key)
+		}
+		if len(got[i].Packets) != len(want[i].Packets) {
+			t.Fatalf("conn %d: %d packets != %d", i, len(got[i].Packets), len(want[i].Packets))
+		}
+		for j := range want[i].Packets {
+			if got[i].Packets[j] != want[i].Packets[j] || got[i].Dirs[j] != want[i].Dirs[j] {
+				t.Fatalf("conn %d packet %d: mismatch vs Assemble", i, j)
+			}
+		}
+	}
+	// The stray reverse SYN must have been folded into the first
+	// (closed) connection as a ServerToClient packet, not a new conn.
+	first := got[0]
+	last := first.Dirs[len(first.Dirs)-1]
+	if last != ServerToClient {
+		t.Fatalf("stray reverse SYN direction = %v, want ServerToClient", last)
+	}
+}

@@ -40,7 +40,18 @@ const (
 var (
 	ErrBadMagic = errors.New("pcapio: unrecognized magic number")
 	ErrLinkType = errors.New("pcapio: unsupported link type")
+	// ErrOversizeRecord reports a record header whose capture length
+	// exceeds maxRecordLen. Such a header is corruption (no real frame
+	// approaches 1 MiB), and must be rejected before the body
+	// allocation: a crafted header in a snaplen-0 capture could
+	// otherwise demand up to 4 GiB.
+	ErrOversizeRecord = errors.New("pcapio: record capture length exceeds sanity bound")
 )
+
+// maxRecordLen bounds a single record's capture length, independently of
+// the file's declared snaplen (snaplen 0 — emitted by some writers —
+// must not mean "unbounded allocation").
+const maxRecordLen = 1 << 20
 
 // Record is one captured frame with its metadata.
 type Record struct {
@@ -106,8 +117,8 @@ func (r *Reader) Next() (Record, error) {
 	frac := r.order.Uint32(hdr[4:8])
 	capLen := r.order.Uint32(hdr[8:12])
 	origLen := r.order.Uint32(hdr[12:16])
-	if capLen > r.snapLen && r.snapLen > 0 && capLen > 1<<20 {
-		return Record{}, fmt.Errorf("pcapio: record capture length %d exceeds sanity bound", capLen)
+	if capLen > maxRecordLen {
+		return Record{}, fmt.Errorf("%w: %d", ErrOversizeRecord, capLen)
 	}
 	data := make([]byte, capLen)
 	if _, err := io.ReadFull(r.r, data); err != nil {
@@ -131,6 +142,12 @@ func (r *Reader) Next() (Record, error) {
 		}
 		rec.Data = rec.Data[etherHdrLen:]
 		rec.OrigLen -= etherHdrLen
+		if rec.OrigLen < len(rec.Data) {
+			// A frame whose claimed wire length is shorter than the
+			// Ethernet header (or than the captured bytes) would yield a
+			// negative or undersized OrigLen downstream.
+			rec.OrigLen = len(rec.Data)
+		}
 	}
 	return rec, nil
 }

@@ -3,6 +3,7 @@ package pcapio
 import (
 	"bytes"
 	"encoding/binary"
+	"errors"
 	"io"
 	"testing"
 	"time"
@@ -204,5 +205,91 @@ func TestOrigLenPreservedForStrippedPayload(t *testing.T) {
 	if len(rec.Data) >= rec.OrigLen {
 		t.Errorf("capture should be shorter than original for stripped payload: cap=%d orig=%d",
 			len(rec.Data), rec.OrigLen)
+	}
+}
+
+// A crafted record header in a snaplen-0 capture must be rejected before
+// the body allocation, not after attempting a multi-GiB make. Pre-fix,
+// the sanity bound only applied when snapLen > 0.
+func TestReaderOversizeRecordRejected(t *testing.T) {
+	craft := func(snapLen, capLen uint32) []byte {
+		le := binary.LittleEndian
+		buf := make([]byte, 24+16)
+		le.PutUint32(buf[0:4], magicMicros)
+		le.PutUint32(buf[16:20], snapLen)
+		le.PutUint32(buf[20:24], LinkTypeRaw)
+		le.PutUint32(buf[32:36], capLen) // record capLen
+		le.PutUint32(buf[36:40], capLen)
+		return buf
+	}
+
+	for _, tc := range []struct {
+		name    string
+		snapLen uint32
+		capLen  uint32
+	}{
+		{"snaplen zero", 0, 1 << 30},
+		{"caplen within declared snaplen", 1 << 31, 2 << 20},
+		{"caplen just above bound", 262144, maxRecordLen + 1},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := NewReader(bytes.NewReader(craft(tc.snapLen, tc.capLen)))
+			if err != nil {
+				t.Fatalf("NewReader: %v", err)
+			}
+			if _, err := r.Next(); !errors.Is(err, ErrOversizeRecord) {
+				t.Fatalf("Next() err = %v, want ErrOversizeRecord", err)
+			}
+		})
+	}
+
+	// The bound must not reject legitimate oversized-vs-snaplen records
+	// below it (writers lie about snaplen; tolerated since the seed).
+	hdr := craft(64, 0)
+	le := binary.LittleEndian
+	le.PutUint32(hdr[32:36], 100)
+	le.PutUint32(hdr[36:40], 100)
+	body := append(hdr, make([]byte, 100)...)
+	r, err := NewReader(bytes.NewReader(body))
+	if err != nil {
+		t.Fatalf("NewReader: %v", err)
+	}
+	if _, err := r.Next(); err != nil {
+		t.Fatalf("record above snaplen but below bound rejected: %v", err)
+	}
+}
+
+// An Ethernet record claiming an original wire length shorter than the
+// 14-byte Ethernet header must not produce a negative OrigLen.
+func TestEthernetOrigLenUnderflowClamped(t *testing.T) {
+	p := samplePackets(t)[0]
+	rawIP, _ := p.Encode(packet.SerializeOptions{})
+	var buf bytes.Buffer
+	w := NewWriter(&buf, LinkTypeEthernet)
+	if err := w.WritePacket(p); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	raw := buf.Bytes()
+	// Rewrite the record's origLen to 10 < etherHdrLen.
+	binary.LittleEndian.PutUint32(raw[24+12:24+16], 10)
+	r, err := NewReader(bytes.NewReader(raw))
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec, err := r.Next()
+	if err != nil {
+		t.Fatalf("Next: %v", err)
+	}
+	if rec.OrigLen < 0 {
+		t.Fatalf("OrigLen = %d, underflowed", rec.OrigLen)
+	}
+	if rec.OrigLen != len(rec.Data) {
+		t.Errorf("OrigLen = %d, want clamp to %d captured bytes", rec.OrigLen, len(rec.Data))
+	}
+	if len(rec.Data) != len(rawIP) {
+		t.Errorf("Data = %d bytes, want %d", len(rec.Data), len(rawIP))
 	}
 }

@@ -144,6 +144,9 @@ type srcCounters struct {
 	dropped   atomic.Uint64 // connections shed at a full queue
 	skipped   atomic.Uint64 // undecodable records reported by the source
 	done      atomic.Bool   // the source's Stream returned
+	// ring is set for sources backed by a kernel capture ring
+	// (AF_PACKET); its counters are sampled at exposition time.
+	ring clap.RingStatser
 }
 
 // driftSample is the drift monitor's state at render time (zero values
@@ -266,6 +269,39 @@ func (m *metrics) writeProm(w io.Writer, queueDepth, queueCap, inFlight int, thr
 		fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, metric.help, name)
 		for _, s := range sorted {
 			fmt.Fprintf(w, "%s{source=\"%s\"} %d\n", name, promLabel(s.name), metric.get(s))
+		}
+	}
+
+	// Kernel-side ring counters, sampled live from sources backed by an
+	// AF_PACKET capture ring. The series appear only when at least one
+	// such source is currently reporting, so the pcap-only exposition
+	// stays byte-identical to builds without the feature.
+	type ringRow struct {
+		name        string
+		pkts, drops uint64
+	}
+	var rings []ringRow
+	for _, s := range sorted {
+		if s.ring == nil {
+			continue
+		}
+		if pkts, drops, ok := s.ring.RingStats(); ok {
+			rings = append(rings, ringRow{name: s.name, pkts: pkts, drops: drops})
+		}
+	}
+	if len(rings) > 0 {
+		for _, metric := range []struct {
+			suffix, help string
+			get          func(ringRow) uint64
+		}{
+			{"kernel_packets_total", "Packets the kernel delivered to the source's capture ring.", func(r ringRow) uint64 { return r.pkts }},
+			{"kernel_drops_total", "Packets the kernel dropped because the capture ring was full.", func(r ringRow) uint64 { return r.drops }},
+		} {
+			name := "clap_serve_source_" + metric.suffix
+			fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s counter\n", name, metric.help, name)
+			for _, r := range rings {
+				fmt.Fprintf(w, "%s{source=\"%s\"} %d\n", name, promLabel(r.name), metric.get(r))
+			}
 		}
 	}
 

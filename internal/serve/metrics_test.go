@@ -77,3 +77,77 @@ func TestServeMetricsLabelInjection(t *testing.T) {
 		t.Fatalf("tenant label not escaped:\n%s", body)
 	}
 }
+
+// ringSource is a chanSource that also reports kernel ring counters,
+// standing in for an AF_PACKET capture.
+type ringSource struct {
+	chanSource
+	pkts, drops uint64
+	ok          bool
+}
+
+func (s *ringSource) RingStats() (uint64, uint64, bool) { return s.pkts, s.drops, s.ok }
+
+// TestServeMetricsKernelRingCounters: sources backed by a kernel capture
+// ring surface the kernel's packet/drop counters under their source
+// label; pcap-only deployments (and rings not currently reporting) must
+// not grow the exposition at all.
+func TestServeMetricsKernelRingCounters(t *testing.T) {
+	clapModel, _ := fixture(t)
+	metricsBody := func(t *testing.T, srcs ...clap.ServeSource) string {
+		t.Helper()
+		srv, err := New(Config{Backend: loadModel(t, clapModel), Threshold: 0.5, DriftWindow: -1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, src := range srcs {
+			srv.AddSource(src)
+		}
+		if err := srv.Start(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		defer srv.Shutdown(context.Background())
+		ts := httptest.NewServer(srv.Handler())
+		defer ts.Close()
+		resp, err := http.Get(ts.URL + "/metrics")
+		if err != nil {
+			t.Fatal(err)
+		}
+		raw, err := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return string(raw)
+	}
+	closedChan := func(name string) chanSource {
+		ch := make(chan *clap.Connection)
+		close(ch)
+		return chanSource{name: name, ch: ch}
+	}
+
+	ring := &ringSource{chanSource: closedChan("afpacket:eth0"), pkts: 1234, drops: 7, ok: true}
+	plain := closedChan("pcap")
+	body := metricsBody(t, ring, &plain)
+	m := promCounters(t, body)
+	if got := m[`clap_serve_source_kernel_packets_total{source="afpacket:eth0"}`]; got != 1234 {
+		t.Fatalf("kernel packets = %v, want 1234\n%s", got, body)
+	}
+	if got := m[`clap_serve_source_kernel_drops_total{source="afpacket:eth0"}`]; got != 7 {
+		t.Fatalf("kernel drops = %v, want 7\n%s", got, body)
+	}
+	// The plain source must not appear in the kernel series.
+	if strings.Contains(body, `clap_serve_source_kernel_packets_total{source="pcap"}`) {
+		t.Fatalf("pcap source leaked into kernel series:\n%s", body)
+	}
+
+	// Not currently reporting (ring closed, source idle): no kernel
+	// series at all — same as a build without the feature.
+	idle := &ringSource{chanSource: closedChan("afpacket:eth1"), ok: false}
+	if body := metricsBody(t, idle); strings.Contains(body, "kernel_") {
+		t.Fatalf("idle ring grew the exposition:\n%s", body)
+	}
+	if body := metricsBody(t, &plain); strings.Contains(body, "kernel_") {
+		t.Fatalf("pcap-only exposition grew:\n%s", body)
+	}
+}

@@ -525,6 +525,9 @@ func (s *Server) addSource(t *tenantState, src clap.ServeSource) {
 		}
 	}
 	st := &srcCounters{name: src.Name()}
+	if rs, ok := src.(clap.RingStatser); ok {
+		st.ring = rs
+	}
 	s.sources = append(s.sources, serveSource{src: src, stats: st, owner: t})
 	s.stats = append(s.stats, st)
 	t.srcs = append(t.srcs, st)

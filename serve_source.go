@@ -2,12 +2,15 @@ package clap
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 	"math/rand"
 	"os"
+	"sync"
 	"time"
 
+	"clap/internal/afpacket"
 	"clap/internal/attacks"
 	"clap/internal/flow"
 	"clap/internal/packet"
@@ -29,24 +32,39 @@ type ServeSource interface {
 	Stream(ctx context.Context, deliver func(*Connection)) (skipped int, err error)
 }
 
-// LiveConfig tunes the pcap-fed live sources.
+// RingStatser is implemented by capture sources backed by a kernel ring
+// buffer (AFPacket): cumulative packets the kernel matched to the socket
+// and packets it dropped because userspace fell behind. The serving
+// layer surfaces these as clap_serve_source_kernel_* metrics — the only
+// visibility into loss that happens before the first byte reaches us.
+type RingStatser interface {
+	RingStats() (packets, drops uint64, ok bool)
+}
+
+// LiveConfig tunes the live sources.
 type LiveConfig struct {
 	// MaxPackets cuts connections that exceed this packet budget so a
 	// long-lived flow is scored in segments instead of buffered forever.
-	// 0 means unbounded. Default 512.
+	// Negative means unbounded; 0 selects the default of 512.
 	MaxPackets int
 	// IdleFlush emits connections that saw no packet for this long (wall
 	// clock), catching half-open flows and lost teardowns. 0 disables;
 	// default 5s.
 	IdleFlush time.Duration
-	// Poll is how often a tailing source re-checks a quiet file.
-	// Default 250ms.
+	// Poll is how often a tailing source re-checks a quiet file (and how
+	// long an AF_PACKET source waits per block poll). Default 250ms.
 	Poll time.Duration
 }
 
 func (c LiveConfig) withDefaults() LiveConfig {
-	if c.MaxPackets == 0 {
+	switch {
+	case c.MaxPackets == 0:
 		c.MaxPackets = 512
+	case c.MaxPackets < 0:
+		// The assembler's own convention: 0 is unbounded. Resolving the
+		// sentinel here keeps "unbounded" expressible without making the
+		// zero value of LiveConfig dangerous.
+		c.MaxPackets = 0
 	}
 	if c.IdleFlush == 0 {
 		c.IdleFlush = 5 * time.Second
@@ -73,7 +91,11 @@ type IdleFlushable interface {
 // global header) to appear, then streams records as they are written,
 // polling on quiet periods, assembling connections incrementally and
 // delivering each one as it closes, fills its packet budget, or goes
-// idle. The stream ends only on context cancellation.
+// idle. Rotation (the file replaced under the same path) and in-place
+// truncation are detected on quiet periods: the source reopens, resyncs
+// to the new capture's global header, and keeps the assembler's half-open
+// connections intact across the boundary. The stream ends only on
+// context cancellation.
 func TailPCAP(path string, cfg LiveConfig) ServeSource {
 	return &tailSource{path: path, cfg: cfg.withDefaults()}
 }
@@ -110,36 +132,105 @@ func (s *tailSource) Stream(ctx context.Context, deliver func(*Connection)) (int
 		case <-time.After(s.cfg.Poll):
 		}
 	}
-	defer f.Close()
-	fr := &followReader{ctx: ctx, r: f, poll: s.cfg.Poll}
-	return streamPCAPRecords(ctx, fr, s.cfg, deliver)
+	tr := &tailReader{ctx: ctx, path: s.path, poll: s.cfg.Poll, f: f}
+	defer tr.Close()
+	return streamPCAPRecords(ctx, tr, s.cfg, deliver)
 }
 
-// followReader turns a growing file into a blocking reader: EOF means
-// "no new data yet", so it polls until the context ends, at which point
-// it reports EOF to terminate the pcap reader cleanly.
-type followReader struct {
+// errResync signals that a tailed capture file was rotated or truncated:
+// the byte stream restarts at a fresh pcap global header. The ingest
+// loop responds by creating a new pcap reader (discarding any stale
+// buffered bytes) without disturbing the assembler's half-open state.
+var errResync = errors.New("clap: capture file rotated; resyncing to new global header")
+
+// tailReader turns a growing capture file into a blocking reader. EOF
+// means "no new data yet": it polls, and on each quiet period checks for
+// in-place truncation (file shrank below our offset) and rotation (the
+// path now names a different inode), recovering from both by rewinding
+// or reopening and reporting errResync so the pcap layer resyncs. A
+// plain logrotate of a tcpdump capture therefore no longer stalls the
+// source forever at a stale offset.
+type tailReader struct {
 	ctx  context.Context
-	r    io.Reader
+	path string
 	poll time.Duration
+	f    *os.File
+	off  int64
 }
 
-func (f *followReader) Read(p []byte) (int, error) {
+func (t *tailReader) Read(p []byte) (int, error) {
 	for {
-		n, err := f.r.Read(p)
+		n, err := t.f.Read(p)
 		if n > 0 {
+			t.off += int64(n)
 			return n, nil
 		}
 		if err != nil && err != io.EOF {
 			return 0, err
 		}
+		if err := t.check(); err != nil {
+			return 0, err
+		}
 		select {
-		case <-f.ctx.Done():
+		case <-t.ctx.Done():
 			return 0, io.EOF
-		case <-time.After(f.poll):
+		case <-time.After(t.poll):
 		}
 	}
 }
+
+// check looks for truncation and rotation once the file has gone quiet.
+func (t *tailReader) check() error {
+	cur, err := t.f.Stat()
+	if err != nil {
+		return err
+	}
+	if cur.Size() < t.off {
+		// Truncated in place: the writer restarted the capture into the
+		// same file. Rewind and resync.
+		if _, err := t.f.Seek(0, io.SeekStart); err != nil {
+			return err
+		}
+		t.off = 0
+		return errResync
+	}
+	onDisk, err := os.Stat(t.path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			// Rotated away with no replacement yet; wait for one.
+			return t.reopen()
+		}
+		return err
+	}
+	if !os.SameFile(cur, onDisk) {
+		// Rotated: the path names a new file.
+		return t.reopen()
+	}
+	return nil
+}
+
+// reopen polls until the path exists again, then switches to the new
+// file from offset 0.
+func (t *tailReader) reopen() error {
+	for {
+		f, err := os.Open(t.path)
+		if err == nil {
+			t.f.Close()
+			t.f, t.off = f, 0
+			return errResync
+		}
+		if !os.IsNotExist(err) {
+			return err
+		}
+		select {
+		case <-t.ctx.Done():
+			return io.EOF
+		case <-time.After(t.poll):
+		}
+	}
+}
+
+func (t *tailReader) Close() error { return t.f.Close() }
 
 // FollowPCAP streams pcap records from r — stdin, a named pipe from a
 // capture process, a socket — assembling and delivering connections live.
@@ -168,51 +259,75 @@ func (s *followSource) Stream(ctx context.Context, deliver func(*Connection)) (i
 	return streamPCAPRecords(ctx, s.r, s.cfg, deliver)
 }
 
-// streamPCAPRecords is the shared pcap ingest loop. A reader goroutine
-// decodes records (it may block on a quiet feed); the main loop feeds the
-// incremental assembler, flushes idle connections on a ticker even while
-// the feed is silent, and flushes everything at end of stream.
+// recOrErr is one parsed unit of a live feed: a decoded packet, a
+// skipped (undecodable or non-IPv4) record, or a terminal error.
+type recOrErr struct {
+	p    *packet.Packet
+	skip bool
+	err  error
+}
+
+// streamPCAPRecords is the pcap ingest front half: a reader goroutine
+// decodes records (it may block on a quiet feed) into a recOrErr channel
+// consumed by the shared assembly loop. When the byte stream resyncs
+// (errResync from a rotated tail), the goroutine restarts the pcap
+// reader at the new global header; the assembler is untouched, so
+// connections spanning the rotation survive.
 //
 // On cancellation with a reader that never unblocks (a pipe with no
 // writer), the reader goroutine lingers until the underlying Read
 // returns; the stream itself ends promptly.
 func streamPCAPRecords(ctx context.Context, r io.Reader, cfg LiveConfig, deliver func(*Connection)) (int, error) {
-	type recOrErr struct {
-		p    *packet.Packet
-		skip bool
-		err  error
-	}
 	recs := make(chan recOrErr, 64)
 	go func() {
 		defer close(recs)
-		rd, err := pcapio.NewReader(r)
-		if err != nil {
-			recs <- recOrErr{err: err}
-			return
-		}
 		for {
-			rec, err := rd.Next()
-			if err == io.EOF {
-				return
-			}
+			rd, err := pcapio.NewReader(r)
 			if err != nil {
+				if errors.Is(err, errResync) {
+					continue
+				}
 				recs <- recOrErr{err: err}
 				return
 			}
-			if len(rec.Data) == 0 {
-				recs <- recOrErr{skip: true}
-				continue
+			resync := false
+			for !resync {
+				rec, err := rd.Next()
+				if err == io.EOF {
+					return
+				}
+				if errors.Is(err, errResync) {
+					resync = true
+					continue
+				}
+				if err != nil {
+					recs <- recOrErr{err: err}
+					return
+				}
+				if len(rec.Data) == 0 {
+					recs <- recOrErr{skip: true}
+					continue
+				}
+				p, derr := packet.Decode(rec.Data)
+				if derr != nil {
+					recs <- recOrErr{skip: true}
+					continue
+				}
+				p.Timestamp = rec.Timestamp
+				recs <- recOrErr{p: p}
 			}
-			p, derr := packet.Decode(rec.Data)
-			if derr != nil {
-				recs <- recOrErr{skip: true}
-				continue
-			}
-			p.Timestamp = rec.Timestamp
-			recs <- recOrErr{p: p}
 		}
 	}()
+	return assembleRecords(ctx, recs, cfg, deliver)
+}
 
+// assembleRecords is the shared live assembly loop, common to every
+// packet-granular source (pcap tail/follow and the AF_PACKET ring): it
+// feeds the incremental assembler, flushes idle connections on a ticker
+// even while the feed is silent, and flushes everything at end of
+// stream. Sharing this loop is what makes "bit-identical to the pcap
+// path" a structural property of a new source rather than a test hope.
+func assembleRecords(ctx context.Context, recs <-chan recOrErr, cfg LiveConfig, deliver func(*Connection)) (int, error) {
 	asm := flow.NewAssembler(deliver)
 	asm.MaxPackets = cfg.MaxPackets
 	var flush <-chan time.Time
@@ -252,6 +367,149 @@ func streamPCAPRecords(ctx context.Context, r io.Reader, cfg LiveConfig, deliver
 	}
 }
 
+// AFPacketConfig selects and shapes a kernel capture for AFPacketCapture.
+type AFPacketConfig struct {
+	// Interface is the device to capture on.
+	Interface string
+	// FanoutID joins a PACKET_FANOUT_HASH group (0..65535) so N workers
+	// with the same ID each own a disjoint, flow-consistent shard of the
+	// interface. Negative runs solo.
+	FanoutID int
+	// Promiscuous captures traffic not addressed to the interface.
+	Promiscuous bool
+	// DropUID/DropGID, when both positive, irreversibly drop the process
+	// to that uid/gid once the socket and ring exist, so root (or
+	// CAP_NET_RAW) covers only socket setup.
+	DropUID int
+	DropGID int
+}
+
+// AFPacket is the common-case AF_PACKET source: capture iface, shard by
+// PACKET_FANOUT_HASH under fanoutID (negative: no fanout). See
+// AFPacketCapture for the full configuration surface.
+func AFPacket(iface string, fanoutID int, cfg LiveConfig) ServeSource {
+	return AFPacketCapture(AFPacketConfig{Interface: iface, FanoutID: fanoutID}, cfg)
+}
+
+// AFPacketCapture is the zero-copy live source: a TPACKETv3 mmap'd block
+// ring on an AF_PACKET socket (no cgo, no libpcap). The kernel writes
+// frames straight into shared memory; the source harvests whole blocks,
+// decodes frames with internal/packet, and runs the same assembly loop
+// as the pcap sources — so connections and scores are bit-identical to a
+// pcap of the same packets. Requires CAP_NET_RAW at Stream time (only
+// across socket setup when DropUID/DropGID are set), and linux.
+func AFPacketCapture(acfg AFPacketConfig, cfg LiveConfig) ServeSource {
+	s := &afpacketSource{name: "afpacket:" + acfg.Interface, cfg: cfg.withDefaults()}
+	s.open = func() (afpacket.Ring, error) {
+		h, err := afpacket.Open(afpacket.Config{
+			Interface:   acfg.Interface,
+			FanoutID:    acfg.FanoutID,
+			FanoutType:  afpacket.FanoutHash,
+			Promiscuous: acfg.Promiscuous,
+			DropUID:     acfg.DropUID,
+			DropGID:     acfg.DropGID,
+			PollTimeout: s.cfg.Poll,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return h, nil
+	}
+	return s
+}
+
+type afpacketSource struct {
+	name string
+	cfg  LiveConfig
+	// open is injectable: production opens a kernel ring; tests substitute
+	// afpacket.NewSyntheticRing to run the whole source unprivileged.
+	open func() (afpacket.Ring, error)
+
+	mu   sync.Mutex
+	ring afpacket.Ring
+}
+
+func (s *afpacketSource) Name() string { return s.name }
+
+// SetIdleFlush implements IdleFlushable.
+func (s *afpacketSource) SetIdleFlush(d time.Duration) {
+	if d > 0 {
+		s.cfg.IdleFlush = d
+	}
+}
+
+// RingStats implements RingStatser while the source is streaming from a
+// ring that exposes kernel counters.
+func (s *afpacketSource) RingStats() (uint64, uint64, bool) {
+	s.mu.Lock()
+	ring := s.ring
+	s.mu.Unlock()
+	st, ok := ring.(interface {
+		Stats() (uint64, uint64, error)
+	})
+	if !ok {
+		return 0, 0, false
+	}
+	pkts, drops, err := st.Stats()
+	if err != nil {
+		return 0, 0, false
+	}
+	return pkts, drops, true
+}
+
+func (s *afpacketSource) Stream(ctx context.Context, deliver func(*Connection)) (int, error) {
+	ring, err := s.open()
+	if err != nil {
+		return 0, fmt.Errorf("afpacket: open %s: %w", s.name, err)
+	}
+	s.mu.Lock()
+	s.ring = ring
+	s.mu.Unlock()
+	defer func() {
+		s.mu.Lock()
+		s.ring = nil
+		s.mu.Unlock()
+		ring.Close()
+	}()
+
+	recs := make(chan recOrErr, 64)
+	go func() {
+		defer close(recs)
+		for {
+			block, release, err := ring.NextBlock(ctx)
+			if err == io.EOF {
+				return
+			}
+			if err != nil {
+				recs <- recOrErr{err: err}
+				return
+			}
+			// Frames alias the block; packet.Decode copies everything it
+			// keeps, so the block can be released after the walk.
+			_, perr := afpacket.ParseBlock(block, func(f afpacket.Frame) {
+				ip, ok := afpacket.IPv4Payload(f.Data)
+				if !ok {
+					recs <- recOrErr{skip: true}
+					return
+				}
+				p, derr := packet.Decode(ip)
+				if derr != nil {
+					recs <- recOrErr{skip: true}
+					return
+				}
+				p.Timestamp = f.Timestamp
+				recs <- recOrErr{p: p}
+			})
+			release()
+			if perr != nil {
+				recs <- recOrErr{err: perr}
+				return
+			}
+		}
+	}()
+	return assembleRecords(ctx, recs, s.cfg, deliver)
+}
+
 // SoakConfig tunes the synthetic soak source.
 type SoakConfig struct {
 	// Connections is the total to generate; 0 means run until cancelled.
@@ -259,7 +517,8 @@ type SoakConfig struct {
 	// Seed makes the soak deterministic (connections and attack plan).
 	Seed int64
 	// Rate caps delivery at roughly this many connections per second;
-	// 0 delivers as fast as downstream accepts (pure load test).
+	// 0 delivers as fast as downstream accepts (pure load test). Rates
+	// above 1e9 (sub-nanosecond intervals) are rejected at Stream time.
 	Rate float64
 	// AttackFraction injects an evasion strategy into this fraction of
 	// connections (0: all benign).
@@ -306,7 +565,14 @@ func (s *soakSource) Stream(ctx context.Context, deliver func(*Connection)) (int
 	rng := rand.New(rand.NewSource(s.cfg.Seed))
 	var ticker *time.Ticker
 	if s.cfg.Rate > 0 {
-		ticker = time.NewTicker(time.Duration(float64(time.Second) / s.cfg.Rate))
+		interval := time.Duration(float64(time.Second) / s.cfg.Rate)
+		if interval <= 0 {
+			// A rate above 1e9/s rounds to a zero (or negative) interval,
+			// which time.NewTicker rejects with a panic. Rates that high
+			// mean "uncapped" at best and a typo at worst; fail loudly.
+			return 0, fmt.Errorf("soak: rate %g connections/s is too high to schedule (use 0 for uncapped)", s.cfg.Rate)
+		}
+		ticker = time.NewTicker(interval)
 		defer ticker.Stop()
 	}
 	produced := 0

@@ -1,7 +1,9 @@
 package clap
 
 import (
+	"bytes"
 	"context"
+	"errors"
 	"io"
 	"os"
 	"path/filepath"
@@ -9,6 +11,7 @@ import (
 	"time"
 
 	"clap/internal/flow"
+	"clap/internal/packet"
 	"clap/internal/pcapio"
 )
 
@@ -277,6 +280,225 @@ func TestSetIdleFlushOverridesConstruction(t *testing.T) {
 				}
 			case <-time.After(15 * time.Second):
 				t.Fatal("connection never idle-flushed: SetIdleFlush did not take effect")
+			}
+		})
+	}
+}
+
+// TestLiveConfigMaxPacketsSentinel pins the sentinel contract: 0 selects
+// the 512 default, negative means unbounded (resolved to the assembler's
+// honest 0), positive passes through. Pre-fix, "unbounded" was
+// unexpressible: the docs promised 0 meant unbounded while withDefaults
+// rewrote 0 to 512 and let -1 leak into the assembler.
+func TestLiveConfigMaxPacketsSentinel(t *testing.T) {
+	for _, tc := range []struct{ in, want int }{
+		{0, 512},
+		{-1, 0},
+		{7, 7},
+	} {
+		if got := (LiveConfig{MaxPackets: tc.in}).withDefaults().MaxPackets; got != tc.want {
+			t.Errorf("withDefaults(MaxPackets: %d) = %d, want %d", tc.in, got, tc.want)
+		}
+	}
+}
+
+// longConnCapture writes one connection of n packets as a raw-IP pcap.
+func longConnCapture(t *testing.T, n int) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	w := pcapio.NewWriter(&buf, pcapio.LinkTypeRaw)
+	c := [4]byte{10, 0, 0, 9}
+	s := [4]byte{192, 0, 2, 9}
+	ts := time.Unix(1700000000, 0)
+	write := func(p *packet.Packet) {
+		if err := w.WritePacket(p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	write(packet.NewBuilder(c, s, 3001, 80).Flags(packet.SYN).Time(ts).Build())
+	write(packet.NewBuilder(s, c, 80, 3001).Flags(packet.SYN | packet.ACK).Time(ts.Add(time.Millisecond)).Build())
+	for i := 0; i < n-2; i++ {
+		write(packet.NewBuilder(c, s, 3001, 80).Flags(packet.ACK | packet.PSH).
+			Seq(uint32(100 + i*64)).PayloadLen(64).
+			Time(ts.Add(time.Duration(i+2) * time.Millisecond)).Build())
+	}
+	if err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestMaxPacketsUnbounded is the behavioural half of the sentinel pin: a
+// 700-packet flow must arrive as one connection under MaxPackets -1 and
+// be segmented under the 512 default.
+func TestMaxPacketsUnbounded(t *testing.T) {
+	const pkts = 700
+	capture := longConnCapture(t, pkts)
+
+	cfg := fastLive
+	cfg.MaxPackets = -1
+	conns, _ := collectServe(t, FollowPCAP("pipe", bytes.NewReader(capture), cfg), context.Background())
+	if len(conns) != 1 || conns[0].Len() != pkts {
+		t.Fatalf("unbounded: got %d connections (first %d packets), want 1 connection of %d",
+			len(conns), conns[0].Len(), pkts)
+	}
+
+	cfg.MaxPackets = 0 // default 512
+	conns, _ = collectServe(t, FollowPCAP("pipe", bytes.NewReader(capture), cfg), context.Background())
+	if len(conns) != 2 {
+		t.Fatalf("default budget: got %d connections, want 2 segments", len(conns))
+	}
+	if got := conns[0].Len() + conns[1].Len(); got != pkts {
+		t.Fatalf("segments carry %d packets, want %d", got, pkts)
+	}
+}
+
+// TestSoakRateTooHigh: a rate that rounds to a sub-nanosecond interval
+// must be rejected with an error, not panic inside time.NewTicker.
+func TestSoakRateTooHigh(t *testing.T) {
+	_, err := Soak(SoakConfig{Connections: 4, Rate: 2e9}).Stream(context.Background(), func(*Connection) {})
+	if err == nil {
+		t.Fatal("Soak with Rate 2e9 should fail, not run (pre-fix: panic in time.NewTicker)")
+	}
+}
+
+// failAfterReader serves its payload and then fails with a permanent
+// (non-EOF) error — a capture feed dying mid-record.
+type failAfterReader struct {
+	data []byte
+	err  error
+}
+
+func (r *failAfterReader) Read(p []byte) (int, error) {
+	if len(r.data) == 0 {
+		return 0, r.err
+	}
+	n := copy(p, r.data)
+	r.data = r.data[n:]
+	return n, nil
+}
+
+// TestStreamMidRecordError: when the feed dies mid-record, the ingest
+// loop must flush everything assembled so far to the deliver callback
+// and surface the error — no partial-assembly packets may be lost.
+func TestStreamMidRecordError(t *testing.T) {
+	want := GenerateBenign(3, 23)
+	var buf bytes.Buffer
+	if err := WritePCAP(&buf, want); err != nil {
+		t.Fatal(err)
+	}
+	whole := buf.Bytes()
+	boom := errors.New("capture feed died")
+	// Cut inside the last record's body.
+	r := &failAfterReader{data: whole[:len(whole)-7], err: boom}
+
+	var got []*Connection
+	_, err := FollowPCAP("dying", r, fastLive).Stream(context.Background(),
+		func(c *Connection) { got = append(got, c) })
+	if !errors.Is(err, boom) {
+		t.Fatalf("Stream error = %v, want the feed's error", err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("flushed %d connections after mid-record error, want %d", len(got), len(want))
+	}
+	wantPkts := 0
+	for _, c := range want {
+		wantPkts += c.Len()
+	}
+	gotPkts := 0
+	for _, c := range got {
+		gotPkts += c.Len()
+	}
+	if gotPkts != wantPkts-1 {
+		// Everything but the truncated final record must have been
+		// assembled and flushed.
+		t.Fatalf("flushed %d packets, want %d (capture minus the truncated record)", gotPkts, wantPkts-1)
+	}
+}
+
+// TestTailPCAPRotation: a tailed capture is logrotated (renamed away and
+// replaced) and, separately, truncated in place mid-stream. Pre-fix the
+// tailer kept polling the stale offset forever; now it must notice,)
+// resync to the new global header, and deliver the second capture's
+// connections too.
+func TestTailPCAPRotation(t *testing.T) {
+	for _, mode := range []string{"rename", "truncate"} {
+		t.Run(mode, func(t *testing.T) {
+			first := GenerateBenign(4, 61)
+			second := GenerateBenign(3, 62)
+			dir := t.TempDir()
+			path := filepath.Join(dir, "rotating.pcap")
+
+			writeCapture := func(p string, conns []*Connection) {
+				f, err := os.Create(p)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := WritePCAP(f, conns); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+			writeCapture(path, first)
+
+			src := TailPCAP(path, fastLive)
+			ctx, cancel := context.WithCancel(context.Background())
+			defer cancel()
+			got := make(chan *Connection, 64)
+			done := make(chan error, 1)
+			go func() {
+				_, err := src.Stream(ctx, func(c *Connection) { got <- c })
+				done <- err
+			}()
+
+			collect := func(n int, stage string) []*Connection {
+				var conns []*Connection
+				deadline := time.After(20 * time.Second)
+				for len(conns) < n {
+					select {
+					case c := <-got:
+						conns = append(conns, c)
+					case <-deadline:
+						t.Fatalf("%s: delivered %d connections, want %d", stage, len(conns), n)
+					}
+				}
+				return conns
+			}
+			collect(len(first), "before rotation")
+
+			switch mode {
+			case "rename":
+				if err := os.Rename(path, path+".1"); err != nil {
+					t.Fatal(err)
+				}
+				writeCapture(path, second)
+			case "truncate":
+				if err := os.Truncate(path, 0); err != nil {
+					t.Fatal(err)
+				}
+				// Shrink detection is poll-based (as in tail -F): give the
+				// tailer a few poll cycles to observe size < offset before
+				// the file regrows past it.
+				time.Sleep(20 * fastLive.Poll)
+				f, err := os.OpenFile(path, os.O_WRONLY, 0)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := WritePCAP(f, second); err != nil {
+					t.Fatal(err)
+				}
+				f.Close()
+			}
+
+			after := collect(len(second), "after rotation")
+			for i := range second {
+				if after[i].Key != second[i].Key {
+					t.Fatalf("post-rotation conn %d: key %v != %v", i, after[i].Key, second[i].Key)
+				}
+			}
+			cancel()
+			if err := <-done; err != nil {
+				t.Fatalf("tail stream: %v", err)
 			}
 		})
 	}
