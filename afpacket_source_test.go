@@ -3,6 +3,9 @@ package clap
 import (
 	"bytes"
 	"context"
+	"io"
+	"sync"
+	"sync/atomic"
 	"testing"
 	"time"
 
@@ -184,5 +187,87 @@ func TestAFPacketSourceSkipsNonIP(t *testing.T) {
 	}
 	if len(conns) != len(want) {
 		t.Fatalf("%d connections, want %d", len(conns), len(want))
+	}
+}
+
+// teardownRing hands out one large block, cancelling the capture context
+// the instant the block leaves its hands — the worst-case shutdown: the
+// harvest goroutine is mid-walk (and, with more frames than the record
+// channel buffers, blocked sending) when the assembly loop bails. Close
+// records whether it ran while the block was still outstanding, which on
+// a kernel ring would be a munmap under a live ParseBlock.
+type teardownRing struct {
+	block       []byte
+	cancel      context.CancelFunc
+	outstanding int32
+	closedEarly bool
+	closed      bool
+}
+
+func (r *teardownRing) NextBlock(ctx context.Context) ([]byte, func(), error) {
+	if ctx.Err() != nil || r.closed {
+		return nil, nil, io.EOF
+	}
+	r.cancel()
+	atomic.AddInt32(&r.outstanding, 1)
+	var once sync.Once
+	return r.block, func() {
+		once.Do(func() { atomic.AddInt32(&r.outstanding, -1) })
+	}, nil
+}
+
+func (r *teardownRing) Close() error {
+	r.closed = true
+	if atomic.LoadInt32(&r.outstanding) != 0 {
+		r.closedEarly = true
+	}
+	return nil
+}
+
+// TestAFPacketStreamTeardownJoinsHarvest pins the shutdown ordering:
+// cancellation must drain and join the harvest goroutine BEFORE the ring
+// is closed, because closing a kernel ring munmaps memory the goroutine's
+// block walk still aliases. Pre-fix this raced: Stream returned on
+// ctx.Done with the harvester blocked sending into a full record channel,
+// then closed the ring under it (use-after-munmap) and leaked the
+// goroutine.
+func TestAFPacketStreamTeardownJoinsHarvest(t *testing.T) {
+	// 600 ARP frames: far more than the 64-slot record buffer, so the
+	// walk is guaranteed to be parked on a send at cancellation.
+	bb := afpacket.NewBlockBuilder()
+	arp := make([]byte, 42)
+	arp[12], arp[13] = 0x08, 0x06
+	for i := 0; i < 600; i++ {
+		bb.Append(time.Unix(int64(i), 0), arp, len(arp))
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	ring := &teardownRing{block: bb.Bytes(), cancel: cancel}
+	src := &afpacketSource{
+		name: "afpacket:teardown",
+		cfg:  fastLive.withDefaults(),
+		open: func() (afpacket.Ring, error) { return ring, nil },
+	}
+	collectServe(t, src, ctx)
+	if !ring.closed {
+		t.Fatal("ring was never closed")
+	}
+	if ring.closedEarly {
+		t.Fatal("ring closed while a block was still being walked: use-after-munmap on a kernel ring")
+	}
+}
+
+// TestAFPacketConfigZeroValueRunsSolo pins the zero-value safety of the
+// public config: fanout group 0 is a real PACKET_FANOUT id, so a caller
+// who never asked for sharding must not silently join it.
+func TestAFPacketConfigZeroValueRunsSolo(t *testing.T) {
+	if got := (AFPacketConfig{Interface: "eth0"}).fanoutID(); got >= 0 {
+		t.Fatalf("zero-value AFPacketConfig joins fanout group %d, want solo (negative)", got)
+	}
+	if got := (AFPacketConfig{Interface: "eth0", Fanout: true}).fanoutID(); got != 0 {
+		t.Fatalf("Fanout with FanoutID 0 maps to group %d, want 0", got)
+	}
+	if got := (AFPacketConfig{Interface: "eth0", Fanout: true, FanoutID: 7}).fanoutID(); got != 7 {
+		t.Fatalf("Fanout group 7 maps to %d", got)
 	}
 }

@@ -106,14 +106,16 @@ type Handle struct {
 	blockCount  int
 	next        int
 	pollTimeout time.Duration
-	closed      bool
 
 	// PACKET_STATISTICS resets on every read; these accumulate under
 	// statMu (metrics scrapes call Stats concurrently with the harvest
-	// goroutine's handle).
+	// goroutine's handle). closed lives under the same mutex so a
+	// scrape racing Close can never getsockopt a dead — or worse,
+	// kernel-reused — fd.
 	statMu      sync.Mutex
 	statPackets uint64
 	statDrops   uint64
+	closed      bool
 }
 
 // Open binds an AF_PACKET/SOCK_RAW socket to cfg.Interface, installs a
@@ -277,6 +279,9 @@ const (
 func (h *Handle) Stats() (packets, drops uint64, err error) {
 	h.statMu.Lock()
 	defer h.statMu.Unlock()
+	if h.closed {
+		return 0, 0, fmt.Errorf("afpacket: Stats on closed handle")
+	}
 	var st tpacketStatsV3
 	l := uint32(unsafe.Sizeof(st))
 	if _, _, errno := syscall.Syscall6(syscall.SYS_GETSOCKOPT, uintptr(h.fd), syscall.SOL_PACKET, syscall.PACKET_STATISTICS,
@@ -288,8 +293,11 @@ func (h *Handle) Stats() (packets, drops uint64, err error) {
 	return h.statPackets, h.statDrops, nil
 }
 
-// Close unmaps the ring and closes the socket.
+// Close unmaps the ring and closes the socket. It takes statMu so an
+// in-flight Stats scrape finishes against the live fd first.
 func (h *Handle) Close() error {
+	h.statMu.Lock()
+	defer h.statMu.Unlock()
 	if h.closed {
 		return nil
 	}

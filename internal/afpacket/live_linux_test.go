@@ -37,6 +37,21 @@ func skipIfUnprivileged(t *testing.T, err error) {
 	}
 }
 
+// TestStatsOnClosedHandle needs no privileges: a Stats call racing Close
+// (a metrics scrape that grabbed the handle just before Stream tore it
+// down) must fail cleanly under statMu rather than getsockopt a dead —
+// or kernel-reused — fd. Close on an already-closed handle stays a
+// no-op.
+func TestStatsOnClosedHandle(t *testing.T) {
+	h := &Handle{fd: -1, closed: true}
+	if _, _, err := h.Stats(); err == nil {
+		t.Fatal("Stats on a closed handle returned nil error; it must not touch the fd")
+	}
+	if err := h.Close(); err != nil {
+		t.Fatalf("Close on a closed handle: %v", err)
+	}
+}
+
 // Injected frames are recognized by this source address; payload markers
 // don't survive packet.Builder (it stores payload-stripped captures).
 var injectSrcIP = [4]byte{10, 97, 102, 112}

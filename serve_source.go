@@ -371,9 +371,13 @@ func assembleRecords(ctx context.Context, recs <-chan recOrErr, cfg LiveConfig, 
 type AFPacketConfig struct {
 	// Interface is the device to capture on.
 	Interface string
-	// FanoutID joins a PACKET_FANOUT_HASH group (0..65535) so N workers
-	// with the same ID each own a disjoint, flow-consistent shard of the
-	// interface. Negative runs solo.
+	// Fanout joins a PACKET_FANOUT_HASH group so N workers with the
+	// same FanoutID each own a disjoint, flow-consistent shard of the
+	// interface. Sharding is opt-in because group 0 is itself a valid
+	// fanout id: the zero-value config captures solo.
+	Fanout bool
+	// FanoutID is the fanout group (0..65535); consulted only when
+	// Fanout is set.
 	FanoutID int
 	// Promiscuous captures traffic not addressed to the interface.
 	Promiscuous bool
@@ -388,7 +392,16 @@ type AFPacketConfig struct {
 // PACKET_FANOUT_HASH under fanoutID (negative: no fanout). See
 // AFPacketCapture for the full configuration surface.
 func AFPacket(iface string, fanoutID int, cfg LiveConfig) ServeSource {
-	return AFPacketCapture(AFPacketConfig{Interface: iface, FanoutID: fanoutID}, cfg)
+	return AFPacketCapture(AFPacketConfig{Interface: iface, Fanout: fanoutID >= 0, FanoutID: fanoutID}, cfg)
+}
+
+// fanoutID maps the zero-value-safe public fanout fields onto the
+// internal sentinel convention (negative disables fanout).
+func (c AFPacketConfig) fanoutID() int {
+	if !c.Fanout {
+		return -1
+	}
+	return c.FanoutID
 }
 
 // AFPacketCapture is the zero-copy live source: a TPACKETv3 mmap'd block
@@ -403,7 +416,7 @@ func AFPacketCapture(acfg AFPacketConfig, cfg LiveConfig) ServeSource {
 	s.open = func() (afpacket.Ring, error) {
 		h, err := afpacket.Open(afpacket.Config{
 			Interface:   acfg.Interface,
-			FanoutID:    acfg.FanoutID,
+			FanoutID:    acfg.fanoutID(),
 			FanoutType:  afpacket.FanoutHash,
 			Promiscuous: acfg.Promiscuous,
 			DropUID:     acfg.DropUID,
@@ -465,18 +478,30 @@ func (s *afpacketSource) Stream(ctx context.Context, deliver func(*Connection)) 
 	s.mu.Lock()
 	s.ring = ring
 	s.mu.Unlock()
+
+	hctx, cancel := context.WithCancel(ctx)
+	recs := make(chan recOrErr, 64)
+	// Teardown order is load-bearing: the harvest goroutine walks frame
+	// bytes that alias the mmap'd ring, so the mapping must outlive it.
+	// On any return — cancellation included, where assembleRecords bails
+	// while the goroutine may be mid-ParseBlock or blocked sending into
+	// recs — cancel the harvest context, then drain recs until the
+	// goroutine closes it (NextBlock reports io.EOF once its context is
+	// done, so the drain terminates and unblocks any stuck send), and
+	// only then detach the ring from Stats scrapes and munmap it.
 	defer func() {
+		cancel()
+		for range recs {
+		}
 		s.mu.Lock()
 		s.ring = nil
 		s.mu.Unlock()
 		ring.Close()
 	}()
-
-	recs := make(chan recOrErr, 64)
 	go func() {
 		defer close(recs)
 		for {
-			block, release, err := ring.NextBlock(ctx)
+			block, release, err := ring.NextBlock(hctx)
 			if err == io.EOF {
 				return
 			}
